@@ -1,0 +1,192 @@
+//! Software baseline for maximal clique listing: Eppstein-style Bron–Kerbosch
+//! with pivoting over the degeneracy ordering, in `_non-set` (adjacency
+//! probing) and `_set-based` (sorted-array merging) flavours.
+
+use super::engine::CpuEngine;
+use super::BaselineMode;
+use crate::limits::{PatternBudget, SearchLimits};
+use crate::{MiningRun, Vertex};
+use sisa_graph::orientation::DegeneracyOrdering;
+use sisa_graph::CsrGraph;
+use sisa_pim::CpuConfig;
+
+/// Result of a baseline maximal-clique run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BaselineMaximalCliques {
+    /// Number of maximal cliques found.
+    pub count: u64,
+    /// The cliques (sorted), when collection was requested.
+    pub cliques: Vec<Vec<Vertex>>,
+}
+
+/// Runs the baseline Bron–Kerbosch over the undirected CSR graph.
+pub fn maximal_cliques_baseline(
+    g: &CsrGraph,
+    ordering: &DegeneracyOrdering,
+    mode: BaselineMode,
+    cfg: &CpuConfig,
+    threads: usize,
+    limits: &SearchLimits,
+    collect: bool,
+) -> MiningRun<BaselineMaximalCliques> {
+    let mut engine = CpuEngine::new(g, cfg, threads);
+    let mut budget = limits.budget();
+    let mut tasks = Vec::with_capacity(g.num_vertices());
+    let mut result = BaselineMaximalCliques::default();
+
+    for &v in &ordering.order {
+        if budget.exhausted() {
+            break;
+        }
+        engine.task_begin();
+        let rank_v = ordering.rank[v as usize];
+        let nbrs: Vec<Vertex> = engine.stream_neighbors(v).to_vec();
+        let p: Vec<Vertex> = nbrs
+            .iter()
+            .copied()
+            .filter(|&w| ordering.rank[w as usize] > rank_v)
+            .collect();
+        let x: Vec<Vertex> = nbrs
+            .iter()
+            .copied()
+            .filter(|&w| ordering.rank[w as usize] < rank_v)
+            .collect();
+        engine.scalar(nbrs.len() as u64);
+        let mut r = vec![v];
+        bk_pivot(&mut engine, mode, &mut r, &p, &x, &mut budget, collect, &mut result);
+        tasks.push(engine.task_end());
+    }
+    if collect {
+        result.cliques.sort();
+    }
+    MiningRun::new(result, tasks, budget.exhausted())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bk_pivot(
+    engine: &mut CpuEngine<'_>,
+    mode: BaselineMode,
+    r: &mut Vec<Vertex>,
+    p: &[Vertex],
+    x: &[Vertex],
+    budget: &mut PatternBudget,
+    collect: bool,
+    out: &mut BaselineMaximalCliques,
+) {
+    if budget.exhausted() {
+        return;
+    }
+    if p.is_empty() && x.is_empty() {
+        out.count += 1;
+        if collect {
+            let mut clique = r.clone();
+            clique.sort_unstable();
+            out.cliques.push(clique);
+        }
+        budget.found(1);
+        return;
+    }
+    if p.is_empty() {
+        return;
+    }
+
+    // Pivot: u ∈ P ∪ X maximising |P ∩ N(u)|.
+    let mut pivot = None;
+    let mut best = 0usize;
+    for &u in p.iter().chain(x.iter()) {
+        engine.scalar(1);
+        let common = match mode {
+            BaselineMode::SetBased => engine.merge_intersect_with(p, u).len(),
+            BaselineMode::NonSet => engine.probe_filter(p, u).len(),
+        };
+        if pivot.is_none() || common > best {
+            best = common;
+            pivot = Some(u);
+        }
+    }
+    let pivot = pivot.expect("P non-empty");
+
+    // Candidates = P \ N(pivot).
+    let pivot_nbrs = engine.stream_neighbors(pivot);
+    let candidates: Vec<Vertex> = sisa_sets::ops::difference_merge_slices(p, pivot_nbrs);
+    engine.scalar((p.len() + pivot_nbrs.len()) as u64);
+    engine.write_scratch(candidates.len());
+
+    let mut p_live: Vec<Vertex> = p.to_vec();
+    let mut x_live: Vec<Vertex> = x.to_vec();
+    for q in candidates {
+        if budget.exhausted() {
+            break;
+        }
+        engine.scalar(4);
+        let (p_next, x_next) = match mode {
+            BaselineMode::SetBased => (
+                engine.merge_intersect_with(&p_live, q),
+                engine.merge_intersect_with(&x_live, q),
+            ),
+            BaselineMode::NonSet => (
+                engine.probe_filter(&p_live, q),
+                engine.probe_filter(&x_live, q),
+            ),
+        };
+        r.push(q);
+        bk_pivot(engine, mode, r, &p_next, &x_next, budget, collect, out);
+        r.pop();
+        // P = P \ {q}; X = X ∪ {q}.
+        p_live.retain(|&w| w != q);
+        let pos = x_live.binary_search(&q).unwrap_or_else(|e| e);
+        x_live.insert(pos, q);
+        engine.stream_scratch(p_live.len() + x_live.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sisa_graph::orientation::degeneracy_order;
+    use sisa_graph::{generators, properties};
+
+    fn run(g: &CsrGraph, mode: BaselineMode, limits: &SearchLimits) -> MiningRun<BaselineMaximalCliques> {
+        let ordering = degeneracy_order(g);
+        maximal_cliques_baseline(g, &ordering, mode, &CpuConfig::default(), 1, limits, true)
+    }
+
+    #[test]
+    fn both_modes_match_brute_force() {
+        for seed in [3u64, 5] {
+            let g = generators::erdos_renyi(16, 0.4, seed);
+            let expected = properties::brute_force_maximal_cliques(&g);
+            for mode in [BaselineMode::NonSet, BaselineMode::SetBased] {
+                let r = run(&g, mode, &SearchLimits::unlimited());
+                assert_eq!(r.result.cliques, expected, "{mode:?} seed {seed}");
+                assert_eq!(r.result.count as usize, expected.len());
+            }
+        }
+    }
+
+    #[test]
+    fn budget_truncates() {
+        let g = generators::near_complete(36, 0.7, 8);
+        let full = run(&g, BaselineMode::SetBased, &SearchLimits::unlimited());
+        let limited = run(&g, BaselineMode::SetBased, &SearchLimits::patterns(10));
+        assert!(limited.truncated);
+        assert!(limited.result.count <= 11);
+        assert!(limited.total_cycles() < full.total_cycles());
+    }
+
+    #[test]
+    fn both_modes_agree_and_stay_within_a_small_factor() {
+        // The paper observes that the set-based restructuring helps most for
+        // complex algorithms like mc on large inputs, while on small,
+        // cache-resident graphs the tuned non-set code can match or beat it
+        // ("for certain simpler schemes ... the very tuned _non-set baseline
+        // outperforms _set-based"). Either order is acceptable here; what must
+        // hold is agreement on the result and costs of the same magnitude.
+        let g = generators::near_complete(60, 0.5, 2);
+        let non_set = run(&g, BaselineMode::NonSet, &SearchLimits::patterns(2_000));
+        let set_based = run(&g, BaselineMode::SetBased, &SearchLimits::patterns(2_000));
+        assert_eq!(non_set.result.count, set_based.result.count);
+        assert!(set_based.total_cycles() < non_set.total_cycles() * 3);
+        assert!(non_set.total_cycles() < set_based.total_cycles() * 3);
+    }
+}

@@ -1,0 +1,269 @@
+//! Paradigm-level baselines (paper §9.2, "Comparison to Other Paradigms").
+//!
+//! SISA is compared not only against hand-tuned algorithms but against the
+//! *paradigms* underlying general-purpose mining systems:
+//!
+//! * [`neighborhood_expansion_cliques`] — Peregrine/GRAMER-style pattern
+//!   matching by neighbourhood expansion: partial embeddings are extended one
+//!   vertex at a time from the neighbourhood of the last matched vertex and
+//!   validated with per-edge adjacency checks. Generic, but it re-validates
+//!   every edge of the pattern and materialises candidate lists, which is why
+//!   the paper reports it 10–100× slower than tuned algorithms.
+//! * [`neighborhood_expansion_maximal_cliques`] — the paper notes Peregrine
+//!   has no native maximal-clique support and must iterate over possible
+//!   clique sizes; this baseline does exactly that.
+//! * [`relational_join_cliques`] — RStream/TrieJax-style relational algebra:
+//!   k-cliques are produced by repeatedly joining the edge relation and
+//!   filtering, materialising the (large) intermediate relations.
+//!
+//! All three run on the CPU cost model.
+
+use crate::baseline::engine::CpuEngine;
+use crate::limits::SearchLimits;
+use crate::{MiningRun, Vertex};
+use sisa_graph::CsrGraph;
+use sisa_pim::CpuConfig;
+
+/// k-clique counting by generic neighbourhood expansion (Peregrine-style).
+pub fn neighborhood_expansion_cliques(
+    oriented: &CsrGraph,
+    k: usize,
+    cfg: &CpuConfig,
+    threads: usize,
+    limits: &SearchLimits,
+) -> MiningRun<u64> {
+    assert!(k >= 2);
+    let mut engine = CpuEngine::new(oriented, cfg, threads);
+    let mut budget = limits.budget();
+    let mut tasks = Vec::new();
+    let mut count = 0u64;
+
+    for v in 0..oriented.num_vertices() as Vertex {
+        if budget.exhausted() {
+            break;
+        }
+        engine.task_begin();
+        // Partial embeddings are explicit vertex lists, extended breadth-first
+        // (the framework materialises every level).
+        let mut embeddings: Vec<Vec<Vertex>> = vec![vec![v]];
+        for _level in 1..k {
+            let mut next: Vec<Vec<Vertex>> = Vec::new();
+            for emb in &embeddings {
+                engine.stream_scratch(emb.len());
+                let last = *emb.last().expect("embedding is non-empty");
+                let candidates: Vec<Vertex> = engine.stream_neighbors(last).to_vec();
+                for c in candidates {
+                    // Generic pattern validation: check the candidate against
+                    // *every* previously matched vertex with an edge probe.
+                    engine.scalar(emb.len() as u64);
+                    let ok = emb.iter().all(|&u| engine.binary_search_edge(u, c));
+                    if ok {
+                        let mut e = emb.clone();
+                        e.push(c);
+                        engine.write_scratch(e.len());
+                        next.push(e);
+                    }
+                }
+            }
+            embeddings = next;
+            if embeddings.is_empty() {
+                break;
+            }
+        }
+        let found = embeddings.len() as u64;
+        count += found;
+        if found > 0 {
+            budget.found(found);
+        }
+        tasks.push(engine.task_end());
+    }
+    MiningRun::new(count, tasks, budget.exhausted())
+}
+
+/// Maximal-clique counting via neighbourhood expansion: iterate over clique
+/// sizes (as the paper had to do with Peregrine) and keep the cliques that
+/// cannot be extended.
+pub fn neighborhood_expansion_maximal_cliques(
+    g: &CsrGraph,
+    oriented: &CsrGraph,
+    max_size: usize,
+    cfg: &CpuConfig,
+    threads: usize,
+    limits: &SearchLimits,
+) -> MiningRun<u64> {
+    let mut engine = CpuEngine::new(g, cfg, threads);
+    let mut enum_engine = CpuEngine::new(oriented, cfg, threads);
+    let mut budget = limits.budget();
+    let mut tasks = Vec::new();
+    let mut maximal = 0u64;
+
+    for k in 1..=max_size {
+        if budget.exhausted() {
+            break;
+        }
+        // Enumerate k-cliques on the oriented graph (each clique appears
+        // exactly once) and test maximality on the undirected graph by trying
+        // to extend each with every vertex.
+        enum_engine.task_begin();
+        let cliques = enumerate_cliques(&mut enum_engine, oriented, k, &mut budget);
+        tasks.push(enum_engine.task_end());
+        engine.task_begin();
+        for clique in &cliques {
+            engine.scalar(clique.len() as u64);
+            let extendable = (0..g.num_vertices() as Vertex).any(|w| {
+                if clique.contains(&w) {
+                    return false;
+                }
+                clique.iter().all(|&u| {
+                    engine.scalar(1);
+                    engine.binary_search_edge(u, w)
+                })
+            });
+            if !extendable {
+                maximal += 1;
+            }
+        }
+        tasks.push(engine.task_end());
+    }
+    MiningRun::new(maximal, tasks, budget.exhausted())
+}
+
+fn enumerate_cliques(
+    engine: &mut CpuEngine<'_>,
+    oriented: &CsrGraph,
+    k: usize,
+    budget: &mut crate::limits::PatternBudget,
+) -> Vec<Vec<Vertex>> {
+    debug_assert!(std::ptr::eq(engine.graph(), oriented));
+    let mut result: Vec<Vec<Vertex>> = Vec::new();
+    for v in 0..oriented.num_vertices() as Vertex {
+        if budget.exhausted() {
+            break;
+        }
+        let mut embeddings: Vec<Vec<Vertex>> = vec![vec![v]];
+        for _ in 1..k {
+            let mut next = Vec::new();
+            for emb in &embeddings {
+                let last = *emb.last().expect("non-empty");
+                for &c in engine.stream_neighbors(last) {
+                    engine.scalar(emb.len() as u64);
+                    if emb.iter().all(|&u| engine.binary_search_edge(u, c)) {
+                        let mut e = emb.clone();
+                        e.push(c);
+                        next.push(e);
+                    }
+                }
+            }
+            embeddings = next;
+        }
+        for e in embeddings {
+            result.push(e);
+            if !budget.found(1) {
+                return result;
+            }
+        }
+    }
+    result
+}
+
+/// k-clique counting via repeated relational joins (RStream-style): the
+/// candidate relation of (i+1)-vertex tuples is produced by joining the
+/// i-tuple relation with the edge relation, then filtering for full
+/// connectivity.
+pub fn relational_join_cliques(
+    oriented: &CsrGraph,
+    k: usize,
+    cfg: &CpuConfig,
+    threads: usize,
+    limits: &SearchLimits,
+) -> MiningRun<u64> {
+    assert!(k >= 2);
+    let mut engine = CpuEngine::new(oriented, cfg, threads);
+    let mut budget = limits.budget();
+    let mut tasks = Vec::new();
+
+    // Relation R2 = the (oriented) edge relation.
+    engine.task_begin();
+    let mut relation: Vec<Vec<Vertex>> = Vec::new();
+    for u in 0..oriented.num_vertices() as Vertex {
+        for &v in engine.stream_neighbors(u) {
+            relation.push(vec![u, v]);
+        }
+    }
+    engine.write_scratch(relation.len() * 2);
+    tasks.push(engine.task_end());
+
+    for level in 3..=k {
+        if budget.exhausted() {
+            break;
+        }
+        engine.task_begin();
+        let mut next: Vec<Vec<Vertex>> = Vec::new();
+        // Join on the last attribute: tuple ⨝ E extends each tuple by the
+        // out-neighbours of its last vertex, then a selection keeps only the
+        // tuples whose new vertex closes every edge (clique condition).
+        for tuple in &relation {
+            engine.stream_scratch(tuple.len());
+            let last = *tuple.last().expect("non-empty tuple");
+            for &c in engine.stream_neighbors(last) {
+                engine.scalar(tuple.len() as u64);
+                if tuple.iter().all(|&u| engine.binary_search_edge(u, c)) {
+                    let mut t = tuple.clone();
+                    t.push(c);
+                    engine.write_scratch(t.len());
+                    next.push(t);
+                }
+            }
+        }
+        relation = next;
+        if level == k && !relation.is_empty() {
+            budget.found(relation.len() as u64);
+        }
+        tasks.push(engine.task_end());
+    }
+    MiningRun::new(relation.len() as u64, tasks, budget.exhausted())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sisa_graph::orientation::degeneracy_order;
+    use sisa_graph::{generators, properties};
+
+    #[test]
+    fn paradigm_baselines_count_cliques_correctly() {
+        let g = generators::erdos_renyi(40, 0.2, 6);
+        let oriented = degeneracy_order(&g).orient(&g);
+        let expected = properties::brute_force_k_clique_count(&g, 3);
+        let ne = neighborhood_expansion_cliques(&oriented, 3, &CpuConfig::default(), 1, &SearchLimits::unlimited());
+        let rj = relational_join_cliques(&oriented, 3, &CpuConfig::default(), 1, &SearchLimits::unlimited());
+        assert_eq!(ne.result, expected);
+        assert_eq!(rj.result, expected);
+    }
+
+    #[test]
+    fn maximal_clique_paradigm_baseline_matches_brute_force_count() {
+        let g = generators::erdos_renyi(14, 0.4, 9);
+        let oriented = degeneracy_order(&g).orient(&g);
+        let expected = properties::brute_force_maximal_cliques(&g).len() as u64;
+        let run = neighborhood_expansion_maximal_cliques(
+            &g, &oriented, 14, &CpuConfig::default(), 1, &SearchLimits::unlimited());
+        assert_eq!(run.result, expected);
+    }
+
+    #[test]
+    fn paradigm_baselines_are_slower_than_tuned_baselines() {
+        use crate::baseline::{k_clique_count_baseline, BaselineMode};
+        let g = generators::erdos_renyi(60, 0.25, 3);
+        let oriented = degeneracy_order(&g).orient(&g);
+        let limits = SearchLimits::unlimited();
+        let tuned = k_clique_count_baseline(
+            &oriented, 4, BaselineMode::SetBased, &CpuConfig::default(), 1, &limits);
+        let ne = neighborhood_expansion_cliques(&oriented, 4, &CpuConfig::default(), 1, &limits);
+        let rj = relational_join_cliques(&oriented, 4, &CpuConfig::default(), 1, &limits);
+        assert_eq!(tuned.result, ne.result);
+        assert_eq!(tuned.result, rj.result);
+        assert!(ne.total_cycles() > tuned.total_cycles());
+        assert!(rj.total_cycles() > tuned.total_cycles());
+    }
+}

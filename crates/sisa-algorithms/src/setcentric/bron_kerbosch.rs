@@ -1,0 +1,243 @@
+//! Set-centric Bron–Kerbosch maximal clique listing (paper §5.1.2,
+//! Algorithm 2), with pivoting and the degeneracy-ordering outer loop of
+//! Eppstein et al.
+//!
+//! The auxiliary sets `P` (candidates), `X` (excluded) and the per-branch
+//! intersections `P ∩ N(v)` / `X ∩ N(v)` are SISA sets; following the paper's
+//! recommendation (§6.2.4, §7.2) they are created as dense bitvectors, so that
+//! element insertion/removal is `O(1)` and intersections with large
+//! neighbourhoods run on SISA-PUM.
+
+use crate::limits::{PatternBudget, SearchLimits};
+use crate::{MiningRun, Vertex};
+use sisa_core::{SetGraph, SetId, SisaRuntime, TaskRecord};
+use sisa_graph::orientation::DegeneracyOrdering;
+
+/// Result of a maximal-clique run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MaximalCliques {
+    /// Number of maximal cliques found (within the pattern budget).
+    pub count: u64,
+    /// The cliques themselves (sorted), collected only when `collect` is set.
+    pub cliques: Vec<Vec<Vertex>>,
+    /// Size of the largest maximal clique seen.
+    pub max_size: usize,
+}
+
+/// Runs Bron–Kerbosch with pivoting over the degeneracy ordering.
+///
+/// `g` is the *undirected* [`SetGraph`]; `ordering` its degeneracy ordering
+/// (from [`crate::setcentric::orient_by_degeneracy`] or
+/// [`sisa_graph::orientation::degeneracy_order`]). When `collect` is true the
+/// cliques themselves are returned (useful for validation on small graphs);
+/// otherwise only counts are kept.
+pub fn maximal_cliques(
+    rt: &mut SisaRuntime,
+    g: &SetGraph,
+    ordering: &DegeneracyOrdering,
+    limits: &SearchLimits,
+    collect: bool,
+) -> MiningRun<MaximalCliques> {
+    let n = g.num_vertices();
+    let mut budget = limits.budget();
+    let mut tasks = Vec::with_capacity(n);
+    let mut result = MaximalCliques::default();
+
+    // Outer loop over vertices in degeneracy order (each iteration is a task).
+    for &v in &ordering.order {
+        if budget.exhausted() {
+            break;
+        }
+        rt.task_begin();
+        // P = N(v) ∩ {vertices after v in the ordering}
+        // X = N(v) ∩ {vertices before v}
+        let rank_v = ordering.rank[v as usize];
+        let later: Vec<Vertex> = g
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&w| ordering.rank[w as usize] > rank_v)
+            .collect();
+        let earlier: Vec<Vertex> = g
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&w| ordering.rank[w as usize] < rank_v)
+            .collect();
+        rt.host_ops(g.degree(v) as u64);
+        let p = rt.create_dense(later);
+        let x = rt.create_dense(earlier);
+        let mut r = vec![v];
+        bk_pivot(rt, g, &mut r, p, x, &mut budget, collect, &mut result);
+        rt.delete(p);
+        rt.delete(x);
+        tasks.push(TaskRecord::compute_only(rt.task_end()));
+    }
+    if collect {
+        result.cliques.sort();
+    }
+    MiningRun::new(result, tasks, budget.exhausted())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bk_pivot(
+    rt: &mut SisaRuntime,
+    g: &SetGraph,
+    r: &mut Vec<Vertex>,
+    p: SetId,
+    x: SetId,
+    budget: &mut PatternBudget,
+    collect: bool,
+    out: &mut MaximalCliques,
+) {
+    if budget.exhausted() {
+        return;
+    }
+    let p_size = rt.cardinality(p);
+    let x_size = rt.cardinality(x);
+    if p_size == 0 && x_size == 0 {
+        // R is a maximal clique.
+        out.count += 1;
+        out.max_size = out.max_size.max(r.len());
+        if collect {
+            let mut clique = r.clone();
+            clique.sort_unstable();
+            out.cliques.push(clique);
+        }
+        budget.found(1);
+        return;
+    }
+    if p_size == 0 {
+        return;
+    }
+
+    // Pivot selection: u ∈ P ∪ X maximising |P ∩ N(u)| (Tomita/Eppstein).
+    let mut pivot = None;
+    let mut best = 0usize;
+    for u in rt.members(p).into_iter().chain(rt.members(x)) {
+        rt.host_ops(1);
+        let common = rt.intersect_count(p, g.neighborhood(u));
+        if pivot.is_none() || common > best {
+            best = common;
+            pivot = Some(u);
+        }
+    }
+    let pivot = pivot.expect("P is non-empty, so a pivot exists");
+
+    // Candidates = P \ N(pivot).
+    let candidates_set = rt.difference(p, g.neighborhood(pivot));
+    let candidates = rt.members(candidates_set);
+    rt.delete(candidates_set);
+
+    for q in candidates {
+        if budget.exhausted() {
+            break;
+        }
+        rt.host_ops(2);
+        let p_next = rt.intersect(p, g.neighborhood(q));
+        let x_next = rt.intersect(x, g.neighborhood(q));
+        r.push(q);
+        bk_pivot(rt, g, r, p_next, x_next, budget, collect, out);
+        r.pop();
+        rt.delete(p_next);
+        rt.delete(x_next);
+        // P = P \ {q}; X = X ∪ {q}.
+        rt.remove(p, q);
+        rt.insert(x, q);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sisa_core::{SetGraphConfig, SisaConfig};
+    use sisa_graph::orientation::degeneracy_order;
+    use sisa_graph::{generators, properties, CsrGraph};
+
+    fn run_bk(g: &CsrGraph, limits: &SearchLimits, collect: bool) -> MiningRun<MaximalCliques> {
+        let mut rt = SisaRuntime::new(SisaConfig::default());
+        let sg = SetGraph::load(&mut rt, g, &SetGraphConfig::default());
+        let ordering = degeneracy_order(g);
+        rt.reset_stats();
+        maximal_cliques(&mut rt, &sg, &ordering, limits, collect)
+    }
+
+    #[test]
+    fn finds_exactly_the_maximal_cliques_of_small_graphs() {
+        // Two triangles sharing a vertex plus an isolated edge.
+        let g = CsrGraph::from_edges(
+            7,
+            &[(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4), (5, 6)],
+        );
+        let run = run_bk(&g, &SearchLimits::unlimited(), true);
+        let expected = properties::brute_force_maximal_cliques(&g);
+        assert_eq!(run.result.cliques, expected);
+        assert_eq!(run.result.count, expected.len() as u64);
+        assert_eq!(run.result.max_size, 3);
+        assert!(!run.truncated);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        for seed in [11u64, 12, 13] {
+            let g = generators::erdos_renyi(18, 0.35, seed);
+            let run = run_bk(&g, &SearchLimits::unlimited(), true);
+            let expected = properties::brute_force_maximal_cliques(&g);
+            assert_eq!(run.result.cliques, expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn complete_graph_has_one_maximal_clique() {
+        let g = generators::complete(12);
+        let run = run_bk(&g, &SearchLimits::unlimited(), true);
+        assert_eq!(run.result.count, 1);
+        assert_eq!(run.result.max_size, 12);
+        assert_eq!(run.result.cliques[0], (0..12u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn planted_cliques_are_reported_as_maximal() {
+        let (g, planted) = generators::planted_cliques(
+            &generators::PlantedCliqueConfig {
+                num_vertices: 80,
+                num_cliques: 5,
+                min_clique_size: 5,
+                max_clique_size: 7,
+                background_edges: 0,
+                overlap: 0.0,
+            },
+            21,
+        );
+        let run = run_bk(&g, &SearchLimits::unlimited(), true);
+        for clique in &planted {
+            // Every planted clique must be contained in some reported maximal
+            // clique (it may have merged with an overlapping one).
+            assert!(
+                run.result
+                    .cliques
+                    .iter()
+                    .any(|mc| clique.iter().all(|v| mc.contains(v))),
+                "planted clique {clique:?} not covered"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_truncates_enumeration() {
+        let g = generators::near_complete(40, 0.7, 5);
+        let full = run_bk(&g, &SearchLimits::unlimited(), false);
+        assert!(full.result.count > 50);
+        let limited = run_bk(&g, &SearchLimits::patterns(20), false);
+        assert!(limited.truncated);
+        assert!(limited.result.count <= 21);
+        assert!(limited.total_cycles() < full.total_cycles());
+    }
+
+    #[test]
+    fn task_count_matches_outer_loop() {
+        let g = generators::erdos_renyi(50, 0.1, 2);
+        let run = run_bk(&g, &SearchLimits::unlimited(), false);
+        assert_eq!(run.tasks.len(), 50);
+    }
+}

@@ -1,0 +1,54 @@
+//! Criterion benchmarks of the mining algorithms (small instances so that the
+//! default `cargo bench` stays fast; the figure harnesses cover full runs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sisa_algorithms::setcentric::{k_clique_count, maximal_cliques, triangle_count};
+use sisa_algorithms::SearchLimits;
+use sisa_core::{SetGraph, SetGraphConfig, SisaConfig, SisaRuntime};
+use sisa_graph::{generators, orientation::degeneracy_order};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms");
+    group.sample_size(10);
+    let g = generators::planted_cliques(
+        &generators::PlantedCliqueConfig {
+            num_vertices: 300,
+            num_cliques: 20,
+            min_clique_size: 5,
+            max_clique_size: 9,
+            background_edges: 600,
+            overlap: 0.2,
+        },
+        1,
+    )
+    .0;
+    let ordering = degeneracy_order(&g);
+    let oriented_csr = ordering.orient(&g);
+    let limits = SearchLimits::patterns(5_000);
+
+    group.bench_function("sisa_triangle_count", |b| {
+        b.iter(|| {
+            let mut rt = SisaRuntime::new(SisaConfig::default());
+            let oriented = SetGraph::load(&mut rt, &oriented_csr, &SetGraphConfig::default());
+            triangle_count(&mut rt, &oriented, &limits).result
+        })
+    });
+    group.bench_function("sisa_kcc4", |b| {
+        b.iter(|| {
+            let mut rt = SisaRuntime::new(SisaConfig::default());
+            let oriented = SetGraph::load(&mut rt, &oriented_csr, &SetGraphConfig::default());
+            k_clique_count(&mut rt, &oriented, 4, &limits).result
+        })
+    });
+    group.bench_function("sisa_maximal_cliques", |b| {
+        b.iter(|| {
+            let mut rt = SisaRuntime::new(SisaConfig::default());
+            let sg = SetGraph::load(&mut rt, &g, &SetGraphConfig::default());
+            maximal_cliques(&mut rt, &sg, &ordering, &limits, false).result.count
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion microbenchmarks of the PIM cost models and the SCU dispatch path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sisa_core::{SisaConfig, SisaRuntime};
+use sisa_pim::pum::BulkOp;
+use sisa_pim::{PnmModel, PumModel};
+use std::hint::black_box;
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pim_models");
+    group.sample_size(20);
+    let pnm = PnmModel::default();
+    let pum = PumModel::default();
+    group.bench_function("pnm_streaming_model", |b| {
+        b.iter(|| pnm.streaming_cost(black_box(10_000), black_box(20_000)))
+    });
+    group.bench_function("pnm_random_access_model", |b| {
+        b.iter(|| pnm.random_access_cost(black_box(64), black_box(1_000_000)))
+    });
+    group.bench_function("pum_bulk_op_model", |b| {
+        b.iter(|| pum.bulk_op_cost(BulkOp::And, black_box(1 << 22)))
+    });
+    group.bench_function("runtime_dispatch_intersect_count", |b| {
+        let mut rt = SisaRuntime::new(SisaConfig::default());
+        rt.set_universe(4096);
+        let x = rt.create_dense((0..2048).collect::<Vec<_>>());
+        let y = rt.create_dense((1024..3072).collect::<Vec<_>>());
+        b.iter(|| rt.intersect_count(black_box(x), black_box(y)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

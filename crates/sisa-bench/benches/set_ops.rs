@@ -1,0 +1,34 @@
+//! Criterion microbenchmarks of the set-operation variants (Table 5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sisa_sets::{ops, DenseBitVector};
+use std::hint::black_box;
+
+fn bench_intersections(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_ops");
+    group.sample_size(20);
+    for &size in &[256usize, 4096] {
+        let a: Vec<u32> = (0..size as u32).map(|x| x * 3).collect();
+        let b: Vec<u32> = (0..size as u32).map(|x| x * 5).collect();
+        let small: Vec<u32> = (0..32u32).map(|x| x * 97).collect();
+        let universe = size * 8;
+        let da = DenseBitVector::from_sorted_slice(universe, &a);
+        let db = DenseBitVector::from_sorted_slice(universe, &b);
+        group.bench_with_input(BenchmarkId::new("merge", size), &size, |bench, _| {
+            bench.iter(|| ops::intersect_merge_slices(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("galloping_skewed", size), &size, |bench, _| {
+            bench.iter(|| ops::intersect_galloping_slices(black_box(&small), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("sa_db_probe", size), &size, |bench, _| {
+            bench.iter(|| ops::intersect_sa_db_count(black_box(&a), black_box(&db)))
+        });
+        group.bench_with_input(BenchmarkId::new("db_db_bitwise", size), &size, |bench, _| {
+            bench.iter(|| ops::intersect_db_db_count(black_box(&da), black_box(&db)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intersections);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Figure 6: non-set vs. set-based vs. SISA runtimes with full parallelism
+//! across the small-graph suite and all mining problems.
+
+use sisa_algorithms::SearchLimits;
+use sisa_bench::{
+    default_limits, emit, format_table, full_mode, run_cell, speedup_summaries, Problem, Scheme,
+    Workload,
+};
+use sisa_graph::datasets;
+
+fn main() {
+    let full = full_mode();
+    let threads = 32;
+    // The quick mode uses a representative subset of the 20 graphs; --full
+    // runs all of them (slow: cycle-model simulation of every scheme).
+    let graph_names: Vec<&str> = if full {
+        datasets::small_suite().iter().map(|d| d.name).collect()
+    } else {
+        vec![
+            "int-antCol3-d1",
+            "bn-mouse",
+            "bio-SC-GT",
+            "econ-beacxc",
+            "soc-fbMsg",
+            "int-HosWardProx",
+        ]
+    };
+    let problems = if full {
+        Problem::figure6_panels()
+    } else {
+        vec![
+            Problem::Tc,
+            Problem::Kcc(4),
+            Problem::Ksc(4),
+            Problem::Mc,
+            Problem::ClJac,
+            Problem::Si4s,
+            Problem::Si4sL,
+        ]
+    };
+
+    let mut output = String::new();
+    for problem in &problems {
+        let limits: SearchLimits = default_limits(*problem, full);
+        let mut rows = Vec::new();
+        let mut non_set_cycles = Vec::new();
+        let mut set_based_cycles = Vec::new();
+        let mut sisa_cycles = Vec::new();
+        for name in &graph_names {
+            let g = datasets::by_name(name).expect("registered stand-in").generate(1);
+            let w = Workload::new(g, threads, limits);
+            let mut cells = Vec::new();
+            for scheme in Scheme::ALL {
+                cells.push(run_cell(*problem, scheme, &w));
+            }
+            assert_eq!(cells[0].result, cells[1].result, "{name} {problem:?}");
+            assert_eq!(cells[0].result, cells[2].result, "{name} {problem:?}");
+            non_set_cycles.push(cells[0].cycles);
+            set_based_cycles.push(cells[1].cycles);
+            sisa_cycles.push(cells[2].cycles);
+            rows.push(vec![
+                (*name).to_string(),
+                format!("{:.3}", cells[0].cycles as f64 / 1e6),
+                format!("{:.3}", cells[1].cycles as f64 / 1e6),
+                format!("{:.3}", cells[2].cycles as f64 / 1e6),
+                cells[2].result.to_string(),
+            ]);
+        }
+        let (geo_ns, avg_ns) = speedup_summaries(&non_set_cycles, &sisa_cycles);
+        let (geo_sb, avg_sb) = speedup_summaries(&set_based_cycles, &sisa_cycles);
+        output.push_str(&format!(
+            "\n== {} (threads = {threads}) ==\n{}\nSISA speedups: over non-set {:.2}x (avg-of-speedups) / {:.2}x (speedup-of-avgs); \
+             over set-based {:.2}x / {:.2}x\n",
+            problem.label(),
+            format_table(
+                &["graph", "non-set [Mcyc]", "set-based [Mcyc]", "sisa [Mcyc]", "result"],
+                &rows
+            ),
+            geo_ns,
+            avg_ns,
+            geo_sb,
+            avg_sb,
+        ));
+    }
+    emit("fig6_main", &format!("Figure 6: runtimes with full parallelism.{output}"));
+}

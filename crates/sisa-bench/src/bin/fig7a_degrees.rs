@@ -1,0 +1,44 @@
+//! Figure 7a: degree-distribution analysis — heavy tails in mining datasets
+//! vs. light tails in general graph-processing datasets.
+
+use sisa_bench::{emit, format_table};
+use sisa_graph::datasets;
+use sisa_graph::degree::{degree_frequency, DegreeStats};
+
+fn main() {
+    let graphs = ["bio-humanGene", "bio-mouseGene", "soc-orkut", "sc-pwtk"];
+    let mut rows = Vec::new();
+    let mut detail = String::new();
+    for name in graphs {
+        let g = datasets::by_name(name).expect("registered stand-in").generate(2);
+        let stats = DegreeStats::compute(&g);
+        rows.push(vec![
+            name.to_string(),
+            stats.num_vertices.to_string(),
+            stats.num_edges.to_string(),
+            stats.max_degree.to_string(),
+            format!("{:.1}%", 100.0 * stats.max_degree_fraction),
+            format!("{:.2}", stats.skew),
+            if stats.is_heavy_tailed() { "heavy".into() } else { "light".into() },
+        ]);
+        let freq = degree_frequency(&g);
+        let sample: Vec<String> = freq
+            .iter()
+            .step_by((freq.len() / 12).max(1))
+            .map(|(d, c)| format!("{d}:{c}"))
+            .collect();
+        detail.push_str(&format!("{name}: degree:count samples -> {}\n", sample.join("  ")));
+    }
+    let table = format_table(
+        &["graph", "n", "m", "max deg", "max deg / n", "skew", "tail"],
+        &rows,
+    );
+    emit(
+        "fig7a_degrees",
+        &format!(
+            "Figure 7a: degree distributions.\nExpected shape: bio-* stand-ins have very heavy \
+             tails (hubs adjacent to a large fraction of the graph); soc-orkut and sc-pwtk have \
+             much lighter tails.\n\n{table}\n{detail}"
+        ),
+    );
+}

@@ -1,0 +1,58 @@
+//! §9.2 comparison to other paradigms: Peregrine-style neighbourhood expansion
+//! and RStream-style relational joins vs. the tuned baselines and SISA.
+
+use sisa_algorithms::baseline::{k_clique_count_baseline, BaselineMode};
+use sisa_algorithms::paradigms::{
+    neighborhood_expansion_cliques, neighborhood_expansion_maximal_cliques, relational_join_cliques,
+};
+use sisa_algorithms::setcentric::k_clique_count;
+use sisa_algorithms::SearchLimits;
+use sisa_bench::{emit, format_table, full_mode};
+use sisa_core::{parallel, SetGraph, SetGraphConfig, SisaConfig, SisaRuntime};
+use sisa_graph::{datasets, orientation::degeneracy_order};
+use sisa_pim::CpuConfig;
+
+fn main() {
+    let full = full_mode();
+    let limits = SearchLimits::patterns(if full { 50_000 } else { 5_000 });
+    let threads = 32;
+    let mut rows = Vec::new();
+    for name in ["int-antCol5-d1", "soc-fbMsg"] {
+        let g = datasets::by_name(name).expect("stand-in").generate(1);
+        let ordering = degeneracy_order(&g);
+        let oriented = ordering.orient(&g);
+        let cpu = CpuConfig::default();
+        let sched = |tasks: &[sisa_core::TaskRecord]| {
+            parallel::schedule_cpu(tasks, threads, &cpu).makespan_cycles as f64 / 1e6
+        };
+        let tuned = k_clique_count_baseline(&oriented, 4, BaselineMode::SetBased, &cpu, threads, &limits);
+        let ne = neighborhood_expansion_cliques(&oriented, 4, &cpu, threads, &limits);
+        let rj = relational_join_cliques(&oriented, 4, &cpu, threads, &limits);
+        let mc_ne = neighborhood_expansion_maximal_cliques(&g, &oriented, 6, &cpu, threads,
+            &SearchLimits::patterns(if full { 5_000 } else { 500 }));
+        let mut rt = SisaRuntime::new(SisaConfig::default());
+        let sg = SetGraph::load(&mut rt, &oriented, &SetGraphConfig::default());
+        rt.reset_stats();
+        let sisa = k_clique_count(&mut rt, &sg, 4, &limits);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.3}", parallel::schedule(&sisa.tasks, threads).makespan_cycles as f64 / 1e6),
+            format!("{:.3}", sched(&tuned.tasks)),
+            format!("{:.3}", sched(&ne.tasks)),
+            format!("{:.3}", sched(&rj.tasks)),
+            format!("{:.3}", sched(&mc_ne.tasks)),
+        ]);
+    }
+    emit(
+        "paradigms",
+        &format!(
+            "Comparison to other paradigms (kcc-4 unless noted, 32 threads, runtimes in Mcycles).\n\
+             Expected shape: the neighbourhood-expansion and relational-join paradigms are one or\n\
+             more orders of magnitude slower than the tuned set-based baseline, which SISA beats.\n\n{}",
+            format_table(
+                &["graph", "sisa", "tuned set-based", "neighborhood expansion", "relational join", "mc via expansion"],
+                &rows
+            )
+        ),
+    );
+}

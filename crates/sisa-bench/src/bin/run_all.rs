@@ -1,0 +1,36 @@
+//! Runs every experiment harness in sequence (the `EXPERIMENTS.md` workflow).
+
+use std::process::Command;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let bins = [
+        "fig1_motivation",
+        "fig6_main",
+        "fig7a_degrees",
+        "fig7b_sensitivity",
+        "fig8_large",
+        "fig9_load_balance",
+        "tab4_fourclique",
+        "tab6_complexity",
+        "scalability",
+        "paradigms",
+    ];
+    for bin in bins {
+        println!("\n================ {bin} ================");
+        let mut cmd = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin));
+        if full {
+            cmd.arg("--full");
+        }
+        match cmd.status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => eprintln!("{bin} exited with {status}"),
+            Err(e) => eprintln!("failed to launch {bin}: {e} (run `cargo build --release -p sisa-bench` first)"),
+        }
+    }
+    // Exercise the remaining set-centric formulations (BFS, approximate
+    // degeneracy) so the full inventory is covered by one command.
+    let g = sisa_graph::datasets::by_name("soc-fbMsg").unwrap().generate(1);
+    let (rounds, reached) = sisa_bench::run_auxiliary_formulations(&g);
+    println!("\nAuxiliary formulations: approximate degeneracy finished in {rounds} rounds; set-centric BFS reached {reached} vertices.");
+}

@@ -1,0 +1,65 @@
+//! Table 6: empirical check of the merge vs. galloping complexity analysis —
+//! operation counts for triangle counting under both intersection variants.
+
+use sisa_bench::{emit, format_table};
+use sisa_graph::{generators, orientation::degeneracy_order};
+use sisa_sets::counting::{intersect_galloping_counted, intersect_merge_counted, OpCost};
+
+fn tc_work(oriented: &sisa_graph::CsrGraph, galloping: bool) -> OpCost {
+    let mut total = OpCost::default();
+    for v in oriented.vertices() {
+        for &w in oriented.neighbors(v) {
+            let (_, cost) = if galloping {
+                intersect_galloping_counted(oriented.neighbors(v), oriented.neighbors(w))
+            } else {
+                intersect_merge_counted(oriented.neighbors(v), oriented.neighbors(w))
+            };
+            total.add(cost);
+        }
+    }
+    total
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    // Vary the graph size at constant average degree: the merge variant should
+    // scale like O(m*c) and the galloping variant like O(m*c*log c).
+    for scale in [9u32, 10, 11, 12] {
+        let g = generators::kronecker(&generators::RmatConfig::default_scale(scale), 7);
+        let ordering = degeneracy_order(&g);
+        let oriented = ordering.orient(&g);
+        let merge = tc_work(&oriented, false);
+        let gallop = tc_work(&oriented, true);
+        let m = g.num_edges() as f64;
+        let c = ordering.degeneracy as f64;
+        rows.push(vec![
+            format!("2^{scale}"),
+            g.num_edges().to_string(),
+            ordering.degeneracy.to_string(),
+            merge.work().to_string(),
+            format!("{:.2}", merge.work() as f64 / (m * c)),
+            gallop.work().to_string(),
+            format!("{:.2}", gallop.work() as f64 / (m * c * c.max(2.0).log2())),
+        ]);
+    }
+    emit(
+        "tab6_complexity",
+        &format!(
+            "Table 6 (empirical): triangle-counting work under merge vs. galloping intersections\n\
+             on Kronecker graphs. The normalised columns should stay roughly constant, matching\n\
+             the O(mc) and O(mc log c) bounds.\n\n{}",
+            format_table(
+                &[
+                    "n",
+                    "m",
+                    "degeneracy c",
+                    "merge work",
+                    "merge / (m*c)",
+                    "galloping work",
+                    "galloping / (m*c*log c)",
+                ],
+                &rows
+            )
+        ),
+    );
+}

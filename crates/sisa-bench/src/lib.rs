@@ -1,0 +1,495 @@
+//! # sisa-bench
+//!
+//! The experiment harness that regenerates every table and figure of the SISA
+//! paper's evaluation (§9). Each figure/table has its own binary under
+//! `src/bin/`; this library holds the shared machinery: problem/scheme
+//! dispatch, graph preparation, virtual-thread scheduling and result
+//! formatting.
+//!
+//! The default workload sizes are scaled so that the full `run_all` binary
+//! finishes in minutes on a laptop; pass `--full` to any binary to use the
+//! paper-sized pattern budgets (slower, same trends). Results are printed to
+//! stdout and mirrored under `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sisa_algorithms::baseline::{
+    jarvis_patrick_baseline, k_clique_count_baseline, k_clique_star_count_baseline,
+    maximal_cliques_baseline, star_isomorphism_baseline, triangle_count_baseline, BaselineMode,
+};
+use sisa_algorithms::setcentric::{
+    self, jarvis_patrick_clustering, k_clique_count, k_clique_star_count, maximal_cliques,
+    star_pattern, subgraph_isomorphism_count, triangle_count, SimilarityMeasure,
+};
+use sisa_algorithms::{MiningRun, SearchLimits};
+use sisa_core::{parallel, RunReport, SetGraph, SetGraphConfig, SisaConfig, SisaRuntime};
+use sisa_graph::orientation::degeneracy_order;
+use sisa_graph::{CsrGraph, LabeledGraph};
+use sisa_pim::CpuConfig;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// The execution scheme being measured (one bar group of Figure 6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Hand-tuned CSR baseline without set algebra (`_non-set`).
+    NonSet,
+    /// Software set-centric baseline (`_set-based`).
+    SetBased,
+    /// SISA with PIM acceleration (`_sisa`).
+    Sisa,
+}
+
+impl Scheme {
+    /// All schemes, in the paper's plotting order.
+    pub const ALL: [Scheme; 3] = [Scheme::NonSet, Scheme::SetBased, Scheme::Sisa];
+
+    /// The label used in the paper's legends.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::NonSet => "non-set",
+            Scheme::SetBased => "set-based",
+            Scheme::Sisa => "sisa",
+        }
+    }
+}
+
+/// The graph-mining problem being measured (the panel of Figure 6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Problem {
+    /// Triangle counting (`tc`).
+    Tc,
+    /// k-clique counting (`kcc-k`).
+    Kcc(usize),
+    /// k-clique-star counting (`ksc-k`).
+    Ksc(usize),
+    /// Maximal clique listing (`mc`).
+    Mc,
+    /// Jarvis–Patrick clustering with the Jaccard coefficient (`cl-jac`).
+    ClJac,
+    /// Subgraph isomorphism, 4-star pattern (`si-4s`).
+    Si4s,
+    /// Labelled subgraph isomorphism, 4-star pattern (`si-4s-L`).
+    Si4sL,
+}
+
+impl Problem {
+    /// The full Figure 6 panel list.
+    #[must_use]
+    pub fn figure6_panels() -> Vec<Problem> {
+        vec![
+            Problem::ClJac,
+            Problem::Kcc(4),
+            Problem::Kcc(5),
+            Problem::Kcc(6),
+            Problem::Ksc(4),
+            Problem::Ksc(5),
+            Problem::Ksc(6),
+            Problem::Mc,
+            Problem::Si4s,
+            Problem::Tc,
+            Problem::Si4sL,
+        ]
+    }
+
+    /// The label used in the paper's panel titles.
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            Problem::Tc => "tc".into(),
+            Problem::Kcc(k) => format!("kcc-{k}"),
+            Problem::Ksc(k) => format!("ksc-{k}"),
+            Problem::Mc => "mc".into(),
+            Problem::ClJac => "cl-jac".into(),
+            Problem::Si4s => "si-4s".into(),
+            Problem::Si4sL => "si-4s-L".into(),
+        }
+    }
+}
+
+/// Everything needed to measure one (problem, scheme, graph) cell.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// The input graph (undirected).
+    pub graph: CsrGraph,
+    /// Number of virtual threads to schedule onto.
+    pub threads: usize,
+    /// Pattern budget (the paper's simulation cutoff).
+    pub limits: SearchLimits,
+    /// Hybrid set-graph layout used by the SISA scheme.
+    pub set_graph: SetGraphConfig,
+    /// SISA runtime configuration.
+    pub sisa: SisaConfig,
+    /// Baseline CPU configuration.
+    pub cpu: CpuConfig,
+}
+
+impl Workload {
+    /// A workload over `graph` with the paper's default platform parameters.
+    #[must_use]
+    pub fn new(graph: CsrGraph, threads: usize, limits: SearchLimits) -> Self {
+        Self {
+            graph,
+            threads,
+            limits,
+            set_graph: SetGraphConfig::default(),
+            sisa: SisaConfig::default(),
+            cpu: CpuConfig::default(),
+        }
+    }
+}
+
+/// The measured outcome of one cell.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// End-to-end simulated runtime in cycles (makespan over threads).
+    pub cycles: u64,
+    /// Scheduling/stall report.
+    pub report: RunReport,
+    /// The algorithm's numeric result (count / size of the output), used to
+    /// cross-check that all schemes agree.
+    pub result: u64,
+    /// Whether the pattern budget truncated the run.
+    pub truncated: bool,
+}
+
+fn finish<T>(run: MiningRun<T>, result: u64, scheme: Scheme, w: &Workload) -> Measurement {
+    let report = match scheme {
+        Scheme::Sisa => parallel::schedule(&run.tasks, w.threads),
+        _ => parallel::schedule_cpu(&run.tasks, w.threads, &w.cpu),
+    };
+    Measurement {
+        cycles: report.makespan_cycles,
+        report,
+        result,
+        truncated: run.truncated,
+    }
+}
+
+/// Runs one (problem, scheme) cell on a workload and returns its measurement.
+#[must_use]
+pub fn run_cell(problem: Problem, scheme: Scheme, w: &Workload) -> Measurement {
+    let g = &w.graph;
+    let ordering = degeneracy_order(g);
+    let oriented_csr = ordering.orient(g);
+    let labeled = LabeledGraph::with_random_vertex_labels(g.clone(), 3, 0xC0FFEE).graph;
+
+    match scheme {
+        Scheme::Sisa => {
+            let mut rt = SisaRuntime::new(w.sisa);
+            match problem {
+                Problem::Tc | Problem::Kcc(_) | Problem::Ksc(_) => {
+                    let oriented = SetGraph::load(&mut rt, &oriented_csr, &w.set_graph);
+                    rt.reset_stats();
+                    match problem {
+                        Problem::Tc => {
+                            let run = triangle_count(&mut rt, &oriented, &w.limits);
+                            let res = run.result;
+                            finish(run, res, scheme, w)
+                        }
+                        Problem::Kcc(k) => {
+                            let run = k_clique_count(&mut rt, &oriented, k, &w.limits);
+                            let res = run.result;
+                            finish(run, res, scheme, w)
+                        }
+                        Problem::Ksc(k) => {
+                            let run = k_clique_star_count(&mut rt, &oriented, k, &w.limits);
+                            let res = run.result;
+                            finish(run, res, scheme, w)
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+                Problem::Mc => {
+                    let sg = SetGraph::load(&mut rt, g, &w.set_graph);
+                    rt.reset_stats();
+                    let run = maximal_cliques(&mut rt, &sg, &ordering, &w.limits, false);
+                    let res = run.result.count;
+                    finish(run, res, scheme, w)
+                }
+                Problem::ClJac => {
+                    let sg = SetGraph::load(&mut rt, g, &w.set_graph);
+                    rt.reset_stats();
+                    let run = jarvis_patrick_clustering(
+                        &mut rt,
+                        &sg,
+                        SimilarityMeasure::Jaccard,
+                        0.2,
+                        &w.limits,
+                    );
+                    let res = run.result.len() as u64;
+                    finish(run, res, scheme, w)
+                }
+                Problem::Si4s => {
+                    let sg = SetGraph::load(&mut rt, g, &w.set_graph);
+                    rt.reset_stats();
+                    let run = subgraph_isomorphism_count(&mut rt, &sg, &star_pattern(4), &w.limits);
+                    let res = run.result;
+                    finish(run, res, scheme, w)
+                }
+                Problem::Si4sL => {
+                    let sg = SetGraph::load(&mut rt, &labeled, &w.set_graph);
+                    rt.reset_stats();
+                    let pattern = star_pattern(4).with_labels(vec![0, 1, 2, 1, 0]);
+                    let run = subgraph_isomorphism_count(&mut rt, &sg, &pattern, &w.limits);
+                    let res = run.result;
+                    finish(run, res, scheme, w)
+                }
+            }
+        }
+        Scheme::NonSet | Scheme::SetBased => {
+            let mode = if scheme == Scheme::NonSet {
+                BaselineMode::NonSet
+            } else {
+                BaselineMode::SetBased
+            };
+            match problem {
+                Problem::Tc => {
+                    let run =
+                        triangle_count_baseline(&oriented_csr, mode, &w.cpu, w.threads, &w.limits);
+                    let res = run.result;
+                    finish(run, res, scheme, w)
+                }
+                Problem::Kcc(k) => {
+                    let run = k_clique_count_baseline(
+                        &oriented_csr,
+                        k,
+                        mode,
+                        &w.cpu,
+                        w.threads,
+                        &w.limits,
+                    );
+                    let res = run.result;
+                    finish(run, res, scheme, w)
+                }
+                Problem::Ksc(k) => {
+                    let run = k_clique_star_count_baseline(
+                        &oriented_csr,
+                        k,
+                        mode,
+                        &w.cpu,
+                        w.threads,
+                        &w.limits,
+                    );
+                    let res = run.result;
+                    finish(run, res, scheme, w)
+                }
+                Problem::Mc => {
+                    let run = maximal_cliques_baseline(
+                        g, &ordering, mode, &w.cpu, w.threads, &w.limits, false,
+                    );
+                    let res = run.result.count;
+                    finish(run, res, scheme, w)
+                }
+                Problem::ClJac => {
+                    let run = jarvis_patrick_baseline(
+                        g,
+                        SimilarityMeasure::Jaccard,
+                        0.2,
+                        mode,
+                        &w.cpu,
+                        w.threads,
+                        &w.limits,
+                    );
+                    let res = run.result.len() as u64;
+                    finish(run, res, scheme, w)
+                }
+                Problem::Si4s => {
+                    let run = star_isomorphism_baseline(
+                        g,
+                        &star_pattern(4),
+                        mode,
+                        &w.cpu,
+                        w.threads,
+                        &w.limits,
+                    );
+                    let res = run.result;
+                    finish(run, res, scheme, w)
+                }
+                Problem::Si4sL => {
+                    let pattern = star_pattern(4).with_labels(vec![0, 1, 2, 1, 0]);
+                    let run = star_isomorphism_baseline(
+                        &labeled, &pattern, mode, &w.cpu, w.threads, &w.limits,
+                    );
+                    let res = run.result;
+                    finish(run, res, scheme, w)
+                }
+            }
+        }
+    }
+}
+
+/// Runs an approximate-degeneracy + BFS warm-up exercising the remaining
+/// set-centric formulations; used by `run_all` to cover the full algorithm
+/// inventory without a dedicated figure.
+pub fn run_auxiliary_formulations(g: &CsrGraph) -> (usize, usize) {
+    let mut rt = SisaRuntime::new(SisaConfig::default());
+    let sg = SetGraph::load(&mut rt, g, &SetGraphConfig::default());
+    let deg = setcentric::approximate_degeneracy(&mut rt, &sg, 0.5, &SearchLimits::unlimited());
+    let bfs = setcentric::bfs(&mut rt, &sg, 0, setcentric::BfsMode::DirectionOptimizing);
+    (
+        deg.result.rounds,
+        bfs.result.iter().filter(|p| p.is_some()).count(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Summaries and output helpers
+// ---------------------------------------------------------------------------
+
+/// The paper's two speedup summaries (§9.1 "Performance Measures"):
+/// the geometric mean of per-point speedups ("avg-of-speedups") and the ratio
+/// of average runtimes ("speedup-of-avgs").
+#[must_use]
+pub fn speedup_summaries(baseline_cycles: &[u64], sisa_cycles: &[u64]) -> (f64, f64) {
+    assert_eq!(baseline_cycles.len(), sisa_cycles.len());
+    if baseline_cycles.is_empty() {
+        return (1.0, 1.0);
+    }
+    let mut log_sum = 0.0;
+    for (&b, &s) in baseline_cycles.iter().zip(sisa_cycles) {
+        log_sum += (b.max(1) as f64 / s.max(1) as f64).ln();
+    }
+    let avg_of_speedups = (log_sum / baseline_cycles.len() as f64).exp();
+    let speedup_of_avgs = baseline_cycles.iter().sum::<u64>() as f64
+        / sisa_cycles.iter().sum::<u64>().max(1) as f64;
+    (avg_of_speedups, speedup_of_avgs)
+}
+
+/// Formats a simple aligned table.
+#[must_use]
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| (*s).to_string()).collect();
+    let _ = writeln!(out, "{}", fmt_row(&header_cells, &widths));
+    let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        let _ = writeln!(out, "{}", fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Prints `content` and also writes it to `results/<name>.txt` (best effort).
+pub fn emit(name: &str, content: &str) {
+    println!("{content}");
+    let dir = results_dir();
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let _ = std::fs::write(dir.join(format!("{name}.txt")), content);
+    }
+}
+
+/// The directory experiment outputs are mirrored to.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    std::env::var("SISA_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+/// Whether `--full` was passed (paper-sized budgets instead of quick ones).
+#[must_use]
+pub fn full_mode() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+/// The default pattern budget for a problem, scaled down unless `--full`.
+#[must_use]
+pub fn default_limits(problem: Problem, full: bool) -> SearchLimits {
+    let quick = match problem {
+        Problem::Tc => 200_000,
+        Problem::Kcc(_) | Problem::Ksc(_) => 20_000,
+        Problem::Mc => 2_000,
+        Problem::ClJac => 50_000,
+        Problem::Si4s | Problem::Si4sL => 50_000,
+    };
+    SearchLimits::patterns(if full { quick * 10 } else { quick })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sisa_graph::generators;
+
+    #[test]
+    fn all_schemes_agree_on_the_result_and_sisa_beats_the_tuned_baseline() {
+        // A Figure-6-scale stand-in (dense clusters, ≈75k edges): at this
+        // size the baselines' working sets spill out of the upper cache
+        // levels, which is the regime the paper evaluates.
+        let g = sisa_graph::datasets::by_name("bn-mouse")
+            .expect("registered stand-in")
+            .generate(1);
+        let mut w = Workload::new(g, 32, SearchLimits::patterns(10_000));
+        w.limits = SearchLimits::patterns(10_000);
+        for problem in [Problem::Tc, Problem::Kcc(4)] {
+            let non_set = run_cell(problem, Scheme::NonSet, &w);
+            let set_based = run_cell(problem, Scheme::SetBased, &w);
+            let sisa = run_cell(problem, Scheme::Sisa, &w);
+            assert_eq!(non_set.result, set_based.result, "{problem:?}");
+            assert_eq!(non_set.result, sisa.result, "{problem:?}");
+            assert!(
+                sisa.cycles < non_set.cycles,
+                "{problem:?}: sisa {} vs non-set {}",
+                sisa.cycles,
+                non_set.cycles
+            );
+            assert!(set_based.cycles < non_set.cycles, "{problem:?}");
+        }
+        // On the intersection-heavy kernels SISA also beats the set-based
+        // software baseline (Figure 6's headline).
+        let tc_set_based = run_cell(Problem::Tc, Scheme::SetBased, &w);
+        let tc_sisa = run_cell(Problem::Tc, Scheme::Sisa, &w);
+        assert!(tc_sisa.cycles * 2 < tc_set_based.cycles);
+    }
+
+    #[test]
+    fn speedup_summaries_behave() {
+        let (geo, ratio) = speedup_summaries(&[100, 400], &[50, 100]);
+        assert!((geo - (2.0f64 * 4.0).sqrt()).abs() < 1e-9);
+        assert!((ratio - 500.0 / 150.0).abs() < 1e-9);
+        assert_eq!(speedup_summaries(&[], &[]), (1.0, 1.0));
+    }
+
+    #[test]
+    fn table_formatting_is_aligned() {
+        let t = format_table(
+            &["graph", "cycles"],
+            &[vec!["a".into(), "10".into()], vec!["bbbb".into(), "2".into()]],
+        );
+        assert!(t.contains("graph"));
+        assert_eq!(t.lines().count(), 4);
+    }
+
+    #[test]
+    fn problem_labels() {
+        assert_eq!(Problem::Kcc(5).label(), "kcc-5");
+        assert_eq!(Problem::Si4sL.label(), "si-4s-L");
+        assert_eq!(Scheme::Sisa.label(), "sisa");
+        assert_eq!(Problem::figure6_panels().len(), 11);
+    }
+
+    #[test]
+    fn auxiliary_formulations_run() {
+        let g = generators::erdos_renyi(100, 0.05, 1);
+        let (rounds, reached) = run_auxiliary_formulations(&g);
+        assert!(rounds > 0);
+        assert!(reached > 1);
+    }
+}

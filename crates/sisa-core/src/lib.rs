@@ -1,0 +1,52 @@
+//! # sisa-core
+//!
+//! The SISA runtime: everything between a set-centric algorithm and the PIM
+//! cost models.
+//!
+//! This crate plays three roles from the paper's cross-layer design (§3, §8):
+//!
+//! * **The thin software layer** (§6.3.3): [`SisaRuntime`] exposes C-style
+//!   set operations (`intersect`, `union`, `difference`, counting variants,
+//!   membership, element insertion/removal, set lifecycle) addressed by
+//!   logical [`SetId`]s — the programming interface the set-centric
+//!   algorithms in `sisa-algorithms` are written against.
+//! * **The SISA Controller Unit** (§8.2): every operation is turned into a
+//!   [`sisa_isa::SisaInstruction`], handed to the [`scu::Scu`], which consults
+//!   the Set-Metadata table (through the SMB cache), chooses SISA-PUM or
+//!   SISA-PNM and merge vs. galloping using the §8.3 performance models, and
+//!   charges the corresponding cycles.
+//! * **The set organisation** (§6.1): [`SetGraph`] loads a CSR graph into
+//!   SISA sets, storing the largest neighbourhoods as dense bitvectors and the
+//!   rest as sparse arrays, subject to the user's bias parameter and storage
+//!   budget.
+//!
+//! [`parallel`] provides the virtual-thread scheduler that turns per-task
+//! cycle counts (from either the SISA runtime or the baseline CPU model in
+//! `sisa-pim`) into end-to-end runtimes, per-thread stall fractions and
+//! bandwidth-contention effects — the quantities plotted in Figures 1, 6, 8
+//! and 9 of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod metadata;
+pub mod parallel;
+pub mod runtime;
+pub mod scu;
+pub mod set_graph;
+pub mod stats;
+
+pub use config::{SetGraphConfig, SisaConfig, VariantSelection};
+pub use metadata::{SetMetadata, SetMetadataTable, SmbCache};
+pub use parallel::{schedule, schedule_cpu, RunReport, TaskRecord, ThreadReport};
+pub use runtime::SisaRuntime;
+pub use scu::{ExecutionChoice, ExecutionTarget, Scu};
+pub use set_graph::SetGraph;
+pub use stats::ExecStats;
+
+/// A logical SISA set identifier (re-exported from `sisa-isa`).
+pub type SetId = sisa_isa::SetId;
+
+/// A vertex identifier (re-exported from `sisa-sets`).
+pub type Vertex = sisa_sets::Vertex;

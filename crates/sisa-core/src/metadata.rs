@@ -1,0 +1,251 @@
+//! Set metadata (SM) and the Set-Metadata Buffer (SMB).
+//!
+//! The paper's SCU "maintains set metadata (SM) using a dedicated in-memory SM
+//! structure. SM contains mappings between logical set IDs and set addresses,
+//! and the type of the representation as well as the cardinality of a given
+//! set" (§3). Metadata lookups normally go through a small cache, the SMB;
+//! when the entry is not cached, "there is a single additional memory access
+//! for one set operation" (§8.4).
+
+use crate::SetId;
+use sisa_sets::RepresentationKind;
+use std::collections::HashMap;
+
+/// One SM entry: everything the SCU needs to know about a set to pick an
+/// instruction variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SetMetadata {
+    /// Physical representation of the set.
+    pub kind: RepresentationKind,
+    /// Current cardinality (kept up to date on every mutation, giving `O(1)`
+    /// cardinality instructions, §6.2.3).
+    pub cardinality: usize,
+    /// Universe size for dense bitvectors (and the graph's `n` in general).
+    pub universe: usize,
+    /// Synthetic physical base address of the set's storage.
+    pub address: u64,
+}
+
+/// The in-memory SM structure: a map from set IDs to metadata entries.
+#[derive(Clone, Debug, Default)]
+pub struct SetMetadataTable {
+    entries: HashMap<SetId, SetMetadata>,
+    next_address: u64,
+}
+
+impl SetMetadataTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            entries: HashMap::new(),
+            next_address: 0x4000_0000,
+        }
+    }
+
+    /// Registers a new set and assigns it a synthetic storage address.
+    pub fn register(&mut self, id: SetId, kind: RepresentationKind, cardinality: usize, universe: usize) {
+        let bits = match kind {
+            RepresentationKind::DenseBitvector => universe,
+            _ => cardinality * 32,
+        };
+        let address = self.next_address;
+        self.next_address += (bits as u64 / 8).max(64) + 64;
+        self.entries.insert(
+            id,
+            SetMetadata {
+                kind,
+                cardinality,
+                universe,
+                address,
+            },
+        );
+    }
+
+    /// Looks an entry up.
+    #[must_use]
+    pub fn get(&self, id: SetId) -> Option<&SetMetadata> {
+        self.entries.get(&id)
+    }
+
+    /// Updates the representation and cardinality of an existing entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set was never registered.
+    pub fn update(&mut self, id: SetId, kind: RepresentationKind, cardinality: usize) {
+        let entry = self
+            .entries
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("set {id} has no metadata entry"));
+        entry.kind = kind;
+        entry.cardinality = cardinality;
+    }
+
+    /// Removes an entry (set deletion).
+    pub fn remove(&mut self, id: SetId) {
+        self.entries.remove(&id);
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The Set-Metadata Buffer: a small LRU cache of SM entries held by the SCU.
+///
+/// Only presence is modelled (the actual metadata lives in
+/// [`SetMetadataTable`]); the SCU charges the hit latency or the SM-miss
+/// memory access depending on the outcome reported here.
+#[derive(Clone, Debug)]
+pub struct SmbCache {
+    capacity: usize,
+    stamps: HashMap<SetId, u64>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SmbCache {
+    /// Creates an SMB with room for `capacity` entries.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            stamps: HashMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Performs a lookup for `id`; returns `true` on hit. Misses install the
+    /// entry, evicting the least recently used one if the buffer is full.
+    pub fn lookup(&mut self, id: SetId) -> bool {
+        self.clock += 1;
+        if let Some(stamp) = self.stamps.get_mut(&id) {
+            *stamp = self.clock;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.stamps.len() >= self.capacity {
+            if let Some((&victim, _)) = self.stamps.iter().min_by_key(|(_, &s)| s) {
+                self.stamps.remove(&victim);
+            }
+        }
+        self.stamps.insert(id, self.clock);
+        false
+    }
+
+    /// Installs `id` without counting a hit or a miss — used when the SCU has
+    /// just written the entry itself (set creation), so the metadata is
+    /// necessarily resident.
+    pub fn prime(&mut self, id: SetId) {
+        self.clock += 1;
+        if self.stamps.len() >= self.capacity && !self.stamps.contains_key(&id) {
+            if let Some((&victim, _)) = self.stamps.iter().min_by_key(|(_, &s)| s) {
+                self.stamps.remove(&victim);
+            }
+        }
+        self.stamps.insert(id, self.clock);
+    }
+
+    /// Drops a set from the buffer (set deletion).
+    pub fn invalidate(&mut self, id: SetId) {
+        self.stamps.remove(&id);
+    }
+
+    /// Hits recorded so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses recorded so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit ratio (0 with no lookups).
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sisa_isa::SetId;
+
+    #[test]
+    fn register_get_update_remove() {
+        let mut table = SetMetadataTable::new();
+        let id = SetId(7);
+        table.register(id, RepresentationKind::SortedArray, 10, 1000);
+        let entry = *table.get(id).unwrap();
+        assert_eq!(entry.cardinality, 10);
+        assert_eq!(entry.kind, RepresentationKind::SortedArray);
+        table.update(id, RepresentationKind::DenseBitvector, 25);
+        assert_eq!(table.get(id).unwrap().cardinality, 25);
+        assert_eq!(table.get(id).unwrap().kind, RepresentationKind::DenseBitvector);
+        assert_eq!(table.len(), 1);
+        table.remove(id);
+        assert!(table.is_empty());
+        assert!(table.get(id).is_none());
+    }
+
+    #[test]
+    fn addresses_are_distinct() {
+        let mut table = SetMetadataTable::new();
+        table.register(SetId(1), RepresentationKind::SortedArray, 100, 1000);
+        table.register(SetId(2), RepresentationKind::DenseBitvector, 5, 1000);
+        let a1 = table.get(SetId(1)).unwrap().address;
+        let a2 = table.get(SetId(2)).unwrap().address;
+        assert_ne!(a1, a2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no metadata entry")]
+    fn updating_unknown_set_panics() {
+        let mut table = SetMetadataTable::new();
+        table.update(SetId(3), RepresentationKind::SortedArray, 1);
+    }
+
+    #[test]
+    fn smb_caches_recent_ids() {
+        let mut smb = SmbCache::new(2);
+        assert!(!smb.lookup(SetId(1)));
+        assert!(!smb.lookup(SetId(2)));
+        assert!(smb.lookup(SetId(1)));
+        // Inserting a third entry evicts the LRU (SetId 2).
+        assert!(!smb.lookup(SetId(3)));
+        assert!(!smb.lookup(SetId(2)));
+        assert_eq!(smb.hits(), 1);
+        assert_eq!(smb.misses(), 4);
+        assert!((smb.hit_ratio() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smb_invalidation() {
+        let mut smb = SmbCache::new(4);
+        smb.lookup(SetId(1));
+        smb.invalidate(SetId(1));
+        assert!(!smb.lookup(SetId(1)));
+    }
+}

@@ -1,0 +1,286 @@
+//! Virtual-thread scheduling of per-task cycle counts.
+//!
+//! The paper parallelises graph mining at the level of outer-loop work items
+//! ("[in par]" in the algorithm listings) and reports end-to-end runtimes,
+//! per-thread stalled-time fractions (Figure 9a) and the way stall ratios grow
+//! with the thread count on a stock multicore (Figure 1). To reproduce those
+//! quantities deterministically, algorithms record one [`TaskRecord`] per work
+//! item and this module schedules the records onto `T` virtual threads:
+//!
+//! * [`schedule`] — longest-processing-time-first assignment with no
+//!   inter-thread interference; used for SISA runs, whose PNM bandwidth scales
+//!   with the number of vaults (§8.4 "Harnessing Parallelism").
+//! * [`schedule_cpu`] — the same assignment, but each task's memory stall is
+//!   first inflated to respect the DRAM bandwidth share available to its
+//!   thread, which is what makes a stock multicore's stall fraction climb as
+//!   threads are added.
+
+use sisa_pim::cpu::TaskCost;
+use sisa_pim::CpuConfig;
+
+/// The cost of one parallel work item.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TaskRecord {
+    /// Busy cycles (compute plus exposed memory latency).
+    pub cycles: u64,
+    /// The subset of `cycles` stalled on memory.
+    pub stall_cycles: u64,
+    /// DRAM bytes transferred (used for bandwidth contention).
+    pub dram_bytes: u64,
+}
+
+impl TaskRecord {
+    /// A task with only busy cycles (used for SISA tasks, whose cost models
+    /// already include memory time and whose bandwidth scales with vaults).
+    #[must_use]
+    pub fn compute_only(cycles: u64) -> Self {
+        Self {
+            cycles,
+            stall_cycles: 0,
+            dram_bytes: 0,
+        }
+    }
+}
+
+impl From<TaskCost> for TaskRecord {
+    fn from(cost: TaskCost) -> Self {
+        Self {
+            cycles: cost.cycles,
+            stall_cycles: cost.stall_cycles,
+            dram_bytes: cost.dram_bytes,
+        }
+    }
+}
+
+/// Busy/stall cycles accumulated by one virtual thread.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ThreadReport {
+    /// Total cycles of work assigned to the thread.
+    pub busy_cycles: u64,
+    /// The subset of `busy_cycles` stalled on memory.
+    pub stall_cycles: u64,
+    /// Number of tasks assigned.
+    pub tasks: usize,
+}
+
+impl ThreadReport {
+    /// Fraction of this thread's cycles spent stalled.
+    #[must_use]
+    pub fn stall_fraction(&self) -> f64 {
+        if self.busy_cycles == 0 {
+            0.0
+        } else {
+            self.stall_cycles as f64 / self.busy_cycles as f64
+        }
+    }
+}
+
+/// The result of scheduling a task list onto `threads` virtual threads.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunReport {
+    /// Number of virtual threads used.
+    pub threads: usize,
+    /// End-to-end runtime: the maximum per-thread load (makespan).
+    pub makespan_cycles: u64,
+    /// Per-thread busy/stall breakdown.
+    pub per_thread: Vec<ThreadReport>,
+    /// Sum of all task cycles (the serial runtime).
+    pub total_task_cycles: u64,
+}
+
+impl RunReport {
+    /// Average stalled-time fraction across threads, weighted by busy cycles.
+    #[must_use]
+    pub fn stall_fraction(&self) -> f64 {
+        let busy: u64 = self.per_thread.iter().map(|t| t.busy_cycles).sum();
+        let stall: u64 = self.per_thread.iter().map(|t| t.stall_cycles).sum();
+        if busy == 0 {
+            0.0
+        } else {
+            stall as f64 / busy as f64
+        }
+    }
+
+    /// Parallel speedup relative to executing every task serially.
+    #[must_use]
+    pub fn speedup_vs_serial(&self) -> f64 {
+        if self.makespan_cycles == 0 {
+            1.0
+        } else {
+            self.total_task_cycles as f64 / self.makespan_cycles as f64
+        }
+    }
+
+    /// Load imbalance: makespan divided by the average per-thread load
+    /// (1.0 = perfectly balanced).
+    #[must_use]
+    pub fn imbalance(&self) -> f64 {
+        let avg = self.total_task_cycles as f64 / self.threads.max(1) as f64;
+        if avg == 0.0 {
+            1.0
+        } else {
+            self.makespan_cycles as f64 / avg
+        }
+    }
+}
+
+/// Schedules tasks onto `threads` virtual threads using longest-processing-
+/// time-first assignment, with no inter-thread interference.
+#[must_use]
+pub fn schedule(tasks: &[TaskRecord], threads: usize) -> RunReport {
+    let threads = threads.max(1);
+    let mut order: Vec<usize> = (0..tasks.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(tasks[i].cycles));
+
+    let mut reports = vec![ThreadReport::default(); threads];
+    for &i in &order {
+        let task = tasks[i];
+        // Assign to the least-loaded thread (ties broken by index, so the
+        // result is deterministic).
+        let target = (0..threads)
+            .min_by_key(|&t| (reports[t].busy_cycles, t))
+            .expect("at least one thread");
+        reports[target].busy_cycles += task.cycles;
+        reports[target].stall_cycles += task.stall_cycles;
+        reports[target].tasks += 1;
+    }
+    let makespan = reports.iter().map(|t| t.busy_cycles).max().unwrap_or(0);
+    RunReport {
+        threads,
+        makespan_cycles: makespan,
+        total_task_cycles: tasks.iter().map(|t| t.cycles).sum(),
+        per_thread: reports,
+    }
+}
+
+/// Schedules CPU-baseline tasks, first inflating each task's stall time so
+/// that its DRAM traffic respects the per-thread bandwidth share
+/// `total_bandwidth(threads) / threads`.
+#[must_use]
+pub fn schedule_cpu(tasks: &[TaskRecord], threads: usize, cfg: &CpuConfig) -> RunReport {
+    let threads = threads.max(1);
+    let share = cfg.total_bandwidth(threads) / threads as f64;
+    let adjusted: Vec<TaskRecord> = tasks
+        .iter()
+        .map(|t| {
+            let bandwidth_cycles = if share > 0.0 {
+                (t.dram_bytes as f64 / share).ceil() as u64
+            } else {
+                0
+            };
+            let extra = bandwidth_cycles.saturating_sub(t.stall_cycles);
+            TaskRecord {
+                cycles: t.cycles + extra,
+                stall_cycles: t.stall_cycles + extra,
+                dram_bytes: t.dram_bytes,
+            }
+        })
+        .collect();
+    schedule(&adjusted, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_tasks(n: usize, cycles: u64, stall: u64, bytes: u64) -> Vec<TaskRecord> {
+        vec![
+            TaskRecord {
+                cycles,
+                stall_cycles: stall,
+                dram_bytes: bytes,
+            };
+            n
+        ]
+    }
+
+    #[test]
+    fn single_thread_serialises_everything() {
+        let tasks = uniform_tasks(10, 100, 20, 0);
+        let report = schedule(&tasks, 1);
+        assert_eq!(report.makespan_cycles, 1000);
+        assert_eq!(report.total_task_cycles, 1000);
+        assert!((report.speedup_vs_serial() - 1.0).abs() < 1e-12);
+        assert!((report.stall_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_tasks_scale_linearly() {
+        let tasks = uniform_tasks(64, 100, 0, 0);
+        let report = schedule(&tasks, 8);
+        assert_eq!(report.makespan_cycles, 800);
+        assert!((report.speedup_vs_serial() - 8.0).abs() < 1e-12);
+        assert!((report.imbalance() - 1.0).abs() < 1e-12);
+        assert!(report.per_thread.iter().all(|t| t.tasks == 8));
+    }
+
+    #[test]
+    fn one_huge_task_limits_the_makespan() {
+        let mut tasks = uniform_tasks(16, 10, 0, 0);
+        tasks.push(TaskRecord::compute_only(1000));
+        let report = schedule(&tasks, 8);
+        assert_eq!(report.makespan_cycles, 1000);
+        assert!(report.imbalance() > 1.5);
+    }
+
+    #[test]
+    fn lpt_is_deterministic() {
+        let tasks: Vec<TaskRecord> = (0..50)
+            .map(|i| TaskRecord::compute_only(100 + (i * 37) % 90))
+            .collect();
+        let a = schedule(&tasks, 4);
+        let b = schedule(&tasks, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stock_multicore_stall_fraction_grows_with_threads() {
+        // Memory-heavy tasks on a fixed-bandwidth machine: more threads means
+        // a smaller bandwidth share per thread, hence more stalling — the
+        // Figure 1 effect.
+        let cfg = CpuConfig::stock_multicore();
+        let tasks = uniform_tasks(256, 10_000, 3_000, 200_000);
+        let t1 = schedule_cpu(&tasks, 1, &cfg);
+        let t32 = schedule_cpu(&tasks, 32, &cfg);
+        assert!(t32.stall_fraction() > t1.stall_fraction());
+        // Speedup flattens: nowhere near 32x.
+        let speedup = t1.makespan_cycles as f64 / t32.makespan_cycles as f64;
+        assert!(speedup < 20.0, "speedup {speedup}");
+        assert!(speedup > 1.0);
+    }
+
+    #[test]
+    fn bandwidth_scaling_removes_the_contention_penalty() {
+        let scaled = CpuConfig::default();
+        let tasks = uniform_tasks(256, 10_000, 3_000, 100_000);
+        let t1 = schedule_cpu(&tasks, 1, &scaled);
+        let t32 = schedule_cpu(&tasks, 32, &scaled);
+        // With per-core bandwidth, per-task inflation is identical at any
+        // thread count, so the stall fraction stays flat.
+        assert!((t32.stall_fraction() - t1.stall_fraction()).abs() < 1e-9);
+        let speedup = t1.makespan_cycles as f64 / t32.makespan_cycles as f64;
+        assert!(speedup > 20.0);
+    }
+
+    #[test]
+    fn empty_task_list() {
+        let report = schedule(&[], 4);
+        assert_eq!(report.makespan_cycles, 0);
+        assert_eq!(report.stall_fraction(), 0.0);
+        assert_eq!(report.speedup_vs_serial(), 1.0);
+    }
+
+    #[test]
+    fn task_record_from_task_cost() {
+        let cost = TaskCost {
+            cycles: 10,
+            stall_cycles: 3,
+            dram_bytes: 128,
+            dram_accesses: 2,
+        };
+        let rec = TaskRecord::from(cost);
+        assert_eq!(rec.cycles, 10);
+        assert_eq!(rec.stall_cycles, 3);
+        assert_eq!(rec.dram_bytes, 128);
+    }
+}

@@ -1,0 +1,589 @@
+//! The SISA runtime: the programming interface set-centric algorithms use.
+//!
+//! [`SisaRuntime`] owns the physical sets (indexed by [`SetId`]), the
+//! Set-Metadata table and the SCU. Every public operation does two things:
+//!
+//! 1. **Functionally executes** the set operation on the real data (so
+//!    algorithms produce real answers that tests can validate), and
+//! 2. **Charges simulated cycles** by recording a SISA instruction and letting
+//!    the SCU dispatch it onto the PUM/PNM cost models.
+//!
+//! Invalid set identifiers are programming errors and panic, mirroring how a
+//! real SISA program would fault on a dangling set ID.
+
+use crate::config::SisaConfig;
+use crate::metadata::SetMetadataTable;
+use crate::scu::{BinarySetOp, DispatchOutcome, ExecutionTarget, Scu};
+use crate::stats::ExecStats;
+use crate::Vertex;
+use sisa_isa::{SetId, SisaOpcode};
+use sisa_sets::{RepresentationKind, SetRepr};
+
+/// The SISA runtime (thin software layer + SCU + set storage).
+#[derive(Clone, Debug)]
+pub struct SisaRuntime {
+    config: SisaConfig,
+    scu: Scu,
+    sets: Vec<Option<SetRepr>>,
+    metadata: SetMetadataTable,
+    stats: ExecStats,
+    universe: usize,
+    free_ids: Vec<u32>,
+    host_ops_pending: f64,
+    task_mark: u64,
+}
+
+impl SisaRuntime {
+    /// Creates a runtime with the given configuration. The vertex universe
+    /// defaults to 0 and is usually set by [`crate::SetGraph::load`] or
+    /// [`SisaRuntime::set_universe`].
+    #[must_use]
+    pub fn new(config: SisaConfig) -> Self {
+        Self {
+            config,
+            scu: Scu::new(config.platform, config.variant_selection),
+            sets: Vec::new(),
+            metadata: SetMetadataTable::new(),
+            stats: ExecStats::default(),
+            universe: 0,
+            free_ids: Vec::new(),
+            host_ops_pending: 0.0,
+            task_mark: 0,
+        }
+    }
+
+    /// Creates a runtime with the default configuration.
+    #[must_use]
+    pub fn with_defaults() -> Self {
+        Self::new(SisaConfig::default())
+    }
+
+    /// The runtime configuration.
+    #[must_use]
+    pub fn config(&self) -> &SisaConfig {
+        &self.config
+    }
+
+    /// Sets the vertex universe `n` used when dense bitvectors are created.
+    pub fn set_universe(&mut self, n: usize) {
+        self.universe = self.universe.max(n);
+    }
+
+    /// The current vertex universe.
+    #[must_use]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Execution statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Clears the accumulated statistics (used after graph loading so that
+    /// reported cycles cover only the algorithm itself, matching the paper's
+    /// methodology of excluding graph construction).
+    pub fn reset_stats(&mut self) {
+        self.stats = ExecStats::default();
+        self.host_ops_pending = 0.0;
+        self.task_mark = 0;
+    }
+
+    /// The SCU (exposed for harnesses that want its hit ratios and models).
+    #[must_use]
+    pub fn scu(&self) -> &Scu {
+        &self.scu
+    }
+
+    /// Number of live sets.
+    #[must_use]
+    pub fn live_sets(&self) -> usize {
+        self.sets.iter().filter(|s| s.is_some()).count()
+    }
+
+    // -----------------------------------------------------------------------
+    // Set lifecycle
+    // -----------------------------------------------------------------------
+
+    /// Creates a set from an explicit representation, returning its ID.
+    pub fn create(&mut self, repr: SetRepr) -> SetId {
+        let id = self.allocate_id();
+        self.metadata
+            .register(id, repr.kind(), repr.len(), self.universe_of(&repr));
+        self.record_lifecycle(SisaOpcode::CreateSet, &[id]);
+        self.scu.prime(id);
+        self.sets[id.0 as usize] = Some(repr);
+        id
+    }
+
+    /// Creates an empty sorted sparse-array set.
+    pub fn create_empty_sorted(&mut self) -> SetId {
+        self.create(SetRepr::empty_sorted())
+    }
+
+    /// Creates an empty dense bitvector over the current universe.
+    pub fn create_empty_dense(&mut self) -> SetId {
+        let universe = self.universe;
+        self.create(SetRepr::empty_dense(universe))
+    }
+
+    /// Creates a sorted sparse-array set from members.
+    pub fn create_sorted(&mut self, members: impl IntoIterator<Item = Vertex>) -> SetId {
+        self.create(SetRepr::sorted_from(members))
+    }
+
+    /// Creates a dense-bitvector set over the current universe from members.
+    pub fn create_dense(&mut self, members: impl IntoIterator<Item = Vertex>) -> SetId {
+        let universe = self.universe;
+        self.create(SetRepr::dense_from(universe, members))
+    }
+
+    /// Creates a dense-bitvector set containing every vertex of the universe.
+    pub fn create_full_dense(&mut self) -> SetId {
+        let universe = self.universe;
+        self.create(SetRepr::Dense(sisa_sets::DenseBitVector::full(universe)))
+    }
+
+    /// Clones a set into a fresh ID.
+    pub fn clone_set(&mut self, id: SetId) -> SetId {
+        let repr = self.repr(id).clone();
+        let new_id = self.allocate_id();
+        self.metadata
+            .register(new_id, repr.kind(), repr.len(), self.universe_of(&repr));
+        self.record_lifecycle(SisaOpcode::CloneSet, &[id, new_id]);
+        self.scu.prime(new_id);
+        // Cloning physically copies the set's storage.
+        let cost = match repr.kind() {
+            RepresentationKind::DenseBitvector => self
+                .scu
+                .pum_model()
+                .bulk_op_cost(sisa_pim::pum::BulkOp::Or, self.universe_of(&repr)),
+            _ => self.scu.pnm_model().streaming_cost(repr.len(), 0),
+        };
+        self.stats.pnm_cycles += cost;
+        self.sets[new_id.0 as usize] = Some(repr);
+        new_id
+    }
+
+    /// Deletes a set, freeing its ID.
+    pub fn delete(&mut self, id: SetId) {
+        self.record_lifecycle(SisaOpcode::DeleteSet, &[id]);
+        self.expect_slot(id);
+        self.sets[id.0 as usize] = None;
+        self.metadata.remove(id);
+        self.scu.invalidate(id);
+        self.free_ids.push(id.0);
+    }
+
+    // -----------------------------------------------------------------------
+    // Queries
+    // -----------------------------------------------------------------------
+
+    /// The cardinality `|A|` (an `O(1)` metadata lookup, §6.2.3).
+    pub fn cardinality(&mut self, id: SetId) -> usize {
+        self.stats.record_instruction(SisaOpcode::Cardinality);
+        let outcome = self.scu.dispatch_metadata(&[id]);
+        self.apply_outcome(&outcome, None);
+        self.repr(id).len()
+    }
+
+    /// Membership `x ∈ A`.
+    pub fn contains(&mut self, id: SetId, v: Vertex) -> bool {
+        self.stats.record_instruction(SisaOpcode::Membership);
+        let meta = *self.metadata.get(id).expect("membership on unknown set");
+        let outcome = self.scu.dispatch_element(id, &meta);
+        self.apply_outcome(&outcome, None);
+        self.repr(id).contains(v)
+    }
+
+    /// The members of a set as a sorted vector. Host-side iteration is
+    /// charged at one host operation per element.
+    pub fn members(&mut self, id: SetId) -> Vec<Vertex> {
+        let members = self.repr(id).to_sorted_vec();
+        self.host_ops(members.len() as u64);
+        members
+    }
+
+    /// Read-only access to a set's physical representation (no cost; intended
+    /// for result extraction and tests).
+    #[must_use]
+    pub fn repr(&self, id: SetId) -> &SetRepr {
+        self.sets
+            .get(id.0 as usize)
+            .and_then(Option::as_ref)
+            .unwrap_or_else(|| panic!("set {id} does not exist"))
+    }
+
+    // -----------------------------------------------------------------------
+    // Element updates
+    // -----------------------------------------------------------------------
+
+    /// Inserts a vertex: `A ∪= {x}`.
+    pub fn insert(&mut self, id: SetId, v: Vertex) -> bool {
+        self.element_update(id, v, SisaOpcode::InsertElement, true)
+    }
+
+    /// Removes a vertex: `A \= {x}`.
+    pub fn remove(&mut self, id: SetId, v: Vertex) -> bool {
+        self.element_update(id, v, SisaOpcode::RemoveElement, false)
+    }
+
+    fn element_update(&mut self, id: SetId, v: Vertex, opcode: SisaOpcode, insert: bool) -> bool {
+        self.stats.record_instruction(opcode);
+        let meta = *self.metadata.get(id).expect("element update on unknown set");
+        let outcome = self.scu.dispatch_element(id, &meta);
+        self.apply_outcome(&outcome, None);
+        self.expect_slot(id);
+        let repr = self.sets[id.0 as usize]
+            .as_mut()
+            .unwrap_or_else(|| panic!("set {id} does not exist"));
+        let changed = if insert { repr.insert(v) } else { repr.remove(v) };
+        let (kind, len) = (repr.kind(), repr.len());
+        self.metadata.update(id, kind, len);
+        changed
+    }
+
+    // -----------------------------------------------------------------------
+    // Binary set operations
+    // -----------------------------------------------------------------------
+
+    /// `A ∩ B`, materialised as a new set.
+    pub fn intersect(&mut self, a: SetId, b: SetId) -> SetId {
+        self.binary_materialising(a, b, BinarySetOp::Intersection, SisaOpcode::IntersectAuto)
+    }
+
+    /// `A ∪ B`, materialised as a new set.
+    pub fn union(&mut self, a: SetId, b: SetId) -> SetId {
+        self.binary_materialising(a, b, BinarySetOp::Union, SisaOpcode::UnionAuto)
+    }
+
+    /// `A \ B`, materialised as a new set.
+    pub fn difference(&mut self, a: SetId, b: SetId) -> SetId {
+        self.binary_materialising(a, b, BinarySetOp::Difference, SisaOpcode::DifferenceAuto)
+    }
+
+    /// `|A ∩ B|` without materialising the intersection.
+    pub fn intersect_count(&mut self, a: SetId, b: SetId) -> usize {
+        self.binary_counting(a, b, BinarySetOp::Intersection, SisaOpcode::IntersectCountAuto)
+    }
+
+    /// `|A ∪ B|` without materialising the union.
+    pub fn union_count(&mut self, a: SetId, b: SetId) -> usize {
+        self.binary_counting(a, b, BinarySetOp::Union, SisaOpcode::UnionCountAuto)
+    }
+
+    /// `|A \ B|` without materialising the difference.
+    pub fn difference_count(&mut self, a: SetId, b: SetId) -> usize {
+        self.binary_counting(a, b, BinarySetOp::Difference, SisaOpcode::DifferenceCountAuto)
+    }
+
+    /// In-place union `A ∪= B` (the result replaces `A`).
+    pub fn union_assign(&mut self, a: SetId, b: SetId) {
+        let result = self.binary_repr(a, b, BinarySetOp::Union, SisaOpcode::UnionAuto);
+        self.replace(a, result);
+    }
+
+    /// In-place intersection `A ∩= B`.
+    pub fn intersect_assign(&mut self, a: SetId, b: SetId) {
+        let result = self.binary_repr(a, b, BinarySetOp::Intersection, SisaOpcode::IntersectAuto);
+        self.replace(a, result);
+    }
+
+    /// In-place difference `A \= B`.
+    pub fn difference_assign(&mut self, a: SetId, b: SetId) {
+        let result = self.binary_repr(a, b, BinarySetOp::Difference, SisaOpcode::DifferenceAuto);
+        self.replace(a, result);
+    }
+
+    fn binary_materialising(
+        &mut self,
+        a: SetId,
+        b: SetId,
+        op: BinarySetOp,
+        opcode: SisaOpcode,
+    ) -> SetId {
+        let result = self.binary_repr(a, b, op, opcode);
+        let id = self.allocate_id();
+        self.metadata
+            .register(id, result.kind(), result.len(), self.universe_of(&result));
+        self.scu.prime(id);
+        self.sets[id.0 as usize] = Some(result);
+        id
+    }
+
+    fn binary_counting(
+        &mut self,
+        a: SetId,
+        b: SetId,
+        op: BinarySetOp,
+        opcode: SisaOpcode,
+    ) -> usize {
+        self.charge_binary(a, b, op, opcode, true);
+        let (ra, rb) = (self.repr(a), self.repr(b));
+        match op {
+            BinarySetOp::Intersection => ra.intersect_count(rb),
+            BinarySetOp::Union => ra.union_count(rb),
+            BinarySetOp::Difference => ra.difference_count(rb),
+        }
+    }
+
+    fn binary_repr(&mut self, a: SetId, b: SetId, op: BinarySetOp, opcode: SisaOpcode) -> SetRepr {
+        self.charge_binary(a, b, op, opcode, false);
+        let (ra, rb) = (self.repr(a), self.repr(b));
+        match op {
+            BinarySetOp::Intersection => ra.intersect(rb),
+            BinarySetOp::Union => ra.union(rb),
+            BinarySetOp::Difference => ra.difference(rb),
+        }
+    }
+
+    fn charge_binary(
+        &mut self,
+        a: SetId,
+        b: SetId,
+        op: BinarySetOp,
+        opcode: SisaOpcode,
+        count_only: bool,
+    ) {
+        self.stats.record_instruction(opcode);
+        let ma = *self.metadata.get(a).expect("operation on unknown set A");
+        let mb = *self.metadata.get(b).expect("operation on unknown set B");
+        let outcome = self.scu.dispatch_binary(op, count_only, a, &ma, b, &mb);
+        if self.config.track_set_sizes {
+            self.stats.processed_set_sizes.push(ma.cardinality as u32);
+            self.stats.processed_set_sizes.push(mb.cardinality as u32);
+        }
+        self.apply_outcome(&outcome, Some(outcome.choice));
+    }
+
+    fn replace(&mut self, id: SetId, repr: SetRepr) {
+        self.expect_slot(id);
+        self.metadata
+            .update(id, repr.kind(), repr.len());
+        self.sets[id.0 as usize] = Some(repr);
+    }
+
+    // -----------------------------------------------------------------------
+    // Host-side accounting and task boundaries
+    // -----------------------------------------------------------------------
+
+    /// Charges `n` host-side scalar operations (loop control, counters,
+    /// comparisons done outside SISA instructions).
+    pub fn host_ops(&mut self, n: u64) {
+        self.host_ops_pending += n as f64 * self.config.host_op_cost;
+        let whole = self.host_ops_pending.floor();
+        if whole >= 1.0 {
+            self.stats.host_cycles += whole as u64;
+            self.host_ops_pending -= whole;
+        }
+    }
+
+    /// Marks the beginning of a parallel task; [`SisaRuntime::task_end`]
+    /// returns the cycles accumulated since this call.
+    pub fn task_begin(&mut self) {
+        self.task_mark = self.stats.total_cycles();
+    }
+
+    /// Ends the current task, returning its cycle count.
+    pub fn task_end(&mut self) -> u64 {
+        self.stats.total_cycles() - self.task_mark
+    }
+
+    // -----------------------------------------------------------------------
+    // Internals
+    // -----------------------------------------------------------------------
+
+    fn allocate_id(&mut self) -> SetId {
+        if let Some(raw) = self.free_ids.pop() {
+            SetId(raw)
+        } else {
+            let id = SetId(self.sets.len() as u32);
+            self.sets.push(None);
+            id
+        }
+    }
+
+    fn record_lifecycle(&mut self, opcode: SisaOpcode, ids: &[SetId]) {
+        self.stats.record_instruction(opcode);
+        let outcome = self.scu.dispatch_metadata(ids);
+        self.apply_outcome(&outcome, None);
+    }
+
+    fn apply_outcome(&mut self, outcome: &DispatchOutcome, choice: Option<crate::scu::ExecutionChoice>) {
+        self.stats.scu_cycles += outcome.scu_cycles;
+        self.stats.smb_hits += outcome.smb_hits;
+        self.stats.smb_misses += outcome.smb_misses;
+        self.stats.energy_nj += outcome.energy_nj;
+        match outcome.choice.target() {
+            ExecutionTarget::Pum => self.stats.pum_cycles += outcome.exec_cycles,
+            ExecutionTarget::Pnm => self.stats.pnm_cycles += outcome.exec_cycles,
+        }
+        if let Some(choice) = choice {
+            match choice {
+                crate::scu::ExecutionChoice::PumBulk(_) => self.stats.pum_ops += 1,
+                crate::scu::ExecutionChoice::PnmMerge => {
+                    self.stats.pnm_ops += 1;
+                    self.stats.merge_selected += 1;
+                }
+                crate::scu::ExecutionChoice::PnmGalloping => {
+                    self.stats.pnm_ops += 1;
+                    self.stats.gallop_selected += 1;
+                }
+                _ => self.stats.pnm_ops += 1,
+            }
+        }
+    }
+
+    fn universe_of(&self, repr: &SetRepr) -> usize {
+        match repr {
+            SetRepr::Dense(d) => d.universe(),
+            _ => self.universe,
+        }
+    }
+
+    fn expect_slot(&self, id: SetId) {
+        assert!(
+            (id.0 as usize) < self.sets.len() && self.sets[id.0 as usize].is_some(),
+            "set {id} does not exist"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runtime() -> SisaRuntime {
+        let mut rt = SisaRuntime::with_defaults();
+        rt.set_universe(256);
+        rt
+    }
+
+    #[test]
+    fn create_query_delete_lifecycle() {
+        let mut rt = runtime();
+        let a = rt.create_sorted([1, 5, 9]);
+        assert_eq!(rt.cardinality(a), 3);
+        assert!(rt.contains(a, 5));
+        assert!(!rt.contains(a, 6));
+        assert_eq!(rt.members(a), vec![1, 5, 9]);
+        assert_eq!(rt.live_sets(), 1);
+        rt.delete(a);
+        assert_eq!(rt.live_sets(), 0);
+        // The freed ID is reused.
+        let b = rt.create_sorted([2]);
+        assert_eq!(b, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn using_a_deleted_set_panics() {
+        let mut rt = runtime();
+        let a = rt.create_sorted([1]);
+        rt.delete(a);
+        let _ = rt.repr(a);
+    }
+
+    #[test]
+    fn set_algebra_is_correct_across_representations() {
+        let mut rt = runtime();
+        let sparse = rt.create_sorted([1, 2, 3, 10, 20]);
+        let dense = rt.create_dense([2, 10, 30, 40]);
+        let inter = rt.intersect(sparse, dense);
+        assert_eq!(rt.members(inter), vec![2, 10]);
+        let uni = rt.union(sparse, dense);
+        assert_eq!(rt.members(uni), vec![1, 2, 3, 10, 20, 30, 40]);
+        let diff = rt.difference(sparse, dense);
+        assert_eq!(rt.members(diff), vec![1, 3, 20]);
+        assert_eq!(rt.intersect_count(sparse, dense), 2);
+        assert_eq!(rt.union_count(sparse, dense), 7);
+        assert_eq!(rt.difference_count(sparse, dense), 3);
+    }
+
+    #[test]
+    fn in_place_operations_mutate_their_first_argument() {
+        let mut rt = runtime();
+        let a = rt.create_dense([1, 2, 3, 4]);
+        let b = rt.create_dense([3, 4, 5]);
+        rt.intersect_assign(a, b);
+        assert_eq!(rt.members(a), vec![3, 4]);
+        rt.union_assign(a, b);
+        assert_eq!(rt.members(a), vec![3, 4, 5]);
+        rt.difference_assign(a, b);
+        assert!(rt.members(a).is_empty());
+    }
+
+    #[test]
+    fn insert_and_remove_update_metadata() {
+        let mut rt = runtime();
+        let a = rt.create_dense([1]);
+        assert!(rt.insert(a, 7));
+        assert!(!rt.insert(a, 7));
+        assert_eq!(rt.cardinality(a), 2);
+        assert!(rt.remove(a, 1));
+        assert_eq!(rt.cardinality(a), 1);
+    }
+
+    #[test]
+    fn clone_produces_an_independent_set() {
+        let mut rt = runtime();
+        let a = rt.create_sorted([1, 2]);
+        let b = rt.clone_set(a);
+        assert_ne!(a, b);
+        rt.insert(b, 3);
+        assert_eq!(rt.members(a), vec![1, 2]);
+        assert_eq!(rt.members(b), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cycles_accumulate_and_split_by_unit() {
+        let mut rt = runtime();
+        let a = rt.create_dense((0..200).collect::<Vec<_>>());
+        let b = rt.create_dense((100..256).collect::<Vec<_>>());
+        let s = rt.create_sorted([1, 2, 3]);
+        let _ = rt.intersect(a, b); // PUM
+        let _ = rt.intersect(s, a); // PNM probe
+        let stats = rt.stats();
+        assert!(stats.pum_cycles > 0);
+        assert!(stats.pnm_cycles > 0);
+        assert!(stats.scu_cycles > 0);
+        assert_eq!(stats.pum_ops, 1);
+        assert_eq!(stats.pnm_ops, 1);
+        assert!(stats.energy_nj > 0.0);
+        assert!(stats.total_instructions() >= 5);
+    }
+
+    #[test]
+    fn task_boundaries_measure_deltas() {
+        let mut rt = runtime();
+        let a = rt.create_dense([1, 2, 3]);
+        let b = rt.create_dense([2, 3, 4]);
+        rt.task_begin();
+        let _ = rt.intersect(a, b);
+        let t1 = rt.task_end();
+        assert!(t1 > 0);
+        rt.task_begin();
+        let t2 = rt.task_end();
+        assert_eq!(t2, 0);
+    }
+
+    #[test]
+    fn set_size_tracking_records_operand_sizes() {
+        let mut rt = SisaRuntime::new(SisaConfig::with_set_size_tracking());
+        rt.set_universe(64);
+        let a = rt.create_sorted([1, 2, 3]);
+        let b = rt.create_sorted([2, 3]);
+        let _ = rt.intersect_count(a, b);
+        assert_eq!(rt.stats().processed_set_sizes, vec![3, 2]);
+    }
+
+    #[test]
+    fn host_ops_accumulate_fractionally() {
+        let mut rt = runtime();
+        rt.host_ops(1); // 0.5 cycles -> pending
+        assert_eq!(rt.stats().host_cycles, 0);
+        rt.host_ops(1); // reaches 1.0
+        assert_eq!(rt.stats().host_cycles, 1);
+    }
+}

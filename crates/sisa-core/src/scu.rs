@@ -1,0 +1,431 @@
+//! The SISA Controller Unit (SCU).
+//!
+//! The SCU "receives SISA instructions from the CPU, and it appropriately
+//! schedules their execution on SISA-PNM and SISA-PUM" (§3). Its decisions
+//! (§8.2) are:
+//!
+//! 1. **PUM vs. PNM** — two dense bitvectors are always processed in situ;
+//!    everything else runs on the logic-layer cores.
+//! 2. **Merge vs. galloping** — for two sparse arrays the SCU consults the
+//!    §8.3 performance models (or a fixed size-ratio threshold / forced
+//!    variant, for the sensitivity studies) and picks the cheaper algorithm.
+//!
+//! Each dispatch also charges the SCU's own overheads: a fixed decode delay
+//! plus set-metadata lookups that hit in the SMB or fall through to a memory
+//! access (§8.4).
+
+use crate::config::VariantSelection;
+use crate::metadata::{SetMetadata, SmbCache};
+use crate::SetId;
+use sisa_pim::pum::BulkOp;
+use sisa_pim::{Cycles, EnergyModel, PimPlatform, PnmModel, PumModel};
+use sisa_sets::RepresentationKind;
+
+/// The abstract binary set operation being dispatched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinarySetOp {
+    /// `A ∩ B`.
+    Intersection,
+    /// `A ∪ B`.
+    Union,
+    /// `A \ B`.
+    Difference,
+}
+
+impl BinarySetOp {
+    /// The in-situ bulk bitwise primitive implementing this operation on two
+    /// dense bitvectors (§8.1).
+    #[must_use]
+    pub fn bulk_op(self) -> BulkOp {
+        match self {
+            Self::Intersection => BulkOp::And,
+            Self::Union => BulkOp::Or,
+            Self::Difference => BulkOp::AndNot,
+        }
+    }
+}
+
+/// Which memory accelerator executed an operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecutionTarget {
+    /// In-situ bulk bitwise DRAM processing.
+    Pum,
+    /// Near-memory logic-layer cores.
+    Pnm,
+}
+
+/// The concrete execution variant the SCU selected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecutionChoice {
+    /// Bulk bitwise operation over dense bitvectors.
+    PumBulk(BulkOp),
+    /// Merge-based streaming over two sparse arrays.
+    PnmMerge,
+    /// Galloping (binary-search) processing of two sparse arrays.
+    PnmGalloping,
+    /// Per-element probing of a dense bitvector by a sparse array.
+    PnmProbe,
+    /// A direct single access (element update, membership, metadata).
+    PnmDirect,
+}
+
+impl ExecutionChoice {
+    /// The accelerator that executes this choice.
+    #[must_use]
+    pub fn target(self) -> ExecutionTarget {
+        match self {
+            Self::PumBulk(_) => ExecutionTarget::Pum,
+            _ => ExecutionTarget::Pnm,
+        }
+    }
+}
+
+/// The outcome of dispatching one SISA instruction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DispatchOutcome {
+    /// The execution variant chosen.
+    pub choice: ExecutionChoice,
+    /// Cycles spent in the SCU itself (decode + metadata lookups).
+    pub scu_cycles: Cycles,
+    /// Cycles spent executing the operation on the chosen accelerator.
+    pub exec_cycles: Cycles,
+    /// Estimated energy in nanojoules.
+    pub energy_nj: f64,
+    /// SMB hits incurred by this dispatch.
+    pub smb_hits: u64,
+    /// SMB misses incurred by this dispatch.
+    pub smb_misses: u64,
+}
+
+/// The SISA Controller Unit.
+#[derive(Clone, Debug)]
+pub struct Scu {
+    platform: PimPlatform,
+    pnm: PnmModel,
+    pum: PumModel,
+    smb: SmbCache,
+    selection: VariantSelection,
+    energy: EnergyModel,
+}
+
+impl Scu {
+    /// Creates an SCU for the given platform and variant-selection policy.
+    #[must_use]
+    pub fn new(platform: PimPlatform, selection: VariantSelection) -> Self {
+        Self {
+            platform,
+            pnm: PnmModel::new(platform.pnm),
+            pum: PumModel::new(platform.pum),
+            smb: SmbCache::new(platform.smb_entries),
+            selection,
+            energy: EnergyModel::default(),
+        }
+    }
+
+    /// The platform this SCU drives.
+    #[must_use]
+    pub fn platform(&self) -> &PimPlatform {
+        &self.platform
+    }
+
+    /// The near-memory cost model (exposed for the harness's model plots).
+    #[must_use]
+    pub fn pnm_model(&self) -> &PnmModel {
+        &self.pnm
+    }
+
+    /// The in-situ cost model.
+    #[must_use]
+    pub fn pum_model(&self) -> &PumModel {
+        &self.pum
+    }
+
+    /// Charges SCU decode plus metadata lookups for the given operand set IDs.
+    fn frontend(&mut self, ids: &[SetId]) -> (Cycles, u64, u64) {
+        let mut cycles = self.platform.scu_delay;
+        let mut hits = 0;
+        let mut misses = 0;
+        for &id in ids {
+            if !self.platform.smb_enabled {
+                // Without the SMB every lookup is an SM memory access.
+                cycles += self.platform.sm_miss_latency;
+                misses += 1;
+                continue;
+            }
+            if self.smb.lookup(id) {
+                cycles += self.platform.smb_hit_latency;
+                hits += 1;
+            } else {
+                cycles += self.platform.sm_miss_latency;
+                misses += 1;
+            }
+        }
+        (cycles, hits, misses)
+    }
+
+    /// Removes a deleted set from the SMB.
+    pub fn invalidate(&mut self, id: SetId) {
+        self.smb.invalidate(id);
+    }
+
+    /// Marks a freshly created set's metadata as resident in the SMB (the SCU
+    /// wrote the entry itself, so the first lookup should not be a miss).
+    pub fn prime(&mut self, id: SetId) {
+        if self.platform.smb_enabled {
+            self.smb.prime(id);
+        }
+    }
+
+    /// Decides merge vs. galloping for two sparse arrays of the given sizes.
+    #[must_use]
+    pub fn choose_sparse_algorithm(&self, a_len: usize, b_len: usize) -> ExecutionChoice {
+        match self.selection {
+            VariantSelection::AlwaysMerge => ExecutionChoice::PnmMerge,
+            VariantSelection::AlwaysGalloping => ExecutionChoice::PnmGalloping,
+            VariantSelection::SizeRatio(threshold) => {
+                let small = a_len.min(b_len).max(1) as f64;
+                let large = a_len.max(b_len) as f64;
+                if large / small >= threshold {
+                    ExecutionChoice::PnmGalloping
+                } else {
+                    ExecutionChoice::PnmMerge
+                }
+            }
+            VariantSelection::PerformanceModel => {
+                let merge = self.pnm.streaming_cost(a_len, b_len);
+                let gallop = self.pnm.random_access_cost(a_len, b_len);
+                if gallop < merge {
+                    ExecutionChoice::PnmGalloping
+                } else {
+                    ExecutionChoice::PnmMerge
+                }
+            }
+        }
+    }
+
+    /// Dispatches a binary set operation (`∩`, `∪`, `\` or their counting
+    /// twins) on operands described by their metadata.
+    pub fn dispatch_binary(
+        &mut self,
+        op: BinarySetOp,
+        count_only: bool,
+        a_id: SetId,
+        a: &SetMetadata,
+        b_id: SetId,
+        b: &SetMetadata,
+    ) -> DispatchOutcome {
+        let (scu_cycles, smb_hits, smb_misses) = self.frontend(&[a_id, b_id]);
+        let universe_bits = a.universe.max(b.universe);
+        let (choice, exec_cycles, energy_nj) = match (a.kind, b.kind) {
+            (RepresentationKind::DenseBitvector, RepresentationKind::DenseBitvector) => {
+                let bulk = op.bulk_op();
+                let cycles = if count_only {
+                    self.pum.bulk_op_count_cost(bulk, universe_bits)
+                } else {
+                    self.pum.bulk_op_cost(bulk, universe_bits)
+                };
+                let energy = self.energy.pum_energy(self.pum.row_activations(bulk, universe_bits));
+                (ExecutionChoice::PumBulk(bulk), cycles, energy)
+            }
+            (RepresentationKind::DenseBitvector, _) | (_, RepresentationKind::DenseBitvector) => {
+                let sparse_len = if a.kind == RepresentationKind::DenseBitvector {
+                    b.cardinality
+                } else {
+                    a.cardinality
+                };
+                let mut cycles = self.pnm.probe_cost(sparse_len, universe_bits);
+                let mut energy = self
+                    .energy
+                    .pnm_energy((sparse_len * 4) as u64, sparse_len as u64);
+                // Union with a dense operand (and difference producing a dense
+                // result) additionally row-clones the dense operand into the
+                // result rows, an in-situ copy.
+                if op != BinarySetOp::Intersection && !count_only {
+                    cycles += self.pum.bulk_op_cost(BulkOp::Or, universe_bits);
+                    energy += self
+                        .energy
+                        .pum_energy(self.pum.row_activations(BulkOp::Or, universe_bits));
+                }
+                (ExecutionChoice::PnmProbe, cycles, energy)
+            }
+            _ => {
+                let choice = self.choose_sparse_algorithm(a.cardinality, b.cardinality);
+                let cycles = match choice {
+                    ExecutionChoice::PnmGalloping => {
+                        self.pnm.random_access_cost(a.cardinality, b.cardinality)
+                    }
+                    _ => self.pnm.streaming_cost(a.cardinality, b.cardinality),
+                };
+                let bytes = ((a.cardinality + b.cardinality) * 4) as u64;
+                let energy = self
+                    .energy
+                    .pnm_energy(bytes, (a.cardinality + b.cardinality) as u64);
+                (choice, cycles, energy)
+            }
+        };
+        DispatchOutcome {
+            choice,
+            scu_cycles,
+            exec_cycles,
+            energy_nj,
+            smb_hits,
+            smb_misses,
+        }
+    }
+
+    /// Dispatches a single-element operation (`A ∪ {x}`, `A \ {x}`, `x ∈ A`).
+    pub fn dispatch_element(&mut self, id: SetId, meta: &SetMetadata) -> DispatchOutcome {
+        let (scu_cycles, smb_hits, smb_misses) = self.frontend(&[id]);
+        let exec_cycles = match meta.kind {
+            // Setting / clearing / probing one bit: one DRAM access (§8.1).
+            RepresentationKind::DenseBitvector => self.pum.bit_update_cost(),
+            // Sparse arrays: a near-memory access plus (for sorted arrays) the
+            // element shifting the paper notes costs O(|A|); we charge the
+            // streaming cost of half the array.
+            RepresentationKind::SortedArray => {
+                self.pnm.element_update_cost() + self.pnm.streaming_cost(meta.cardinality / 2, 0)
+            }
+            RepresentationKind::UnsortedArray => self.pnm.element_update_cost(),
+        };
+        DispatchOutcome {
+            choice: ExecutionChoice::PnmDirect,
+            scu_cycles,
+            exec_cycles,
+            energy_nj: self.energy.pnm_energy(64, 4),
+            smb_hits,
+            smb_misses,
+        }
+    }
+
+    /// Dispatches a metadata-only operation (cardinality, create, delete,
+    /// clone bookkeeping).
+    pub fn dispatch_metadata(&mut self, ids: &[SetId]) -> DispatchOutcome {
+        let (scu_cycles, smb_hits, smb_misses) = self.frontend(ids);
+        DispatchOutcome {
+            choice: ExecutionChoice::PnmDirect,
+            scu_cycles,
+            exec_cycles: 0,
+            energy_nj: self.energy.pnm_energy(16, 1),
+            smb_hits,
+            smb_misses,
+        }
+    }
+
+    /// SMB hit ratio observed so far.
+    #[must_use]
+    pub fn smb_hit_ratio(&self) -> f64 {
+        self.smb.hit_ratio()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sisa_isa::SetId;
+
+    fn meta(kind: RepresentationKind, cardinality: usize, universe: usize) -> SetMetadata {
+        SetMetadata {
+            kind,
+            cardinality,
+            universe,
+            address: 0,
+        }
+    }
+
+    fn scu() -> Scu {
+        Scu::new(PimPlatform::default(), VariantSelection::PerformanceModel)
+    }
+
+    #[test]
+    fn dense_dense_goes_to_pum() {
+        let mut s = scu();
+        let a = meta(RepresentationKind::DenseBitvector, 500, 10_000);
+        let b = meta(RepresentationKind::DenseBitvector, 700, 10_000);
+        let out = s.dispatch_binary(BinarySetOp::Intersection, false, SetId(1), &a, SetId(2), &b);
+        assert_eq!(out.choice, ExecutionChoice::PumBulk(BulkOp::And));
+        assert_eq!(out.choice.target(), ExecutionTarget::Pum);
+        assert!(out.exec_cycles > 0);
+        assert!(out.energy_nj > 0.0);
+    }
+
+    #[test]
+    fn sparse_dense_probes_on_pnm() {
+        let mut s = scu();
+        let a = meta(RepresentationKind::SortedArray, 50, 10_000);
+        let b = meta(RepresentationKind::DenseBitvector, 4000, 10_000);
+        let out = s.dispatch_binary(BinarySetOp::Intersection, true, SetId(1), &a, SetId(2), &b);
+        assert_eq!(out.choice, ExecutionChoice::PnmProbe);
+        assert_eq!(out.choice.target(), ExecutionTarget::Pnm);
+    }
+
+    #[test]
+    fn sparse_sparse_picks_merge_or_gallop_by_size_ratio() {
+        let mut s = scu();
+        let similar_a = meta(RepresentationKind::SortedArray, 5_000, 100_000);
+        let similar_b = meta(RepresentationKind::SortedArray, 6_000, 100_000);
+        let out = s.dispatch_binary(BinarySetOp::Intersection, false, SetId(1), &similar_a, SetId(2), &similar_b);
+        assert_eq!(out.choice, ExecutionChoice::PnmMerge);
+
+        let tiny = meta(RepresentationKind::SortedArray, 4, 100_000);
+        let huge = meta(RepresentationKind::SortedArray, 900_000, 1_000_000);
+        let out = s.dispatch_binary(BinarySetOp::Intersection, false, SetId(3), &tiny, SetId(4), &huge);
+        assert_eq!(out.choice, ExecutionChoice::PnmGalloping);
+    }
+
+    #[test]
+    fn selection_policies_are_respected() {
+        let platform = PimPlatform::default();
+        let merge_only = Scu::new(platform, VariantSelection::AlwaysMerge);
+        assert_eq!(merge_only.choose_sparse_algorithm(1, 1_000_000), ExecutionChoice::PnmMerge);
+        let gallop_only = Scu::new(platform, VariantSelection::AlwaysGalloping);
+        assert_eq!(gallop_only.choose_sparse_algorithm(500, 500), ExecutionChoice::PnmGalloping);
+        let ratio = Scu::new(platform, VariantSelection::SizeRatio(5.0));
+        assert_eq!(ratio.choose_sparse_algorithm(10, 49), ExecutionChoice::PnmMerge);
+        assert_eq!(ratio.choose_sparse_algorithm(10, 51), ExecutionChoice::PnmGalloping);
+    }
+
+    #[test]
+    fn smb_warm_lookups_get_cheaper() {
+        let mut s = scu();
+        let a = meta(RepresentationKind::SortedArray, 100, 1_000);
+        let b = meta(RepresentationKind::SortedArray, 100, 1_000);
+        let cold = s.dispatch_binary(BinarySetOp::Union, false, SetId(1), &a, SetId(2), &b);
+        let warm = s.dispatch_binary(BinarySetOp::Union, false, SetId(1), &a, SetId(2), &b);
+        assert_eq!(cold.smb_misses, 2);
+        assert_eq!(warm.smb_hits, 2);
+        assert!(warm.scu_cycles < cold.scu_cycles);
+        assert!(s.smb_hit_ratio() > 0.0);
+    }
+
+    #[test]
+    fn disabling_the_smb_makes_every_lookup_a_memory_access() {
+        let mut platform = PimPlatform::default();
+        platform.smb_enabled = false;
+        let mut s = Scu::new(platform, VariantSelection::PerformanceModel);
+        let a = meta(RepresentationKind::SortedArray, 10, 100);
+        let out1 = s.dispatch_binary(BinarySetOp::Intersection, false, SetId(1), &a, SetId(2), &a);
+        let out2 = s.dispatch_binary(BinarySetOp::Intersection, false, SetId(1), &a, SetId(2), &a);
+        assert_eq!(out1.scu_cycles, out2.scu_cycles);
+        assert_eq!(out1.smb_hits, 0);
+        assert_eq!(out2.smb_hits, 0);
+    }
+
+    #[test]
+    fn element_dispatch_depends_on_representation() {
+        let mut s = scu();
+        let dense = meta(RepresentationKind::DenseBitvector, 100, 1_000_000);
+        let sorted = meta(RepresentationKind::SortedArray, 100_000, 1_000_000);
+        let d = s.dispatch_element(SetId(1), &dense);
+        let so = s.dispatch_element(SetId(2), &sorted);
+        assert!(d.exec_cycles < so.exec_cycles, "bit update should be cheaper than array shifting");
+        assert_eq!(d.choice, ExecutionChoice::PnmDirect);
+    }
+
+    #[test]
+    fn metadata_dispatch_has_no_exec_cost() {
+        let mut s = scu();
+        let out = s.dispatch_metadata(&[SetId(1)]);
+        assert_eq!(out.exec_cycles, 0);
+        assert!(out.scu_cycles > 0);
+    }
+}

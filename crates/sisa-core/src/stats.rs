@@ -1,0 +1,157 @@
+//! Execution statistics collected by the SISA runtime.
+
+use sisa_isa::SisaOpcode;
+use std::collections::BTreeMap;
+
+/// Statistics accumulated while executing SISA instructions.
+///
+/// Cycles are split by the unit that spends them — the SCU (decode, metadata
+/// lookups), SISA-PUM (in-situ bulk bitwise), SISA-PNM (vault cores) and the
+/// host (scalar loop-control work reported by algorithms) — so the harness can
+/// attribute speedups to the right mechanism.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ExecStats {
+    /// Cycles spent in the SISA Controller Unit (fixed delays + SMB/SM).
+    pub scu_cycles: u64,
+    /// Cycles spent executing bulk bitwise operations in DRAM (SISA-PUM).
+    pub pum_cycles: u64,
+    /// Cycles spent on logic-layer vault cores (SISA-PNM).
+    pub pnm_cycles: u64,
+    /// Cycles of host-side scalar work reported by the algorithm.
+    pub host_cycles: u64,
+    /// Dynamic instruction counts per opcode.
+    pub instructions: BTreeMap<SisaOpcode, u64>,
+    /// Number of operations dispatched to SISA-PUM.
+    pub pum_ops: u64,
+    /// Number of operations dispatched to SISA-PNM.
+    pub pnm_ops: u64,
+    /// Number of sparse operations executed with the merge algorithm.
+    pub merge_selected: u64,
+    /// Number of sparse operations executed with the galloping algorithm.
+    pub gallop_selected: u64,
+    /// SMB hits.
+    pub smb_hits: u64,
+    /// SMB misses.
+    pub smb_misses: u64,
+    /// Estimated energy in nanojoules.
+    pub energy_nj: f64,
+    /// Sizes of the operand sets of every executed binary operation, recorded
+    /// only when `SisaConfig::track_set_sizes` is on (Figure 9b).
+    pub processed_set_sizes: Vec<u32>,
+}
+
+impl ExecStats {
+    /// Total simulated cycles across all units.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.scu_cycles + self.pum_cycles + self.pnm_cycles + self.host_cycles
+    }
+
+    /// Total dynamic SISA instruction count.
+    #[must_use]
+    pub fn total_instructions(&self) -> u64 {
+        self.instructions.values().sum()
+    }
+
+    /// Records one executed instruction of the given opcode.
+    pub fn record_instruction(&mut self, opcode: SisaOpcode) {
+        *self.instructions.entry(opcode).or_insert(0) += 1;
+    }
+
+    /// Fraction of PIM-dispatched operations that went to SISA-PUM.
+    #[must_use]
+    pub fn pum_fraction(&self) -> f64 {
+        let total = self.pum_ops + self.pnm_ops;
+        if total == 0 {
+            0.0
+        } else {
+            self.pum_ops as f64 / total as f64
+        }
+    }
+
+    /// SMB hit ratio.
+    #[must_use]
+    pub fn smb_hit_ratio(&self) -> f64 {
+        let total = self.smb_hits + self.smb_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.smb_hits as f64 / total as f64
+        }
+    }
+
+    /// Merges another statistics record into this one.
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.scu_cycles += other.scu_cycles;
+        self.pum_cycles += other.pum_cycles;
+        self.pnm_cycles += other.pnm_cycles;
+        self.host_cycles += other.host_cycles;
+        for (&op, &n) in &other.instructions {
+            *self.instructions.entry(op).or_insert(0) += n;
+        }
+        self.pum_ops += other.pum_ops;
+        self.pnm_ops += other.pnm_ops;
+        self.merge_selected += other.merge_selected;
+        self.gallop_selected += other.gallop_selected;
+        self.smb_hits += other.smb_hits;
+        self.smb_misses += other.smb_misses;
+        self.energy_nj += other.energy_nj;
+        self.processed_set_sizes
+            .extend_from_slice(&other.processed_set_sizes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_ratios() {
+        let mut s = ExecStats {
+            scu_cycles: 10,
+            pum_cycles: 20,
+            pnm_cycles: 30,
+            host_cycles: 40,
+            pum_ops: 1,
+            pnm_ops: 3,
+            smb_hits: 9,
+            smb_misses: 1,
+            ..ExecStats::default()
+        };
+        s.record_instruction(SisaOpcode::IntersectAuto);
+        s.record_instruction(SisaOpcode::IntersectAuto);
+        s.record_instruction(SisaOpcode::UnionAuto);
+        assert_eq!(s.total_cycles(), 100);
+        assert_eq!(s.total_instructions(), 3);
+        assert!((s.pum_fraction() - 0.25).abs() < 1e-12);
+        assert!((s.smb_hit_ratio() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_ratios() {
+        let s = ExecStats::default();
+        assert_eq!(s.total_cycles(), 0);
+        assert_eq!(s.pum_fraction(), 0.0);
+        assert_eq!(s.smb_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates_everything() {
+        let mut a = ExecStats::default();
+        a.record_instruction(SisaOpcode::IntersectAuto);
+        a.pnm_cycles = 5;
+        a.processed_set_sizes.push(3);
+        let mut b = ExecStats::default();
+        b.record_instruction(SisaOpcode::IntersectAuto);
+        b.record_instruction(SisaOpcode::Membership);
+        b.pum_cycles = 7;
+        b.energy_nj = 2.0;
+        b.processed_set_sizes.push(9);
+        a.merge(&b);
+        assert_eq!(a.total_instructions(), 3);
+        assert_eq!(a.instructions[&SisaOpcode::IntersectAuto], 2);
+        assert_eq!(a.total_cycles(), 12);
+        assert_eq!(a.processed_set_sizes, vec![3, 9]);
+        assert!((a.energy_nj - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,46 @@
+//! # sisa-graph
+//!
+//! Graph data structures, generators and dataset stand-ins for the SISA
+//! reproduction (Besta et al., MICRO 2021).
+//!
+//! The crate provides:
+//!
+//! * [`CsrGraph`] — a compressed-sparse-row graph with sorted neighbourhoods,
+//!   the baseline storage format both the paper's hand-tuned algorithms and
+//!   SISA's hybrid set-graph are built on.
+//! * [`GraphBuilder`] — incremental edge-list construction with deduplication.
+//! * [`orientation`] — exact and approximate degeneracy orderings (§5.1.5,
+//!   Algorithm 6), k-core extraction and degeneracy-ordered orientation, the
+//!   optimisation used by the k-clique and Bron–Kerbosch formulations.
+//! * [`generators`] — deterministic synthetic graph generators (Erdős–Rényi,
+//!   Barabási–Albert, Kronecker/R-MAT, Watts–Strogatz, planted-clique
+//!   community graphs and classic topologies).
+//! * [`datasets`] — the registry of synthetic stand-ins for the Network
+//!   Repository datasets in the paper's Table 7 (the real datasets cannot be
+//!   downloaded in this environment; see DESIGN.md §2).
+//! * [`degree`] — degree-distribution statistics used to regenerate
+//!   Figure 7a.
+//! * [`properties`] — reference implementations of simple graph properties
+//!   (triangle count, clustering coefficients, connected components) used by
+//!   tests to validate both the generators and the mining algorithms.
+//! * [`io`] — plain-text edge-list reading and writing.
+//! * [`labels`] — vertex/edge labelling for labelled subgraph isomorphism.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csr;
+pub mod datasets;
+pub mod degree;
+pub mod generators;
+pub mod io;
+pub mod labels;
+pub mod orientation;
+pub mod properties;
+
+pub use csr::{CsrGraph, GraphBuilder};
+pub use labels::{EdgeLabels, LabeledGraph};
+pub use orientation::{approximate_degeneracy_order, degeneracy_order, DegeneracyOrdering};
+
+/// A vertex identifier (re-exported from `sisa-sets`).
+pub type Vertex = sisa_sets::Vertex;

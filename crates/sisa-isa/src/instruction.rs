@@ -1,0 +1,139 @@
+//! SISA instruction words and register operands.
+
+use crate::encoding;
+use crate::opcode::SisaOpcode;
+
+/// A RISC-V integer register index (x0–x31) used as a SISA operand.
+///
+/// In the paper's encoding (Figure 5), `rs1` and `rs2` name registers holding
+/// the IDs of the input sets (or a vertex id for element operations) and `rd`
+/// names the register receiving the output set ID or scalar result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Register(u8);
+
+impl Register {
+    /// The zero register `x0`.
+    pub const ZERO: Register = Register(0);
+
+    /// Creates a register operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32` (RISC-V has 32 integer registers).
+    #[must_use]
+    pub fn new(index: u8) -> Self {
+        assert!(index < 32, "register index {index} out of range (0..32)");
+        Self(index)
+    }
+
+    /// The register index (0..32).
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Register {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A single SISA instruction: an opcode plus destination and source registers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SisaInstruction {
+    /// The concrete operation variant.
+    pub opcode: SisaOpcode,
+    /// Destination register (output set ID or scalar result).
+    pub rd: Register,
+    /// First source register (first input set ID).
+    pub rs1: Register,
+    /// Second source register (second input set ID, or a vertex id for
+    /// element operations).
+    pub rs2: Register,
+}
+
+impl SisaInstruction {
+    /// Creates an instruction.
+    #[must_use]
+    pub fn new(opcode: SisaOpcode, rd: Register, rs1: Register, rs2: Register) -> Self {
+        Self {
+            opcode,
+            rd,
+            rs1,
+            rs2,
+        }
+    }
+
+    /// Encodes the instruction into its 32-bit machine word (Figure 5).
+    #[must_use]
+    pub fn encode(&self) -> u32 {
+        encoding::encode(self)
+    }
+
+    /// Decodes a 32-bit machine word into an instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::DecodeError`] if the word does not carry the SISA
+    /// custom opcode or names an unknown `funct7` value.
+    pub fn decode(word: u32) -> Result<Self, crate::DecodeError> {
+        encoding::decode(word)
+    }
+
+    /// Renders the instruction in assembly syntax, e.g.
+    /// `sisa.int x3, x1, x2`.
+    #[must_use]
+    pub fn to_assembly(&self) -> String {
+        format!("{} {}, {}, {}", self.opcode.mnemonic(), self.rd, self.rs1, self.rs2)
+    }
+}
+
+impl std::fmt::Display for SisaInstruction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_assembly())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_construction_and_display() {
+        let r = Register::new(17);
+        assert_eq!(r.index(), 17);
+        assert_eq!(r.to_string(), "x17");
+        assert_eq!(Register::ZERO.index(), 0);
+        assert_eq!(Register::default(), Register::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn register_index_out_of_range_panics() {
+        let _ = Register::new(32);
+    }
+
+    #[test]
+    fn assembly_rendering() {
+        let i = SisaInstruction::new(
+            SisaOpcode::IntersectCountAuto,
+            Register::new(5),
+            Register::new(10),
+            Register::new(11),
+        );
+        assert_eq!(i.to_assembly(), "sisa.intc x5, x10, x11");
+        assert_eq!(i.to_string(), i.to_assembly());
+    }
+
+    #[test]
+    fn encode_decode_round_trip_matches() {
+        let i = SisaInstruction::new(
+            SisaOpcode::UnionDbDb,
+            Register::new(1),
+            Register::new(2),
+            Register::new(3),
+        );
+        assert_eq!(SisaInstruction::decode(i.encode()).unwrap(), i);
+    }
+}

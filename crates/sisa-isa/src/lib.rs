@@ -1,0 +1,83 @@
+//! # sisa-isa
+//!
+//! The SISA instruction set: opcodes, instruction words, RISC-V-compatible
+//! encoding and small instruction programs.
+//!
+//! The paper (§6.3.2, §6.3.5, Table 5, Figure 5) defines SISA as a family of
+//! fewer than twenty custom instructions layered on the RISC-V custom opcode
+//! space. Each instruction names a *variant* of a set operation — the
+//! combination of the abstract operation (intersection, union, difference,
+//! cardinality, membership, element insertion/removal, set lifecycle) with the
+//! operand representations (sparse array or dense bitvector) and the set
+//! algorithm (merge or galloping). "Auto" variants leave the algorithm choice
+//! to the SISA Controller Unit at run time.
+//!
+//! This crate is deliberately free of any execution semantics: it defines the
+//! vocabulary shared by the software layer (`sisa-core`, which plays the role
+//! of the paper's thin C-style wrapper layer plus the SCU) and by anything
+//! that wants to reason about SISA programs (the benchmark harness prints
+//! per-opcode instruction histograms, for instance).
+//!
+//! ## Example
+//!
+//! ```
+//! use sisa_isa::{Register, SisaInstruction, SisaOpcode};
+//!
+//! let instr = SisaInstruction::new(
+//!     SisaOpcode::IntersectAuto,
+//!     Register::new(3),
+//!     Register::new(1),
+//!     Register::new(2),
+//! );
+//! let word = instr.encode();
+//! assert_eq!(SisaInstruction::decode(word).unwrap(), instr);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod encoding;
+pub mod instruction;
+pub mod opcode;
+pub mod program;
+
+pub use encoding::{DecodeError, CUSTOM_OPCODE};
+pub use instruction::{Register, SisaInstruction};
+pub use opcode::{OperandKind, SetAlgorithm, SetOperation, SisaOpcode};
+pub use program::SisaProgram;
+
+/// A logical SISA set identifier.
+///
+/// The paper identifies sets "with unique logical set IDs ... mapped by the
+/// underlying SISA HW design to any used form of physical addresses" (§6.3.4).
+/// Set IDs are handed out by set-creation instructions and used analogously to
+/// pointers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SetId(pub u32);
+
+impl SetId {
+    /// The raw identifier value.
+    #[must_use]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for SetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_id_display_and_raw() {
+        let id = SetId(42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(id.to_string(), "s42");
+        assert!(SetId(1) < SetId(2));
+    }
+}

@@ -1,0 +1,197 @@
+//! Sequences of SISA instructions.
+//!
+//! A [`SisaProgram`] is the unit the benchmark harness and the runtime
+//! statistics reason about: the dynamic stream of SISA instructions an
+//! algorithm issued, with helpers to render assembly listings, encode to a
+//! binary image and summarise per-opcode counts (the paper's instruction-mix
+//! analyses).
+
+use crate::instruction::{Register, SisaInstruction};
+use crate::opcode::SisaOpcode;
+use std::collections::BTreeMap;
+
+/// An ordered sequence of SISA instructions.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SisaProgram {
+    instructions: Vec<SisaInstruction>,
+}
+
+impl SisaProgram {
+    /// Creates an empty program.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, instruction: SisaInstruction) {
+        self.instructions.push(instruction);
+    }
+
+    /// Appends an instruction built from its parts; returns `&mut self` for
+    /// chaining.
+    pub fn emit(&mut self, opcode: SisaOpcode, rd: u8, rs1: u8, rs2: u8) -> &mut Self {
+        self.push(SisaInstruction::new(
+            opcode,
+            Register::new(rd),
+            Register::new(rs1),
+            Register::new(rs2),
+        ));
+        self
+    }
+
+    /// The instructions in program order.
+    #[must_use]
+    pub fn instructions(&self) -> &[SisaInstruction] {
+        &self.instructions
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the program is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Encodes the whole program into 32-bit machine words.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u32> {
+        self.instructions.iter().map(SisaInstruction::encode).collect()
+    }
+
+    /// Decodes a program from 32-bit machine words.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first word that is not a valid SISA instruction, reporting
+    /// its index.
+    pub fn decode(words: &[u32]) -> Result<Self, (usize, crate::DecodeError)> {
+        let mut program = Self::new();
+        for (i, &w) in words.iter().enumerate() {
+            program.push(SisaInstruction::decode(w).map_err(|e| (i, e))?);
+        }
+        Ok(program)
+    }
+
+    /// Renders the program as an assembly listing, one instruction per line.
+    #[must_use]
+    pub fn to_assembly(&self) -> String {
+        self.instructions
+            .iter()
+            .map(SisaInstruction::to_assembly)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Per-opcode dynamic instruction counts (sorted by `funct7`).
+    #[must_use]
+    pub fn opcode_histogram(&self) -> BTreeMap<SisaOpcode, usize> {
+        let mut hist: BTreeMap<u8, (SisaOpcode, usize)> = BTreeMap::new();
+        for instr in &self.instructions {
+            hist.entry(instr.opcode.funct7())
+                .and_modify(|e| e.1 += 1)
+                .or_insert((instr.opcode, 1));
+        }
+        hist.into_values().map(|(op, n)| (op, n)).collect()
+    }
+}
+
+impl FromIterator<SisaInstruction> for SisaProgram {
+    fn from_iter<T: IntoIterator<Item = SisaInstruction>>(iter: T) -> Self {
+        Self {
+            instructions: iter.into_iter().collect(),
+        }
+    }
+}
+
+// BTreeMap<SisaOpcode, _> needs an ordering; order opcodes by funct7.
+impl PartialOrd for SisaOpcode {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SisaOpcode {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.funct7().cmp(&other.funct7())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_program() -> SisaProgram {
+        let mut p = SisaProgram::new();
+        p.emit(SisaOpcode::CreateSet, 1, 0, 0)
+            .emit(SisaOpcode::IntersectAuto, 3, 1, 2)
+            .emit(SisaOpcode::IntersectAuto, 4, 1, 3)
+            .emit(SisaOpcode::IntersectCountAuto, 5, 3, 4)
+            .emit(SisaOpcode::DeleteSet, 0, 3, 0);
+        p
+    }
+
+    #[test]
+    fn push_len_and_iteration() {
+        let p = sample_program();
+        assert_eq!(p.len(), 5);
+        assert!(!p.is_empty());
+        assert_eq!(p.instructions()[1].opcode, SisaOpcode::IntersectAuto);
+        assert!(SisaProgram::new().is_empty());
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let p = sample_program();
+        let words = p.encode();
+        assert_eq!(words.len(), 5);
+        let back = SisaProgram::decode(&words).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn decode_reports_failing_index() {
+        let mut words = sample_program().encode();
+        words[3] = 0x0000_0013; // an ADDI, not a SISA instruction
+        let (idx, _err) = SisaProgram::decode(&words).unwrap_err();
+        assert_eq!(idx, 3);
+    }
+
+    #[test]
+    fn assembly_listing_has_one_line_per_instruction() {
+        let asm = sample_program().to_assembly();
+        assert_eq!(asm.lines().count(), 5);
+        assert!(asm.lines().nth(1).unwrap().starts_with("sisa.int "));
+    }
+
+    #[test]
+    fn histogram_counts_opcodes() {
+        let hist = sample_program().opcode_histogram();
+        assert_eq!(hist[&SisaOpcode::IntersectAuto], 2);
+        assert_eq!(hist[&SisaOpcode::CreateSet], 1);
+        assert_eq!(hist.values().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn opcode_ordering_follows_funct7() {
+        assert!(SisaOpcode::IntersectMerge < SisaOpcode::UnionMerge);
+        assert!(SisaOpcode::CreateSet > SisaOpcode::Membership);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let instrs = vec![SisaInstruction::new(
+            SisaOpcode::Cardinality,
+            Register::new(1),
+            Register::new(2),
+            Register::ZERO,
+        )];
+        let p: SisaProgram = instrs.clone().into_iter().collect();
+        assert_eq!(p.instructions(), instrs.as_slice());
+    }
+}

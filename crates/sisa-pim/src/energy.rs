@@ -1,0 +1,93 @@
+//! Per-operation energy accounting.
+//!
+//! The paper motivates in-situ processing partly through energy efficiency
+//! (Ambit's bulk bitwise operations avoid moving data over the memory
+//! channel). This module provides a simple event-based energy model so the
+//! benchmark harness can report energy alongside cycles. Constants are in
+//! nanojoules per event and follow the published characterisations of DDR
+//! activation energy, HMC SerDes transfer energy and on-chip cache access
+//! energy; their absolute values matter less than their ratios (DRAM channel
+//! transfers are roughly an order of magnitude more expensive per byte than
+//! in-DRAM row operations).
+
+use serde::{Deserialize, Serialize};
+
+/// Event-based energy model (all values in nanojoules).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy of one DRAM row activation (used by PUM bulk operations).
+    pub dram_row_activation_nj: f64,
+    /// Energy per byte transferred over the off-chip memory channel
+    /// (CPU baseline DRAM traffic).
+    pub channel_transfer_nj_per_byte: f64,
+    /// Energy per byte moved through a TSV/vault link (PNM traffic).
+    pub tsv_transfer_nj_per_byte: f64,
+    /// Energy of one cache access (any level, averaged).
+    pub cache_access_nj: f64,
+    /// Energy of one scalar core operation.
+    pub scalar_op_nj: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            dram_row_activation_nj: 25.0,
+            channel_transfer_nj_per_byte: 0.30,
+            tsv_transfer_nj_per_byte: 0.06,
+            cache_access_nj: 0.10,
+            scalar_op_nj: 0.02,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Energy of a PUM bulk operation given its row-activation count.
+    #[must_use]
+    pub fn pum_energy(&self, row_activations: u64) -> f64 {
+        row_activations as f64 * self.dram_row_activation_nj
+    }
+
+    /// Energy of a PNM operation that moves `bytes` bytes through TSVs and
+    /// executes `ops` scalar operations on the vault core.
+    #[must_use]
+    pub fn pnm_energy(&self, bytes: u64, ops: u64) -> f64 {
+        bytes as f64 * self.tsv_transfer_nj_per_byte + ops as f64 * self.scalar_op_nj
+    }
+
+    /// Energy of CPU-side work given cache accesses, DRAM bytes and scalar
+    /// operations.
+    #[must_use]
+    pub fn cpu_energy(&self, cache_accesses: u64, dram_bytes: u64, scalar_ops: u64) -> f64 {
+        cache_accesses as f64 * self.cache_access_nj
+            + dram_bytes as f64 * self.channel_transfer_nj_per_byte
+            + scalar_ops as f64 * self.scalar_op_nj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pum_is_cheaper_than_moving_the_rows_over_the_channel() {
+        let e = EnergyModel::default();
+        // One 8 KiB row AND: 4 activations vs moving 2×8 KiB over the channel.
+        let pum = e.pum_energy(4);
+        let channel = e.cpu_energy(0, 2 * 8192, 0);
+        assert!(pum < channel, "pum {pum} vs channel {channel}");
+    }
+
+    #[test]
+    fn tsv_transfers_are_cheaper_than_channel_transfers() {
+        let e = EnergyModel::default();
+        assert!(e.pnm_energy(1024, 0) < e.cpu_energy(0, 1024, 0));
+    }
+
+    #[test]
+    fn energy_is_additive_in_events() {
+        let e = EnergyModel::default();
+        assert!((e.cpu_energy(10, 0, 0) - 1.0).abs() < 1e-9);
+        assert!((e.pnm_energy(0, 100) - 2.0).abs() < 1e-9);
+        assert_eq!(e.pum_energy(0), 0.0);
+    }
+}

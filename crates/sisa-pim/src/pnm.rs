@@ -1,0 +1,180 @@
+//! SISA-PNM: near-memory processing on logic-layer vault cores.
+//!
+//! Sparse-array set operations are executed by simple in-order cores in the
+//! logic layer of 3D-stacked DRAM (Tesseract/HMC-style) or by DRAM-die cores
+//! (UPMEM-style). The paper models their runtime with two closed forms (§8.3):
+//!
+//! * **Streaming** (merge-based operations):
+//!   `l_M + W · max(|A|, |B|) / min(b_M, b_L)`
+//!   — both inputs are streamed in parallel, bottlenecked by the smaller of
+//!   the vault bandwidth and the inter-vault link bandwidth.
+//! * **Random accesses** (galloping, probing):
+//!   `l_M · min(|A|, |B|) · log(max(|A|, |B|))`
+//!   — each element of the smaller set triggers a binary search over the
+//!   larger one.
+//!
+//! The SCU evaluates both models and picks the cheaper variant (§8.2); this
+//! module provides the models plus costs for the remaining PNM-executed
+//! operations (bit-probe intersections against a DB, single-element updates,
+//! metadata accesses).
+
+use crate::config::PnmConfig;
+use crate::Cycles;
+
+/// The near-memory cost model.
+#[derive(Clone, Copy, Debug)]
+pub struct PnmModel {
+    cfg: PnmConfig,
+}
+
+impl PnmModel {
+    /// Creates the model from a configuration.
+    #[must_use]
+    pub fn new(cfg: PnmConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &PnmConfig {
+        &self.cfg
+    }
+
+    /// Streaming (merge) cost for sorted sparse arrays with `a_len` and
+    /// `b_len` elements: `l_M + W · max / min(b_M, b_L)` plus one compare per
+    /// element pair on the in-order core.
+    #[must_use]
+    pub fn streaming_cost(&self, a_len: usize, b_len: usize) -> Cycles {
+        let max = a_len.max(b_len) as f64;
+        let bytes = max * self.cfg.word_bytes as f64;
+        let transfer = bytes / self.cfg.effective_stream_bandwidth();
+        // The in-order core advances both streams together; the longer stream
+        // bounds the compare work, which overlaps with the transfers.
+        let compute = max / self.cfg.core_ipc;
+        self.cfg.dram_latency + transfer.max(compute).ceil() as Cycles
+    }
+
+    /// Random-access (galloping) cost: the smaller set's elements each binary
+    /// search the larger set. The paper's conservative model charges a memory
+    /// access per probe: `l_M · min · log₂(max)` — but probes into a set small
+    /// enough to stay resident in the vault core's 32 KiB L1 are cheap, which
+    /// we reflect with a resident-fraction discount (otherwise galloping would
+    /// never win and instruction `0x1` would be dead).
+    #[must_use]
+    pub fn random_access_cost(&self, a_len: usize, b_len: usize) -> Cycles {
+        let small = a_len.min(b_len) as u64;
+        let large = a_len.max(b_len) as u64;
+        if small == 0 || large == 0 {
+            return self.cfg.dram_latency;
+        }
+        let probes = small * (64 - large.leading_zeros() as u64).max(1);
+        let probe_cost = self.probe_latency(large as usize * self.cfg.word_bytes);
+        self.cfg.dram_latency + probes * probe_cost
+    }
+
+    /// Probing cost for an SA ∩ DB style operation: stream the sparse array
+    /// and perform one bit probe per element into the dense bitvector.
+    #[must_use]
+    pub fn probe_cost(&self, sparse_len: usize, db_bits: usize) -> Cycles {
+        let stream_bytes = (sparse_len * self.cfg.word_bytes) as f64;
+        let transfer = (stream_bytes / self.cfg.effective_stream_bandwidth()).ceil() as Cycles;
+        let probe = self.probe_latency(db_bits / 8);
+        self.cfg.dram_latency + transfer + sparse_len as u64 * probe
+    }
+
+    /// Single-element update (`A ∪ {x}` / `A \ {x}` on a sparse array, or a
+    /// bit update routed to PNM): one near-memory DRAM access.
+    #[must_use]
+    pub fn element_update_cost(&self) -> Cycles {
+        self.cfg.dram_latency
+    }
+
+    /// Cost of fetching one set-metadata entry from memory (SM miss path).
+    #[must_use]
+    pub fn metadata_access_cost(&self) -> Cycles {
+        self.cfg.dram_latency
+    }
+
+    /// Average latency of one dependent probe into a structure of
+    /// `structure_bytes` bytes: probes into structures that fit in the vault
+    /// core's 32 KiB L1 cost a couple of cycles; larger structures pay a
+    /// proportionally growing share of the near-memory DRAM latency.
+    #[must_use]
+    pub fn probe_latency(&self, structure_bytes: usize) -> Cycles {
+        const VAULT_L1_BYTES: usize = 32 * 1024;
+        if structure_bytes <= VAULT_L1_BYTES {
+            return 2;
+        }
+        let miss_fraction = 1.0 - VAULT_L1_BYTES as f64 / structure_bytes as f64;
+        2 + (miss_fraction * self.cfg.dram_latency as f64 * 0.5).round() as Cycles
+    }
+
+    /// The number of vault cores available, i.e. the maximum number of set
+    /// operations that can execute concurrently with full per-vault bandwidth
+    /// (Tesseract-style bandwidth scalability, §8.4).
+    #[must_use]
+    pub fn parallel_units(&self) -> usize {
+        self.cfg.total_vaults()
+    }
+}
+
+impl Default for PnmModel {
+    fn default() -> Self {
+        Self::new(PnmConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_scales_with_the_larger_input() {
+        let m = PnmModel::default();
+        let small_small = m.streaming_cost(100, 100);
+        let small_large = m.streaming_cost(100, 10_000);
+        let large_large = m.streaming_cost(10_000, 10_000);
+        assert!(small_small < small_large);
+        // max() dominates, so (100, 10k) and (10k, 10k) are close.
+        let diff = large_large.abs_diff(small_large);
+        assert!(diff * 10 < large_large);
+    }
+
+    #[test]
+    fn galloping_beats_merge_for_very_skewed_sizes() {
+        let m = PnmModel::default();
+        // |A| = 4 against |B| = 1M: galloping should win.
+        assert!(m.random_access_cost(4, 1_000_000) < m.streaming_cost(4, 1_000_000));
+        // Similar sizes: merge should win.
+        assert!(m.streaming_cost(50_000, 60_000) < m.random_access_cost(50_000, 60_000));
+    }
+
+    #[test]
+    fn probe_cost_grows_with_both_inputs() {
+        let m = PnmModel::default();
+        assert!(m.probe_cost(10, 1 << 10) < m.probe_cost(1000, 1 << 10));
+        assert!(m.probe_cost(1000, 1 << 10) <= m.probe_cost(1000, 1 << 24));
+    }
+
+    #[test]
+    fn probe_latency_is_small_for_resident_structures() {
+        let m = PnmModel::default();
+        assert_eq!(m.probe_latency(1024), 2);
+        assert!(m.probe_latency(16 * 1024 * 1024) > 10);
+    }
+
+    #[test]
+    fn empty_inputs_cost_only_latency() {
+        let m = PnmModel::default();
+        let l = m.config().dram_latency;
+        assert_eq!(m.random_access_cost(0, 100), l);
+        assert_eq!(m.element_update_cost(), l);
+        assert_eq!(m.metadata_access_cost(), l);
+    }
+
+    #[test]
+    fn parallel_units_match_vault_count() {
+        let m = PnmModel::default();
+        assert_eq!(m.parallel_units(), 512);
+    }
+}

@@ -1,0 +1,236 @@
+//! Instrumented set operations that report work performed.
+//!
+//! The SISA paper's theoretical analysis (§7, Table 6) distinguishes the cost
+//! of merge-based and galloping set algorithms. To reproduce that table
+//! empirically, the benchmark harness needs operation *counts*, not wall-clock
+//! time. This module provides twins of the hot set operations that return an
+//! [`OpCost`] alongside the result: the number of element comparisons, the
+//! number of elements read from the inputs, and the number of 64-bit words
+//! touched (relevant for dense bitvectors).
+
+use crate::{DenseBitVector, Vertex};
+
+/// Work performed by a single instrumented set operation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCost {
+    /// Element-to-element comparisons (merge steps or binary-search probes).
+    pub comparisons: u64,
+    /// Elements read from the sparse-array inputs.
+    pub elements_read: u64,
+    /// 64-bit words touched in dense-bitvector inputs/outputs.
+    pub words_touched: u64,
+}
+
+impl OpCost {
+    /// Combines two costs, summing every component.
+    #[must_use]
+    pub fn merge(self, other: OpCost) -> OpCost {
+        OpCost {
+            comparisons: self.comparisons + other.comparisons,
+            elements_read: self.elements_read + other.elements_read,
+            words_touched: self.words_touched + other.words_touched,
+        }
+    }
+
+    /// Adds another cost in place.
+    pub fn add(&mut self, other: OpCost) {
+        *self = self.merge(other);
+    }
+
+    /// Total abstract work units (comparisons + words touched), the quantity
+    /// plotted by the Table 6 harness.
+    #[must_use]
+    pub fn work(&self) -> u64 {
+        self.comparisons + self.words_touched
+    }
+}
+
+/// Merge intersection with instrumentation.
+#[must_use]
+pub fn intersect_merge_counted(a: &[Vertex], b: &[Vertex]) -> (Vec<Vertex>, OpCost) {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let mut cost = OpCost::default();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        cost.comparisons += 1;
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    cost.elements_read = (i + j) as u64;
+    (out, cost)
+}
+
+/// Galloping intersection with instrumentation.
+#[must_use]
+pub fn intersect_galloping_counted(a: &[Vertex], b: &[Vertex]) -> (Vec<Vertex>, OpCost) {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(small.len());
+    let mut cost = OpCost {
+        elements_read: small.len() as u64,
+        ..OpCost::default()
+    };
+    for &v in small {
+        let (found, probes) = binary_search_counted(large, v);
+        cost.comparisons += probes;
+        if found {
+            out.push(v);
+        }
+    }
+    (out, cost)
+}
+
+/// Merge difference `A \ B` with instrumentation.
+#[must_use]
+pub fn difference_merge_counted(a: &[Vertex], b: &[Vertex]) -> (Vec<Vertex>, OpCost) {
+    let mut out = Vec::with_capacity(a.len());
+    let mut cost = OpCost::default();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        cost.comparisons += 1;
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    cost.elements_read = a.len() as u64 + j as u64;
+    (out, cost)
+}
+
+/// Dense-bitvector AND with instrumentation (words touched only; there are no
+/// element comparisons in bulk bitwise execution).
+#[must_use]
+pub fn intersect_db_counted(a: &DenseBitVector, b: &DenseBitVector) -> (DenseBitVector, OpCost) {
+    let out = a.and(b);
+    let cost = OpCost {
+        comparisons: 0,
+        elements_read: 0,
+        words_touched: (a.word_count() + b.word_count() + out.word_count()) as u64,
+    };
+    (out, cost)
+}
+
+/// SA ∩ DB probing with instrumentation.
+#[must_use]
+pub fn intersect_sa_db_counted(a: &[Vertex], b: &DenseBitVector) -> (Vec<Vertex>, OpCost) {
+    let out: Vec<Vertex> = a.iter().copied().filter(|&v| b.contains(v)).collect();
+    let cost = OpCost {
+        comparisons: a.len() as u64,
+        elements_read: a.len() as u64,
+        words_touched: a.len() as u64,
+    };
+    (out, cost)
+}
+
+fn binary_search_counted(haystack: &[Vertex], needle: Vertex) -> (bool, u64) {
+    let mut lo = 0usize;
+    let mut hi = haystack.len();
+    let mut probes = 0u64;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        probes += 1;
+        match haystack[mid].cmp(&needle) {
+            std::cmp::Ordering::Equal => return (true, probes),
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+        }
+    }
+    (false, probes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn counted_results_match_uncounted() {
+        let a: Vec<Vertex> = (0..200).step_by(3).collect();
+        let b: Vec<Vertex> = (0..200).step_by(5).collect();
+        let (m, _) = intersect_merge_counted(&a, &b);
+        let (g, _) = intersect_galloping_counted(&a, &b);
+        let expected = ops::intersect_merge_slices(&a, &b);
+        assert_eq!(m, expected);
+        assert_eq!(g, expected);
+        let (d, _) = difference_merge_counted(&a, &b);
+        assert_eq!(d, ops::difference_merge_slices(&a, &b));
+    }
+
+    #[test]
+    fn merge_cost_is_linear_and_galloping_logarithmic() {
+        // A tiny set whose members are spread across a huge set: merge must
+        // stream through (almost) all of the large set, while galloping pays
+        // only |small| * log |large| binary-search probes (Table 5 rationale).
+        let small: Vec<Vertex> = (0..4096).step_by(512).collect();
+        let large: Vec<Vertex> = (0..4096).collect();
+        let (_, merge_cost) = intersect_merge_counted(&small, &large);
+        let (_, gallop_cost) = intersect_galloping_counted(&small, &large);
+        assert!(gallop_cost.comparisons <= 8 * 13);
+        assert!(merge_cost.comparisons >= 3072);
+        assert!(gallop_cost.comparisons < merge_cost.comparisons);
+    }
+
+    #[test]
+    fn merge_beats_galloping_for_similar_sizes() {
+        let a: Vec<Vertex> = (0..1000).step_by(2).collect();
+        let b: Vec<Vertex> = (0..1000).step_by(3).collect();
+        let (_, merge_cost) = intersect_merge_counted(&a, &b);
+        let (_, gallop_cost) = intersect_galloping_counted(&a, &b);
+        assert!(merge_cost.comparisons < gallop_cost.comparisons);
+    }
+
+    #[test]
+    fn db_counted_reports_words() {
+        let a = DenseBitVector::from_members(1024, (0..512).step_by(2).map(|v| v as Vertex));
+        let b = DenseBitVector::from_members(1024, (0..512).step_by(3).map(|v| v as Vertex));
+        let (out, cost) = intersect_db_counted(&a, &b);
+        assert_eq!(out.to_sorted_vec(), {
+            let av = a.to_sorted_vec();
+            let bv = b.to_sorted_vec();
+            ops::intersect_merge_slices(&av, &bv)
+        });
+        assert_eq!(cost.words_touched, 3 * 16);
+        assert_eq!(cost.comparisons, 0);
+    }
+
+    #[test]
+    fn op_cost_merge_and_work() {
+        let a = OpCost {
+            comparisons: 3,
+            elements_read: 5,
+            words_touched: 7,
+        };
+        let b = OpCost {
+            comparisons: 1,
+            elements_read: 1,
+            words_touched: 1,
+        };
+        let c = a.merge(b);
+        assert_eq!(c.comparisons, 4);
+        assert_eq!(c.elements_read, 6);
+        assert_eq!(c.words_touched, 8);
+        assert_eq!(c.work(), 12);
+    }
+
+    #[test]
+    fn sa_db_counted_matches() {
+        let db = DenseBitVector::from_members(64, [1u32, 2, 3]);
+        let (out, cost) = intersect_sa_db_counted(&[0, 1, 2, 5], &db);
+        assert_eq!(out, vec![1, 2]);
+        assert_eq!(cost.comparisons, 4);
+    }
+}

@@ -1,0 +1,445 @@
+//! Dense bitvector (DB) set representation.
+//!
+//! A dense bitvector over a universe of `n` vertices occupies exactly `n` bits
+//! (padded to 64-bit words); the `i`-th bit is set iff vertex `i` is a member.
+//! In SISA these are the sets processed *in situ* by bulk bitwise DRAM
+//! operations (SISA-PUM): intersection is a bulk AND, union a bulk OR, and
+//! difference an AND with the negation (§8.1).
+
+use crate::Vertex;
+
+/// A dense bitvector over a fixed vertex universe `0..universe`.
+///
+/// The cardinality is maintained incrementally so that `|A|` queries are
+/// `O(1)`, mirroring the paper's decision to keep set sizes in metadata
+/// (§6.2.3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DenseBitVector {
+    words: Vec<u64>,
+    universe: usize,
+    len: usize,
+}
+
+impl DenseBitVector {
+    /// Creates an empty bitvector over `0..universe`.
+    #[must_use]
+    pub fn new(universe: usize) -> Self {
+        Self {
+            words: vec![0u64; universe.div_ceil(64)],
+            universe,
+            len: 0,
+        }
+    }
+
+    /// Creates a bitvector over `0..universe` with every vertex present.
+    #[must_use]
+    pub fn full(universe: usize) -> Self {
+        let mut db = Self::new(universe);
+        for w in &mut db.words {
+            *w = u64::MAX;
+        }
+        db.clear_padding();
+        db.len = universe;
+        db
+    }
+
+    /// Builds a bitvector from an iterator of members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any member is `>= universe`.
+    #[must_use]
+    pub fn from_members(universe: usize, members: impl IntoIterator<Item = Vertex>) -> Self {
+        let mut db = Self::new(universe);
+        for v in members {
+            db.insert(v);
+        }
+        db
+    }
+
+    /// Builds a bitvector from a sorted slice of members.
+    #[must_use]
+    pub fn from_sorted_slice(universe: usize, members: &[Vertex]) -> Self {
+        Self::from_members(universe, members.iter().copied())
+    }
+
+    /// The universe size `n` (number of addressable vertices).
+    #[must_use]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of members (`O(1)`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of 64-bit words backing the bitvector.
+    #[must_use]
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Read-only access to the backing words.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Membership test (`O(1)`, a single bit probe).
+    ///
+    /// Vertices outside the universe are reported as absent.
+    #[must_use]
+    pub fn contains(&self, v: Vertex) -> bool {
+        let idx = v as usize;
+        if idx >= self.universe {
+            return false;
+        }
+        (self.words[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    /// Inserts `v` (`O(1)`, set a bit). Returns `true` if newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= universe`.
+    pub fn insert(&mut self, v: Vertex) -> bool {
+        let idx = v as usize;
+        assert!(idx < self.universe, "vertex {v} outside universe {}", self.universe);
+        let mask = 1u64 << (idx % 64);
+        let word = &mut self.words[idx / 64];
+        if *word & mask == 0 {
+            *word |= mask;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `v` (`O(1)`, clear a bit). Returns `true` if it was present.
+    pub fn remove(&mut self, v: Vertex) -> bool {
+        let idx = v as usize;
+        if idx >= self.universe {
+            return false;
+        }
+        let mask = 1u64 << (idx % 64);
+        let word = &mut self.words[idx / 64];
+        if *word & mask != 0 {
+            *word &= !mask;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes all members.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+        self.len = 0;
+    }
+
+    /// Iterates over the members in increasing order.
+    pub fn iter(&self) -> BitIter<'_> {
+        BitIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Converts to a sorted vector of members.
+    #[must_use]
+    pub fn to_sorted_vec(&self) -> Vec<Vertex> {
+        self.iter().collect()
+    }
+
+    /// Bitwise AND (set intersection). Universes must match.
+    #[must_use]
+    pub fn and(&self, other: &Self) -> Self {
+        self.zip_with(other, |a, b| a & b)
+    }
+
+    /// Bitwise OR (set union). Universes must match.
+    #[must_use]
+    pub fn or(&self, other: &Self) -> Self {
+        self.zip_with(other, |a, b| a | b)
+    }
+
+    /// Bitwise AND-NOT (set difference `self \ other`). Universes must match.
+    #[must_use]
+    pub fn and_not(&self, other: &Self) -> Self {
+        self.zip_with(other, |a, b| a & !b)
+    }
+
+    /// Bitwise XOR (symmetric difference). Universes must match.
+    #[must_use]
+    pub fn xor(&self, other: &Self) -> Self {
+        self.zip_with(other, |a, b| a ^ b)
+    }
+
+    /// Complement within the universe.
+    #[must_use]
+    pub fn not(&self) -> Self {
+        let mut out = self.clone();
+        for w in &mut out.words {
+            *w = !*w;
+        }
+        out.clear_padding();
+        out.recount();
+        out
+    }
+
+    /// In-place intersection: `self &= other`.
+    pub fn and_assign(&mut self, other: &Self) {
+        self.zip_assign(other, |a, b| a & b);
+    }
+
+    /// In-place union: `self |= other`.
+    pub fn or_assign(&mut self, other: &Self) {
+        self.zip_assign(other, |a, b| a | b);
+    }
+
+    /// In-place difference: `self &= !other`.
+    pub fn and_not_assign(&mut self, other: &Self) {
+        self.zip_assign(other, |a, b| a & !b);
+    }
+
+    /// Cardinality of the intersection without materialising it.
+    #[must_use]
+    pub fn and_count(&self, other: &Self) -> usize {
+        self.assert_same_universe(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Cardinality of the union without materialising it.
+    #[must_use]
+    pub fn or_count(&self, other: &Self) -> usize {
+        self.assert_same_universe(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a | b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Cardinality of `self \ other` without materialising it.
+    #[must_use]
+    pub fn and_not_count(&self, other: &Self) -> usize {
+        self.assert_same_universe(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & !b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether `self` and `other` share no member.
+    #[must_use]
+    pub fn is_disjoint(&self, other: &Self) -> bool {
+        self.assert_same_universe(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Whether every member of `self` is also a member of `other`.
+    #[must_use]
+    pub fn is_subset(&self, other: &Self) -> bool {
+        self.assert_same_universe(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    fn zip_with(&self, other: &Self, f: impl Fn(u64, u64) -> u64) -> Self {
+        self.assert_same_universe(other);
+        let words: Vec<u64> = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        let mut out = Self {
+            words,
+            universe: self.universe,
+            len: 0,
+        };
+        out.clear_padding();
+        out.recount();
+        out
+    }
+
+    fn zip_assign(&mut self, other: &Self, f: impl Fn(u64, u64) -> u64) {
+        self.assert_same_universe(other);
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a = f(*a, b);
+        }
+        self.clear_padding();
+        self.recount();
+    }
+
+    fn assert_same_universe(&self, other: &Self) {
+        assert_eq!(
+            self.universe, other.universe,
+            "dense bitvector universes differ ({} vs {})",
+            self.universe, other.universe
+        );
+    }
+
+    fn clear_padding(&mut self) {
+        let rem = self.universe % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    fn recount(&mut self) {
+        self.len = self.words.iter().map(|w| w.count_ones() as usize).sum();
+    }
+}
+
+/// Iterator over the set bits of a [`DenseBitVector`], in increasing order.
+#[derive(Debug, Clone)]
+pub struct BitIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for BitIter<'_> {
+    type Item = Vertex;
+
+    fn next(&mut self) -> Option<Vertex> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros();
+                self.current &= self.current - 1;
+                return Some((self.word_idx as u64 * 64 + u64::from(bit)) as Vertex);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a DenseBitVector {
+    type Item = Vertex;
+    type IntoIter = BitIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut db = DenseBitVector::new(100);
+        assert!(db.insert(5));
+        assert!(!db.insert(5));
+        assert!(db.insert(99));
+        assert!(db.contains(5));
+        assert!(db.contains(99));
+        assert!(!db.contains(6));
+        assert!(!db.contains(200));
+        assert_eq!(db.len(), 2);
+        assert!(db.remove(5));
+        assert!(!db.remove(5));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn insert_out_of_universe_panics() {
+        let mut db = DenseBitVector::new(10);
+        db.insert(10);
+    }
+
+    #[test]
+    fn full_and_not() {
+        let full = DenseBitVector::full(70);
+        assert_eq!(full.len(), 70);
+        let empty = full.not();
+        assert_eq!(empty.len(), 0);
+        let members = DenseBitVector::from_members(70, [0u32, 69]);
+        let compl = members.not();
+        assert_eq!(compl.len(), 68);
+        assert!(!compl.contains(0));
+        assert!(!compl.contains(69));
+        assert!(compl.contains(1));
+    }
+
+    #[test]
+    fn bitwise_ops_match_set_semantics() {
+        let a = DenseBitVector::from_members(200, [1u32, 3, 5, 100, 150]);
+        let b = DenseBitVector::from_members(200, [3u32, 5, 7, 150, 199]);
+        assert_eq!(a.and(&b).to_sorted_vec(), vec![3, 5, 150]);
+        assert_eq!(
+            a.or(&b).to_sorted_vec(),
+            vec![1, 3, 5, 7, 100, 150, 199]
+        );
+        assert_eq!(a.and_not(&b).to_sorted_vec(), vec![1, 100]);
+        assert_eq!(a.xor(&b).to_sorted_vec(), vec![1, 7, 100, 199]);
+        assert_eq!(a.and_count(&b), 3);
+        assert_eq!(a.or_count(&b), 7);
+        assert_eq!(a.and_not_count(&b), 2);
+    }
+
+    #[test]
+    fn in_place_ops() {
+        let mut a = DenseBitVector::from_members(64, [0u32, 1, 2, 3]);
+        let b = DenseBitVector::from_members(64, [2u32, 3, 4]);
+        a.and_assign(&b);
+        assert_eq!(a.to_sorted_vec(), vec![2, 3]);
+        a.or_assign(&b);
+        assert_eq!(a.to_sorted_vec(), vec![2, 3, 4]);
+        a.and_not_assign(&DenseBitVector::from_members(64, [3u32]));
+        assert_eq!(a.to_sorted_vec(), vec![2, 4]);
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let a = DenseBitVector::from_members(50, [1u32, 2]);
+        let b = DenseBitVector::from_members(50, [1u32, 2, 3]);
+        let c = DenseBitVector::from_members(50, [10u32, 20]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_disjoint(&c));
+        assert!(!a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn iterator_yields_sorted_members() {
+        let members = vec![0u32, 63, 64, 65, 127, 128, 199];
+        let db = DenseBitVector::from_members(200, members.clone());
+        assert_eq!(db.to_sorted_vec(), members);
+        assert_eq!(db.iter().count(), members.len());
+    }
+
+    #[test]
+    fn empty_universe_is_fine() {
+        let db = DenseBitVector::new(0);
+        assert_eq!(db.len(), 0);
+        assert!(db.iter().next().is_none());
+        assert!(!db.contains(0));
+    }
+}

@@ -1,0 +1,108 @@
+//! # sisa-sets
+//!
+//! Set representations and set algorithms underlying the SISA
+//! (Set-centric Instruction Set Architecture) design from
+//! *"SISA: Set-Centric Instruction Set Architecture for Graph Mining on
+//! Processing-in-Memory Systems"* (Besta et al., MICRO 2021).
+//!
+//! The paper represents vertex sets in one of two ways (§6.1, Figure 4):
+//!
+//! * **Sparse arrays (SA)** — a contiguous array of vertex identifiers, either
+//!   sorted ([`SortedVertexArray`]) or unsorted ([`UnsortedVertexArray`]).
+//!   An SA occupies `W · |S|` bits where `W` is the machine word size.
+//! * **Dense bitvectors (DB)** — a length-`n` bitvector ([`DenseBitVector`])
+//!   whose `i`-th bit indicates whether vertex `i` is a member.
+//!
+//! [`SetRepr`] is the tagged union over the three concrete representations and
+//! is what the SISA runtime stores behind a set identifier.
+//!
+//! The [`ops`] module implements every set-operation *variant* that Table 5 of
+//! the paper turns into an instruction: merge and galloping intersection /
+//! difference over sorted SAs, SA∩DB probing, DB∩DB bulk bitwise operations,
+//! unions, cardinality-only variants (which avoid materialising the result),
+//! membership tests, and single-element insert/remove.
+//!
+//! The [`counting`] module provides instrumented twins of the hot operations
+//! that additionally report the number of element comparisons / word touches
+//! performed; the benchmark harness uses these to regenerate the empirical
+//! side of the paper's Table 6 complexity analysis.
+//!
+//! This crate is purely algorithmic: it knows nothing about timing, PIM or the
+//! SISA controller. Those live in `sisa-pim` and `sisa-core`.
+//!
+//! ## Example
+//!
+//! ```
+//! use sisa_sets::{SortedVertexArray, DenseBitVector, ops};
+//!
+//! let a = SortedVertexArray::from_unsorted(vec![5, 1, 9, 3]);
+//! let b = SortedVertexArray::from_unsorted(vec![3, 9, 12]);
+//! let inter = ops::intersect_merge(&a, &b);
+//! assert_eq!(inter.as_slice(), &[3, 9]);
+//!
+//! let db = DenseBitVector::from_members(16, [3u32, 9, 12]);
+//! assert_eq!(ops::intersect_sa_db_count(a.as_slice(), &db), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counting;
+pub mod dense;
+pub mod ops;
+pub mod repr;
+pub mod sparse;
+
+pub use dense::DenseBitVector;
+pub use repr::{RepresentationKind, SetRepr};
+pub use sparse::{SortedVertexArray, UnsortedVertexArray};
+
+/// A vertex identifier.
+///
+/// The paper models vertices as integers `1..=n`; we use zero-based `u32`
+/// identifiers, matching the assumption that "the maximum vertex ID fits in
+/// one word" (§2).
+pub type Vertex = u32;
+
+/// The machine word size in bits assumed when reasoning about storage costs.
+///
+/// The paper's storage formulas (§6.1) express a sparse array's footprint as
+/// `W · |S|` bits; we fix `W = 32` because vertex identifiers are `u32`.
+pub const WORD_BITS: usize = 32;
+
+/// Storage size, in bits, of a sparse array holding `len` vertices.
+#[must_use]
+pub fn sparse_array_bits(len: usize) -> usize {
+    len * WORD_BITS
+}
+
+/// Storage size, in bits, of a dense bitvector over a universe of `n` vertices.
+///
+/// Dense bitvectors always occupy `n` bits regardless of how many members they
+/// have (rounded up to whole 64-bit words internally).
+#[must_use]
+pub fn dense_bitvector_bits(universe: usize) -> usize {
+    universe.div_ceil(64) * 64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_formulas_match_paper() {
+        // §6.1: for |N(v)| = n/2 a DB takes n bits while an SA takes 16n bits
+        // (with W = 32).
+        let n = 1024usize;
+        assert_eq!(sparse_array_bits(n / 2), 16 * n);
+        assert_eq!(dense_bitvector_bits(n), n);
+    }
+
+    #[test]
+    fn dense_bits_round_up_to_words() {
+        assert_eq!(dense_bitvector_bits(1), 64);
+        assert_eq!(dense_bitvector_bits(64), 64);
+        assert_eq!(dense_bitvector_bits(65), 128);
+        assert_eq!(dense_bitvector_bits(0), 0);
+    }
+}

@@ -1,0 +1,384 @@
+//! Set-operation variants corresponding to SISA instructions (Table 5).
+//!
+//! Every operation in this module is a concrete *variant* of an abstract set
+//! operation, distinguished by the representations of its operands and by the
+//! set algorithm used:
+//!
+//! | Paper opcode | Operation | Variant | Function |
+//! |---|---|---|---|
+//! | `0x0` | `A ∩ B` | SA ∩ SA, merge | [`intersect_merge`] |
+//! | `0x1` | `A ∩ B` | SA ∩ SA, galloping | [`intersect_galloping`] |
+//! | `0x2` | `A ∩ B` | SA ∩ SA, auto | (chosen by the SCU in `sisa-core`) |
+//! | `0x3` | `A ∩ B` | SA ∩ DB, probing | [`intersect_sa_db`] |
+//! | `0x4` | `A ∩ B` | DB ∩ DB, bulk bitwise AND | [`intersect_db_db`] |
+//! | `0x5` | `A ∪ {x}` | DB, set bit | [`DenseBitVector::insert`] |
+//! | `0x6` | `A \ {x}` | DB, clear bit | [`DenseBitVector::remove`] |
+//!
+//! Union and difference have the analogous merge / galloping / DB variants
+//! (§6.2.2), and every operation has a *cardinality-only* twin that avoids
+//! materialising the result set (§6.2.3), which SISA exposes as dedicated
+//! instructions (e.g. `intersect_count`).
+
+use crate::{DenseBitVector, SortedVertexArray, Vertex};
+
+// ---------------------------------------------------------------------------
+// Intersection
+// ---------------------------------------------------------------------------
+
+/// Merge-based intersection of two sorted sparse arrays.
+///
+/// Cost `O(|A| + |B|)`; preferred when the operands have similar sizes because
+/// both inputs are simply streamed (§6.2.1).
+#[must_use]
+pub fn intersect_merge(a: &SortedVertexArray, b: &SortedVertexArray) -> SortedVertexArray {
+    let out = intersect_merge_slices(a.as_slice(), b.as_slice());
+    SortedVertexArray::from_sorted(out)
+}
+
+/// Merge-based intersection over raw sorted slices.
+#[must_use]
+pub fn intersect_merge_slices(a: &[Vertex], b: &[Vertex]) -> Vec<Vertex> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Cardinality of the merge-based intersection without materialising it.
+#[must_use]
+pub fn intersect_merge_count(a: &[Vertex], b: &[Vertex]) -> usize {
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Galloping (binary-search based) intersection of two sorted sparse arrays.
+///
+/// Iterates over the smaller set and binary-searches the larger one; cost
+/// `O(min(|A|,|B|) · log max(|A|,|B|))`, preferred when one operand is much
+/// smaller than the other (§6.2.1).
+#[must_use]
+pub fn intersect_galloping(a: &SortedVertexArray, b: &SortedVertexArray) -> SortedVertexArray {
+    let out = intersect_galloping_slices(a.as_slice(), b.as_slice());
+    SortedVertexArray::from_sorted(out)
+}
+
+/// Galloping intersection over raw sorted slices.
+#[must_use]
+pub fn intersect_galloping_slices(a: &[Vertex], b: &[Vertex]) -> Vec<Vertex> {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(small.len());
+    for &v in small {
+        if large.binary_search(&v).is_ok() {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Cardinality of the galloping intersection without materialising it.
+#[must_use]
+pub fn intersect_galloping_count(a: &[Vertex], b: &[Vertex]) -> usize {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    small
+        .iter()
+        .filter(|&&v| large.binary_search(&v).is_ok())
+        .count()
+}
+
+/// Intersection of a sparse array (sorted or unsorted) with a dense bitvector.
+///
+/// Iterates over the array and probes the bitvector, `O(|A|)` with `O(1)`
+/// probes (instruction `0x3`). The output preserves the order of `a`.
+#[must_use]
+pub fn intersect_sa_db(a: &[Vertex], b: &DenseBitVector) -> Vec<Vertex> {
+    a.iter().copied().filter(|&v| b.contains(v)).collect()
+}
+
+/// Cardinality of the SA ∩ DB intersection.
+#[must_use]
+pub fn intersect_sa_db_count(a: &[Vertex], b: &DenseBitVector) -> usize {
+    a.iter().filter(|&&v| b.contains(v)).count()
+}
+
+/// Intersection of two dense bitvectors via bulk bitwise AND (instruction
+/// `0x4`, executed with SISA-PUM in hardware).
+#[must_use]
+pub fn intersect_db_db(a: &DenseBitVector, b: &DenseBitVector) -> DenseBitVector {
+    a.and(b)
+}
+
+/// Cardinality of the DB ∩ DB intersection.
+#[must_use]
+pub fn intersect_db_db_count(a: &DenseBitVector, b: &DenseBitVector) -> usize {
+    a.and_count(b)
+}
+
+// ---------------------------------------------------------------------------
+// Union
+// ---------------------------------------------------------------------------
+
+/// Merge-based union of two sorted sparse arrays, `O(|A| + |B|)`.
+#[must_use]
+pub fn union_merge(a: &SortedVertexArray, b: &SortedVertexArray) -> SortedVertexArray {
+    SortedVertexArray::from_sorted(union_merge_slices(a.as_slice(), b.as_slice()))
+}
+
+/// Merge-based union over raw sorted slices.
+#[must_use]
+pub fn union_merge_slices(a: &[Vertex], b: &[Vertex]) -> Vec<Vertex> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Cardinality of the union of two sorted slices without materialising it.
+#[must_use]
+pub fn union_merge_count(a: &[Vertex], b: &[Vertex]) -> usize {
+    a.len() + b.len() - intersect_merge_count(a, b)
+}
+
+/// Union of a sparse array with a dense bitvector, producing a dense
+/// bitvector (bits of `a`'s members are set into a copy of `b`).
+#[must_use]
+pub fn union_sa_db(a: &[Vertex], b: &DenseBitVector) -> DenseBitVector {
+    let mut out = b.clone();
+    for &v in a {
+        out.insert(v);
+    }
+    out
+}
+
+/// Union of two dense bitvectors via bulk bitwise OR (SISA-PUM).
+#[must_use]
+pub fn union_db_db(a: &DenseBitVector, b: &DenseBitVector) -> DenseBitVector {
+    a.or(b)
+}
+
+/// Cardinality of the DB ∪ DB union.
+#[must_use]
+pub fn union_db_db_count(a: &DenseBitVector, b: &DenseBitVector) -> usize {
+    a.or_count(b)
+}
+
+// ---------------------------------------------------------------------------
+// Difference
+// ---------------------------------------------------------------------------
+
+/// Merge-based difference `A \ B` of two sorted sparse arrays, `O(|A| + |B|)`.
+#[must_use]
+pub fn difference_merge(a: &SortedVertexArray, b: &SortedVertexArray) -> SortedVertexArray {
+    SortedVertexArray::from_sorted(difference_merge_slices(a.as_slice(), b.as_slice()))
+}
+
+/// Merge-based difference over raw sorted slices.
+#[must_use]
+pub fn difference_merge_slices(a: &[Vertex], b: &[Vertex]) -> Vec<Vertex> {
+    let mut out = Vec::with_capacity(a.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out
+}
+
+/// Galloping difference `A \ B`: iterate over `A`, binary-search `B`.
+///
+/// Cost `O(|A| log |B|)`; preferred when `|A| ≪ |B|`.
+#[must_use]
+pub fn difference_galloping_slices(a: &[Vertex], b: &[Vertex]) -> Vec<Vertex> {
+    a.iter()
+        .copied()
+        .filter(|v| b.binary_search(v).is_err())
+        .collect()
+}
+
+/// Cardinality of `A \ B` over sorted slices.
+#[must_use]
+pub fn difference_merge_count(a: &[Vertex], b: &[Vertex]) -> usize {
+    a.len() - intersect_merge_count(a, b)
+}
+
+/// Difference of a sparse array and a dense bitvector: `A \ B` keeps the
+/// members of `a` whose bit is *not* set in `b`.
+#[must_use]
+pub fn difference_sa_db(a: &[Vertex], b: &DenseBitVector) -> Vec<Vertex> {
+    a.iter().copied().filter(|&v| !b.contains(v)).collect()
+}
+
+/// Difference of two dense bitvectors, `A ∧ ¬B`, computed as bulk bitwise
+/// operations exactly as SISA-PUM does (§8.1: `A \ B = A ∩ B'`).
+#[must_use]
+pub fn difference_db_db(a: &DenseBitVector, b: &DenseBitVector) -> DenseBitVector {
+    a.and_not(b)
+}
+
+/// Cardinality of the DB \ DB difference.
+#[must_use]
+pub fn difference_db_db_count(a: &DenseBitVector, b: &DenseBitVector) -> usize {
+    a.and_not_count(b)
+}
+
+// ---------------------------------------------------------------------------
+// Membership
+// ---------------------------------------------------------------------------
+
+/// Membership of `v` in a sorted sparse array (`O(log |A|)`).
+#[must_use]
+pub fn member_sorted(a: &[Vertex], v: Vertex) -> bool {
+    a.binary_search(&v).is_ok()
+}
+
+/// Membership of `v` in an unsorted sparse array (`O(|A|)` linear scan).
+#[must_use]
+pub fn member_unsorted(a: &[Vertex], v: Vertex) -> bool {
+    a.contains(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sa(v: &[Vertex]) -> SortedVertexArray {
+        SortedVertexArray::from_unsorted(v.to_vec())
+    }
+
+    #[test]
+    fn merge_and_galloping_intersections_agree() {
+        let a = sa(&[1, 4, 7, 9, 200, 300]);
+        let b = sa(&[4, 9, 10, 300, 301]);
+        let m = intersect_merge(&a, &b);
+        let g = intersect_galloping(&a, &b);
+        assert_eq!(m, g);
+        assert_eq!(m.as_slice(), &[4, 9, 300]);
+        assert_eq!(intersect_merge_count(a.as_slice(), b.as_slice()), 3);
+        assert_eq!(intersect_galloping_count(a.as_slice(), b.as_slice()), 3);
+    }
+
+    #[test]
+    fn intersections_with_empty_sets() {
+        let a = sa(&[1, 2, 3]);
+        let empty = sa(&[]);
+        assert!(intersect_merge(&a, &empty).is_empty());
+        assert!(intersect_galloping(&empty, &a).is_empty());
+        assert_eq!(intersect_merge_count(&[], &[]), 0);
+    }
+
+    #[test]
+    fn sa_db_intersection_and_count() {
+        let db = DenseBitVector::from_members(100, [2u32, 4, 6, 8]);
+        let arr = [1u32, 2, 3, 4, 50];
+        assert_eq!(intersect_sa_db(&arr, &db), vec![2, 4]);
+        assert_eq!(intersect_sa_db_count(&arr, &db), 2);
+    }
+
+    #[test]
+    fn db_db_intersection_matches_sparse() {
+        let a_members = vec![1u32, 5, 64, 65, 99];
+        let b_members = vec![5u32, 64, 98, 99];
+        let a = DenseBitVector::from_members(128, a_members.clone());
+        let b = DenseBitVector::from_members(128, b_members.clone());
+        let expected = intersect_merge_slices(&a_members, &b_members);
+        assert_eq!(intersect_db_db(&a, &b).to_sorted_vec(), expected);
+        assert_eq!(intersect_db_db_count(&a, &b), expected.len());
+    }
+
+    #[test]
+    fn union_variants_agree() {
+        let a = sa(&[1, 3, 5]);
+        let b = sa(&[2, 3, 6]);
+        assert_eq!(union_merge(&a, &b).as_slice(), &[1, 2, 3, 5, 6]);
+        assert_eq!(union_merge_count(a.as_slice(), b.as_slice()), 5);
+        let da = DenseBitVector::from_sorted_slice(10, a.as_slice());
+        let db = DenseBitVector::from_sorted_slice(10, b.as_slice());
+        assert_eq!(union_db_db(&da, &db).to_sorted_vec(), vec![1, 2, 3, 5, 6]);
+        assert_eq!(union_db_db_count(&da, &db), 5);
+        assert_eq!(
+            union_sa_db(a.as_slice(), &db).to_sorted_vec(),
+            vec![1, 2, 3, 5, 6]
+        );
+    }
+
+    #[test]
+    fn difference_variants_agree() {
+        let a = sa(&[1, 2, 3, 4, 5]);
+        let b = sa(&[2, 4, 6]);
+        assert_eq!(difference_merge(&a, &b).as_slice(), &[1, 3, 5]);
+        assert_eq!(
+            difference_galloping_slices(a.as_slice(), b.as_slice()),
+            vec![1, 3, 5]
+        );
+        assert_eq!(difference_merge_count(a.as_slice(), b.as_slice()), 3);
+        let da = DenseBitVector::from_sorted_slice(10, a.as_slice());
+        let db = DenseBitVector::from_sorted_slice(10, b.as_slice());
+        assert_eq!(difference_db_db(&da, &db).to_sorted_vec(), vec![1, 3, 5]);
+        assert_eq!(difference_db_db_count(&da, &db), 3);
+        assert_eq!(difference_sa_db(a.as_slice(), &db), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn membership_helpers() {
+        assert!(member_sorted(&[1, 5, 9], 5));
+        assert!(!member_sorted(&[1, 5, 9], 6));
+        assert!(member_unsorted(&[9, 1, 5], 5));
+        assert!(!member_unsorted(&[9, 1, 5], 2));
+    }
+
+    #[test]
+    fn difference_with_superset_is_empty() {
+        let a = sa(&[1, 2, 3]);
+        let b = sa(&[0, 1, 2, 3, 4]);
+        assert!(difference_merge(&a, &b).is_empty());
+        assert_eq!(difference_merge_count(a.as_slice(), b.as_slice()), 0);
+    }
+}

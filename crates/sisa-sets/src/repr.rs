@@ -1,0 +1,387 @@
+//! The tagged union over set representations used by the SISA runtime.
+//!
+//! A SISA set is, physically, either a sparse array (sorted or unsorted) or a
+//! dense bitvector (§6.1). [`SetRepr`] is the value stored behind a set
+//! identifier; operations on it dispatch to the appropriate variant in
+//! [`crate::ops`], following the result-representation policy described on
+//! each method.
+
+use crate::ops;
+use crate::{DenseBitVector, SortedVertexArray, UnsortedVertexArray, Vertex};
+
+/// Which physical representation a set currently uses.
+///
+/// This is exactly the "set representation" field kept in the paper's
+/// Set-Metadata (SM) structure (§8.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RepresentationKind {
+    /// Sorted sparse array of vertex identifiers.
+    SortedArray,
+    /// Unsorted sparse array of vertex identifiers.
+    UnsortedArray,
+    /// Dense bitvector over the vertex universe.
+    DenseBitvector,
+}
+
+impl RepresentationKind {
+    /// Whether the representation is one of the sparse-array flavours.
+    #[must_use]
+    pub fn is_sparse(self) -> bool {
+        matches!(self, Self::SortedArray | Self::UnsortedArray)
+    }
+
+    /// Whether the representation is the dense bitvector.
+    #[must_use]
+    pub fn is_dense(self) -> bool {
+        matches!(self, Self::DenseBitvector)
+    }
+}
+
+/// A set of vertices in one of the SISA physical representations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SetRepr {
+    /// Sorted sparse array.
+    Sorted(SortedVertexArray),
+    /// Unsorted sparse array.
+    Unsorted(UnsortedVertexArray),
+    /// Dense bitvector.
+    Dense(DenseBitVector),
+}
+
+impl SetRepr {
+    /// An empty set stored as a sorted sparse array.
+    #[must_use]
+    pub fn empty_sorted() -> Self {
+        Self::Sorted(SortedVertexArray::new())
+    }
+
+    /// An empty set stored as a dense bitvector over `0..universe`.
+    #[must_use]
+    pub fn empty_dense(universe: usize) -> Self {
+        Self::Dense(DenseBitVector::new(universe))
+    }
+
+    /// Builds a sorted sparse-array set from arbitrary members.
+    #[must_use]
+    pub fn sorted_from(members: impl IntoIterator<Item = Vertex>) -> Self {
+        Self::Sorted(members.into_iter().collect())
+    }
+
+    /// Builds a dense-bitvector set from members over `0..universe`.
+    #[must_use]
+    pub fn dense_from(universe: usize, members: impl IntoIterator<Item = Vertex>) -> Self {
+        Self::Dense(DenseBitVector::from_members(universe, members))
+    }
+
+    /// The representation kind of this set.
+    #[must_use]
+    pub fn kind(&self) -> RepresentationKind {
+        match self {
+            Self::Sorted(_) => RepresentationKind::SortedArray,
+            Self::Unsorted(_) => RepresentationKind::UnsortedArray,
+            Self::Dense(_) => RepresentationKind::DenseBitvector,
+        }
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            Self::Sorted(s) => s.len(),
+            Self::Unsorted(s) => s.len(),
+            Self::Dense(d) => d.len(),
+        }
+    }
+
+    /// Whether the set has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Storage footprint in bits under the paper's cost model (§6.1).
+    #[must_use]
+    pub fn storage_bits(&self) -> usize {
+        match self {
+            Self::Sorted(s) => crate::sparse_array_bits(s.len()),
+            Self::Unsorted(s) => crate::sparse_array_bits(s.len()),
+            Self::Dense(d) => crate::dense_bitvector_bits(d.universe()),
+        }
+    }
+
+    /// Membership test; cost depends on the representation (§6.2.3).
+    #[must_use]
+    pub fn contains(&self, v: Vertex) -> bool {
+        match self {
+            Self::Sorted(s) => s.contains(v),
+            Self::Unsorted(s) => s.contains(v),
+            Self::Dense(d) => d.contains(v),
+        }
+    }
+
+    /// Inserts a single element (`A ∪ {x}`); returns whether it was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is a dense bitvector and `v` is outside its universe.
+    pub fn insert(&mut self, v: Vertex) -> bool {
+        match self {
+            Self::Sorted(s) => s.insert(v),
+            Self::Unsorted(s) => s.insert(v),
+            Self::Dense(d) => d.insert(v),
+        }
+    }
+
+    /// Removes a single element (`A \ {x}`); returns whether it was present.
+    pub fn remove(&mut self, v: Vertex) -> bool {
+        match self {
+            Self::Sorted(s) => s.remove(v),
+            Self::Unsorted(s) => s.remove(v),
+            Self::Dense(d) => d.remove(v),
+        }
+    }
+
+    /// The members as a freshly allocated sorted vector.
+    #[must_use]
+    pub fn to_sorted_vec(&self) -> Vec<Vertex> {
+        match self {
+            Self::Sorted(s) => s.as_slice().to_vec(),
+            Self::Unsorted(s) => {
+                let mut v = s.as_slice().to_vec();
+                v.sort_unstable();
+                v
+            }
+            Self::Dense(d) => d.to_sorted_vec(),
+        }
+    }
+
+    /// Iterates over the members (ordering depends on the representation).
+    pub fn iter(&self) -> Box<dyn Iterator<Item = Vertex> + '_> {
+        match self {
+            Self::Sorted(s) => Box::new(s.iter()),
+            Self::Unsorted(s) => Box::new(s.iter()),
+            Self::Dense(d) => Box::new(d.iter()),
+        }
+    }
+
+    /// Converts to a dense bitvector over `0..universe`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any member is `>= universe`.
+    #[must_use]
+    pub fn to_dense(&self, universe: usize) -> DenseBitVector {
+        match self {
+            Self::Dense(d) if d.universe() == universe => d.clone(),
+            other => DenseBitVector::from_members(universe, other.iter()),
+        }
+    }
+
+    /// Converts to a sorted sparse array.
+    #[must_use]
+    pub fn to_sorted_array(&self) -> SortedVertexArray {
+        match self {
+            Self::Sorted(s) => s.clone(),
+            other => SortedVertexArray::from_sorted(other.to_sorted_vec()),
+        }
+    }
+
+    /// Re-encodes the set in the requested representation.
+    #[must_use]
+    pub fn converted_to(&self, kind: RepresentationKind, universe: usize) -> SetRepr {
+        match kind {
+            RepresentationKind::SortedArray => SetRepr::Sorted(self.to_sorted_array()),
+            RepresentationKind::UnsortedArray => {
+                SetRepr::Unsorted(UnsortedVertexArray::from_iterable(self.iter()))
+            }
+            RepresentationKind::DenseBitvector => SetRepr::Dense(self.to_dense(universe)),
+        }
+    }
+
+    /// Set intersection `A ∩ B`.
+    ///
+    /// Result representation policy: DB ∩ DB stays dense (it is produced in
+    /// situ); every other combination yields a sorted sparse array, because
+    /// the result is no larger than the sparse operand.
+    #[must_use]
+    pub fn intersect(&self, other: &SetRepr) -> SetRepr {
+        match (self, other) {
+            (Self::Dense(a), Self::Dense(b)) => Self::Dense(ops::intersect_db_db(a, b)),
+            (Self::Dense(d), sparse) | (sparse, Self::Dense(d)) => {
+                let mut members = ops::intersect_sa_db(&sparse.to_sorted_vec(), d);
+                members.sort_unstable();
+                Self::Sorted(SortedVertexArray::from_sorted(members))
+            }
+            (a, b) => {
+                let av = a.to_sorted_vec();
+                let bv = b.to_sorted_vec();
+                Self::Sorted(SortedVertexArray::from_sorted(ops::intersect_merge_slices(
+                    &av, &bv,
+                )))
+            }
+        }
+    }
+
+    /// Cardinality of `A ∩ B` without materialising the result.
+    #[must_use]
+    pub fn intersect_count(&self, other: &SetRepr) -> usize {
+        match (self, other) {
+            (Self::Dense(a), Self::Dense(b)) => ops::intersect_db_db_count(a, b),
+            (Self::Dense(d), sparse) | (sparse, Self::Dense(d)) => {
+                ops::intersect_sa_db_count(&sparse.to_sorted_vec(), d)
+            }
+            (a, b) => ops::intersect_merge_count(&a.to_sorted_vec(), &b.to_sorted_vec()),
+        }
+    }
+
+    /// Set union `A ∪ B`.
+    ///
+    /// Result representation policy: if either operand is dense the result is
+    /// dense (it can only grow); otherwise it is a sorted sparse array.
+    #[must_use]
+    pub fn union(&self, other: &SetRepr) -> SetRepr {
+        match (self, other) {
+            (Self::Dense(a), Self::Dense(b)) => Self::Dense(ops::union_db_db(a, b)),
+            (Self::Dense(d), sparse) | (sparse, Self::Dense(d)) => {
+                Self::Dense(ops::union_sa_db(&sparse.to_sorted_vec(), d))
+            }
+            (a, b) => {
+                let av = a.to_sorted_vec();
+                let bv = b.to_sorted_vec();
+                Self::Sorted(SortedVertexArray::from_sorted(ops::union_merge_slices(
+                    &av, &bv,
+                )))
+            }
+        }
+    }
+
+    /// Cardinality of `A ∪ B` without materialising the result.
+    #[must_use]
+    pub fn union_count(&self, other: &SetRepr) -> usize {
+        self.len() + other.len() - self.intersect_count(other)
+    }
+
+    /// Set difference `A \ B`.
+    ///
+    /// Result representation policy: the result keeps the representation
+    /// family of `A` (it is a subset of `A`), except that an unsorted `A`
+    /// yields a sorted result.
+    #[must_use]
+    pub fn difference(&self, other: &SetRepr) -> SetRepr {
+        match (self, other) {
+            (Self::Dense(a), Self::Dense(b)) => Self::Dense(ops::difference_db_db(a, b)),
+            (Self::Dense(a), sparse) => {
+                let b = sparse.to_dense(a.universe());
+                Self::Dense(ops::difference_db_db(a, &b))
+            }
+            (sparse, Self::Dense(d)) => {
+                let mut members = ops::difference_sa_db(&sparse.to_sorted_vec(), d);
+                members.sort_unstable();
+                Self::Sorted(SortedVertexArray::from_sorted(members))
+            }
+            (a, b) => {
+                let av = a.to_sorted_vec();
+                let bv = b.to_sorted_vec();
+                Self::Sorted(SortedVertexArray::from_sorted(
+                    ops::difference_merge_slices(&av, &bv),
+                ))
+            }
+        }
+    }
+
+    /// Cardinality of `A \ B` without materialising the result.
+    #[must_use]
+    pub fn difference_count(&self, other: &SetRepr) -> usize {
+        self.len() - self.intersect_count(other)
+    }
+}
+
+impl Default for SetRepr {
+    fn default() -> Self {
+        Self::empty_sorted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reprs(members: &[Vertex], universe: usize) -> Vec<SetRepr> {
+        vec![
+            SetRepr::sorted_from(members.iter().copied()),
+            SetRepr::Unsorted(UnsortedVertexArray::from_iterable(members.iter().copied())),
+            SetRepr::dense_from(universe, members.iter().copied()),
+        ]
+    }
+
+    #[test]
+    fn all_representation_pairs_agree_on_algebra() {
+        let universe = 64;
+        let a_members = [1u32, 5, 9, 20, 33, 60];
+        let b_members = [5u32, 9, 10, 33, 61];
+        let expect_inter = vec![5u32, 9, 33];
+        let expect_union = vec![1u32, 5, 9, 10, 20, 33, 60, 61];
+        let expect_diff = vec![1u32, 20, 60];
+        for a in reprs(&a_members, universe) {
+            for b in reprs(&b_members, universe) {
+                assert_eq!(a.intersect(&b).to_sorted_vec(), expect_inter, "{a:?} {b:?}");
+                assert_eq!(a.union(&b).to_sorted_vec(), expect_union);
+                assert_eq!(a.difference(&b).to_sorted_vec(), expect_diff);
+                assert_eq!(a.intersect_count(&b), 3);
+                assert_eq!(a.union_count(&b), 8);
+                assert_eq!(a.difference_count(&b), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn kind_and_storage() {
+        let s = SetRepr::sorted_from([1u32, 2, 3]);
+        let d = SetRepr::dense_from(128, [1u32, 2, 3]);
+        assert_eq!(s.kind(), RepresentationKind::SortedArray);
+        assert_eq!(d.kind(), RepresentationKind::DenseBitvector);
+        assert!(s.kind().is_sparse());
+        assert!(d.kind().is_dense());
+        assert_eq!(s.storage_bits(), 96);
+        assert_eq!(d.storage_bits(), 128);
+    }
+
+    #[test]
+    fn insert_remove_across_representations() {
+        for mut r in reprs(&[2, 4], 32) {
+            assert!(r.insert(6));
+            assert!(!r.insert(6));
+            assert!(r.contains(6));
+            assert!(r.remove(2));
+            assert!(!r.remove(2));
+            assert_eq!(r.to_sorted_vec(), vec![4, 6]);
+        }
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let original = SetRepr::sorted_from([3u32, 7, 11]);
+        let dense = original.converted_to(RepresentationKind::DenseBitvector, 16);
+        assert_eq!(dense.kind(), RepresentationKind::DenseBitvector);
+        let unsorted = dense.converted_to(RepresentationKind::UnsortedArray, 16);
+        assert_eq!(unsorted.kind(), RepresentationKind::UnsortedArray);
+        let back = unsorted.converted_to(RepresentationKind::SortedArray, 16);
+        assert_eq!(back.to_sorted_vec(), vec![3, 7, 11]);
+    }
+
+    #[test]
+    fn dense_minus_sparse_stays_dense() {
+        let a = SetRepr::dense_from(32, [1u32, 2, 3, 4]);
+        let b = SetRepr::sorted_from([2u32, 4]);
+        let d = a.difference(&b);
+        assert_eq!(d.kind(), RepresentationKind::DenseBitvector);
+        assert_eq!(d.to_sorted_vec(), vec![1, 3]);
+    }
+
+    #[test]
+    fn default_is_empty_sorted() {
+        let d = SetRepr::default();
+        assert!(d.is_empty());
+        assert_eq!(d.kind(), RepresentationKind::SortedArray);
+    }
+}

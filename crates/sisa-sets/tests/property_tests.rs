@@ -1,0 +1,122 @@
+//! Property-based tests for set representations and set algebra.
+//!
+//! These check the invariants the SISA design depends on: every physical
+//! representation and every algorithm variant must implement the *same*
+//! abstract set algebra, because the SCU is free to pick any variant at run
+//! time (§8.2).
+
+use proptest::prelude::*;
+use sisa_sets::{ops, DenseBitVector, SetRepr, SortedVertexArray, Vertex};
+use std::collections::BTreeSet;
+
+const UNIVERSE: usize = 512;
+
+fn vertex_set() -> impl Strategy<Value = BTreeSet<Vertex>> {
+    proptest::collection::btree_set(0u32..UNIVERSE as u32, 0..128)
+}
+
+fn model_intersect(a: &BTreeSet<Vertex>, b: &BTreeSet<Vertex>) -> Vec<Vertex> {
+    a.intersection(b).copied().collect()
+}
+
+fn model_union(a: &BTreeSet<Vertex>, b: &BTreeSet<Vertex>) -> Vec<Vertex> {
+    a.union(b).copied().collect()
+}
+
+fn model_difference(a: &BTreeSet<Vertex>, b: &BTreeSet<Vertex>) -> Vec<Vertex> {
+    a.difference(b).copied().collect()
+}
+
+proptest! {
+    #[test]
+    fn merge_and_galloping_intersection_match_model(a in vertex_set(), b in vertex_set()) {
+        let av: Vec<Vertex> = a.iter().copied().collect();
+        let bv: Vec<Vertex> = b.iter().copied().collect();
+        let expected = model_intersect(&a, &b);
+        prop_assert_eq!(ops::intersect_merge_slices(&av, &bv), expected.clone());
+        prop_assert_eq!(ops::intersect_galloping_slices(&av, &bv), expected.clone());
+        prop_assert_eq!(ops::intersect_merge_count(&av, &bv), expected.len());
+        prop_assert_eq!(ops::intersect_galloping_count(&av, &bv), expected.len());
+    }
+
+    #[test]
+    fn union_and_difference_match_model(a in vertex_set(), b in vertex_set()) {
+        let av: Vec<Vertex> = a.iter().copied().collect();
+        let bv: Vec<Vertex> = b.iter().copied().collect();
+        prop_assert_eq!(ops::union_merge_slices(&av, &bv), model_union(&a, &b));
+        prop_assert_eq!(ops::difference_merge_slices(&av, &bv), model_difference(&a, &b));
+        prop_assert_eq!(ops::difference_galloping_slices(&av, &bv), model_difference(&a, &b));
+        prop_assert_eq!(ops::union_merge_count(&av, &bv), model_union(&a, &b).len());
+        prop_assert_eq!(ops::difference_merge_count(&av, &bv), model_difference(&a, &b).len());
+    }
+
+    #[test]
+    fn dense_bitvector_ops_match_model(a in vertex_set(), b in vertex_set()) {
+        let da = DenseBitVector::from_members(UNIVERSE, a.iter().copied());
+        let db = DenseBitVector::from_members(UNIVERSE, b.iter().copied());
+        prop_assert_eq!(da.and(&db).to_sorted_vec(), model_intersect(&a, &b));
+        prop_assert_eq!(da.or(&db).to_sorted_vec(), model_union(&a, &b));
+        prop_assert_eq!(da.and_not(&db).to_sorted_vec(), model_difference(&a, &b));
+        prop_assert_eq!(da.and_count(&db), model_intersect(&a, &b).len());
+        prop_assert_eq!(da.or_count(&db), model_union(&a, &b).len());
+        prop_assert_eq!(da.len(), a.len());
+    }
+
+    #[test]
+    fn mixed_representation_algebra_matches_model(a in vertex_set(), b in vertex_set()) {
+        let sparse_a = SetRepr::sorted_from(a.iter().copied());
+        let dense_b = SetRepr::dense_from(UNIVERSE, b.iter().copied());
+        prop_assert_eq!(sparse_a.intersect(&dense_b).to_sorted_vec(), model_intersect(&a, &b));
+        prop_assert_eq!(sparse_a.union(&dense_b).to_sorted_vec(), model_union(&a, &b));
+        prop_assert_eq!(sparse_a.difference(&dense_b).to_sorted_vec(), model_difference(&a, &b));
+        prop_assert_eq!(dense_b.difference(&sparse_a).to_sorted_vec(), model_difference(&b, &a));
+    }
+
+    #[test]
+    fn intersection_is_commutative_and_bounded(a in vertex_set(), b in vertex_set()) {
+        let sa = SetRepr::sorted_from(a.iter().copied());
+        let sb = SetRepr::sorted_from(b.iter().copied());
+        let ab = sa.intersect(&sb);
+        let ba = sb.intersect(&sa);
+        prop_assert_eq!(ab.to_sorted_vec(), ba.to_sorted_vec());
+        prop_assert!(ab.len() <= sa.len().min(sb.len()));
+        prop_assert_eq!(sa.union(&sb).len(), sa.len() + sb.len() - ab.len());
+    }
+
+    #[test]
+    fn difference_and_intersection_partition_the_set(a in vertex_set(), b in vertex_set()) {
+        // |A| = |A ∩ B| + |A \ B| — the identity SISA uses to avoid
+        // materialising intermediate sets for cardinality instructions.
+        let sa = SetRepr::sorted_from(a.iter().copied());
+        let sb = SetRepr::sorted_from(b.iter().copied());
+        prop_assert_eq!(sa.len(), sa.intersect_count(&sb) + sa.difference_count(&sb));
+    }
+
+    #[test]
+    fn insert_then_remove_is_identity(a in vertex_set(), v in 0u32..UNIVERSE as u32) {
+        let mut sorted = SortedVertexArray::from_unsorted(a.iter().copied().collect());
+        let mut dense = DenseBitVector::from_members(UNIVERSE, a.iter().copied());
+        let originally_present = a.contains(&v);
+        let inserted_sorted = sorted.insert(v);
+        let inserted_dense = dense.insert(v);
+        prop_assert_eq!(inserted_sorted, !originally_present);
+        prop_assert_eq!(inserted_dense, !originally_present);
+        if !originally_present {
+            prop_assert!(sorted.remove(v));
+            prop_assert!(dense.remove(v));
+        }
+        let expected: Vec<Vertex> = a.iter().copied().collect();
+        prop_assert_eq!(sorted.as_slice(), expected.as_slice());
+        prop_assert_eq!(dense.to_sorted_vec(), expected);
+    }
+
+    #[test]
+    fn de_morgan_for_dense_sets(a in vertex_set(), b in vertex_set()) {
+        // (A ∪ B)' == A' ∩ B' within the fixed universe.
+        let da = DenseBitVector::from_members(UNIVERSE, a.iter().copied());
+        let db = DenseBitVector::from_members(UNIVERSE, b.iter().copied());
+        let lhs = da.or(&db).not();
+        let rhs = da.not().and(&db.not());
+        prop_assert_eq!(lhs.to_sorted_vec(), rhs.to_sorted_vec());
+    }
+}

@@ -1,0 +1,44 @@
+//! # sisa
+//!
+//! Facade crate for the SISA reproduction (*"SISA: Set-Centric Instruction Set
+//! Architecture for Graph Mining on Processing-in-Memory Systems"*, Besta et
+//! al., MICRO 2021): re-exports the whole workspace behind one dependency and
+//! hosts the runnable examples and cross-crate integration tests.
+//!
+//! * [`sets`] — set representations and set algorithms.
+//! * [`graph`] — CSR graphs, generators, orderings, dataset stand-ins.
+//! * [`isa`] — the SISA instruction set and its RISC-V encoding.
+//! * [`pim`] — PIM hardware cost models (PUM, PNM, caches, baseline CPU).
+//! * [`core`] — the SISA runtime: SCU, set metadata, hybrid set graph,
+//!   virtual-thread scheduling.
+//! * [`algorithms`] — set-centric mining algorithms, software baselines and
+//!   paradigm baselines.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sisa::core::{SetGraph, SetGraphConfig, SisaConfig, SisaRuntime};
+//! use sisa::algorithms::setcentric::triangle_count;
+//! use sisa::algorithms::SearchLimits;
+//! use sisa::graph::{generators, orientation::degeneracy_order};
+//!
+//! let g = generators::erdos_renyi(200, 0.05, 7);
+//! let oriented = degeneracy_order(&g).orient(&g);
+//! let mut rt = SisaRuntime::new(SisaConfig::default());
+//! let sg = SetGraph::load(&mut rt, &oriented, &SetGraphConfig::default());
+//! let run = triangle_count(&mut rt, &sg, &SearchLimits::unlimited());
+//! println!("{} triangles in {} simulated cycles", run.result, run.total_cycles());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sisa_algorithms as algorithms;
+pub use sisa_core as core;
+pub use sisa_graph as graph;
+pub use sisa_isa as isa;
+pub use sisa_pim as pim;
+pub use sisa_sets as sets;
+
+/// A vertex identifier.
+pub type Vertex = sisa_sets::Vertex;

@@ -1,0 +1,45 @@
+//! Integration test of the experiment harness: the qualitative shapes the
+//! paper reports must hold on small instances (the full figures are produced
+//! by the sisa-bench binaries).
+
+use sisa::algorithms::baseline::{maximal_cliques_baseline, BaselineMode};
+use sisa::algorithms::SearchLimits;
+use sisa::core::parallel;
+use sisa::graph::{datasets, orientation::degeneracy_order};
+use sisa::pim::CpuConfig;
+use sisa_bench::{run_cell, Problem, Scheme, Workload};
+
+#[test]
+fn figure1_shape_stall_ratio_grows_and_speedup_flattens_on_a_stock_multicore() {
+    let g = datasets::by_name("int-antCol5-d1").unwrap().generate(1);
+    let ordering = degeneracy_order(&g);
+    let cfg = CpuConfig::stock_multicore();
+    let run = maximal_cliques_baseline(
+        &g, &ordering, BaselineMode::NonSet, &cfg, 1, &SearchLimits::patterns(300), false);
+    let r1 = parallel::schedule_cpu(&run.tasks, 1, &cfg);
+    let r32 = parallel::schedule_cpu(&run.tasks, 32, &cfg);
+    assert!(r32.stall_fraction() >= r1.stall_fraction());
+    let speedup = r1.makespan_cycles as f64 / r32.makespan_cycles as f64;
+    assert!(speedup < 32.0, "speedup must flatten, got {speedup}");
+}
+
+#[test]
+fn figure6_shape_sisa_outperforms_the_baselines_on_a_dense_mining_graph() {
+    let g = datasets::by_name("int-antCol6-d2").unwrap().generate(1);
+    let w = Workload::new(g, 32, SearchLimits::patterns(4_000));
+    let non_set = run_cell(Problem::Tc, Scheme::NonSet, &w);
+    let set_based = run_cell(Problem::Tc, Scheme::SetBased, &w);
+    let sisa = run_cell(Problem::Tc, Scheme::Sisa, &w);
+    assert_eq!(non_set.result, sisa.result);
+    assert_eq!(set_based.result, sisa.result);
+    assert!(sisa.cycles < set_based.cycles);
+    assert!(sisa.cycles < non_set.cycles);
+}
+
+#[test]
+fn figure7a_shape_mining_graphs_have_heavier_tails_than_social_graphs() {
+    use sisa::graph::degree::DegreeStats;
+    let gene = DegreeStats::compute(&datasets::by_name("bio-humanGene").unwrap().generate(2));
+    let orkut = DegreeStats::compute(&datasets::by_name("soc-orkut").unwrap().generate(2));
+    assert!(gene.max_degree_fraction > orkut.max_degree_fraction * 2.0);
+}

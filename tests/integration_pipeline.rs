@@ -1,0 +1,82 @@
+//! Cross-crate integration tests: the full pipeline from graph generation
+//! through the SISA runtime and baselines to scheduling, checked end-to-end.
+
+use sisa::algorithms::baseline::{triangle_count_baseline, BaselineMode};
+use sisa::algorithms::setcentric::{
+    maximal_cliques, subgraph_isomorphism_count, star_pattern, triangle_count,
+};
+use sisa::algorithms::SearchLimits;
+use sisa::core::{parallel, SetGraph, SetGraphConfig, SisaConfig, SisaRuntime};
+use sisa::graph::{datasets, generators, orientation::degeneracy_order, properties};
+use sisa::pim::CpuConfig;
+
+#[test]
+fn sisa_and_baselines_agree_with_the_reference_triangle_count() {
+    let g = generators::planted_cliques(
+        &generators::PlantedCliqueConfig {
+            num_vertices: 250,
+            num_cliques: 15,
+            min_clique_size: 4,
+            max_clique_size: 8,
+            background_edges: 400,
+            overlap: 0.2,
+        },
+        5,
+    )
+    .0;
+    let expected = properties::triangle_count(&g);
+    let oriented_csr = degeneracy_order(&g).orient(&g);
+
+    let mut rt = SisaRuntime::new(SisaConfig::default());
+    let oriented = SetGraph::load(&mut rt, &oriented_csr, &SetGraphConfig::default());
+    let sisa = triangle_count(&mut rt, &oriented, &SearchLimits::unlimited());
+    assert_eq!(sisa.result, expected);
+
+    for mode in [BaselineMode::NonSet, BaselineMode::SetBased] {
+        let run = triangle_count_baseline(&oriented_csr, mode, &CpuConfig::default(), 1, &SearchLimits::unlimited());
+        assert_eq!(run.result, expected);
+    }
+}
+
+#[test]
+fn maximal_cliques_cover_planted_cliques_on_a_dataset_standin() {
+    let g = datasets::by_name("int-antCol5-d1").unwrap().generate(9);
+    let ordering = degeneracy_order(&g);
+    let mut rt = SisaRuntime::new(SisaConfig::default());
+    let sg = SetGraph::load(&mut rt, &g, &SetGraphConfig::default());
+    let run = maximal_cliques(&mut rt, &sg, &ordering, &SearchLimits::patterns(500), false);
+    assert!(run.result.count > 0);
+    assert!(run.result.max_size >= 3);
+    // Scheduling the tasks over more threads never increases the makespan.
+    let t1 = parallel::schedule(&run.tasks, 1).makespan_cycles;
+    let t8 = parallel::schedule(&run.tasks, 8).makespan_cycles;
+    assert!(t8 <= t1);
+}
+
+#[test]
+fn pattern_matching_scales_with_the_pattern_and_respects_labels() {
+    let g = generators::erdos_renyi(120, 0.08, 3);
+    let mut rt = SisaRuntime::new(SisaConfig::default());
+    let sg = SetGraph::load(&mut rt, &g, &SetGraphConfig::default());
+    let three = subgraph_isomorphism_count(&mut rt, &sg, &star_pattern(3), &SearchLimits::unlimited());
+    let four = subgraph_isomorphism_count(&mut rt, &sg, &star_pattern(4), &SearchLimits::unlimited());
+    // 4-star embeddings are a subset of extensions of 3-star embeddings.
+    assert!(four.result <= three.result * 120);
+    assert!(three.result > 0);
+}
+
+#[test]
+fn runtime_statistics_are_consistent_with_the_work_performed() {
+    let g = datasets::by_name("econ-beacxc").unwrap().generate(4);
+    let oriented_csr = degeneracy_order(&g).orient(&g);
+    let mut rt = SisaRuntime::new(SisaConfig::default());
+    let oriented = SetGraph::load(&mut rt, &oriented_csr, &SetGraphConfig::default());
+    rt.reset_stats();
+    let run = triangle_count(&mut rt, &oriented, &SearchLimits::patterns(50_000));
+    let stats = rt.stats();
+    assert!(stats.total_instructions() > 0);
+    assert_eq!(stats.total_cycles(), run.tasks.iter().map(|t| t.cycles).sum::<u64>());
+    assert!(stats.pnm_ops + stats.pum_ops > 0);
+    assert!(stats.energy_nj > 0.0);
+    assert!(stats.smb_hit_ratio() > 0.5, "metadata locality should be high");
+}
