@@ -53,7 +53,16 @@ pub fn maximal_cliques_baseline(
             .collect();
         engine.scalar(nbrs.len() as u64);
         let mut r = vec![v];
-        bk_pivot(&mut engine, mode, &mut r, &p, &x, &mut budget, collect, &mut result);
+        bk_pivot(
+            &mut engine,
+            mode,
+            &mut r,
+            &p,
+            &x,
+            &mut budget,
+            collect,
+            &mut result,
+        );
         tasks.push(engine.task_end());
     }
     if collect {
@@ -146,7 +155,11 @@ mod tests {
     use sisa_graph::orientation::degeneracy_order;
     use sisa_graph::{generators, properties};
 
-    fn run(g: &CsrGraph, mode: BaselineMode, limits: &SearchLimits) -> MiningRun<BaselineMaximalCliques> {
+    fn run(
+        g: &CsrGraph,
+        mode: BaselineMode,
+        limits: &SearchLimits,
+    ) -> MiningRun<BaselineMaximalCliques> {
         let ordering = degeneracy_order(g);
         maximal_cliques_baseline(g, &ordering, mode, &CpuConfig::default(), 1, limits, true)
     }

@@ -4,7 +4,7 @@
 
 use super::engine::CpuEngine;
 use super::BaselineMode;
-use crate::limits::SearchLimits;
+use crate::limits::{PatternBudget, SearchLimits};
 use crate::{MiningRun, Vertex};
 use sisa_graph::CsrGraph;
 use sisa_pim::CpuConfig;
@@ -42,53 +42,56 @@ pub fn triangle_count_baseline(
     MiningRun::new(tc, tasks, budget.exhausted())
 }
 
-fn extend_cliques(
-    engine: &mut CpuEngine<'_>,
+/// Recursion-invariant state for one k-clique enumeration.
+struct CliqueSearch<'a> {
     mode: BaselineMode,
-    candidates: &[Vertex],
-    depth: usize,
     k: usize,
-    budget: &mut crate::limits::PatternBudget,
-    prefix: &mut Vec<Vertex>,
-    collect: Option<&mut Vec<Vec<Vertex>>>,
-) -> u64 {
-    if depth == k {
-        let found = candidates.len() as u64;
-        if let Some(out) = collect {
-            for &v in candidates {
-                let mut clique = prefix.clone();
-                clique.push(v);
-                clique.sort_unstable();
-                out.push(clique);
+    budget: &'a mut PatternBudget,
+    collect: Option<&'a mut Vec<Vec<Vertex>>>,
+}
+
+impl CliqueSearch<'_> {
+    fn extend(
+        &mut self,
+        engine: &mut CpuEngine<'_>,
+        candidates: &[Vertex],
+        depth: usize,
+        prefix: &mut Vec<Vertex>,
+    ) -> u64 {
+        if depth == self.k {
+            let found = candidates.len() as u64;
+            if let Some(out) = self.collect.as_deref_mut() {
+                for &v in candidates {
+                    let mut clique = prefix.clone();
+                    clique.push(v);
+                    clique.sort_unstable();
+                    out.push(clique);
+                }
             }
+            if found > 0 {
+                self.budget.found(found);
+            }
+            return found;
         }
-        if found > 0 {
-            budget.found(found);
+        let mut total = 0u64;
+        for &v in candidates {
+            if self.budget.exhausted() {
+                break;
+            }
+            engine.scalar(2);
+            let next = match self.mode {
+                BaselineMode::SetBased => engine.merge_intersect_with(candidates, v),
+                BaselineMode::NonSet => engine.probe_filter(candidates, v),
+            };
+            if next.is_empty() {
+                continue;
+            }
+            prefix.push(v);
+            total += self.extend(engine, &next, depth + 1, prefix);
+            prefix.pop();
         }
-        return found;
+        total
     }
-    let mut total = 0u64;
-    let mut out_storage: Option<&mut Vec<Vec<Vertex>>> = collect;
-    for &v in candidates {
-        if budget.exhausted() {
-            break;
-        }
-        engine.scalar(2);
-        let next = match mode {
-            BaselineMode::SetBased => engine.merge_intersect_with(candidates, v),
-            BaselineMode::NonSet => engine.probe_filter(candidates, v),
-        };
-        if next.is_empty() {
-            continue;
-        }
-        prefix.push(v);
-        total += match out_storage.as_deref_mut() {
-            Some(out) => extend_cliques(engine, mode, &next, depth + 1, k, budget, prefix, Some(out)),
-            None => extend_cliques(engine, mode, &next, depth + 1, k, budget, prefix, None),
-        };
-        prefix.pop();
-    }
-    total
 }
 
 /// k-clique counting over a degeneracy-oriented CSR graph.
@@ -105,14 +108,20 @@ pub fn k_clique_count_baseline(
     let mut budget = limits.budget();
     let mut tasks = Vec::with_capacity(oriented.num_vertices());
     let mut total = 0u64;
+    let mut search = CliqueSearch {
+        mode,
+        k,
+        budget: &mut budget,
+        collect: None,
+    };
     for u in 0..oriented.num_vertices() as Vertex {
-        if budget.exhausted() {
+        if search.budget.exhausted() {
             break;
         }
         engine.task_begin();
         let c2: Vec<Vertex> = engine.stream_neighbors(u).to_vec();
         let mut prefix = vec![u];
-        total += extend_cliques(&mut engine, mode, &c2, 2, k, &mut budget, &mut prefix, None);
+        total += search.extend(&mut engine, &c2, 2, &mut prefix);
         tasks.push(engine.task_end());
     }
     MiningRun::new(total, tasks, budget.exhausted())
@@ -132,23 +141,20 @@ pub fn k_clique_star_count_baseline(
     let mut budget = limits.budget();
     let mut tasks = Vec::new();
     let mut cliques: Vec<Vec<Vertex>> = Vec::new();
+    let mut search = CliqueSearch {
+        mode,
+        k: k + 1,
+        budget: &mut budget,
+        collect: Some(&mut cliques),
+    };
     for u in 0..oriented.num_vertices() as Vertex {
-        if budget.exhausted() {
+        if search.budget.exhausted() {
             break;
         }
         engine.task_begin();
         let c2: Vec<Vertex> = engine.stream_neighbors(u).to_vec();
         let mut prefix = vec![u];
-        let _ = extend_cliques(
-            &mut engine,
-            mode,
-            &c2,
-            2,
-            k + 1,
-            &mut budget,
-            &mut prefix,
-            Some(&mut cliques),
-        );
+        let _ = search.extend(&mut engine, &c2, 2, &mut prefix);
         tasks.push(engine.task_end());
     }
     // Attribute every (k+1)-clique to the k-cliques it contains.
@@ -183,7 +189,13 @@ mod tests {
         let o = oriented(&g);
         let expected = properties::triangle_count(&g);
         for mode in [BaselineMode::NonSet, BaselineMode::SetBased] {
-            let run = triangle_count_baseline(&o, mode, &CpuConfig::default(), 1, &SearchLimits::unlimited());
+            let run = triangle_count_baseline(
+                &o,
+                mode,
+                &CpuConfig::default(),
+                1,
+                &SearchLimits::unlimited(),
+            );
             assert_eq!(run.result, expected, "{mode:?}");
             assert!(!run.truncated);
         }
@@ -207,7 +219,14 @@ mod tests {
         for k in 3..=5 {
             let expected = properties::brute_force_k_clique_count(&g, k);
             for mode in [BaselineMode::NonSet, BaselineMode::SetBased] {
-                let run = k_clique_count_baseline(&o, k, mode, &CpuConfig::default(), 1, &SearchLimits::unlimited());
+                let run = k_clique_count_baseline(
+                    &o,
+                    k,
+                    mode,
+                    &CpuConfig::default(),
+                    1,
+                    &SearchLimits::unlimited(),
+                );
                 assert_eq!(run.result, expected, "k={k} {mode:?}");
             }
         }
@@ -218,9 +237,21 @@ mod tests {
         let g = generators::near_complete(120, 0.6, 9);
         let o = oriented(&g);
         let non_set = k_clique_count_baseline(
-            &o, 4, BaselineMode::NonSet, &CpuConfig::default(), 1, &SearchLimits::patterns(20_000));
+            &o,
+            4,
+            BaselineMode::NonSet,
+            &CpuConfig::default(),
+            1,
+            &SearchLimits::patterns(20_000),
+        );
         let set_based = k_clique_count_baseline(
-            &o, 4, BaselineMode::SetBased, &CpuConfig::default(), 1, &SearchLimits::patterns(20_000));
+            &o,
+            4,
+            BaselineMode::SetBased,
+            &CpuConfig::default(),
+            1,
+            &SearchLimits::patterns(20_000),
+        );
         assert_eq!(non_set.result, set_based.result);
         assert!(set_based.total_cycles() < non_set.total_cycles());
     }
@@ -230,7 +261,13 @@ mod tests {
         let g = generators::near_complete(40, 0.5, 2);
         let o = oriented(&g);
         let run = k_clique_star_count_baseline(
-            &o, 3, BaselineMode::SetBased, &CpuConfig::default(), 1, &SearchLimits::patterns(500));
+            &o,
+            3,
+            BaselineMode::SetBased,
+            &CpuConfig::default(),
+            1,
+            &SearchLimits::patterns(500),
+        );
         assert!(run.result > 0);
     }
 

@@ -212,7 +212,8 @@ impl<'g> CpuEngine<'g> {
 
     /// Charges a sequential write of `elements` 4-byte scratch entries.
     pub fn write_scratch(&mut self, elements: usize) {
-        self.thread.stream(self.scratch_base + 8 * 1024 * 1024, elements as u64 * 4);
+        self.thread
+            .stream(self.scratch_base + 8 * 1024 * 1024, elements as u64 * 4);
     }
 
     /// The total cost accumulated by this engine so far.
@@ -236,8 +237,7 @@ mod tests {
         let g = generators::erdos_renyi(100, 0.1, 3);
         let mut e = engine(&g);
         for (u, v) in [(0u32, 1u32), (5, 9), (20, 40)] {
-            let expected =
-                sisa_sets::ops::intersect_merge_count(g.neighbors(u), g.neighbors(v));
+            let expected = sisa_sets::ops::intersect_merge_count(g.neighbors(u), g.neighbors(v));
             assert_eq!(e.merge_intersect_count(u, v), expected);
             assert_eq!(e.probe_intersect_count(u, v), expected);
             assert_eq!(e.merge_intersect(u, v).len(), expected);

@@ -140,7 +140,17 @@ mod tests {
         // 4-clique plus a pendant path.
         let g = CsrGraph::from_edges(
             7,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5), (5, 6)],
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+            ],
         );
         let run = jarvis_patrick_baseline(
             &g,
@@ -159,11 +169,28 @@ mod tests {
     #[test]
     fn weighted_measures_run_in_both_modes() {
         let g = generators::erdos_renyi(60, 0.15, 3);
-        for measure in [SimilarityMeasure::AdamicAdar, SimilarityMeasure::ResourceAllocation] {
+        for measure in [
+            SimilarityMeasure::AdamicAdar,
+            SimilarityMeasure::ResourceAllocation,
+        ] {
             let a = jarvis_patrick_baseline(
-                &g, measure, 0.1, BaselineMode::NonSet, &CpuConfig::default(), 1, &SearchLimits::unlimited());
+                &g,
+                measure,
+                0.1,
+                BaselineMode::NonSet,
+                &CpuConfig::default(),
+                1,
+                &SearchLimits::unlimited(),
+            );
             let b = jarvis_patrick_baseline(
-                &g, measure, 0.1, BaselineMode::SetBased, &CpuConfig::default(), 1, &SearchLimits::unlimited());
+                &g,
+                measure,
+                0.1,
+                BaselineMode::SetBased,
+                &CpuConfig::default(),
+                1,
+                &SearchLimits::unlimited(),
+            );
             assert_eq!(a.result, b.result, "{measure:?}");
         }
     }

@@ -113,7 +113,17 @@ fn extend(
         }
         mapping[pv as usize] = Some(c);
         used.push(c);
-        total += extend(engine, g, pattern, mode, order, depth + 1, mapping, used, budget);
+        total += extend(
+            engine,
+            g,
+            pattern,
+            mode,
+            order,
+            depth + 1,
+            mapping,
+            used,
+            budget,
+        );
         used.pop();
         mapping[pv as usize] = None;
     }
@@ -137,19 +147,38 @@ mod tests {
             .sum();
         for mode in [BaselineMode::NonSet, BaselineMode::SetBased] {
             let run = star_isomorphism_baseline(
-                &g, &star_pattern(3), mode, &CpuConfig::default(), 1, &SearchLimits::unlimited());
+                &g,
+                &star_pattern(3),
+                mode,
+                &CpuConfig::default(),
+                1,
+                &SearchLimits::unlimited(),
+            );
             assert_eq!(run.result, expected, "{mode:?}");
         }
     }
 
     #[test]
     fn labelled_matching_is_cheaper_and_smaller() {
-        let g = LabeledGraph::with_random_vertex_labels(generators::erdos_renyi(50, 0.15, 2), 3, 4).graph;
+        let g = LabeledGraph::with_random_vertex_labels(generators::erdos_renyi(50, 0.15, 2), 3, 4)
+            .graph;
         let unlabelled = star_isomorphism_baseline(
-            &g, &star_pattern(3), BaselineMode::SetBased, &CpuConfig::default(), 1, &SearchLimits::unlimited());
+            &g,
+            &star_pattern(3),
+            BaselineMode::SetBased,
+            &CpuConfig::default(),
+            1,
+            &SearchLimits::unlimited(),
+        );
         let labelled_pattern = star_pattern(3).with_labels(vec![0, 1, 2, 1]);
         let labelled = star_isomorphism_baseline(
-            &g, &labelled_pattern, BaselineMode::SetBased, &CpuConfig::default(), 1, &SearchLimits::unlimited());
+            &g,
+            &labelled_pattern,
+            BaselineMode::SetBased,
+            &CpuConfig::default(),
+            1,
+            &SearchLimits::unlimited(),
+        );
         assert!(labelled.result < unlabelled.result);
         assert!(labelled.total_cycles() < unlabelled.total_cycles());
     }
@@ -158,7 +187,13 @@ mod tests {
     fn budget_truncates_the_match() {
         let g = generators::complete(12);
         let run = star_isomorphism_baseline(
-            &g, &star_pattern(4), BaselineMode::NonSet, &CpuConfig::default(), 1, &SearchLimits::patterns(100));
+            &g,
+            &star_pattern(4),
+            BaselineMode::NonSet,
+            &CpuConfig::default(),
+            1,
+            &SearchLimits::patterns(100),
+        );
         assert!(run.truncated);
     }
 }

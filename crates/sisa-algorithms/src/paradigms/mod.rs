@@ -235,8 +235,20 @@ mod tests {
         let g = generators::erdos_renyi(40, 0.2, 6);
         let oriented = degeneracy_order(&g).orient(&g);
         let expected = properties::brute_force_k_clique_count(&g, 3);
-        let ne = neighborhood_expansion_cliques(&oriented, 3, &CpuConfig::default(), 1, &SearchLimits::unlimited());
-        let rj = relational_join_cliques(&oriented, 3, &CpuConfig::default(), 1, &SearchLimits::unlimited());
+        let ne = neighborhood_expansion_cliques(
+            &oriented,
+            3,
+            &CpuConfig::default(),
+            1,
+            &SearchLimits::unlimited(),
+        );
+        let rj = relational_join_cliques(
+            &oriented,
+            3,
+            &CpuConfig::default(),
+            1,
+            &SearchLimits::unlimited(),
+        );
         assert_eq!(ne.result, expected);
         assert_eq!(rj.result, expected);
     }
@@ -247,7 +259,13 @@ mod tests {
         let oriented = degeneracy_order(&g).orient(&g);
         let expected = properties::brute_force_maximal_cliques(&g).len() as u64;
         let run = neighborhood_expansion_maximal_cliques(
-            &g, &oriented, 14, &CpuConfig::default(), 1, &SearchLimits::unlimited());
+            &g,
+            &oriented,
+            14,
+            &CpuConfig::default(),
+            1,
+            &SearchLimits::unlimited(),
+        );
         assert_eq!(run.result, expected);
     }
 
@@ -258,7 +276,13 @@ mod tests {
         let oriented = degeneracy_order(&g).orient(&g);
         let limits = SearchLimits::unlimited();
         let tuned = k_clique_count_baseline(
-            &oriented, 4, BaselineMode::SetBased, &CpuConfig::default(), 1, &limits);
+            &oriented,
+            4,
+            BaselineMode::SetBased,
+            &CpuConfig::default(),
+            1,
+            &limits,
+        );
         let ne = neighborhood_expansion_cliques(&oriented, 4, &CpuConfig::default(), 1, &limits);
         let rj = relational_join_cliques(&oriented, 4, &CpuConfig::default(), 1, &limits);
         assert_eq!(tuned.result, ne.result);

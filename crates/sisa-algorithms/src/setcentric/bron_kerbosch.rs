@@ -165,10 +165,7 @@ mod tests {
     #[test]
     fn finds_exactly_the_maximal_cliques_of_small_graphs() {
         // Two triangles sharing a vertex plus an isolated edge.
-        let g = CsrGraph::from_edges(
-            7,
-            &[(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4), (5, 6)],
-        );
+        let g = CsrGraph::from_edges(7, &[(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4), (5, 6)]);
         let run = run_bk(&g, &SearchLimits::unlimited(), true);
         let expected = properties::brute_force_maximal_cliques(&g);
         assert_eq!(run.result.cliques, expected);

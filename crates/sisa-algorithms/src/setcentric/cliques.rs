@@ -119,7 +119,8 @@ fn count_extensions(
             match listing.as_mut() {
                 Some((out, prefix)) => {
                     prefix.push(v);
-                    count += count_extensions(rt, oriented, next, i + 1, k, budget, Some((out, prefix)));
+                    count +=
+                        count_extensions(rt, oriented, next, i + 1, k, budget, Some((out, prefix)));
                     prefix.pop();
                 }
                 None => {
@@ -159,7 +160,15 @@ pub fn k_clique_list(
             budget.found(oriented.degree(u) as u64);
         } else {
             let before = cliques.len();
-            let _ = count_extensions(rt, oriented, c2, 2, k, &mut budget, Some((&mut cliques, &mut prefix)));
+            let _ = count_extensions(
+                rt,
+                oriented,
+                c2,
+                2,
+                k,
+                &mut budget,
+                Some((&mut cliques, &mut prefix)),
+            );
             let _ = before;
         }
         tasks.push(TaskRecord::compute_only(rt.task_end()));
@@ -338,7 +347,10 @@ mod tests {
         let generic = k_clique_count(&mut rt, &oriented, 4, &SearchLimits::unlimited());
         let special = four_clique_count(&mut rt, &oriented, &SearchLimits::unlimited());
         assert_eq!(generic.result, special.result);
-        assert_eq!(special.result, properties::brute_force_k_clique_count(&g, 4));
+        assert_eq!(
+            special.result,
+            properties::brute_force_k_clique_count(&g, 4)
+        );
     }
 
     #[test]
@@ -404,7 +416,13 @@ mod tests {
             ],
         );
         let (mut rt, undirected, oriented) = setup(&g);
-        let join = k_clique_star_join(&mut rt, &undirected, &oriented, 3, &SearchLimits::unlimited());
+        let join = k_clique_star_join(
+            &mut rt,
+            &undirected,
+            &oriented,
+            3,
+            &SearchLimits::unlimited(),
+        );
         // Every 3-clique inside {0,1,2,3,4} has at least one star vertex.
         assert!(join.result >= 1);
         let ours = k_clique_star_count(&mut rt, &oriented, 3, &SearchLimits::unlimited());

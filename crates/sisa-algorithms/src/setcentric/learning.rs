@@ -213,7 +213,8 @@ pub fn link_prediction_accuracy(
     let sparse = builder.build();
     let sparse_sets = SetGraph::load(rt, &sparse, cfg);
 
-    let removed_set: std::collections::HashSet<(Vertex, Vertex)> = removed.iter().copied().collect();
+    let removed_set: std::collections::HashSet<(Vertex, Vertex)> =
+        removed.iter().copied().collect();
 
     // Candidate pairs: distance-two non-adjacent pairs.
     let mut candidates: Vec<(Vertex, Vertex)> = Vec::new();
@@ -284,7 +285,13 @@ mod tests {
         assert_eq!(cn, 2.0);
         let tot = pairwise_similarity(&mut rt, &sg, 0, 4, SimilarityMeasure::TotalNeighbors);
         assert_eq!(tot, 4.0);
-        let pa = pairwise_similarity(&mut rt, &sg, 0, 4, SimilarityMeasure::PreferentialAttachment);
+        let pa = pairwise_similarity(
+            &mut rt,
+            &sg,
+            0,
+            4,
+            SimilarityMeasure::PreferentialAttachment,
+        );
         assert_eq!(pa, 9.0);
         // Common neighbours 2 and 3 both have degree 2: AA = 2/ln 2, RA = 1.
         let aa = pairwise_similarity(&mut rt, &sg, 0, 4, SimilarityMeasure::AdamicAdar);
@@ -298,7 +305,9 @@ mod tests {
         let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
         let (mut rt, sg) = setup(&g);
         for m in SimilarityMeasure::ALL {
-            if m == SimilarityMeasure::PreferentialAttachment || m == SimilarityMeasure::TotalNeighbors {
+            if m == SimilarityMeasure::PreferentialAttachment
+                || m == SimilarityMeasure::TotalNeighbors
+            {
                 continue;
             }
             assert_eq!(pairwise_similarity(&mut rt, &sg, 0, 2, m), 0.0, "{m:?}");
@@ -370,7 +379,10 @@ mod tests {
         );
         let outcome = &run.result;
         assert!(outcome.removed_edges > 0);
-        assert_eq!(outcome.predictions.min(outcome.removed_edges), outcome.predictions);
+        assert_eq!(
+            outcome.predictions.min(outcome.removed_edges),
+            outcome.predictions
+        );
         // Dense overlapping cliques make removed edges highly predictable:
         // expect far better recall than random guessing.
         assert!(
@@ -385,7 +397,10 @@ mod tests {
 
     #[test]
     fn measure_names_are_unique() {
-        let mut names: Vec<&str> = SimilarityMeasure::ALL.iter().map(|m| m.short_name()).collect();
+        let mut names: Vec<&str> = SimilarityMeasure::ALL
+            .iter()
+            .map(|m| m.short_name())
+            .collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), SimilarityMeasure::ALL.len());

@@ -22,5 +22,7 @@ pub use cliques::{
 pub use learning::{
     jarvis_patrick_clustering, link_prediction_accuracy, pairwise_similarity, SimilarityMeasure,
 };
-pub use subgraph_iso::{frequent_subgraphs, star_pattern, subgraph_isomorphism_count, PatternGraph};
+pub use subgraph_iso::{
+    frequent_subgraphs, star_pattern, subgraph_isomorphism_count, PatternGraph,
+};
 pub use traversal::{approximate_degeneracy, bfs, BfsMode};

@@ -86,7 +86,9 @@ impl PatternGraph {
             return Vec::new();
         }
         // Start from the highest-degree vertex (cheapest pruning).
-        let start = (0..n as Vertex).max_by_key(|&v| self.adj[v as usize].len()).unwrap_or(0);
+        let start = (0..n as Vertex)
+            .max_by_key(|&v| self.adj[v as usize].len())
+            .unwrap_or(0);
         let mut order = vec![start];
         let mut in_order = vec![false; n];
         in_order[start as usize] = true;
@@ -149,7 +151,16 @@ pub fn subgraph_isomorphism_count(
         let mut used: Vec<Vertex> = vec![root];
         let mut mapping: Vec<Option<Vertex>> = vec![None; pattern.size()];
         mapping[order[0] as usize] = Some(root);
-        count += extend(rt, g, pattern, &order, 1, &mut mapping, &mut used, &mut budget);
+        count += extend(
+            rt,
+            g,
+            pattern,
+            &order,
+            1,
+            &mut mapping,
+            &mut used,
+            &mut budget,
+        );
         tasks.push(TaskRecord::compute_only(rt.task_end()));
     }
     MiningRun::new(count, tasks, budget.exhausted())
@@ -298,17 +309,16 @@ pub fn frequent_subgraphs(
                         }
                     }
                     edges.push((attach_to, n as Vertex));
-                    let mut cand_labels: Vec<u32> =
-                        (0..n as Vertex).map(|v| base.label(v).unwrap_or(0)).collect();
+                    let mut cand_labels: Vec<u32> = (0..n as Vertex)
+                        .map(|v| base.label(v).unwrap_or(0))
+                        .collect();
                     cand_labels.push(l);
                     let candidate = PatternGraph::new(n + 1, &edges).with_labels(cand_labels);
                     // Count support with the SI kernel.
                     let run = subgraph_isomorphism_count(rt, g, &candidate, limits);
                     truncated |= run.truncated;
                     tasks.extend(run.tasks);
-                    if run.result >= min_support
-                        && !next_level.iter().any(|p| *p == candidate)
-                    {
+                    if run.result >= min_support && !next_level.contains(&candidate) {
                         frequent.push(FrequentPattern {
                             pattern: candidate.clone(),
                             support: run.result,
@@ -350,7 +360,12 @@ mod tests {
             let expected: u64 = (0..40u32)
                 .map(|v| falling_factorial(g.degree(v) as u64, k as u64))
                 .sum();
-            let run = subgraph_isomorphism_count(&mut rt, &sg, &star_pattern(k), &SearchLimits::unlimited());
+            let run = subgraph_isomorphism_count(
+                &mut rt,
+                &sg,
+                &star_pattern(k),
+                &SearchLimits::unlimited(),
+            );
             assert_eq!(run.result, expected, "k = {k}");
         }
     }
@@ -372,11 +387,13 @@ mod tests {
             .with_vertex_labels(vec![0, 1, 2, 1]);
         let (mut rt, sg) = setup(&g);
         let labelled_edge = PatternGraph::new(2, &[(0, 1)]).with_labels(vec![2, 1]);
-        let run = subgraph_isomorphism_count(&mut rt, &sg, &labelled_edge, &SearchLimits::unlimited());
+        let run =
+            subgraph_isomorphism_count(&mut rt, &sg, &labelled_edge, &SearchLimits::unlimited());
         // Edges (2,1) and (2,3) match pattern (label2 - label1): 2 embeddings.
         assert_eq!(run.result, 2);
         let unlabelled_edge = PatternGraph::new(2, &[(0, 1)]);
-        let run = subgraph_isomorphism_count(&mut rt, &sg, &unlabelled_edge, &SearchLimits::unlimited());
+        let run =
+            subgraph_isomorphism_count(&mut rt, &sg, &unlabelled_edge, &SearchLimits::unlimited());
         assert_eq!(run.result, 2 * g.num_edges() as u64);
     }
 
@@ -388,9 +405,15 @@ mod tests {
         let labeled = LabeledGraph::with_random_vertex_labels(base.clone(), 3, 9).graph;
         let (mut rt_u, sg_u) = setup(&base);
         let (mut rt_l, sg_l) = setup(&labeled);
-        let unl = subgraph_isomorphism_count(&mut rt_u, &sg_u, &star_pattern(4), &SearchLimits::unlimited());
+        let unl = subgraph_isomorphism_count(
+            &mut rt_u,
+            &sg_u,
+            &star_pattern(4),
+            &SearchLimits::unlimited(),
+        );
         let lab_pattern = star_pattern(4).with_labels(vec![0, 1, 1, 2, 0]);
-        let lab = subgraph_isomorphism_count(&mut rt_l, &sg_l, &lab_pattern, &SearchLimits::unlimited());
+        let lab =
+            subgraph_isomorphism_count(&mut rt_l, &sg_l, &lab_pattern, &SearchLimits::unlimited());
         assert!(lab.result < unl.result);
         assert!(lab.total_cycles() < unl.total_cycles());
     }
@@ -399,7 +422,8 @@ mod tests {
     fn budget_truncates_matching() {
         let g = generators::complete(10);
         let (mut rt, sg) = setup(&g);
-        let run = subgraph_isomorphism_count(&mut rt, &sg, &star_pattern(3), &SearchLimits::patterns(50));
+        let run =
+            subgraph_isomorphism_count(&mut rt, &sg, &star_pattern(3), &SearchLimits::patterns(50));
         assert!(run.truncated);
         assert!(run.result <= 60);
     }
@@ -427,11 +451,19 @@ mod tests {
         let (mut rt, sg) = setup(&g);
         let run = frequent_subgraphs(&mut rt, &sg, 10, 2, &SearchLimits::unlimited());
         // Frequent size-1 patterns: label 0 (20 vertices) and label 1 (20).
-        let singles: Vec<_> = run.result.iter().filter(|p| p.pattern.size() == 1).collect();
+        let singles: Vec<_> = run
+            .result
+            .iter()
+            .filter(|p| p.pattern.size() == 1)
+            .collect();
         assert_eq!(singles.len(), 2);
         // The 0-1 edge is frequent (20 edges ≥ 10 embeddings in each
         // direction); the 0-0 edge (support 2) is not.
-        let pairs: Vec<_> = run.result.iter().filter(|p| p.pattern.size() == 2).collect();
+        let pairs: Vec<_> = run
+            .result
+            .iter()
+            .filter(|p| p.pattern.size() == 2)
+            .collect();
         assert!(!pairs.is_empty());
         assert!(pairs.iter().all(|p| p.support >= 10));
         assert!(pairs.iter().any(|p| {

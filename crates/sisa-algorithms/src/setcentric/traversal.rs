@@ -204,7 +204,11 @@ mod tests {
     fn all_bfs_modes_build_valid_trees() {
         let g = generators::erdos_renyi(200, 0.02, 17);
         let (mut rt, sg) = setup(&g);
-        for mode in [BfsMode::TopDown, BfsMode::BottomUp, BfsMode::DirectionOptimizing] {
+        for mode in [
+            BfsMode::TopDown,
+            BfsMode::BottomUp,
+            BfsMode::DirectionOptimizing,
+        ] {
             let run = bfs(&mut rt, &sg, 0, mode);
             check_bfs_tree(&g, 0, &run.result);
             assert!(!run.tasks.is_empty());

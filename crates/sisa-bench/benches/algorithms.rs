@@ -44,7 +44,9 @@ fn bench_algorithms(c: &mut Criterion) {
         b.iter(|| {
             let mut rt = SisaRuntime::new(SisaConfig::default());
             let sg = SetGraph::load(&mut rt, &g, &SetGraphConfig::default());
-            maximal_cliques(&mut rt, &sg, &ordering, &limits, false).result.count
+            maximal_cliques(&mut rt, &sg, &ordering, &limits, false)
+                .result
+                .count
         })
     });
     group.finish();

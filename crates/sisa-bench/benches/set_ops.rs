@@ -17,15 +17,21 @@ fn bench_intersections(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("merge", size), &size, |bench, _| {
             bench.iter(|| ops::intersect_merge_slices(black_box(&a), black_box(&b)))
         });
-        group.bench_with_input(BenchmarkId::new("galloping_skewed", size), &size, |bench, _| {
-            bench.iter(|| ops::intersect_galloping_slices(black_box(&small), black_box(&b)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("galloping_skewed", size),
+            &size,
+            |bench, _| {
+                bench.iter(|| ops::intersect_galloping_slices(black_box(&small), black_box(&b)))
+            },
+        );
         group.bench_with_input(BenchmarkId::new("sa_db_probe", size), &size, |bench, _| {
             bench.iter(|| ops::intersect_sa_db_count(black_box(&a), black_box(&db)))
         });
-        group.bench_with_input(BenchmarkId::new("db_db_bitwise", size), &size, |bench, _| {
-            bench.iter(|| ops::intersect_db_db_count(black_box(&da), black_box(&db)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("db_db_bitwise", size),
+            &size,
+            |bench, _| bench.iter(|| ops::intersect_db_db_count(black_box(&da), black_box(&db))),
+        );
     }
     group.finish();
 }

@@ -14,7 +14,9 @@ fn main() {
     let cfg = CpuConfig::stock_multicore();
     let mut rows = Vec::new();
     for name in graphs {
-        let g = datasets::by_name(name).expect("registered stand-in").generate(1);
+        let g = datasets::by_name(name)
+            .expect("registered stand-in")
+            .generate(1);
         let ordering = degeneracy_order(&g);
         for &t in &threads {
             // Re-run per thread count: the shared L3 slice per thread shrinks
@@ -38,7 +40,12 @@ fn main() {
         }
     }
     let table = format_table(
-        &["graph", "threads", "runtime [Mcycles]", "stalled-cycle ratio"],
+        &[
+            "graph",
+            "threads",
+            "runtime [Mcycles]",
+            "stalled-cycle ratio",
+        ],
         &rows,
     );
     emit(

@@ -47,7 +47,9 @@ fn main() {
         let mut set_based_cycles = Vec::new();
         let mut sisa_cycles = Vec::new();
         for name in &graph_names {
-            let g = datasets::by_name(name).expect("registered stand-in").generate(1);
+            let g = datasets::by_name(name)
+                .expect("registered stand-in")
+                .generate(1);
             let w = Workload::new(g, threads, limits);
             let mut cells = Vec::new();
             for scheme in Scheme::ALL {
@@ -82,5 +84,8 @@ fn main() {
             avg_sb,
         ));
     }
-    emit("fig6_main", &format!("Figure 6: runtimes with full parallelism.{output}"));
+    emit(
+        "fig6_main",
+        &format!("Figure 6: runtimes with full parallelism.{output}"),
+    );
 }

@@ -10,7 +10,9 @@ fn main() {
     let mut rows = Vec::new();
     let mut detail = String::new();
     for name in graphs {
-        let g = datasets::by_name(name).expect("registered stand-in").generate(2);
+        let g = datasets::by_name(name)
+            .expect("registered stand-in")
+            .generate(2);
         let stats = DegreeStats::compute(&g);
         rows.push(vec![
             name.to_string(),
@@ -19,7 +21,11 @@ fn main() {
             stats.max_degree.to_string(),
             format!("{:.1}%", 100.0 * stats.max_degree_fraction),
             format!("{:.2}", stats.skew),
-            if stats.is_heavy_tailed() { "heavy".into() } else { "light".into() },
+            if stats.is_heavy_tailed() {
+                "heavy".into()
+            } else {
+                "light".into()
+            },
         ]);
         let freq = degree_frequency(&g);
         let sample: Vec<String> = freq
@@ -27,7 +33,10 @@ fn main() {
             .step_by((freq.len() / 12).max(1))
             .map(|(d, c)| format!("{d}:{c}"))
             .collect();
-        detail.push_str(&format!("{name}: degree:count samples -> {}\n", sample.join("  ")));
+        detail.push_str(&format!(
+            "{name}: degree:count samples -> {}\n",
+            sample.join("  ")
+        ));
     }
     let table = format_table(
         &["graph", "n", "m", "max deg", "max deg / n", "skew", "tail"],

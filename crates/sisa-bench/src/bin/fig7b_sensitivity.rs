@@ -23,16 +23,24 @@ fn run_once(
 fn main() {
     let full = full_mode();
     let limits = SearchLimits::patterns(if full { 100_000 } else { 10_000 });
-    let g = datasets::by_name("bio-mouseGene").expect("registered stand-in").generate(2);
+    let g = datasets::by_name("bio-mouseGene")
+        .expect("registered stand-in")
+        .generate(2);
     let ordering = degeneracy_order(&g);
     let oriented = ordering.orient(&g);
 
     // Sweep the fraction of neighbourhoods kept as dense bitvectors.
     let mut rows = Vec::new();
     for t in [0.0, 0.1, 0.25, 0.4, 0.6, 0.8, 1.0] {
-        let sg_cfg = SetGraphConfig { db_fraction: t, storage_budget_frac: f64::INFINITY };
+        let sg_cfg = SetGraphConfig {
+            db_fraction: t,
+            storage_budget_frac: f64::INFINITY,
+        };
         let cycles = run_once(&oriented, SisaConfig::default(), &sg_cfg, &limits);
-        rows.push(vec![format!("{t:.2}"), format!("{:.3}", cycles as f64 / 1e6)]);
+        rows.push(vec![
+            format!("{t:.2}"),
+            format!("{:.3}", cycles as f64 / 1e6),
+        ]);
     }
     let db_table = format_table(&["DB fraction t", "kcc-4 runtime [Mcyc]"], &rows);
 
@@ -46,20 +54,39 @@ fn main() {
         ("always-merge", VariantSelection::AlwaysMerge),
         ("always-gallop", VariantSelection::AlwaysGalloping),
     ] {
-        let sisa = SisaConfig { variant_selection: sel, ..SisaConfig::default() };
+        let sisa = SisaConfig {
+            variant_selection: sel,
+            ..SisaConfig::default()
+        };
         let cycles = run_once(&oriented, sisa, &SetGraphConfig::default(), &limits);
-        rows.push(vec![label.to_string(), format!("{:.3}", cycles as f64 / 1e6)]);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.3}", cycles as f64 / 1e6),
+        ]);
     }
     let gallop_table = format_table(&["galloping threshold", "kcc-4 runtime [Mcyc]"], &rows);
 
     // SCU metadata cache on/off.
-    let with_smb = run_once(&oriented, SisaConfig::default(), &SetGraphConfig::default(), &limits);
-    let without_smb = run_once(&oriented, SisaConfig::without_smb(), &SetGraphConfig::default(), &limits);
+    let with_smb = run_once(
+        &oriented,
+        SisaConfig::default(),
+        &SetGraphConfig::default(),
+        &limits,
+    );
+    let without_smb = run_once(
+        &oriented,
+        SisaConfig::without_smb(),
+        &SetGraphConfig::default(),
+        &limits,
+    );
     let smb_table = format_table(
         &["SMB", "kcc-4 runtime [Mcyc]"],
         &[
             vec!["enabled".into(), format!("{:.3}", with_smb as f64 / 1e6)],
-            vec!["disabled".into(), format!("{:.3}", without_smb as f64 / 1e6)],
+            vec![
+                "disabled".into(),
+                format!("{:.3}", without_smb as f64 / 1e6),
+            ],
         ],
     );
 

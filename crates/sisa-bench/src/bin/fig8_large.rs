@@ -1,14 +1,21 @@
 //! Figure 8: normalised runtimes on the (scaled-down) large-graph suite,
 //! 8 cores.
 
-use sisa_bench::{default_limits, emit, format_table, full_mode, run_cell, Problem, Scheme, Workload};
+use sisa_bench::{
+    default_limits, emit, format_table, full_mode, run_cell, Problem, Scheme, Workload,
+};
 use sisa_graph::datasets;
 
 fn main() {
     let full = full_mode();
     let threads = 8;
     let problems = if full {
-        vec![Problem::Kcc(4), Problem::Kcc(5), Problem::Ksc(4), Problem::Ksc(5)]
+        vec![
+            Problem::Kcc(4),
+            Problem::Kcc(5),
+            Problem::Ksc(4),
+            Problem::Ksc(5),
+        ]
     } else {
         vec![Problem::Kcc(4), Problem::Ksc(4)]
     };
@@ -21,9 +28,14 @@ fn main() {
     for problem in &problems {
         let mut rows = Vec::new();
         for name in &graphs {
-            let g = datasets::by_name(name).expect("registered stand-in").generate(2);
+            let g = datasets::by_name(name)
+                .expect("registered stand-in")
+                .generate(2);
             let w = Workload::new(g, threads, default_limits(*problem, full));
-            let cells: Vec<_> = Scheme::ALL.iter().map(|s| run_cell(*problem, *s, &w)).collect();
+            let cells: Vec<_> = Scheme::ALL
+                .iter()
+                .map(|s| run_cell(*problem, *s, &w))
+                .collect();
             let worst = cells.iter().map(|c| c.cycles).max().unwrap_or(1).max(1) as f64;
             rows.push(vec![
                 (*name).to_string(),

@@ -13,7 +13,9 @@ fn main() {
     let full = full_mode();
     let threads = 8;
     let limits = SearchLimits::patterns(if full { 50_000 } else { 10_000 });
-    let g = datasets::by_name("int-antCol3-d1").expect("stand-in").generate(1);
+    let g = datasets::by_name("int-antCol3-d1")
+        .expect("stand-in")
+        .generate(1);
     let ordering = degeneracy_order(&g);
     let oriented = ordering.orient(&g);
 
@@ -21,7 +23,14 @@ fn main() {
     for k in [4usize, 5] {
         let mut rows = Vec::new();
         for mode in [BaselineMode::NonSet, BaselineMode::SetBased] {
-            let run = k_clique_count_baseline(&oriented, k, mode, &CpuConfig::default(), threads, &limits);
+            let run = k_clique_count_baseline(
+                &oriented,
+                k,
+                mode,
+                &CpuConfig::default(),
+                threads,
+                &limits,
+            );
             let report = parallel::schedule_cpu(&run.tasks, threads, &CpuConfig::default());
             let stalls: Vec<String> = report
                 .per_thread
@@ -46,13 +55,19 @@ fn main() {
         ]);
         output.push_str(&format!(
             "\n{}",
-            format_table(&["scheme", "per-thread stalled-time fraction (8 threads)"], &rows)
+            format_table(
+                &["scheme", "per-thread stalled-time fraction (8 threads)"],
+                &rows
+            )
         ));
     }
 
     // Figure 9b: histograms of processed set sizes, full vs partial run.
     let mut hist_out = String::new();
-    for (label, lim) in [("full", SearchLimits::unlimited()), ("partial", SearchLimits::patterns(2_000))] {
+    for (label, lim) in [
+        ("full", SearchLimits::unlimited()),
+        ("partial", SearchLimits::patterns(2_000)),
+    ] {
         let mut rt = SisaRuntime::new(SisaConfig::with_set_size_tracking());
         let sg = SetGraph::load(&mut rt, &oriented, &SetGraphConfig::default());
         rt.reset_stats();
@@ -60,7 +75,7 @@ fn main() {
         let sizes = &rt.stats().processed_set_sizes;
         let mut bins = [0usize; 8];
         for &s in sizes {
-            let bin = (usize::BITS - 1 - (s.max(1) as usize).leading_zeros() as u32).min(7) as usize;
+            let bin = (usize::BITS - 1 - (s.max(1) as usize).leading_zeros()).min(7) as usize;
             bins[bin] += 1;
         }
         hist_out.push_str(&format!(

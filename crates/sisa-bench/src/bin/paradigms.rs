@@ -25,18 +25,28 @@ fn main() {
         let sched = |tasks: &[sisa_core::TaskRecord]| {
             parallel::schedule_cpu(tasks, threads, &cpu).makespan_cycles as f64 / 1e6
         };
-        let tuned = k_clique_count_baseline(&oriented, 4, BaselineMode::SetBased, &cpu, threads, &limits);
+        let tuned =
+            k_clique_count_baseline(&oriented, 4, BaselineMode::SetBased, &cpu, threads, &limits);
         let ne = neighborhood_expansion_cliques(&oriented, 4, &cpu, threads, &limits);
         let rj = relational_join_cliques(&oriented, 4, &cpu, threads, &limits);
-        let mc_ne = neighborhood_expansion_maximal_cliques(&g, &oriented, 6, &cpu, threads,
-            &SearchLimits::patterns(if full { 5_000 } else { 500 }));
+        let mc_ne = neighborhood_expansion_maximal_cliques(
+            &g,
+            &oriented,
+            6,
+            &cpu,
+            threads,
+            &SearchLimits::patterns(if full { 5_000 } else { 500 }),
+        );
         let mut rt = SisaRuntime::new(SisaConfig::default());
         let sg = SetGraph::load(&mut rt, &oriented, &SetGraphConfig::default());
         rt.reset_stats();
         let sisa = k_clique_count(&mut rt, &sg, 4, &limits);
         rows.push(vec![
             name.to_string(),
-            format!("{:.3}", parallel::schedule(&sisa.tasks, threads).makespan_cycles as f64 / 1e6),
+            format!(
+                "{:.3}",
+                parallel::schedule(&sisa.tasks, threads).makespan_cycles as f64 / 1e6
+            ),
             format!("{:.3}", sched(&tuned.tasks)),
             format!("{:.3}", sched(&ne.tasks)),
             format!("{:.3}", sched(&rj.tasks)),

@@ -4,6 +4,7 @@ use std::process::Command;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
+    let mut failures = 0u32;
     let bins = [
         "fig1_motivation",
         "fig6_main",
@@ -24,13 +25,40 @@ fn main() {
         }
         match cmd.status() {
             Ok(status) if status.success() => {}
-            Ok(status) => eprintln!("{bin} exited with {status}"),
-            Err(e) => eprintln!("failed to launch {bin}: {e} (run `cargo build --release -p sisa-bench` first)"),
+            Ok(status) => {
+                failures += 1;
+                eprintln!("{bin} exited with {status}");
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!(
+                    "failed to launch {bin}: {e} (run `cargo build --release -p sisa-bench` first)"
+                );
+            }
         }
     }
     // Exercise the remaining set-centric formulations (BFS, approximate
     // degeneracy) so the full inventory is covered by one command.
-    let g = sisa_graph::datasets::by_name("soc-fbMsg").unwrap().generate(1);
+    let g = sisa_graph::datasets::by_name("soc-fbMsg")
+        .unwrap()
+        .generate(1);
     let (rounds, reached) = sisa_bench::run_auxiliary_formulations(&g);
     println!("\nAuxiliary formulations: approximate degeneracy finished in {rounds} rounds; set-centric BFS reached {reached} vertices.");
+
+    // Record the platform parameters the figures were produced with.
+    let dir = sisa_bench::results_dir();
+    let json = sisa_bench::PlatformSummary::default().to_json();
+    if std::fs::create_dir_all(&dir).is_ok()
+        && std::fs::write(dir.join("platform.json"), &json).is_ok()
+    {
+        println!(
+            "Platform configuration recorded in {}",
+            dir.join("platform.json").display()
+        );
+    }
+
+    if failures > 0 {
+        eprintln!("{failures} experiment binaries failed");
+        std::process::exit(1);
+    }
 }

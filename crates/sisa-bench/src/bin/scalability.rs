@@ -10,7 +10,16 @@ fn main() {
     let threads = [1usize, 2, 4, 8, 16, 32];
 
     // Strong scaling: fixed graph, growing thread count.
-    let g = kronecker(&RmatConfig { scale: 11, edge_factor: 12, a: 0.57, b: 0.19, c: 0.19 }, 3);
+    let g = kronecker(
+        &RmatConfig {
+            scale: 11,
+            edge_factor: 12,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+        },
+        3,
+    );
     let mut rows = Vec::new();
     for &t in &threads {
         let w = Workload::new(g.clone(), t, limits);
@@ -23,12 +32,24 @@ fn main() {
             format!("{:.2}x", set_based.cycles as f64 / sisa.cycles as f64),
         ]);
     }
-    let strong = format_table(&["threads", "set-based [Mcyc]", "sisa [Mcyc]", "sisa speedup"], &rows);
+    let strong = format_table(
+        &["threads", "set-based [Mcyc]", "sisa [Mcyc]", "sisa speedup"],
+        &rows,
+    );
 
     // Weak scaling: threads grow with the number of edges per vertex.
     let mut rows = Vec::new();
     for (t, ef) in [(4usize, 4usize), (8, 8), (16, 16), (32, 32)] {
-        let g = kronecker(&RmatConfig { scale: 10, edge_factor: ef, a: 0.57, b: 0.19, c: 0.19 }, 5);
+        let g = kronecker(
+            &RmatConfig {
+                scale: 10,
+                edge_factor: ef,
+                a: 0.57,
+                b: 0.19,
+                c: 0.19,
+            },
+            5,
+        );
         let w = Workload::new(g, t, limits);
         let sisa = run_cell(Problem::Kcc(4), Scheme::Sisa, &w);
         let set_based = run_cell(Problem::Kcc(4), Scheme::SetBased, &w);
@@ -39,7 +60,10 @@ fn main() {
             format!("{:.3}", sisa.cycles as f64 / 1e6),
         ]);
     }
-    let weak = format_table(&["threads", "edges/vertex", "set-based [Mcyc]", "sisa [Mcyc]"], &rows);
+    let weak = format_table(
+        &["threads", "edges/vertex", "set-based [Mcyc]", "sisa [Mcyc]"],
+        &rows,
+    );
 
     emit(
         "scalability",

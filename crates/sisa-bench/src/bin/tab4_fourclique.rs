@@ -15,8 +15,22 @@ fn main() {
     for name in ["int-antCol5-d1", "econ-beacxc", "bio-SC-GT"] {
         let g = datasets::by_name(name).expect("stand-in").generate(1);
         let oriented = degeneracy_order(&g).orient(&g);
-        let non_set = k_clique_count_baseline(&oriented, 4, BaselineMode::NonSet, &CpuConfig::default(), 32, &limits);
-        let set_sw = k_clique_count_baseline(&oriented, 4, BaselineMode::SetBased, &CpuConfig::default(), 32, &limits);
+        let non_set = k_clique_count_baseline(
+            &oriented,
+            4,
+            BaselineMode::NonSet,
+            &CpuConfig::default(),
+            32,
+            &limits,
+        );
+        let set_sw = k_clique_count_baseline(
+            &oriented,
+            4,
+            BaselineMode::SetBased,
+            &CpuConfig::default(),
+            32,
+            &limits,
+        );
         let mut rt = SisaRuntime::new(SisaConfig::default());
         let sg = SetGraph::load(&mut rt, &oriented, &SetGraphConfig::default());
         rt.reset_stats();
@@ -41,7 +55,13 @@ fn main() {
         &format!(
             "Table 4: counting all 4-cliques with the three code variants (32 threads).\n\n{}",
             format_table(
-                &["graph", "4-cliques found", "non-set [Mcyc]", "set-centric SW [Mcyc]", "SISA [Mcyc]"],
+                &[
+                    "graph",
+                    "4-cliques found",
+                    "non-set [Mcyc]",
+                    "set-centric SW [Mcyc]",
+                    "SISA [Mcyc]"
+                ],
                 &rows
             )
         ),

@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use serde::{Deserialize, Serialize};
 use sisa_algorithms::baseline::{
     jarvis_patrick_baseline, k_clique_count_baseline, k_clique_star_count_baseline,
     maximal_cliques_baseline, star_isomorphism_baseline, triangle_count_baseline, BaselineMode,
@@ -26,7 +27,7 @@ use sisa_algorithms::{MiningRun, SearchLimits};
 use sisa_core::{parallel, RunReport, SetGraph, SetGraphConfig, SisaConfig, SisaRuntime};
 use sisa_graph::orientation::degeneracy_order;
 use sisa_graph::{CsrGraph, LabeledGraph};
-use sisa_pim::CpuConfig;
+use sisa_pim::{CpuConfig, EnergyModel, PimPlatform};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -353,8 +354,8 @@ pub fn speedup_summaries(baseline_cycles: &[u64], sisa_cycles: &[u64]) -> (f64, 
         log_sum += (b.max(1) as f64 / s.max(1) as f64).ln();
     }
     let avg_of_speedups = (log_sum / baseline_cycles.len() as f64).exp();
-    let speedup_of_avgs = baseline_cycles.iter().sum::<u64>() as f64
-        / sisa_cycles.iter().sum::<u64>().max(1) as f64;
+    let speedup_of_avgs =
+        baseline_cycles.iter().sum::<u64>() as f64 / sisa_cycles.iter().sum::<u64>().max(1) as f64;
     (avg_of_speedups, speedup_of_avgs)
 }
 
@@ -380,18 +381,46 @@ pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     };
     let header_cells: Vec<String> = headers.iter().map(|s| (*s).to_string()).collect();
     let _ = writeln!(out, "{}", fmt_row(&header_cells, &widths));
-    let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    let _ = writeln!(
+        out,
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         let _ = writeln!(out, "{}", fmt_row(row, &widths));
     }
     out
 }
 
+/// Machine-readable record of the platform parameters a run used, emitted as
+/// `results/platform.json` by `run_all` so figures carry their provenance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PlatformSummary {
+    /// Baseline out-of-order CPU model.
+    pub cpu: CpuConfig,
+    /// The SISA hardware platform (PNM + PUM + SCU parameters).
+    pub pim: PimPlatform,
+    /// Event-based energy model.
+    pub energy: EnergyModel,
+}
+
+impl PlatformSummary {
+    /// Pretty-printed JSON for this summary.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("platform summary serializes")
+    }
+}
+
 /// Prints `content` and also writes it to `results/<name>.txt` (best effort).
 pub fn emit(name: &str, content: &str) {
+    emit_to(&results_dir(), name, content);
+}
+
+/// Prints `content` and mirrors it to `<dir>/<name>.txt` (best effort).
+pub fn emit_to(dir: &std::path::Path, name: &str, content: &str) {
     println!("{content}");
-    let dir = results_dir();
-    if std::fs::create_dir_all(&dir).is_ok() {
+    if std::fs::create_dir_all(dir).is_ok() {
         let _ = std::fs::write(dir.join(format!("{name}.txt")), content);
     }
 }
@@ -471,7 +500,10 @@ mod tests {
     fn table_formatting_is_aligned() {
         let t = format_table(
             &["graph", "cycles"],
-            &[vec!["a".into(), "10".into()], vec!["bbbb".into(), "2".into()]],
+            &[
+                vec!["a".into(), "10".into()],
+                vec!["bbbb".into(), "2".into()],
+            ],
         );
         assert!(t.contains("graph"));
         assert_eq!(t.lines().count(), 4);

@@ -131,7 +131,9 @@ mod tests {
     fn extreme_layouts() {
         assert_eq!(SetGraphConfig::sparse_only().db_fraction, 0.0);
         assert_eq!(SetGraphConfig::dense_only().db_fraction, 1.0);
-        assert!(SetGraphConfig::dense_only().storage_budget_frac.is_infinite());
+        assert!(SetGraphConfig::dense_only()
+            .storage_budget_frac
+            .is_infinite());
     }
 
     #[test]

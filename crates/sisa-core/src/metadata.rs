@@ -44,7 +44,13 @@ impl SetMetadataTable {
     }
 
     /// Registers a new set and assigns it a synthetic storage address.
-    pub fn register(&mut self, id: SetId, kind: RepresentationKind, cardinality: usize, universe: usize) {
+    pub fn register(
+        &mut self,
+        id: SetId,
+        kind: RepresentationKind,
+        cardinality: usize,
+        universe: usize,
+    ) {
         let bits = match kind {
             RepresentationKind::DenseBitvector => universe,
             _ => cardinality * 32,
@@ -203,7 +209,10 @@ mod tests {
         assert_eq!(entry.kind, RepresentationKind::SortedArray);
         table.update(id, RepresentationKind::DenseBitvector, 25);
         assert_eq!(table.get(id).unwrap().cardinality, 25);
-        assert_eq!(table.get(id).unwrap().kind, RepresentationKind::DenseBitvector);
+        assert_eq!(
+            table.get(id).unwrap().kind,
+            RepresentationKind::DenseBitvector
+        );
         assert_eq!(table.len(), 1);
         table.remove(id);
         assert!(table.is_empty());

@@ -231,14 +231,21 @@ impl SisaRuntime {
 
     fn element_update(&mut self, id: SetId, v: Vertex, opcode: SisaOpcode, insert: bool) -> bool {
         self.stats.record_instruction(opcode);
-        let meta = *self.metadata.get(id).expect("element update on unknown set");
+        let meta = *self
+            .metadata
+            .get(id)
+            .expect("element update on unknown set");
         let outcome = self.scu.dispatch_element(id, &meta);
         self.apply_outcome(&outcome, None);
         self.expect_slot(id);
         let repr = self.sets[id.0 as usize]
             .as_mut()
             .unwrap_or_else(|| panic!("set {id} does not exist"));
-        let changed = if insert { repr.insert(v) } else { repr.remove(v) };
+        let changed = if insert {
+            repr.insert(v)
+        } else {
+            repr.remove(v)
+        };
         let (kind, len) = (repr.kind(), repr.len());
         self.metadata.update(id, kind, len);
         changed
@@ -265,7 +272,12 @@ impl SisaRuntime {
 
     /// `|A ∩ B|` without materialising the intersection.
     pub fn intersect_count(&mut self, a: SetId, b: SetId) -> usize {
-        self.binary_counting(a, b, BinarySetOp::Intersection, SisaOpcode::IntersectCountAuto)
+        self.binary_counting(
+            a,
+            b,
+            BinarySetOp::Intersection,
+            SisaOpcode::IntersectCountAuto,
+        )
     }
 
     /// `|A ∪ B|` without materialising the union.
@@ -275,7 +287,12 @@ impl SisaRuntime {
 
     /// `|A \ B|` without materialising the difference.
     pub fn difference_count(&mut self, a: SetId, b: SetId) -> usize {
-        self.binary_counting(a, b, BinarySetOp::Difference, SisaOpcode::DifferenceCountAuto)
+        self.binary_counting(
+            a,
+            b,
+            BinarySetOp::Difference,
+            SisaOpcode::DifferenceCountAuto,
+        )
     }
 
     /// In-place union `A ∪= B` (the result replaces `A`).
@@ -359,8 +376,7 @@ impl SisaRuntime {
 
     fn replace(&mut self, id: SetId, repr: SetRepr) {
         self.expect_slot(id);
-        self.metadata
-            .update(id, repr.kind(), repr.len());
+        self.metadata.update(id, repr.kind(), repr.len());
         self.sets[id.0 as usize] = Some(repr);
     }
 
@@ -410,7 +426,11 @@ impl SisaRuntime {
         self.apply_outcome(&outcome, None);
     }
 
-    fn apply_outcome(&mut self, outcome: &DispatchOutcome, choice: Option<crate::scu::ExecutionChoice>) {
+    fn apply_outcome(
+        &mut self,
+        outcome: &DispatchOutcome,
+        choice: Option<crate::scu::ExecutionChoice>,
+    ) {
         self.stats.scu_cycles += outcome.scu_cycles;
         self.stats.smb_hits += outcome.smb_hits;
         self.stats.smb_misses += outcome.smb_misses;

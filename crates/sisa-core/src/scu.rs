@@ -224,7 +224,9 @@ impl Scu {
                 } else {
                     self.pum.bulk_op_cost(bulk, universe_bits)
                 };
-                let energy = self.energy.pum_energy(self.pum.row_activations(bulk, universe_bits));
+                let energy = self
+                    .energy
+                    .pum_energy(self.pum.row_activations(bulk, universe_bits));
                 (ExecutionChoice::PumBulk(bulk), cycles, energy)
             }
             (RepresentationKind::DenseBitvector, _) | (_, RepresentationKind::DenseBitvector) => {
@@ -363,12 +365,26 @@ mod tests {
         let mut s = scu();
         let similar_a = meta(RepresentationKind::SortedArray, 5_000, 100_000);
         let similar_b = meta(RepresentationKind::SortedArray, 6_000, 100_000);
-        let out = s.dispatch_binary(BinarySetOp::Intersection, false, SetId(1), &similar_a, SetId(2), &similar_b);
+        let out = s.dispatch_binary(
+            BinarySetOp::Intersection,
+            false,
+            SetId(1),
+            &similar_a,
+            SetId(2),
+            &similar_b,
+        );
         assert_eq!(out.choice, ExecutionChoice::PnmMerge);
 
         let tiny = meta(RepresentationKind::SortedArray, 4, 100_000);
         let huge = meta(RepresentationKind::SortedArray, 900_000, 1_000_000);
-        let out = s.dispatch_binary(BinarySetOp::Intersection, false, SetId(3), &tiny, SetId(4), &huge);
+        let out = s.dispatch_binary(
+            BinarySetOp::Intersection,
+            false,
+            SetId(3),
+            &tiny,
+            SetId(4),
+            &huge,
+        );
         assert_eq!(out.choice, ExecutionChoice::PnmGalloping);
     }
 
@@ -376,12 +392,24 @@ mod tests {
     fn selection_policies_are_respected() {
         let platform = PimPlatform::default();
         let merge_only = Scu::new(platform, VariantSelection::AlwaysMerge);
-        assert_eq!(merge_only.choose_sparse_algorithm(1, 1_000_000), ExecutionChoice::PnmMerge);
+        assert_eq!(
+            merge_only.choose_sparse_algorithm(1, 1_000_000),
+            ExecutionChoice::PnmMerge
+        );
         let gallop_only = Scu::new(platform, VariantSelection::AlwaysGalloping);
-        assert_eq!(gallop_only.choose_sparse_algorithm(500, 500), ExecutionChoice::PnmGalloping);
+        assert_eq!(
+            gallop_only.choose_sparse_algorithm(500, 500),
+            ExecutionChoice::PnmGalloping
+        );
         let ratio = Scu::new(platform, VariantSelection::SizeRatio(5.0));
-        assert_eq!(ratio.choose_sparse_algorithm(10, 49), ExecutionChoice::PnmMerge);
-        assert_eq!(ratio.choose_sparse_algorithm(10, 51), ExecutionChoice::PnmGalloping);
+        assert_eq!(
+            ratio.choose_sparse_algorithm(10, 49),
+            ExecutionChoice::PnmMerge
+        );
+        assert_eq!(
+            ratio.choose_sparse_algorithm(10, 51),
+            ExecutionChoice::PnmGalloping
+        );
     }
 
     #[test]
@@ -399,8 +427,10 @@ mod tests {
 
     #[test]
     fn disabling_the_smb_makes_every_lookup_a_memory_access() {
-        let mut platform = PimPlatform::default();
-        platform.smb_enabled = false;
+        let platform = PimPlatform {
+            smb_enabled: false,
+            ..PimPlatform::default()
+        };
         let mut s = Scu::new(platform, VariantSelection::PerformanceModel);
         let a = meta(RepresentationKind::SortedArray, 10, 100);
         let out1 = s.dispatch_binary(BinarySetOp::Intersection, false, SetId(1), &a, SetId(2), &a);
@@ -417,7 +447,10 @@ mod tests {
         let sorted = meta(RepresentationKind::SortedArray, 100_000, 1_000_000);
         let d = s.dispatch_element(SetId(1), &dense);
         let so = s.dispatch_element(SetId(2), &sorted);
-        assert!(d.exec_cycles < so.exec_cycles, "bit update should be cheaper than array shifting");
+        assert!(
+            d.exec_cycles < so.exec_cycles,
+            "bit update should be cheaper than array shifting"
+        );
         assert_eq!(d.choice, ExecutionChoice::PnmDirect);
     }
 

@@ -146,7 +146,7 @@ impl CsrGraph {
 
     /// All vertex identifiers `0..n`.
     pub fn vertices(&self) -> impl Iterator<Item = Vertex> + '_ {
-        (0..self.num_vertices() as Vertex).into_iter()
+        0..self.num_vertices() as Vertex
     }
 
     /// Iterates over every stored (directed) arc `(u, v)`.

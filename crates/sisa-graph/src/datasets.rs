@@ -62,28 +62,15 @@ enum Recipe {
     /// dense clusters (bio / brain / econ character).
     Community(PlantedCliqueConfig),
     /// Near-complete dense graph (small animal-interaction and DIMACS graphs).
-    NearComplete {
-        n: usize,
-        density: f64,
-    },
+    NearComplete { n: usize, density: f64 },
     /// R-MAT / Kronecker (social and web-like graphs).
     Rmat(RmatConfig),
     /// Barabási–Albert preferential attachment (moderately skewed networks).
-    BarabasiAlbert {
-        n: usize,
-        m_attach: usize,
-    },
+    BarabasiAlbert { n: usize, m_attach: usize },
     /// Fixed-edge-count Erdős–Rényi (very sparse contact networks).
-    SparseRandom {
-        n: usize,
-        m: usize,
-    },
+    SparseRandom { n: usize, m: usize },
     /// Watts–Strogatz lattice (scientific-computing meshes: light tails).
-    SmallWorld {
-        n: usize,
-        k: usize,
-        beta: f64,
-    },
+    SmallWorld { n: usize, k: usize, beta: f64 },
 }
 
 /// A named dataset stand-in.
@@ -152,26 +139,190 @@ fn community(n: usize, m: usize, max_clique_frac: f64, overlap: f64) -> Recipe {
 pub fn small_suite() -> Vec<DatasetSpec> {
     use GraphClass::*;
     vec![
-        DatasetSpec { name: "bio-SC-GT", class: Biological, paper_vertices: 1700, paper_edges: 34_000, scale: 1.0, recipe: community(1700, 34_000, 0.05, 0.3) },
-        DatasetSpec { name: "bn-flyMedulla", class: Brain, paper_vertices: 1800, paper_edges: 8_900, scale: 1.0, recipe: Recipe::BarabasiAlbert { n: 1800, m_attach: 5 } },
-        DatasetSpec { name: "bn-mouse", class: Brain, paper_vertices: 1100, paper_edges: 90_800, scale: 1.0, recipe: community(1100, 90_800, 0.20, 0.4) },
-        DatasetSpec { name: "int-antCol3-d1", class: Interaction, paper_vertices: 161, paper_edges: 11_100, scale: 1.0, recipe: Recipe::NearComplete { n: 161, density: 0.86 } },
-        DatasetSpec { name: "int-antCol5-d1", class: Interaction, paper_vertices: 153, paper_edges: 9_000, scale: 1.0, recipe: Recipe::NearComplete { n: 153, density: 0.77 } },
-        DatasetSpec { name: "int-antCol6-d2", class: Interaction, paper_vertices: 165, paper_edges: 10_200, scale: 1.0, recipe: Recipe::NearComplete { n: 165, density: 0.75 } },
-        DatasetSpec { name: "bio-CE-PG", class: Biological, paper_vertices: 1800, paper_edges: 48_000, scale: 1.0, recipe: community(1800, 48_000, 0.06, 0.3) },
-        DatasetSpec { name: "bio-DM-CX", class: Biological, paper_vertices: 4000, paper_edges: 77_000, scale: 1.0, recipe: community(4000, 77_000, 0.04, 0.3) },
-        DatasetSpec { name: "bio-DR-CX", class: Biological, paper_vertices: 3200, paper_edges: 85_000, scale: 1.0, recipe: community(3200, 85_000, 0.04, 0.3) },
-        DatasetSpec { name: "bio-HS-LC", class: Biological, paper_vertices: 4200, paper_edges: 39_000, scale: 1.0, recipe: community(4200, 39_000, 0.06, 0.35) },
-        DatasetSpec { name: "bio-SC-HT", class: Biological, paper_vertices: 2000, paper_edges: 63_000, scale: 1.0, recipe: community(2000, 63_000, 0.05, 0.3) },
-        DatasetSpec { name: "bio-WormNetB3", class: Biological, paper_vertices: 2400, paper_edges: 79_000, scale: 1.0, recipe: community(2400, 79_000, 0.05, 0.3) },
-        DatasetSpec { name: "dimacs-c500-9", class: DiscreteMath, paper_vertices: 501, paper_edges: 112_000, scale: 1.0, recipe: Recipe::NearComplete { n: 501, density: 0.9 } },
-        DatasetSpec { name: "econ-beacxc", class: Economic, paper_vertices: 498, paper_edges: 42_000, scale: 1.0, recipe: community(498, 42_000, 0.15, 0.35) },
-        DatasetSpec { name: "econ-beaflw", class: Economic, paper_vertices: 508, paper_edges: 44_900, scale: 1.0, recipe: community(508, 44_900, 0.15, 0.35) },
-        DatasetSpec { name: "econ-mbeacxc", class: Economic, paper_vertices: 493, paper_edges: 41_600, scale: 1.0, recipe: community(493, 41_600, 0.15, 0.35) },
-        DatasetSpec { name: "econ-orani678", class: Economic, paper_vertices: 2500, paper_edges: 86_800, scale: 1.0, recipe: community(2500, 86_800, 0.08, 0.3) },
-        DatasetSpec { name: "int-HosWardProx", class: Interaction, paper_vertices: 1800, paper_edges: 1400, scale: 1.0, recipe: Recipe::SparseRandom { n: 1800, m: 1400 } },
-        DatasetSpec { name: "intD-antCol4", class: Interaction, paper_vertices: 134, paper_edges: 5000, scale: 1.0, recipe: Recipe::NearComplete { n: 134, density: 0.56 } },
-        DatasetSpec { name: "soc-fbMsg", class: Social, paper_vertices: 1900, paper_edges: 13_800, scale: 1.0, recipe: Recipe::Rmat(RmatConfig { scale: 11, edge_factor: 7, a: 0.57, b: 0.19, c: 0.19 }) },
+        DatasetSpec {
+            name: "bio-SC-GT",
+            class: Biological,
+            paper_vertices: 1700,
+            paper_edges: 34_000,
+            scale: 1.0,
+            recipe: community(1700, 34_000, 0.05, 0.3),
+        },
+        DatasetSpec {
+            name: "bn-flyMedulla",
+            class: Brain,
+            paper_vertices: 1800,
+            paper_edges: 8_900,
+            scale: 1.0,
+            recipe: Recipe::BarabasiAlbert {
+                n: 1800,
+                m_attach: 5,
+            },
+        },
+        DatasetSpec {
+            name: "bn-mouse",
+            class: Brain,
+            paper_vertices: 1100,
+            paper_edges: 90_800,
+            scale: 1.0,
+            recipe: community(1100, 90_800, 0.20, 0.4),
+        },
+        DatasetSpec {
+            name: "int-antCol3-d1",
+            class: Interaction,
+            paper_vertices: 161,
+            paper_edges: 11_100,
+            scale: 1.0,
+            recipe: Recipe::NearComplete {
+                n: 161,
+                density: 0.86,
+            },
+        },
+        DatasetSpec {
+            name: "int-antCol5-d1",
+            class: Interaction,
+            paper_vertices: 153,
+            paper_edges: 9_000,
+            scale: 1.0,
+            recipe: Recipe::NearComplete {
+                n: 153,
+                density: 0.77,
+            },
+        },
+        DatasetSpec {
+            name: "int-antCol6-d2",
+            class: Interaction,
+            paper_vertices: 165,
+            paper_edges: 10_200,
+            scale: 1.0,
+            recipe: Recipe::NearComplete {
+                n: 165,
+                density: 0.75,
+            },
+        },
+        DatasetSpec {
+            name: "bio-CE-PG",
+            class: Biological,
+            paper_vertices: 1800,
+            paper_edges: 48_000,
+            scale: 1.0,
+            recipe: community(1800, 48_000, 0.06, 0.3),
+        },
+        DatasetSpec {
+            name: "bio-DM-CX",
+            class: Biological,
+            paper_vertices: 4000,
+            paper_edges: 77_000,
+            scale: 1.0,
+            recipe: community(4000, 77_000, 0.04, 0.3),
+        },
+        DatasetSpec {
+            name: "bio-DR-CX",
+            class: Biological,
+            paper_vertices: 3200,
+            paper_edges: 85_000,
+            scale: 1.0,
+            recipe: community(3200, 85_000, 0.04, 0.3),
+        },
+        DatasetSpec {
+            name: "bio-HS-LC",
+            class: Biological,
+            paper_vertices: 4200,
+            paper_edges: 39_000,
+            scale: 1.0,
+            recipe: community(4200, 39_000, 0.06, 0.35),
+        },
+        DatasetSpec {
+            name: "bio-SC-HT",
+            class: Biological,
+            paper_vertices: 2000,
+            paper_edges: 63_000,
+            scale: 1.0,
+            recipe: community(2000, 63_000, 0.05, 0.3),
+        },
+        DatasetSpec {
+            name: "bio-WormNetB3",
+            class: Biological,
+            paper_vertices: 2400,
+            paper_edges: 79_000,
+            scale: 1.0,
+            recipe: community(2400, 79_000, 0.05, 0.3),
+        },
+        DatasetSpec {
+            name: "dimacs-c500-9",
+            class: DiscreteMath,
+            paper_vertices: 501,
+            paper_edges: 112_000,
+            scale: 1.0,
+            recipe: Recipe::NearComplete {
+                n: 501,
+                density: 0.9,
+            },
+        },
+        DatasetSpec {
+            name: "econ-beacxc",
+            class: Economic,
+            paper_vertices: 498,
+            paper_edges: 42_000,
+            scale: 1.0,
+            recipe: community(498, 42_000, 0.15, 0.35),
+        },
+        DatasetSpec {
+            name: "econ-beaflw",
+            class: Economic,
+            paper_vertices: 508,
+            paper_edges: 44_900,
+            scale: 1.0,
+            recipe: community(508, 44_900, 0.15, 0.35),
+        },
+        DatasetSpec {
+            name: "econ-mbeacxc",
+            class: Economic,
+            paper_vertices: 493,
+            paper_edges: 41_600,
+            scale: 1.0,
+            recipe: community(493, 41_600, 0.15, 0.35),
+        },
+        DatasetSpec {
+            name: "econ-orani678",
+            class: Economic,
+            paper_vertices: 2500,
+            paper_edges: 86_800,
+            scale: 1.0,
+            recipe: community(2500, 86_800, 0.08, 0.3),
+        },
+        DatasetSpec {
+            name: "int-HosWardProx",
+            class: Interaction,
+            paper_vertices: 1800,
+            paper_edges: 1400,
+            scale: 1.0,
+            recipe: Recipe::SparseRandom { n: 1800, m: 1400 },
+        },
+        DatasetSpec {
+            name: "intD-antCol4",
+            class: Interaction,
+            paper_vertices: 134,
+            paper_edges: 5000,
+            scale: 1.0,
+            recipe: Recipe::NearComplete {
+                n: 134,
+                density: 0.56,
+            },
+        },
+        DatasetSpec {
+            name: "soc-fbMsg",
+            class: Social,
+            paper_vertices: 1900,
+            paper_edges: 13_800,
+            scale: 1.0,
+            recipe: Recipe::Rmat(RmatConfig {
+                scale: 11,
+                edge_factor: 7,
+                a: 0.57,
+                b: 0.19,
+                c: 0.19,
+            }),
+        },
     ]
 }
 
@@ -181,12 +332,76 @@ pub fn small_suite() -> Vec<DatasetSpec> {
 pub fn large_suite() -> Vec<DatasetSpec> {
     use GraphClass::*;
     vec![
-        DatasetSpec { name: "bio-humanGene", class: Biological, paper_vertices: 14_000, paper_edges: 9_000_000, scale: 0.11, recipe: community(1500, 110_000, 0.35, 0.5) },
-        DatasetSpec { name: "bio-mouseGene", class: Biological, paper_vertices: 45_000, paper_edges: 14_500_000, scale: 0.045, recipe: community(2000, 130_000, 0.20, 0.45) },
-        DatasetSpec { name: "edit-enwiktionary", class: Wiki, paper_vertices: 2_100_000, paper_edges: 5_500_000, scale: 0.004, recipe: Recipe::Rmat(RmatConfig { scale: 13, edge_factor: 3, a: 0.57, b: 0.19, c: 0.19 }) },
-        DatasetSpec { name: "int-dating", class: Interaction, paper_vertices: 169_000, paper_edges: 17_300_000, scale: 0.024, recipe: Recipe::Rmat(RmatConfig { scale: 12, edge_factor: 20, a: 0.55, b: 0.2, c: 0.2 }) },
-        DatasetSpec { name: "sc-pwtk", class: SciComp, paper_vertices: 217_900, paper_edges: 5_600_000, scale: 0.028, recipe: Recipe::SmallWorld { n: 6000, k: 24, beta: 0.05 } },
-        DatasetSpec { name: "soc-orkut", class: Social, paper_vertices: 3_100_000, paper_edges: 117_000_000, scale: 0.0026, recipe: Recipe::Rmat(RmatConfig { scale: 13, edge_factor: 15, a: 0.40, b: 0.25, c: 0.25 }) },
+        DatasetSpec {
+            name: "bio-humanGene",
+            class: Biological,
+            paper_vertices: 14_000,
+            paper_edges: 9_000_000,
+            scale: 0.11,
+            recipe: community(1500, 110_000, 0.35, 0.5),
+        },
+        DatasetSpec {
+            name: "bio-mouseGene",
+            class: Biological,
+            paper_vertices: 45_000,
+            paper_edges: 14_500_000,
+            scale: 0.045,
+            recipe: community(2000, 130_000, 0.20, 0.45),
+        },
+        DatasetSpec {
+            name: "edit-enwiktionary",
+            class: Wiki,
+            paper_vertices: 2_100_000,
+            paper_edges: 5_500_000,
+            scale: 0.004,
+            recipe: Recipe::Rmat(RmatConfig {
+                scale: 13,
+                edge_factor: 3,
+                a: 0.57,
+                b: 0.19,
+                c: 0.19,
+            }),
+        },
+        DatasetSpec {
+            name: "int-dating",
+            class: Interaction,
+            paper_vertices: 169_000,
+            paper_edges: 17_300_000,
+            scale: 0.024,
+            recipe: Recipe::Rmat(RmatConfig {
+                scale: 12,
+                edge_factor: 20,
+                a: 0.55,
+                b: 0.2,
+                c: 0.2,
+            }),
+        },
+        DatasetSpec {
+            name: "sc-pwtk",
+            class: SciComp,
+            paper_vertices: 217_900,
+            paper_edges: 5_600_000,
+            scale: 0.028,
+            recipe: Recipe::SmallWorld {
+                n: 6000,
+                k: 24,
+                beta: 0.05,
+            },
+        },
+        DatasetSpec {
+            name: "soc-orkut",
+            class: Social,
+            paper_vertices: 3_100_000,
+            paper_edges: 117_000_000,
+            scale: 0.0026,
+            recipe: Recipe::Rmat(RmatConfig {
+                scale: 13,
+                edge_factor: 15,
+                a: 0.40,
+                b: 0.25,
+                c: 0.25,
+            }),
+        },
     ]
 }
 
@@ -258,8 +473,16 @@ mod tests {
         let orkut = by_name("soc-orkut").unwrap().generate(2);
         let gene_stats = DegreeStats::compute(&gene);
         let orkut_stats = DegreeStats::compute(&orkut);
-        assert!(gene_stats.max_degree_fraction > 0.25, "{}", gene_stats.max_degree_fraction);
-        assert!(orkut_stats.max_degree_fraction < 0.12, "{}", orkut_stats.max_degree_fraction);
+        assert!(
+            gene_stats.max_degree_fraction > 0.25,
+            "{}",
+            gene_stats.max_degree_fraction
+        );
+        assert!(
+            orkut_stats.max_degree_fraction < 0.12,
+            "{}",
+            orkut_stats.max_degree_fraction
+        );
         assert!(by_name("bio-humanGene").unwrap().is_large());
     }
 

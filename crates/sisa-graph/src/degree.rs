@@ -69,9 +69,17 @@ impl DegreeStats {
             mean_degree: mean,
             median_degree: median,
             p99_degree: p99,
-            max_degree_fraction: if n == 0 { 0.0 } else { max_degree as f64 / n as f64 },
+            max_degree_fraction: if n == 0 {
+                0.0
+            } else {
+                max_degree as f64 / n as f64
+            },
             heavy_vertex_fraction: heavy,
-            skew: if mean > 0.0 { max_degree as f64 / mean } else { 0.0 },
+            skew: if mean > 0.0 {
+                max_degree as f64 / mean
+            } else {
+                0.0
+            },
         }
     }
 
@@ -99,7 +107,11 @@ impl DegreeHistogram {
         let mut bins: Vec<usize> = Vec::new();
         for v in g.vertices() {
             let d = g.degree(v);
-            let bin = if d <= 1 { 0 } else { (usize::BITS - 1 - d.leading_zeros()) as usize };
+            let bin = if d <= 1 {
+                0
+            } else {
+                (usize::BITS - 1 - d.leading_zeros()) as usize
+            };
             if bin >= bins.len() {
                 bins.resize(bin + 1, 0);
             }

@@ -52,7 +52,10 @@ impl Default for PlantedCliqueConfig {
 /// contained in some maximal clique reported by the mining algorithms.
 #[must_use]
 pub fn planted_cliques(cfg: &PlantedCliqueConfig, seed: u64) -> (CsrGraph, Vec<Vec<Vertex>>) {
-    assert!(cfg.min_clique_size >= 2, "cliques need at least two vertices");
+    assert!(
+        cfg.min_clique_size >= 2,
+        "cliques need at least two vertices"
+    );
     assert!(
         cfg.max_clique_size >= cfg.min_clique_size,
         "max clique size must be at least min clique size"
@@ -140,7 +143,11 @@ mod tests {
         };
         let (g, _) = planted_cliques(&cfg, 5);
         let stats = DegreeStats::compute(&g);
-        assert!(stats.is_heavy_tailed(), "max fraction {}", stats.max_degree_fraction);
+        assert!(
+            stats.is_heavy_tailed(),
+            "max fraction {}",
+            stats.max_degree_fraction
+        );
     }
 
     #[test]

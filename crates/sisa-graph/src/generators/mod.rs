@@ -13,8 +13,8 @@ mod random;
 pub use classic::{complete, complete_bipartite, cycle, grid, path, star};
 pub use communities::{planted_cliques, PlantedCliqueConfig};
 pub use random::{
-    barabasi_albert, erdos_renyi, erdos_renyi_with_edges, kronecker, near_complete,
-    watts_strogatz, RmatConfig,
+    barabasi_albert, erdos_renyi, erdos_renyi_with_edges, kronecker, near_complete, watts_strogatz,
+    RmatConfig,
 };
 
 #[cfg(test)]
@@ -40,9 +40,7 @@ mod tests {
         let a = erdos_renyi(200, 0.05, 1);
         let b = erdos_renyi(200, 0.05, 2);
         // Extremely unlikely to coincide exactly in structure.
-        let same_everywhere = a
-            .vertices()
-            .all(|v| a.neighbors(v) == b.neighbors(v));
+        let same_everywhere = a.vertices().all(|v| a.neighbors(v) == b.neighbors(v));
         assert!(!same_everywhere);
     }
 

@@ -78,7 +78,11 @@ pub fn parse_edge_list(text: &str) -> Result<CsrGraph, ParseError> {
             }
         }
     }
-    let n = if edges.is_empty() { 0 } else { max_vertex as usize + 1 };
+    let n = if edges.is_empty() {
+        0
+    } else {
+        max_vertex as usize + 1
+    };
     let mut builder = GraphBuilder::new(n);
     builder.add_edges(edges);
     Ok(builder.build())
@@ -95,7 +99,12 @@ pub fn read_edge_list(path: impl AsRef<Path>) -> Result<CsrGraph, ParseError> {
 #[must_use]
 pub fn to_edge_list(g: &CsrGraph) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# vertices {} edges {}", g.num_vertices(), g.num_edges());
+    let _ = writeln!(
+        out,
+        "# vertices {} edges {}",
+        g.num_vertices(),
+        g.num_edges()
+    );
     for (u, v) in g.edges() {
         let _ = writeln!(out, "{u} {v}");
     }

@@ -65,7 +65,10 @@ pub fn degeneracy_order(g: &CsrGraph) -> DegeneracyOrdering {
         let v = loop {
             while buckets[cursor].is_empty() {
                 cursor += 1;
-                debug_assert!(cursor <= max_deg, "ran out of buckets with vertices remaining");
+                debug_assert!(
+                    cursor <= max_deg,
+                    "ran out of buckets with vertices remaining"
+                );
             }
             let candidate = buckets[cursor]
                 .pop()
@@ -262,7 +265,7 @@ mod tests {
     fn rank_is_a_permutation_consistent_with_order() {
         let g = generators::erdos_renyi(200, 0.05, 7);
         let ord = degeneracy_order(&g);
-        let mut seen = vec![false; 200];
+        let mut seen = [false; 200];
         for &v in &ord.order {
             assert!(!seen[v as usize]);
             seen[v as usize] = true;
@@ -289,7 +292,12 @@ mod tests {
         // Approximation guarantee: out-degree under approx orientation is at
         // most (2 + eps) * c (we allow a little slack for the tie-breaking).
         let bound = ((2.0 + 0.1) * exact.degeneracy as f64).ceil() as usize + 1;
-        assert!(approx.degeneracy <= bound, "{} > {}", approx.degeneracy, bound);
+        assert!(
+            approx.degeneracy <= bound,
+            "{} > {}",
+            approx.degeneracy,
+            bound
+        );
         // O(log n) rounds in practice.
         assert!(rounds <= 64);
         assert_eq!(approx.order.len(), 400);
@@ -300,7 +308,16 @@ mod tests {
         // Clique {0,1,2,3} plus a path 3-4-5.
         let g = CsrGraph::from_edges(
             6,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+            ],
         );
         assert_eq!(k_core(&g, 3), vec![0, 1, 2, 3]);
         assert_eq!(k_core(&g, 1).len(), 6);

@@ -82,7 +82,11 @@ pub fn connected_components(g: &CsrGraph) -> Vec<usize> {
 /// Number of connected components.
 #[must_use]
 pub fn num_connected_components(g: &CsrGraph) -> usize {
-    connected_components(g).iter().copied().max().map_or(0, |m| m + 1)
+    connected_components(g)
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |m| m + 1)
 }
 
 /// Whether `vertices` forms a clique in `g` (every pair adjacent).
@@ -152,7 +156,10 @@ pub fn brute_force_k_clique_count(g: &CsrGraph, k: usize) -> u64 {
 #[must_use]
 pub fn brute_force_maximal_cliques(g: &CsrGraph) -> Vec<Vec<Vertex>> {
     let n = g.num_vertices();
-    assert!(n <= 24, "brute-force maximal cliques is for tiny graphs only");
+    assert!(
+        n <= 24,
+        "brute-force maximal cliques is for tiny graphs only"
+    );
     let mut cliques: Vec<Vec<Vertex>> = Vec::new();
     for mask in 1u32..(1u32 << n) {
         let members: Vec<Vertex> = (0..n as Vertex).filter(|&v| mask >> v & 1 == 1).collect();
@@ -215,9 +222,6 @@ mod tests {
         // Two triangles sharing vertex 2, plus an isolated edge.
         let g = CsrGraph::from_edges(7, &[(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4), (5, 6)]);
         let cliques = brute_force_maximal_cliques(&g);
-        assert_eq!(
-            cliques,
-            vec![vec![0, 1, 2], vec![2, 3, 4], vec![5, 6]]
-        );
+        assert_eq!(cliques, vec![vec![0, 1, 2], vec![2, 3, 4], vec![5, 6]]);
     }
 }

@@ -85,7 +85,13 @@ impl SisaInstruction {
     /// `sisa.int x3, x1, x2`.
     #[must_use]
     pub fn to_assembly(&self) -> String {
-        format!("{} {}, {}, {}", self.opcode.mnemonic(), self.rd, self.rs1, self.rs2)
+        format!(
+            "{} {}, {}, {}",
+            self.opcode.mnemonic(),
+            self.rd,
+            self.rs1,
+            self.rs2
+        )
     }
 }
 

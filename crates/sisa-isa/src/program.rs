@@ -61,7 +61,10 @@ impl SisaProgram {
     /// Encodes the whole program into 32-bit machine words.
     #[must_use]
     pub fn encode(&self) -> Vec<u32> {
-        self.instructions.iter().map(SisaInstruction::encode).collect()
+        self.instructions
+            .iter()
+            .map(SisaInstruction::encode)
+            .collect()
     }
 
     /// Decodes a program from 32-bit machine words.
@@ -97,7 +100,7 @@ impl SisaProgram {
                 .and_modify(|e| e.1 += 1)
                 .or_insert((instr.opcode, 1));
         }
-        hist.into_values().map(|(op, n)| (op, n)).collect()
+        hist.into_values().collect()
     }
 }
 

@@ -104,9 +104,7 @@ impl Cache {
         let num_sets = self.config.num_sets() as u64;
         let set = (line % num_sets) as usize;
         let base = set * self.config.ways;
-        self.tags[base..base + self.config.ways]
-            .iter()
-            .any(|&t| t == line)
+        self.tags[base..base + self.config.ways].contains(&line)
     }
 
     /// Number of hits recorded so far.

@@ -275,6 +275,21 @@ mod tests {
     }
 
     #[test]
+    fn platform_config_round_trips_through_json() {
+        // The derived Serialize/Deserialize impls (including nested structs)
+        // must reproduce the exact platform; bench outputs rely on this for
+        // machine-readable provenance.
+        let platform = PimPlatform::default();
+        let json = serde_json::to_string_pretty(&platform).unwrap();
+        let back: PimPlatform = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, platform);
+
+        let cpu = CpuConfig::stock_multicore();
+        let back: CpuConfig = serde_json::from_str(&serde_json::to_string(&cpu).unwrap()).unwrap();
+        assert_eq!(back, cpu);
+    }
+
+    #[test]
     fn platform_default_enables_smb() {
         let p = PimPlatform::default();
         assert!(p.smb_enabled);

@@ -145,7 +145,10 @@ mod tests {
         let capacity_bits = cfg.parallel_rows * cfg.row_bits;
         assert_eq!(m.chunks(capacity_bits), 1);
         assert_eq!(m.chunks(capacity_bits + 1), 2);
-        assert!(m.bulk_op_cost(BulkOp::Or, capacity_bits) < m.bulk_op_cost(BulkOp::Or, 2 * capacity_bits));
+        assert!(
+            m.bulk_op_cost(BulkOp::Or, capacity_bits)
+                < m.bulk_op_cost(BulkOp::Or, 2 * capacity_bits)
+        );
     }
 
     #[test]

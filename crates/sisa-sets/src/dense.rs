@@ -112,7 +112,11 @@ impl DenseBitVector {
     /// Panics if `v >= universe`.
     pub fn insert(&mut self, v: Vertex) -> bool {
         let idx = v as usize;
-        assert!(idx < self.universe, "vertex {v} outside universe {}", self.universe);
+        assert!(
+            idx < self.universe,
+            "vertex {v} outside universe {}",
+            self.universe
+        );
         let mask = 1u64 << (idx % 64);
         let word = &mut self.words[idx / 64];
         if *word & mask == 0 {
@@ -259,7 +263,10 @@ impl DenseBitVector {
     #[must_use]
     pub fn is_subset(&self, other: &Self) -> bool {
         self.assert_same_universe(other);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     fn zip_with(&self, other: &Self, f: impl Fn(u64, u64) -> u64) -> Self {
@@ -393,10 +400,7 @@ mod tests {
         let a = DenseBitVector::from_members(200, [1u32, 3, 5, 100, 150]);
         let b = DenseBitVector::from_members(200, [3u32, 5, 7, 150, 199]);
         assert_eq!(a.and(&b).to_sorted_vec(), vec![3, 5, 150]);
-        assert_eq!(
-            a.or(&b).to_sorted_vec(),
-            vec![1, 3, 5, 7, 100, 150, 199]
-        );
+        assert_eq!(a.or(&b).to_sorted_vec(), vec![1, 3, 5, 7, 100, 150, 199]);
         assert_eq!(a.and_not(&b).to_sorted_vec(), vec![1, 100]);
         assert_eq!(a.xor(&b).to_sorted_vec(), vec![1, 7, 100, 199]);
         assert_eq!(a.and_count(&b), 3);

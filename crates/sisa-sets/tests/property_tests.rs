@@ -6,13 +6,35 @@
 //! time (§8.2).
 
 use proptest::prelude::*;
-use sisa_sets::{ops, DenseBitVector, SetRepr, SortedVertexArray, Vertex};
+use sisa_sets::{ops, DenseBitVector, RepresentationKind, SetRepr, SortedVertexArray, Vertex};
 use std::collections::BTreeSet;
 
 const UNIVERSE: usize = 512;
 
 fn vertex_set() -> impl Strategy<Value = BTreeSet<Vertex>> {
     proptest::collection::btree_set(0u32..UNIVERSE as u32, 0..128)
+}
+
+/// The same abstract set in each of the three physical representations.
+fn all_reprs(members: &BTreeSet<Vertex>) -> [SetRepr; 3] {
+    [
+        SetRepr::sorted_from(members.iter().copied()),
+        SetRepr::sorted_from(members.iter().copied())
+            .converted_to(RepresentationKind::UnsortedArray, UNIVERSE),
+        SetRepr::dense_from(UNIVERSE, members.iter().copied()),
+    ]
+}
+
+/// Asserts that a sparse result is a *sorted* array with strictly ascending
+/// members (the invariant every downstream merge-based instruction relies on).
+fn assert_sorted_sparse(result: &SetRepr) {
+    assert_eq!(result.kind(), RepresentationKind::SortedArray);
+    let members = result.to_sorted_array();
+    assert!(
+        members.as_slice().windows(2).all(|w| w[0] < w[1]),
+        "sparse result must be strictly sorted: {:?}",
+        members.as_slice()
+    );
 }
 
 fn model_intersect(a: &BTreeSet<Vertex>, b: &BTreeSet<Vertex>) -> Vec<Vertex> {
@@ -108,6 +130,74 @@ proptest! {
         let expected: Vec<Vertex> = a.iter().copied().collect();
         prop_assert_eq!(sorted.as_slice(), expected.as_slice());
         prop_assert_eq!(dense.to_sorted_vec(), expected);
+    }
+
+    #[test]
+    fn intersect_representation_policy(a in vertex_set(), b in vertex_set()) {
+        // §6.1 result-representation policy: DB ∩ DB stays dense; any
+        // combination involving a sparse operand yields a sorted array.
+        let expected = model_intersect(&a, &b);
+        for ra in all_reprs(&a) {
+            for rb in all_reprs(&b) {
+                let result = ra.intersect(&rb);
+                if ra.kind().is_dense() && rb.kind().is_dense() {
+                    prop_assert_eq!(result.kind(), RepresentationKind::DenseBitvector);
+                } else {
+                    assert_sorted_sparse(&result);
+                }
+                prop_assert_eq!(result.to_sorted_vec(), expected.clone());
+            }
+        }
+    }
+
+    #[test]
+    fn union_representation_policy(a in vertex_set(), b in vertex_set()) {
+        // Unions can only grow, so any dense operand makes the result dense;
+        // sparse ∪ sparse stays a sorted array.
+        let expected = model_union(&a, &b);
+        for ra in all_reprs(&a) {
+            for rb in all_reprs(&b) {
+                let result = ra.union(&rb);
+                if ra.kind().is_dense() || rb.kind().is_dense() {
+                    prop_assert_eq!(result.kind(), RepresentationKind::DenseBitvector);
+                } else {
+                    assert_sorted_sparse(&result);
+                }
+                prop_assert_eq!(result.to_sorted_vec(), expected.clone());
+            }
+        }
+    }
+
+    #[test]
+    fn difference_representation_policy(a in vertex_set(), b in vertex_set()) {
+        // A \ B keeps A's representation family (the result is a subset of
+        // A), with unsorted A normalised to a sorted result.
+        let expected = model_difference(&a, &b);
+        for ra in all_reprs(&a) {
+            for rb in all_reprs(&b) {
+                let result = ra.difference(&rb);
+                if ra.kind().is_dense() {
+                    prop_assert_eq!(result.kind(), RepresentationKind::DenseBitvector);
+                } else {
+                    assert_sorted_sparse(&result);
+                }
+                prop_assert_eq!(result.to_sorted_vec(), expected.clone());
+            }
+        }
+    }
+
+    #[test]
+    fn counting_variants_agree_with_materialized_results(a in vertex_set(), b in vertex_set()) {
+        // The cardinality-only instructions (§6.2) must agree with the
+        // materialising ones for every representation pairing — the SCU is
+        // free to pick either form at run time.
+        for ra in all_reprs(&a) {
+            for rb in all_reprs(&b) {
+                prop_assert_eq!(ra.intersect_count(&rb), ra.intersect(&rb).len());
+                prop_assert_eq!(ra.union_count(&rb), ra.union(&rb).len());
+                prop_assert_eq!(ra.difference_count(&rb), ra.difference(&rb).len());
+            }
+        }
     }
 
     #[test]

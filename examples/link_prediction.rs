@@ -20,8 +20,15 @@ fn main() {
         },
         11,
     );
-    println!("graph: {} vertices, {} edges; removing 10% of edges\n", g.num_vertices(), g.num_edges());
-    println!("{:<24} {:>10} {:>10} {:>8}", "measure", "recovered", "removed", "recall");
+    println!(
+        "graph: {} vertices, {} edges; removing 10% of edges\n",
+        g.num_vertices(),
+        g.num_edges()
+    );
+    println!(
+        "{:<24} {:>10} {:>10} {:>8}",
+        "measure", "recovered", "removed", "recall"
+    );
     for measure in [
         SimilarityMeasure::Jaccard,
         SimilarityMeasure::CommonNeighbors,
@@ -30,7 +37,8 @@ fn main() {
         SimilarityMeasure::PreferentialAttachment,
     ] {
         let mut rt = SisaRuntime::new(SisaConfig::default());
-        let run = link_prediction_accuracy(&mut rt, &g, &SetGraphConfig::default(), measure, 0.10, 2024);
+        let run =
+            link_prediction_accuracy(&mut rt, &g, &SetGraphConfig::default(), measure, 0.10, 2024);
         let o = &run.result;
         println!(
             "{:<24} {:>10} {:>10} {:>7.1}%",

@@ -16,15 +16,35 @@ fn main() {
     let g = spec.generate(7);
     println!(
         "dataset stand-in {}: {} vertices, {} edges (paper original: {} / {})",
-        spec.name, g.num_vertices(), g.num_edges(), spec.paper_vertices, spec.paper_edges
+        spec.name,
+        g.num_vertices(),
+        g.num_edges(),
+        spec.paper_vertices,
+        spec.paper_edges
     );
     let ordering = degeneracy_order(&g);
     let limits = SearchLimits::patterns(5_000);
     let threads = 32;
     let cpu = CpuConfig::default();
 
-    let non_set = maximal_cliques_baseline(&g, &ordering, BaselineMode::NonSet, &cpu, threads, &limits, false);
-    let set_based = maximal_cliques_baseline(&g, &ordering, BaselineMode::SetBased, &cpu, threads, &limits, false);
+    let non_set = maximal_cliques_baseline(
+        &g,
+        &ordering,
+        BaselineMode::NonSet,
+        &cpu,
+        threads,
+        &limits,
+        false,
+    );
+    let set_based = maximal_cliques_baseline(
+        &g,
+        &ordering,
+        BaselineMode::SetBased,
+        &cpu,
+        threads,
+        &limits,
+        false,
+    );
     let mut rt = SisaRuntime::new(SisaConfig::default());
     let sg = SetGraph::load(&mut rt, &g, &SetGraphConfig::default());
     rt.reset_stats();
@@ -33,9 +53,16 @@ fn main() {
     let ns = parallel::schedule_cpu(&non_set.tasks, threads, &cpu).makespan_cycles;
     let sb = parallel::schedule_cpu(&set_based.tasks, threads, &cpu).makespan_cycles;
     let si = parallel::schedule(&sisa.tasks, threads).makespan_cycles;
-    println!("maximal cliques found (budget {limits:?}): {}", sisa.result.count);
+    println!(
+        "maximal cliques found (budget {limits:?}): {}",
+        sisa.result.count
+    );
     println!("non-set baseline : {:>12} cycles", ns);
     println!("set-based baseline: {:>12} cycles", sb);
-    println!("SISA              : {:>12} cycles  ({:.1}x vs non-set, {:.1}x vs set-based)",
-        si, ns as f64 / si as f64, sb as f64 / si as f64);
+    println!(
+        "SISA              : {:>12} cycles  ({:.1}x vs non-set, {:.1}x vs set-based)",
+        si,
+        ns as f64 / si as f64,
+        sb as f64 / si as f64
+    );
 }

@@ -8,7 +8,11 @@ use sisa::algorithms::SearchLimits;
 use sisa::core::{parallel, SetGraph, SetGraphConfig, SisaConfig, SisaRuntime, VariantSelection};
 use sisa::graph::{datasets, orientation::degeneracy_order};
 
-fn measure(oriented: &sisa::graph::CsrGraph, sisa_cfg: SisaConfig, sg_cfg: &SetGraphConfig) -> (u64, f64, f64) {
+fn measure(
+    oriented: &sisa::graph::CsrGraph,
+    sisa_cfg: SisaConfig,
+    sg_cfg: &SetGraphConfig,
+) -> (u64, f64, f64) {
     let mut rt = SisaRuntime::new(sisa_cfg);
     let sg = SetGraph::load(&mut rt, oriented, sg_cfg);
     rt.reset_stats();
@@ -20,18 +24,46 @@ fn measure(oriented: &sisa::graph::CsrGraph, sisa_cfg: SisaConfig, sg_cfg: &SetG
 fn main() {
     let g = datasets::by_name("bn-mouse").expect("stand-in").generate(1);
     let oriented = degeneracy_order(&g).orient(&g);
-    println!("{:<34} {:>12} {:>14} {:>10}", "configuration", "cycles", "energy [nJ]", "PUM ops");
-    for (label, db_fraction) in [("PNM only (t=0)", 0.0), ("hybrid (t=0.4, default)", 0.4), ("PUM only (t=1)", 1.0)] {
-        let sg_cfg = SetGraphConfig { db_fraction, storage_budget_frac: f64::INFINITY };
+    println!(
+        "{:<34} {:>12} {:>14} {:>10}",
+        "configuration", "cycles", "energy [nJ]", "PUM ops"
+    );
+    for (label, db_fraction) in [
+        ("PNM only (t=0)", 0.0),
+        ("hybrid (t=0.4, default)", 0.4),
+        ("PUM only (t=1)", 1.0),
+    ] {
+        let sg_cfg = SetGraphConfig {
+            db_fraction,
+            storage_budget_frac: f64::INFINITY,
+        };
         let (cycles, energy, pum) = measure(&oriented, SisaConfig::default(), &sg_cfg);
-        println!("{label:<34} {cycles:>12} {energy:>14.0} {:>9.1}%", 100.0 * pum);
+        println!(
+            "{label:<34} {cycles:>12} {energy:>14.0} {:>9.1}%",
+            100.0 * pum
+        );
     }
     for (label, cfg) in [
         ("no SMB (SCU cache disabled)", SisaConfig::without_smb()),
-        ("always merge", SisaConfig { variant_selection: VariantSelection::AlwaysMerge, ..SisaConfig::default() }),
-        ("always galloping", SisaConfig { variant_selection: VariantSelection::AlwaysGalloping, ..SisaConfig::default() }),
+        (
+            "always merge",
+            SisaConfig {
+                variant_selection: VariantSelection::AlwaysMerge,
+                ..SisaConfig::default()
+            },
+        ),
+        (
+            "always galloping",
+            SisaConfig {
+                variant_selection: VariantSelection::AlwaysGalloping,
+                ..SisaConfig::default()
+            },
+        ),
     ] {
         let (cycles, energy, pum) = measure(&oriented, cfg, &SetGraphConfig::default());
-        println!("{label:<34} {cycles:>12} {energy:>14.0} {:>9.1}%", 100.0 * pum);
+        println!(
+            "{label:<34} {cycles:>12} {energy:>14.0} {:>9.1}%",
+            100.0 * pum
+        );
     }
 }

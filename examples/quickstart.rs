@@ -21,7 +21,12 @@ fn main() {
         },
         42,
     );
-    println!("graph: {} vertices, {} edges, {} planted cliques", g.num_vertices(), g.num_edges(), planted.len());
+    println!(
+        "graph: {} vertices, {} edges, {} planted cliques",
+        g.num_vertices(),
+        g.num_edges(),
+        planted.len()
+    );
 
     // Load it into the SISA runtime: large neighbourhoods become dense
     // bitvectors (processed in DRAM), the rest sparse arrays (processed by
@@ -33,10 +38,19 @@ fn main() {
     rt.reset_stats();
 
     let tc = triangle_count(&mut rt, &oriented, &SearchLimits::unlimited());
-    let mc = maximal_cliques(&mut rt, &undirected, &ordering, &SearchLimits::patterns(10_000), false);
+    let mc = maximal_cliques(
+        &mut rt,
+        &undirected,
+        &ordering,
+        &SearchLimits::patterns(10_000),
+        false,
+    );
 
     println!("triangles: {}", tc.result);
-    println!("maximal cliques: {} (largest has {} vertices)", mc.result.count, mc.result.max_size);
+    println!(
+        "maximal cliques: {} (largest has {} vertices)",
+        mc.result.count, mc.result.max_size
+    );
 
     let report = parallel::schedule(&tc.tasks, 32);
     println!(

@@ -3,22 +3,39 @@
 //!
 //! Run with `cargo run --release --example social_network_analysis`.
 
-use sisa::algorithms::setcentric::{bfs, jarvis_patrick_clustering, pairwise_similarity, BfsMode, SimilarityMeasure};
+use sisa::algorithms::setcentric::{
+    bfs, jarvis_patrick_clustering, pairwise_similarity, BfsMode, SimilarityMeasure,
+};
 use sisa::algorithms::SearchLimits;
 use sisa::core::{SetGraph, SetGraphConfig, SisaConfig, SisaRuntime};
 use sisa::graph::datasets;
 
 fn main() {
-    let g = datasets::by_name("soc-fbMsg").expect("registered stand-in").generate(3);
-    println!("social graph stand-in: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+    let g = datasets::by_name("soc-fbMsg")
+        .expect("registered stand-in")
+        .generate(3);
+    println!(
+        "social graph stand-in: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     let mut rt = SisaRuntime::new(SisaConfig::default());
     let sg = SetGraph::load(&mut rt, &g, &SetGraphConfig::default());
     rt.reset_stats();
 
     // Community detection via Jarvis-Patrick clustering.
-    let clusters = jarvis_patrick_clustering(&mut rt, &sg, SimilarityMeasure::Jaccard, 0.15, &SearchLimits::unlimited());
-    println!("Jarvis-Patrick: {} intra-community edges selected", clusters.result.len());
+    let clusters = jarvis_patrick_clustering(
+        &mut rt,
+        &sg,
+        SimilarityMeasure::Jaccard,
+        0.15,
+        &SearchLimits::unlimited(),
+    );
+    println!(
+        "Jarvis-Patrick: {} intra-community edges selected",
+        clusters.result.len()
+    );
 
     // Who is most similar to vertex 0?
     let mut best = (0u32, 0.0f64);
@@ -28,12 +45,22 @@ fn main() {
             best = (v, s);
         }
     }
-    println!("most similar vertex to 0 (Adamic-Adar): {} with score {:.3}", best.0, best.1);
+    println!(
+        "most similar vertex to 0 (Adamic-Adar): {} with score {:.3}",
+        best.0, best.1
+    );
 
     // Reachability via set-centric, direction-optimising BFS.
     let tree = bfs(&mut rt, &sg, 0, BfsMode::DirectionOptimizing);
     let reached = tree.result.iter().filter(|p| p.is_some()).count();
-    println!("BFS from vertex 0 reaches {} of {} vertices in {} frontier expansions",
-        reached, g.num_vertices(), tree.tasks.len());
-    println!("total simulated cycles so far: {}", rt.stats().total_cycles());
+    println!(
+        "BFS from vertex 0 reaches {} of {} vertices in {} frontier expansions",
+        reached,
+        g.num_vertices(),
+        tree.tasks.len()
+    );
+    println!(
+        "total simulated cycles so far: {}",
+        rt.stats().total_cycles()
+    );
 }

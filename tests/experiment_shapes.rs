@@ -15,7 +15,14 @@ fn figure1_shape_stall_ratio_grows_and_speedup_flattens_on_a_stock_multicore() {
     let ordering = degeneracy_order(&g);
     let cfg = CpuConfig::stock_multicore();
     let run = maximal_cliques_baseline(
-        &g, &ordering, BaselineMode::NonSet, &cfg, 1, &SearchLimits::patterns(300), false);
+        &g,
+        &ordering,
+        BaselineMode::NonSet,
+        &cfg,
+        1,
+        &SearchLimits::patterns(300),
+        false,
+    );
     let r1 = parallel::schedule_cpu(&run.tasks, 1, &cfg);
     let r32 = parallel::schedule_cpu(&run.tasks, 32, &cfg);
     assert!(r32.stall_fraction() >= r1.stall_fraction());

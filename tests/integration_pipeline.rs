@@ -3,7 +3,7 @@
 
 use sisa::algorithms::baseline::{triangle_count_baseline, BaselineMode};
 use sisa::algorithms::setcentric::{
-    maximal_cliques, subgraph_isomorphism_count, star_pattern, triangle_count,
+    maximal_cliques, star_pattern, subgraph_isomorphism_count, triangle_count,
 };
 use sisa::algorithms::SearchLimits;
 use sisa::core::{parallel, SetGraph, SetGraphConfig, SisaConfig, SisaRuntime};
@@ -33,7 +33,13 @@ fn sisa_and_baselines_agree_with_the_reference_triangle_count() {
     assert_eq!(sisa.result, expected);
 
     for mode in [BaselineMode::NonSet, BaselineMode::SetBased] {
-        let run = triangle_count_baseline(&oriented_csr, mode, &CpuConfig::default(), 1, &SearchLimits::unlimited());
+        let run = triangle_count_baseline(
+            &oriented_csr,
+            mode,
+            &CpuConfig::default(),
+            1,
+            &SearchLimits::unlimited(),
+        );
         assert_eq!(run.result, expected);
     }
 }
@@ -58,8 +64,10 @@ fn pattern_matching_scales_with_the_pattern_and_respects_labels() {
     let g = generators::erdos_renyi(120, 0.08, 3);
     let mut rt = SisaRuntime::new(SisaConfig::default());
     let sg = SetGraph::load(&mut rt, &g, &SetGraphConfig::default());
-    let three = subgraph_isomorphism_count(&mut rt, &sg, &star_pattern(3), &SearchLimits::unlimited());
-    let four = subgraph_isomorphism_count(&mut rt, &sg, &star_pattern(4), &SearchLimits::unlimited());
+    let three =
+        subgraph_isomorphism_count(&mut rt, &sg, &star_pattern(3), &SearchLimits::unlimited());
+    let four =
+        subgraph_isomorphism_count(&mut rt, &sg, &star_pattern(4), &SearchLimits::unlimited());
     // 4-star embeddings are a subset of extensions of 3-star embeddings.
     assert!(four.result <= three.result * 120);
     assert!(three.result > 0);
@@ -75,8 +83,14 @@ fn runtime_statistics_are_consistent_with_the_work_performed() {
     let run = triangle_count(&mut rt, &oriented, &SearchLimits::patterns(50_000));
     let stats = rt.stats();
     assert!(stats.total_instructions() > 0);
-    assert_eq!(stats.total_cycles(), run.tasks.iter().map(|t| t.cycles).sum::<u64>());
+    assert_eq!(
+        stats.total_cycles(),
+        run.tasks.iter().map(|t| t.cycles).sum::<u64>()
+    );
     assert!(stats.pnm_ops + stats.pum_ops > 0);
     assert!(stats.energy_nj > 0.0);
-    assert!(stats.smb_hit_ratio() > 0.5, "metadata locality should be high");
+    assert!(
+        stats.smb_hit_ratio() > 0.5,
+        "metadata locality should be high"
+    );
 }

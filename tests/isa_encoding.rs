@@ -8,12 +8,21 @@ use sisa::isa::{Register, SisaInstruction, SisaOpcode, SisaProgram};
 fn full_opcode_space_round_trips_and_stays_custom() {
     let mut program = SisaProgram::new();
     for (i, op) in SisaOpcode::ALL.into_iter().enumerate() {
-        program.emit(op, (i % 32) as u8, ((i + 1) % 32) as u8, ((i + 2) % 32) as u8);
+        program.emit(
+            op,
+            (i % 32) as u8,
+            ((i + 1) % 32) as u8,
+            ((i + 2) % 32) as u8,
+        );
     }
     let words = program.encode();
     assert_eq!(words.len(), SisaOpcode::ALL.len());
     for &w in &words {
-        assert_eq!(w & 0x7F, sisa::isa::CUSTOM_OPCODE, "must use the custom opcode");
+        assert_eq!(
+            w & 0x7F,
+            sisa::isa::CUSTOM_OPCODE,
+            "must use the custom opcode"
+        );
     }
     let decoded = SisaProgram::decode(&words).unwrap();
     assert_eq!(decoded, program);

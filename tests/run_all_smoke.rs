@@ -1,0 +1,88 @@
+//! Smoke test for the `run_all` pipeline shape: every (problem, scheme) cell
+//! the figure binaries measure must run end-to-end on a tiny generated graph.
+//! This gives CI coverage of the bench path without invoking criterion or the
+//! release-built figure binaries.
+
+use sisa::algorithms::SearchLimits;
+use sisa::graph::generators;
+use sisa_bench::{
+    run_auxiliary_formulations, run_cell, PlatformSummary, Problem, Scheme, Workload,
+};
+
+#[test]
+fn every_figure6_cell_runs_on_a_tiny_graph() {
+    let g = generators::erdos_renyi(80, 0.08, 3);
+    let w = Workload::new(g, 4, SearchLimits::patterns(2_000));
+    for problem in Problem::figure6_panels() {
+        let mut results = Vec::new();
+        for scheme in Scheme::ALL {
+            let m = run_cell(problem, scheme, &w);
+            assert!(
+                m.cycles > 0,
+                "{}/{} took zero cycles",
+                problem.label(),
+                scheme.label()
+            );
+            assert!(
+                m.report.makespan_cycles == m.cycles,
+                "{}/{} report disagrees with cycles",
+                problem.label(),
+                scheme.label()
+            );
+            results.push((scheme, m.result, m.truncated));
+        }
+        // All schemes compute the same answer unless the pattern budget cut
+        // one of them short.
+        if results.iter().all(|&(_, _, truncated)| !truncated) {
+            let reference = results[0].1;
+            for &(scheme, result, _) in &results[1..] {
+                assert_eq!(
+                    result,
+                    reference,
+                    "{}/{} disagrees with {}",
+                    problem.label(),
+                    scheme.label(),
+                    results[0].0.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn emit_mirrors_results_to_the_results_dir() {
+    // run_all's figure binaries publish through sisa_bench::emit, which
+    // resolves SISA_RESULTS_DIR and delegates to emit_to; drive the write
+    // path against a scratch directory (no process-global env mutation —
+    // sibling tests run concurrently).
+    let dir = std::env::temp_dir().join(format!("sisa-smoke-{}", std::process::id()));
+    sisa_bench::emit_to(&dir, "smoke", "graph result\ntiny 42\n");
+    let written = std::fs::read_to_string(dir.join("smoke.txt")).expect("emit writes a mirror");
+    assert!(written.contains("tiny 42"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn platform_summary_round_trips_through_json() {
+    // run_all records its platform provenance as results/platform.json; the
+    // summary must survive a serialize → parse round trip.
+    let summary = PlatformSummary::default();
+    let json = summary.to_json();
+    assert!(json.contains("\"cpu\""), "json should name the cpu section");
+    let back: PlatformSummary = serde_json::from_str(&json).expect("platform.json parses back");
+    assert_eq!(back, summary);
+}
+
+#[test]
+fn auxiliary_formulations_cover_the_run_all_tail() {
+    let g = generators::erdos_renyi(120, 0.05, 5);
+    let (rounds, reached) = run_auxiliary_formulations(&g);
+    assert!(
+        rounds > 0,
+        "approximate degeneracy must run at least a round"
+    );
+    assert!(
+        reached > 0 && reached <= g.num_vertices(),
+        "BFS reach out of range: {reached}"
+    );
+}

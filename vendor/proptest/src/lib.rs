@@ -1,0 +1,319 @@
+//! Offline vendored subset of the `proptest` property-testing API.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate provides the API surface the SISA property tests use: the
+//! [`proptest!`] macro, the [`Strategy`] trait with range / collection /
+//! `prop_map` / `Just` strategies, and the `prop_assert*` macros. Inputs are
+//! generated from a deterministic per-test seed (derived from the test name
+//! and case index), so failures reproduce across runs; there is no shrinking
+//! — the failing inputs are printed verbatim instead.
+//!
+//! The number of cases per test defaults to 256 and can be overridden with
+//! the `PROPTEST_CASES` environment variable, like the real crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// A source of generated test inputs.
+///
+/// The shim generates each case independently from a seeded RNG; there is no
+/// value tree and no shrinking.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+/// Strategy producing a fully random value of a primitive type.
+#[must_use]
+pub fn any<T: rand::Standard + Debug>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: rand::Standard + Debug> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random()
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::collections::BTreeSet;
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Strategy for [`BTreeSet`]s with element strategy `element` and a size
+    /// drawn from `size`.
+    ///
+    /// If the element universe is too small to reach the drawn size, the set
+    /// is as large as repeated sampling can make it (mirroring the real
+    /// crate's behaviour of tolerating duplicate draws).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord + Clone,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    /// Strategy returned by [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord + Clone + Debug,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+            let target = rng.random_range(self.size.clone());
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target * 10 + 100 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// Strategy for `Vec`s with element strategy `element` and a length drawn
+    /// from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Returns the number of cases to run per property test.
+#[must_use]
+pub fn test_cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
+
+/// Builds the deterministic RNG for one test case.
+#[must_use]
+pub fn test_rng(test_name: &str, case: u32) -> StdRng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash ^ (u64::from(case) << 32 | u64::from(case)))
+}
+
+/// Drop guard that prints the generated inputs when a case panics.
+pub struct FailureReport {
+    test_name: &'static str,
+    case: u32,
+    inputs: String,
+}
+
+impl FailureReport {
+    /// Arms a report for one case; `inputs` is the pre-rendered debug text.
+    #[must_use]
+    pub fn new(test_name: &'static str, case: u32, inputs: String) -> Self {
+        FailureReport {
+            test_name,
+            case,
+            inputs,
+        }
+    }
+}
+
+impl Drop for FailureReport {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest shim: {} failed at case {}/{} with inputs:\n  {}",
+                self.test_name,
+                self.case,
+                test_cases(),
+                self.inputs
+            );
+        }
+    }
+}
+
+/// Defines property tests: `proptest! { #[test] fn f(x in strat) { ... } }`.
+///
+/// Each test runs [`test_cases`] deterministic cases; failing inputs are
+/// printed (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cases = $crate::test_cases();
+            for case in 0..cases {
+                let mut rng = $crate::test_rng(stringify!($name), case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let __report = $crate::FailureReport::new(
+                    stringify!($name),
+                    case,
+                    format!(
+                        concat!($(stringify!($arg), " = {:?}\n  "),+),
+                        $(&$arg),+
+                    ),
+                );
+                { $body }
+                drop(__report);
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test (panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test (panics like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test (panics like `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::collection;
+    pub use crate::{any, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 0usize..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn btree_sets_respect_bounds(s in collection::btree_set(0u32..100, 0..50)) {
+            prop_assert!(s.len() < 50);
+            prop_assert!(s.iter().all(|&v| v < 100));
+        }
+
+        #[test]
+        fn prop_map_applies(v in (0u32..10).prop_map(|x| x * 2)) {
+            prop_assert!(v % 2 == 0 && v < 20);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_per_case() {
+        use crate::Strategy;
+        let s = collection::vec(0u32..1000, 0..20);
+        let a = s.generate(&mut crate::test_rng("t", 3));
+        let b = s.generate(&mut crate::test_rng("t", 3));
+        assert_eq!(a, b);
+    }
+}

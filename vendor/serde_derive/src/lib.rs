@@ -1,0 +1,157 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the serde shim.
+//!
+//! The real `serde_derive` depends on `syn`/`quote`, which are unavailable in
+//! this offline build environment, so the field list is extracted from the
+//! raw token stream by hand. Only non-generic structs with named fields are
+//! supported — exactly the shapes the SISA cost-model configs use. Deriving
+//! on anything else produces a compile error naming this limitation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Parses `struct Name { a: T, b: U, ... }` out of a derive input stream.
+///
+/// Attributes (including doc comments) and visibility modifiers on the struct
+/// and its fields are skipped; generics are rejected.
+fn parse_named_struct(input: TokenStream) -> Result<StructShape, String> {
+    let mut tokens = input.into_iter().peekable();
+    let mut name = None;
+    while let Some(tree) = tokens.next() {
+        match &tree {
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => return Err(format!("expected struct name, found {other:?}")),
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" || id.to_string() == "union" => {
+                return Err("only structs with named fields are supported".to_string());
+            }
+            _ => {}
+        }
+    }
+    let name = name.ok_or_else(|| "no `struct` keyword found".to_string())?;
+
+    let mut body = None;
+    for tree in tokens.by_ref() {
+        match tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                return Err("generic structs are not supported".to_string());
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                body = Some(g.stream());
+                break;
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err("tuple structs are not supported".to_string());
+            }
+            _ => {}
+        }
+    }
+    let body = body.ok_or_else(|| "no braced field list found".to_string())?;
+
+    // Split the body at top-level commas; within each field take the last
+    // identifier before the first top-level `:` (this skips visibility
+    // modifiers like `pub` / `pub(crate)` and `#[...]` attributes).
+    let mut fields = Vec::new();
+    let mut last_ident: Option<String> = None;
+    let mut in_type = false;
+    let mut angle_depth = 0u32;
+    let mut prev_was_dash = false;
+    for tree in body {
+        let is_dash = matches!(&tree, TokenTree::Punct(p) if p.as_char() == '-');
+        match tree {
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                in_type = false;
+                last_ident = None;
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && !in_type && angle_depth == 0 => {
+                match last_ident.take() {
+                    Some(id) => fields.push(id),
+                    None => return Err("field without a name".to_string()),
+                }
+                in_type = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            // `>` closes a generic bracket unless it is the tail of a `->`
+            // in a function-pointer type; never underflow on stray `>`s.
+            TokenTree::Punct(p) if p.as_char() == '>' && !prev_was_dash => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Ident(id) if !in_type => last_ident = Some(id.to_string()),
+            _ => {}
+        }
+        prev_was_dash = is_dash;
+    }
+    Ok(StructShape { name, fields })
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derives the shim `serde::Serialize` (a `to_content` impl) for a
+/// non-generic struct with named fields.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_named_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&format!("#[derive(Serialize)] shim: {e}")),
+    };
+    let entries: String = shape
+        .fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f})),"))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n\
+                 ::serde::Content::Map(vec![{entries}])\n\
+             }}\n\
+         }}",
+        name = shape.name,
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derives the shim `serde::Deserialize` (a `from_content` impl) for a
+/// non-generic struct with named fields.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_named_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&format!("#[derive(Deserialize)] shim: {e}")),
+    };
+    let fields: String = shape
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_content(\n\
+                     content.get(\"{f}\").ok_or_else(|| \
+                         ::serde::Error::custom(\"missing field `{f}`\"))?,\n\
+                 )?,"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(content: &::serde::Content) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n\
+                 Ok({name} {{ {fields} }})\n\
+             }}\n\
+         }}",
+        name = shape.name,
+    )
+    .parse()
+    .unwrap()
+}
