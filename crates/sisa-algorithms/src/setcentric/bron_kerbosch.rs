@@ -10,7 +10,7 @@
 
 use crate::limits::{PatternBudget, SearchLimits};
 use crate::{MiningRun, Vertex};
-use sisa_core::{SetGraph, SetId, SisaRuntime, TaskRecord};
+use sisa_core::{SetEngine, SetGraph, SetId};
 use sisa_graph::orientation::DegeneracyOrdering;
 
 /// Result of a maximal-clique run.
@@ -31,8 +31,8 @@ pub struct MaximalCliques {
 /// [`sisa_graph::orientation::degeneracy_order`]). When `collect` is true the
 /// cliques themselves are returned (useful for validation on small graphs);
 /// otherwise only counts are kept.
-pub fn maximal_cliques(
-    rt: &mut SisaRuntime,
+pub fn maximal_cliques<E: SetEngine>(
+    rt: &mut E,
     g: &SetGraph,
     ordering: &DegeneracyOrdering,
     limits: &SearchLimits,
@@ -71,7 +71,7 @@ pub fn maximal_cliques(
         bk_pivot(rt, g, &mut r, p, x, &mut budget, collect, &mut result);
         rt.delete(p);
         rt.delete(x);
-        tasks.push(TaskRecord::compute_only(rt.task_end()));
+        tasks.push(rt.task_end());
     }
     if collect {
         result.cliques.sort();
@@ -80,8 +80,8 @@ pub fn maximal_cliques(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn bk_pivot(
-    rt: &mut SisaRuntime,
+fn bk_pivot<E: SetEngine>(
+    rt: &mut E,
     g: &SetGraph,
     r: &mut Vec<Vertex>,
     p: SetId,
@@ -150,7 +150,7 @@ fn bk_pivot(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sisa_core::{SetGraphConfig, SisaConfig};
+    use sisa_core::{SetGraphConfig, SisaConfig, SisaRuntime};
     use sisa_graph::orientation::degeneracy_order;
     use sisa_graph::{generators, properties, CsrGraph};
 

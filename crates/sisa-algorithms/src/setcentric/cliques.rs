@@ -8,7 +8,7 @@
 
 use crate::limits::SearchLimits;
 use crate::{MiningRun, Vertex};
-use sisa_core::{SetGraph, SetGraphConfig, SisaRuntime, TaskRecord};
+use sisa_core::{SetEngine, SetGraph, SetGraphConfig};
 use sisa_graph::orientation::degeneracy_order;
 use sisa_graph::CsrGraph;
 use std::collections::HashMap;
@@ -17,8 +17,8 @@ use std::collections::HashMap;
 /// SISA [`SetGraph`]. This is the preprocessing step shared by all clique
 /// algorithms ("Edge goes from v to u iff η(v) < η(u)", Algorithm 3).
 #[must_use]
-pub fn orient_by_degeneracy(
-    rt: &mut SisaRuntime,
+pub fn orient_by_degeneracy<E: SetEngine>(
+    rt: &mut E,
     g: &CsrGraph,
     cfg: &SetGraphConfig,
 ) -> (SetGraph, sisa_graph::orientation::DegeneracyOrdering) {
@@ -32,8 +32,8 @@ pub fn orient_by_degeneracy(
 ///
 /// `oriented` must be a degeneracy-oriented [`SetGraph`]; each triangle is
 /// then counted exactly once and no final division is needed.
-pub fn triangle_count(
-    rt: &mut SisaRuntime,
+pub fn triangle_count<E: SetEngine>(
+    rt: &mut E,
     oriented: &SetGraph,
     limits: &SearchLimits,
 ) -> MiningRun<u64> {
@@ -48,19 +48,19 @@ pub fn triangle_count(
             let found = rt.intersect_count(nv, oriented.neighborhood(w)) as u64;
             tc += found;
             if found > 0 && !budget.found(found) {
-                tasks.push(TaskRecord::compute_only(rt.task_end()));
+                tasks.push(rt.task_end());
                 break 'outer;
             }
         }
-        tasks.push(TaskRecord::compute_only(rt.task_end()));
+        tasks.push(rt.task_end());
     }
     MiningRun::new(tc, tasks, budget.exhausted())
 }
 
 /// Set-centric k-clique counting (Algorithm 3, Danisch et al. reformulated
 /// with explicit set operations).
-pub fn k_clique_count(
-    rt: &mut SisaRuntime,
+pub fn k_clique_count<E: SetEngine>(
+    rt: &mut E,
     oriented: &SetGraph,
     k: usize,
     limits: &SearchLimits,
@@ -77,15 +77,15 @@ pub fn k_clique_count(
         // C2 = N⁺(u); count (k-2) further extensions.
         let c2 = oriented.neighborhood(u);
         total += count_extensions(rt, oriented, c2, 2, k, &mut budget, None);
-        tasks.push(TaskRecord::compute_only(rt.task_end()));
+        tasks.push(rt.task_end());
     }
     MiningRun::new(total, tasks, budget.exhausted())
 }
 
 /// Recursive helper shared by counting and listing: extends the candidate set
 /// `ci` (all vertices completing the current (i)-clique) until level `k`.
-fn count_extensions(
-    rt: &mut SisaRuntime,
+fn count_extensions<E: SetEngine>(
+    rt: &mut E,
     oriented: &SetGraph,
     ci: sisa_core::SetId,
     i: usize,
@@ -136,8 +136,8 @@ fn count_extensions(
 /// Lists k-cliques explicitly (each clique misses its first two vertices in
 /// the recursion prefix, so the full clique is reconstructed per leaf). Used
 /// by the k-clique-star algorithms and by tests.
-pub fn k_clique_list(
-    rt: &mut SisaRuntime,
+pub fn k_clique_list<E: SetEngine>(
+    rt: &mut E,
     oriented: &SetGraph,
     k: usize,
     limits: &SearchLimits,
@@ -171,7 +171,7 @@ pub fn k_clique_list(
             );
             let _ = before;
         }
-        tasks.push(TaskRecord::compute_only(rt.task_end()));
+        tasks.push(rt.task_end());
     }
     for c in &mut cliques {
         c.sort_unstable();
@@ -181,8 +181,8 @@ pub fn k_clique_list(
 
 /// Specialised 4-clique counting (Table 4's set-centric snippet): two explicit
 /// loops plus two intersections, no recursion.
-pub fn four_clique_count(
-    rt: &mut SisaRuntime,
+pub fn four_clique_count<E: SetEngine>(
+    rt: &mut E,
     oriented: &SetGraph,
     limits: &SearchLimits,
 ) -> MiningRun<u64> {
@@ -199,13 +199,13 @@ pub fn four_clique_count(
                 cnt += found;
                 if found > 0 && !budget.found(found) {
                     rt.delete(s1);
-                    tasks.push(TaskRecord::compute_only(rt.task_end()));
+                    tasks.push(rt.task_end());
                     break 'outer;
                 }
             }
             rt.delete(s1);
         }
-        tasks.push(TaskRecord::compute_only(rt.task_end()));
+        tasks.push(rt.task_end());
     }
     MiningRun::new(cnt, tasks, budget.exhausted())
 }
@@ -215,8 +215,8 @@ pub fn four_clique_count(
 /// members to find the star vertices.
 ///
 /// Returns the number of k-clique-stars with a non-empty star extension.
-pub fn k_clique_star_join(
-    rt: &mut SisaRuntime,
+pub fn k_clique_star_join<E: SetEngine>(
+    rt: &mut E,
     undirected: &SetGraph,
     oriented: &SetGraph,
     k: usize,
@@ -242,7 +242,7 @@ pub fn k_clique_star_join(
         }
         rt.delete(x);
         rt.delete(vc);
-        tasks.push(TaskRecord::compute_only(rt.task_end()));
+        tasks.push(rt.task_end());
     }
     MiningRun::new(stars, tasks, truncated)
 }
@@ -253,8 +253,8 @@ pub fn k_clique_star_join(
 ///
 /// Returns the number of distinct k-cliques that act as the core of at least
 /// one k-clique-star (i.e. the number of maximal k-clique-stars).
-pub fn k_clique_star_count(
-    rt: &mut SisaRuntime,
+pub fn k_clique_star_count<E: SetEngine>(
+    rt: &mut E,
     oriented: &SetGraph,
     k: usize,
     limits: &SearchLimits,
@@ -281,7 +281,7 @@ pub fn k_clique_star_count(
                 }
             }
         }
-        tasks.push(TaskRecord::compute_only(rt.task_end()));
+        tasks.push(rt.task_end());
     }
     let count = stars.len() as u64;
     for (_, id) in stars {
@@ -293,7 +293,7 @@ pub fn k_clique_star_count(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sisa_core::SisaConfig;
+    use sisa_core::{SisaConfig, SisaRuntime};
     use sisa_graph::{generators, properties};
 
     fn setup(g: &CsrGraph) -> (SisaRuntime, SetGraph, SetGraph) {

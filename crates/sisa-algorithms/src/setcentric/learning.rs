@@ -5,7 +5,7 @@ use crate::limits::SearchLimits;
 use crate::{MiningRun, Vertex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sisa_core::{SetGraph, SetGraphConfig, SisaRuntime, TaskRecord};
+use sisa_core::{SetEngine, SetGraph, SetGraphConfig};
 use sisa_graph::{CsrGraph, GraphBuilder};
 
 /// The vertex-similarity measures of Algorithm 9.
@@ -56,8 +56,8 @@ impl SimilarityMeasure {
 
 /// Computes the similarity of the neighbourhoods of `u` and `v` using SISA
 /// set operations (Algorithm 9).
-pub fn pairwise_similarity(
-    rt: &mut SisaRuntime,
+pub fn pairwise_similarity<E: SetEngine>(
+    rt: &mut E,
     g: &SetGraph,
     u: Vertex,
     v: Vertex,
@@ -123,8 +123,8 @@ pub fn pairwise_similarity(
 /// clustering `C` when the similarity of `N(u)` and `N(v)` exceeds `tau`.
 ///
 /// Returns the selected edges.
-pub fn jarvis_patrick_clustering(
-    rt: &mut SisaRuntime,
+pub fn jarvis_patrick_clustering<E: SetEngine>(
+    rt: &mut E,
     g: &SetGraph,
     measure: SimilarityMeasure,
     tau: f64,
@@ -144,12 +144,12 @@ pub fn jarvis_patrick_clustering(
             if s > tau {
                 clusters.push((u, v));
                 if !budget.found(1) {
-                    tasks.push(TaskRecord::compute_only(rt.task_end()));
+                    tasks.push(rt.task_end());
                     break 'outer;
                 }
             }
         }
-        tasks.push(TaskRecord::compute_only(rt.task_end()));
+        tasks.push(rt.task_end());
     }
     MiningRun::new(clusters, tasks, budget.exhausted())
 }
@@ -188,8 +188,8 @@ impl LinkPredictionOutcome {
 /// pairs without common neighbours score zero under every neighbourhood-based
 /// measure, so this restriction does not change the outcome while keeping the
 /// candidate set near-linear.
-pub fn link_prediction_accuracy(
-    rt: &mut SisaRuntime,
+pub fn link_prediction_accuracy<E: SetEngine>(
+    rt: &mut E,
     g: &CsrGraph,
     cfg: &SetGraphConfig,
     measure: SimilarityMeasure,
@@ -238,7 +238,7 @@ pub fn link_prediction_accuracy(
             let s = pairwise_similarity(rt, &sparse_sets, u, v, measure);
             scored.push(((u, v), s));
         }
-        tasks.push(TaskRecord::compute_only(rt.task_end()));
+        tasks.push(rt.task_end());
     }
 
     // E_predict: the |E_rndm| highest-scoring candidates.
@@ -263,7 +263,7 @@ pub fn link_prediction_accuracy(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sisa_core::SisaConfig;
+    use sisa_core::{SisaConfig, SisaRuntime};
     use sisa_graph::generators;
 
     fn setup(g: &CsrGraph) -> (SisaRuntime, SetGraph) {

@@ -11,7 +11,7 @@
 
 use crate::limits::{PatternBudget, SearchLimits};
 use crate::{MiningRun, Vertex};
-use sisa_core::{SetGraph, SisaRuntime, TaskRecord};
+use sisa_core::{SetEngine, SetGraph};
 
 /// A small pattern graph (the graph `G₂` being searched for).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -122,8 +122,8 @@ pub fn star_pattern(k: usize) -> PatternGraph {
 /// `pattern` into the target graph `g`.
 ///
 /// Each outer candidate for the first pattern vertex is a separate task.
-pub fn subgraph_isomorphism_count(
-    rt: &mut SisaRuntime,
+pub fn subgraph_isomorphism_count<E: SetEngine>(
+    rt: &mut E,
     g: &SetGraph,
     pattern: &PatternGraph,
     limits: &SearchLimits,
@@ -161,7 +161,7 @@ pub fn subgraph_isomorphism_count(
             &mut used,
             &mut budget,
         );
-        tasks.push(TaskRecord::compute_only(rt.task_end()));
+        tasks.push(rt.task_end());
     }
     MiningRun::new(count, tasks, budget.exhausted())
 }
@@ -174,8 +174,8 @@ fn labels_match(g: &SetGraph, target: Vertex, pattern: &PatternGraph, pv: Vertex
 }
 
 #[allow(clippy::too_many_arguments)]
-fn extend(
-    rt: &mut SisaRuntime,
+fn extend<E: SetEngine>(
+    rt: &mut E,
     g: &SetGraph,
     pattern: &PatternGraph,
     order: &[Vertex],
@@ -257,8 +257,8 @@ pub struct FrequentPattern {
 ///
 /// `min_support` is the absolute embedding-count threshold (the paper's
 /// `σ · n`); `max_size` bounds the pattern size explored.
-pub fn frequent_subgraphs(
-    rt: &mut SisaRuntime,
+pub fn frequent_subgraphs<E: SetEngine>(
+    rt: &mut E,
     g: &SetGraph,
     min_support: u64,
     max_size: usize,
@@ -289,7 +289,7 @@ pub fn frequent_subgraphs(
             current_level.push(p);
         }
     }
-    tasks.push(TaskRecord::compute_only(rt.task_end()));
+    tasks.push(rt.task_end());
 
     let mut truncated = false;
     for _size in 2..=max_size {
@@ -339,7 +339,7 @@ pub fn frequent_subgraphs(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sisa_core::{SetGraphConfig, SisaConfig};
+    use sisa_core::{SetGraphConfig, SisaConfig, SisaRuntime};
     use sisa_graph::{generators, CsrGraph, LabeledGraph};
 
     fn setup(g: &CsrGraph) -> (SisaRuntime, SetGraph) {

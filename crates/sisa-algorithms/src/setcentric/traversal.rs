@@ -8,7 +8,7 @@
 
 use crate::limits::SearchLimits;
 use crate::{MiningRun, Vertex};
-use sisa_core::{SetGraph, SisaRuntime, TaskRecord};
+use sisa_core::{SetEngine, SetGraph};
 
 /// Which BFS strategy to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -24,8 +24,8 @@ pub enum BfsMode {
 
 /// Set-centric BFS from `root`; returns the parent of every reached vertex
 /// (`parent[root] == root`, unreached vertices are `None`).
-pub fn bfs(
-    rt: &mut SisaRuntime,
+pub fn bfs<E: SetEngine>(
+    rt: &mut E,
     g: &SetGraph,
     root: Vertex,
     mode: BfsMode,
@@ -84,7 +84,7 @@ pub fn bfs(
         }
         rt.delete(frontier);
         frontier = new_frontier;
-        tasks.push(TaskRecord::compute_only(rt.task_end()));
+        tasks.push(rt.task_end());
     }
     rt.delete(frontier);
     rt.delete(unvisited);
@@ -114,8 +114,8 @@ impl ApproximateDegeneracy {
 /// Set-centric approximate degeneracy ordering (Algorithm 6): in each round,
 /// peel every vertex whose remaining degree is at most `(1 + eps)` times the
 /// current average degree; `V \= X` and `N(v) \= X` are SISA set differences.
-pub fn approximate_degeneracy(
-    rt: &mut SisaRuntime,
+pub fn approximate_degeneracy<E: SetEngine>(
+    rt: &mut E,
     g: &SetGraph,
     eps: f64,
     _limits: &SearchLimits,
@@ -159,7 +159,7 @@ pub fn approximate_degeneracy(
         }
         rt.delete(x);
         round += 1;
-        tasks.push(TaskRecord::compute_only(rt.task_end()));
+        tasks.push(rt.task_end());
     }
     rt.delete(alive);
     for id in live_neighborhoods {
@@ -178,7 +178,7 @@ pub fn approximate_degeneracy(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sisa_core::{SetGraphConfig, SisaConfig};
+    use sisa_core::{SetGraphConfig, SisaConfig, SisaRuntime};
     use sisa_graph::{generators, orientation, properties, CsrGraph};
 
     fn setup(g: &CsrGraph) -> (SisaRuntime, SetGraph) {

@@ -1,7 +1,7 @@
 //! Criterion microbenchmarks of the PIM cost models and the SCU dispatch path.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sisa_core::{SisaConfig, SisaRuntime};
+use sisa_core::{SetEngine, SisaConfig, SisaRuntime};
 use sisa_pim::pum::BulkOp;
 use sisa_pim::{PnmModel, PumModel};
 use std::hint::black_box;

@@ -4,7 +4,9 @@
 use sisa_algorithms::setcentric::k_clique_count;
 use sisa_algorithms::SearchLimits;
 use sisa_bench::{emit, format_table, full_mode};
-use sisa_core::{parallel, SetGraph, SetGraphConfig, SisaConfig, SisaRuntime, VariantSelection};
+use sisa_core::{
+    parallel, SetEngine, SetGraph, SetGraphConfig, SisaConfig, SisaRuntime, VariantSelection,
+};
 use sisa_graph::{datasets, orientation::degeneracy_order};
 
 fn run_once(

@@ -5,7 +5,7 @@ use sisa_algorithms::baseline::{k_clique_count_baseline, BaselineMode};
 use sisa_algorithms::setcentric::k_clique_count;
 use sisa_algorithms::SearchLimits;
 use sisa_bench::{emit, format_table, full_mode};
-use sisa_core::{parallel, SetGraph, SetGraphConfig, SisaConfig, SisaRuntime};
+use sisa_core::{parallel, SetEngine, SetGraph, SetGraphConfig, SisaConfig, SisaRuntime};
 use sisa_graph::{datasets, orientation::degeneracy_order};
 use sisa_pim::CpuConfig;
 

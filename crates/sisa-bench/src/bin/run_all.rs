@@ -45,8 +45,21 @@ fn main() {
     let (rounds, reached) = sisa_bench::run_auxiliary_formulations(&g);
     println!("\nAuxiliary formulations: approximate degeneracy finished in {rounds} rounds; set-centric BFS reached {reached} vertices.");
 
-    // Record the platform parameters the figures were produced with.
+    // Capture a traced run and publish its per-opcode instruction mix (the
+    // paper's instruction-mix analyses) from the genuine SisaProgram.
     let dir = sisa_bench::results_dir();
+    let mix = sisa_bench::capture_instruction_mix("soc-fbMsg", &g);
+    if std::fs::create_dir_all(&dir).is_ok()
+        && std::fs::write(dir.join("instruction_mix.json"), mix.to_json()).is_ok()
+    {
+        println!(
+            "Instruction mix ({} instructions) recorded in {}",
+            mix.total_instructions,
+            dir.join("instruction_mix.json").display()
+        );
+    }
+
+    // Record the platform parameters the figures were produced with.
     let json = sisa_bench::PlatformSummary::default().to_json();
     if std::fs::create_dir_all(&dir).is_ok()
         && std::fs::write(dir.join("platform.json"), &json).is_ok()

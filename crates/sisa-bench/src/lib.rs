@@ -24,7 +24,9 @@ use sisa_algorithms::setcentric::{
     star_pattern, subgraph_isomorphism_count, triangle_count, SimilarityMeasure,
 };
 use sisa_algorithms::{MiningRun, SearchLimits};
-use sisa_core::{parallel, RunReport, SetGraph, SetGraphConfig, SisaConfig, SisaRuntime};
+use sisa_core::{
+    parallel, RunReport, SetEngine, SetGraph, SetGraphConfig, SisaConfig, SisaRuntime,
+};
 use sisa_graph::orientation::degeneracy_order;
 use sisa_graph::{CsrGraph, LabeledGraph};
 use sisa_pim::{CpuConfig, EnergyModel, PimPlatform};
@@ -334,6 +336,56 @@ pub fn run_auxiliary_formulations(g: &CsrGraph) -> (usize, usize) {
         deg.result.rounds,
         bfs.result.iter().filter(|p| p.is_some()).count(),
     )
+}
+
+/// The per-opcode dynamic instruction mix of a traced run, extracted from the
+/// captured [`sisa_isa::SisaProgram`] (emitted as `results/instruction_mix.json`
+/// by `run_all`).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstructionMix {
+    /// The traced workloads.
+    pub workload: String,
+    /// The input graph's registered name.
+    pub graph: String,
+    /// Total dynamic SISA instruction count of the captured program.
+    pub total_instructions: u64,
+    /// Whether the bounded trace captured the whole run.
+    pub trace_complete: bool,
+    /// Dynamic count per assembly mnemonic.
+    pub mix: std::collections::BTreeMap<String, u64>,
+}
+
+impl InstructionMix {
+    /// Pretty-printed JSON for this mix.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("instruction mix serializes")
+    }
+}
+
+/// Traces a triangle-count + BFS run on `g` through the SISA runtime and
+/// summarises the captured program's per-opcode instruction mix.
+#[must_use]
+pub fn capture_instruction_mix(name: &str, g: &CsrGraph) -> InstructionMix {
+    let mut rt = SisaRuntime::new(SisaConfig::default());
+    rt.enable_default_trace();
+    let (oriented, _) = setcentric::orient_by_degeneracy(&mut rt, g, &SetGraphConfig::default());
+    let _ = setcentric::triangle_count(&mut rt, &oriented, &SearchLimits::patterns(50_000));
+    let sg = SetGraph::load(&mut rt, g, &SetGraphConfig::default());
+    let _ = setcentric::bfs(&mut rt, &sg, 0, setcentric::BfsMode::DirectionOptimizing);
+    let trace = rt.take_trace().expect("trace was enabled");
+    let program = trace.program();
+    InstructionMix {
+        workload: "tc+bfs".into(),
+        graph: name.into(),
+        total_instructions: program.len() as u64,
+        trace_complete: trace.is_complete(),
+        mix: program
+            .mnemonic_histogram()
+            .into_iter()
+            .map(|(mnemonic, count)| (mnemonic.to_string(), count as u64))
+            .collect(),
+    }
 }
 
 // ---------------------------------------------------------------------------

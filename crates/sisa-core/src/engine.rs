@@ -1,0 +1,196 @@
+//! The execution-backend abstraction set-centric algorithms are written
+//! against.
+//!
+//! The paper's central claim is that SISA is an *ISA*: algorithms express
+//! their heavy work as set instructions and the platform underneath is free to
+//! execute them however it likes (§3, §6.3). [`SetEngine`] is that boundary in
+//! code. Every set-centric algorithm in `sisa-algorithms` is generic over
+//! `E: SetEngine`, so the same formulation runs on
+//!
+//! * [`crate::SisaRuntime`] — the simulated SISA platform (SCU dispatch onto
+//!   the PUM/PNM cost models), and
+//! * [`crate::HostEngine`] — a software set-centric backend on the baseline
+//!   out-of-order CPU model,
+//!
+//! and the benchmark harness compares backends by swapping the engine rather
+//! than by maintaining per-backend driver code.
+//!
+//! The trait surface mirrors the paper's instruction families: set lifecycle
+//! (§6.3.4), `O(1)` metadata queries (§6.2.3), single-element updates (§6.2),
+//! the three binary operations with their counting twins (§6.2.1, Table 5)
+//! plus in-place variants, and the host-side accounting hooks that keep loop
+//! control on the CPU ("Does SISA Execute All Set Operations?", §5).
+
+use crate::parallel::TaskRecord;
+use crate::stats::ExecStats;
+use crate::Vertex;
+use sisa_isa::SetId;
+use sisa_sets::{DenseBitVector, SetRepr};
+
+/// A backend that executes SISA-style set operations.
+///
+/// Implementations must both **functionally execute** every operation on real
+/// set data (so algorithms produce validated answers) and **charge simulated
+/// cost** into their [`ExecStats`] / task records. Invalid set identifiers are
+/// programming errors and panic, mirroring how a real SISA program would fault
+/// on a dangling set ID.
+pub trait SetEngine {
+    /// A short label for the backend (used in reports and figures).
+    fn backend_name(&self) -> &'static str;
+
+    // -----------------------------------------------------------------------
+    // Universe and statistics
+    // -----------------------------------------------------------------------
+
+    /// Grows the vertex universe to at least `n` (used when dense bitvectors
+    /// are created).
+    fn set_universe(&mut self, n: usize);
+
+    /// The current vertex universe.
+    fn universe(&self) -> usize;
+
+    /// Execution statistics accumulated so far.
+    fn stats(&self) -> &ExecStats;
+
+    /// Clears the accumulated statistics (used after graph loading so that
+    /// reported cycles cover only the algorithm itself, matching the paper's
+    /// methodology of excluding graph construction).
+    fn reset_stats(&mut self);
+
+    /// Number of live sets.
+    fn live_sets(&self) -> usize;
+
+    // -----------------------------------------------------------------------
+    // Set lifecycle
+    // -----------------------------------------------------------------------
+
+    /// Creates a set from an explicit representation, returning its ID.
+    fn create(&mut self, repr: SetRepr) -> SetId;
+
+    /// Clones a set into a fresh ID.
+    fn clone_set(&mut self, id: SetId) -> SetId;
+
+    /// Deletes a set, freeing its ID.
+    fn delete(&mut self, id: SetId);
+
+    // -----------------------------------------------------------------------
+    // Queries
+    // -----------------------------------------------------------------------
+
+    /// The cardinality `|A|`.
+    fn cardinality(&mut self, id: SetId) -> usize;
+
+    /// Membership `x ∈ A`.
+    fn contains(&mut self, id: SetId, v: Vertex) -> bool;
+
+    /// The members of a set as a sorted vector, charging the cost of reading
+    /// the set out of memory.
+    fn members(&mut self, id: SetId) -> Vec<Vertex>;
+
+    /// Read-only access to a set's physical representation (no cost; intended
+    /// for result extraction and tests).
+    fn repr(&self, id: SetId) -> &SetRepr;
+
+    // -----------------------------------------------------------------------
+    // Element updates
+    // -----------------------------------------------------------------------
+
+    /// Inserts a vertex: `A ∪= {x}`. Returns whether the set changed.
+    fn insert(&mut self, id: SetId, v: Vertex) -> bool;
+
+    /// Removes a vertex: `A \= {x}`. Returns whether the set changed.
+    fn remove(&mut self, id: SetId, v: Vertex) -> bool;
+
+    // -----------------------------------------------------------------------
+    // Binary set operations
+    // -----------------------------------------------------------------------
+
+    /// `A ∩ B`, materialised as a new set.
+    fn intersect(&mut self, a: SetId, b: SetId) -> SetId;
+
+    /// `A ∪ B`, materialised as a new set.
+    fn union(&mut self, a: SetId, b: SetId) -> SetId;
+
+    /// `A \ B`, materialised as a new set.
+    fn difference(&mut self, a: SetId, b: SetId) -> SetId;
+
+    /// `|A ∩ B|` without materialising the intersection.
+    fn intersect_count(&mut self, a: SetId, b: SetId) -> usize;
+
+    /// `|A ∪ B|` without materialising the union.
+    fn union_count(&mut self, a: SetId, b: SetId) -> usize;
+
+    /// `|A \ B|` without materialising the difference.
+    fn difference_count(&mut self, a: SetId, b: SetId) -> usize;
+
+    /// In-place intersection `A ∩= B`.
+    fn intersect_assign(&mut self, a: SetId, b: SetId);
+
+    /// In-place union `A ∪= B`.
+    fn union_assign(&mut self, a: SetId, b: SetId);
+
+    /// In-place difference `A \= B`.
+    fn difference_assign(&mut self, a: SetId, b: SetId);
+
+    // -----------------------------------------------------------------------
+    // Host-side accounting and task boundaries
+    // -----------------------------------------------------------------------
+
+    /// Charges `n` host-side scalar operations (loop control, counters,
+    /// comparisons done outside set operations).
+    fn host_ops(&mut self, n: u64);
+
+    /// Marks the beginning of a parallel task; [`SetEngine::task_end`] returns
+    /// the cost accumulated since this call.
+    fn task_begin(&mut self);
+
+    /// Ends the current task, returning its cost as a schedulable record.
+    fn task_end(&mut self) -> TaskRecord;
+
+    // -----------------------------------------------------------------------
+    // Provided constructors (sugar over `create`)
+    // -----------------------------------------------------------------------
+
+    /// Creates an empty sorted sparse-array set.
+    fn create_empty_sorted(&mut self) -> SetId
+    where
+        Self: Sized,
+    {
+        self.create(SetRepr::empty_sorted())
+    }
+
+    /// Creates an empty dense bitvector over the current universe.
+    fn create_empty_dense(&mut self) -> SetId
+    where
+        Self: Sized,
+    {
+        let universe = self.universe();
+        self.create(SetRepr::empty_dense(universe))
+    }
+
+    /// Creates a sorted sparse-array set from members.
+    fn create_sorted(&mut self, members: impl IntoIterator<Item = Vertex>) -> SetId
+    where
+        Self: Sized,
+    {
+        self.create(SetRepr::sorted_from(members))
+    }
+
+    /// Creates a dense-bitvector set over the current universe from members.
+    fn create_dense(&mut self, members: impl IntoIterator<Item = Vertex>) -> SetId
+    where
+        Self: Sized,
+    {
+        let universe = self.universe();
+        self.create(SetRepr::dense_from(universe, members))
+    }
+
+    /// Creates a dense-bitvector set containing every vertex of the universe.
+    fn create_full_dense(&mut self) -> SetId
+    where
+        Self: Sized,
+    {
+        let universe = self.universe();
+        self.create(SetRepr::Dense(DenseBitVector::full(universe)))
+    }
+}

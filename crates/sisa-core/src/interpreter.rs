@@ -1,0 +1,197 @@
+//! Replaying a captured trace against any [`SetEngine`].
+//!
+//! [`Interpreter::replay`] walks the events of a [`TraceSink`] and re-executes
+//! each one on a target engine, translating the trace's set IDs to the IDs the
+//! target engine allocates. Replaying a complete trace into a fresh
+//! [`crate::SisaRuntime`] with the same configuration reproduces the original
+//! run's [`crate::ExecStats`] cycle-for-cycle (the SCU's decisions depend only
+//! on the set metadata, which the replayed operations rebuild identically);
+//! replaying into a [`crate::HostEngine`] re-prices the same instruction
+//! stream on the baseline CPU model instead.
+
+use crate::engine::SetEngine;
+use crate::scu::BinarySetOp;
+use crate::trace::{TraceOp, TraceSink};
+use sisa_isa::SetId;
+use std::collections::HashMap;
+
+/// Summary of one replay.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Number of trace events re-executed.
+    pub events: usize,
+    /// The subset of `events` that were SISA instructions.
+    pub instructions: usize,
+    /// Whether the trace covered the whole original run (a bounded sink may
+    /// have dropped the tail; the replay is then a faithful prefix).
+    pub complete: bool,
+}
+
+/// Replays captured traces against a [`SetEngine`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Interpreter;
+
+impl Interpreter {
+    /// Re-executes every event of `trace` on `engine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace references a set that was never created in it —
+    /// which cannot happen for traces captured from the start of a
+    /// [`crate::SisaRuntime`]'s life (a bounded sink only ever drops the
+    /// *tail* of a run).
+    pub fn replay<E: SetEngine>(trace: &TraceSink, engine: &mut E) -> ReplayReport {
+        let mut ids: HashMap<SetId, SetId> = HashMap::new();
+        let mut instructions = 0usize;
+        for event in trace.events() {
+            if event.instruction.is_some() {
+                instructions += 1;
+            }
+            match &event.op {
+                TraceOp::SetUniverse { n } => engine.set_universe(*n),
+                TraceOp::ResetStats => engine.reset_stats(),
+                TraceOp::Create { id, repr } => {
+                    let local = engine.create(repr.clone());
+                    ids.insert(*id, local);
+                }
+                TraceOp::Clone { src, dst } => {
+                    let local = engine.clone_set(Self::resolve(&ids, *src));
+                    ids.insert(*dst, local);
+                }
+                TraceOp::Delete { id } => {
+                    engine.delete(Self::resolve(&ids, *id));
+                    ids.remove(id);
+                }
+                TraceOp::Cardinality { id } => {
+                    let _ = engine.cardinality(Self::resolve(&ids, *id));
+                }
+                TraceOp::Membership { id, v } => {
+                    let _ = engine.contains(Self::resolve(&ids, *id), *v);
+                }
+                TraceOp::Insert { id, v } => {
+                    let _ = engine.insert(Self::resolve(&ids, *id), *v);
+                }
+                TraceOp::Remove { id, v } => {
+                    let _ = engine.remove(Self::resolve(&ids, *id), *v);
+                }
+                TraceOp::Binary { op, a, b, dst } => {
+                    let (a, b) = (Self::resolve(&ids, *a), Self::resolve(&ids, *b));
+                    let local = match op {
+                        BinarySetOp::Intersection => engine.intersect(a, b),
+                        BinarySetOp::Union => engine.union(a, b),
+                        BinarySetOp::Difference => engine.difference(a, b),
+                    };
+                    ids.insert(*dst, local);
+                }
+                TraceOp::BinaryCount { op, a, b } => {
+                    let (a, b) = (Self::resolve(&ids, *a), Self::resolve(&ids, *b));
+                    let _ = match op {
+                        BinarySetOp::Intersection => engine.intersect_count(a, b),
+                        BinarySetOp::Union => engine.union_count(a, b),
+                        BinarySetOp::Difference => engine.difference_count(a, b),
+                    };
+                }
+                TraceOp::BinaryAssign { op, a, b } => {
+                    let (a, b) = (Self::resolve(&ids, *a), Self::resolve(&ids, *b));
+                    match op {
+                        BinarySetOp::Intersection => engine.intersect_assign(a, b),
+                        BinarySetOp::Union => engine.union_assign(a, b),
+                        BinarySetOp::Difference => engine.difference_assign(a, b),
+                    }
+                }
+                TraceOp::Members { id } => {
+                    let _ = engine.members(Self::resolve(&ids, *id));
+                }
+                TraceOp::HostOps { n } => engine.host_ops(*n),
+            }
+        }
+        ReplayReport {
+            events: trace.events().len(),
+            instructions,
+            complete: trace.is_complete(),
+        }
+    }
+
+    fn resolve(ids: &HashMap<SetId, SetId>, id: SetId) -> SetId {
+        *ids.get(&id)
+            .unwrap_or_else(|| panic!("trace references unknown set {id}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SisaConfig;
+    use crate::runtime::SisaRuntime;
+
+    /// A small but representative workload: lifecycle, element ops, all three
+    /// binary families with counting and in-place variants, queries, reads.
+    fn run_workload<E: SetEngine>(engine: &mut E) {
+        engine.set_universe(128);
+        let a = engine.create_sorted([1, 2, 3, 40, 90]);
+        let b = engine.create_dense([2, 3, 4, 80]);
+        engine.reset_stats();
+        let c = engine.intersect(a, b);
+        let _ = engine.union_count(a, b);
+        let d = engine.difference(b, a);
+        engine.union_assign(c, d);
+        engine.insert(c, 100);
+        engine.remove(c, 2);
+        let _ = engine.cardinality(c);
+        let _ = engine.contains(c, 100);
+        let _ = engine.members(c);
+        engine.host_ops(17);
+        let e = engine.clone_set(c);
+        engine.delete(d);
+        engine.delete(e);
+    }
+
+    #[test]
+    fn replay_reproduces_exec_stats_cycle_for_cycle() {
+        let mut original = SisaRuntime::new(SisaConfig::default());
+        original.enable_default_trace();
+        run_workload(&mut original);
+        let trace = original.take_trace().unwrap();
+
+        let mut replayed = SisaRuntime::new(SisaConfig::default());
+        let report = Interpreter::replay(&trace, &mut replayed);
+        assert!(report.complete);
+        assert!(report.instructions > 0);
+        assert_eq!(report.events, trace.len());
+        assert_eq!(replayed.stats(), original.stats());
+        assert_eq!(replayed.live_sets(), original.live_sets());
+    }
+
+    #[test]
+    fn replay_reproduces_functional_state() {
+        let mut original = SisaRuntime::new(SisaConfig::default());
+        original.enable_default_trace();
+        original.set_universe(64);
+        let a = original.create_sorted([5, 6, 7]);
+        let b = original.create_dense([6, 7, 8]);
+        let c = original.intersect(a, b);
+        let trace = original.take_trace().unwrap();
+
+        let mut replayed = SisaRuntime::new(SisaConfig::default());
+        Interpreter::replay(&trace, &mut replayed);
+        // A fresh runtime allocates the same IDs for the same event order.
+        assert_eq!(replayed.members(c), original.members(c));
+    }
+
+    #[test]
+    fn truncated_traces_replay_as_a_prefix() {
+        let mut original = SisaRuntime::new(SisaConfig::default());
+        original.enable_trace(3); // SetUniverse + two creates
+        original.set_universe(32);
+        let a = original.create_sorted([1]);
+        let b = original.create_sorted([2]);
+        let _ = original.intersect(a, b); // dropped
+        let trace = original.take_trace().unwrap();
+        assert!(!trace.is_complete());
+
+        let mut replayed = SisaRuntime::new(SisaConfig::default());
+        let report = Interpreter::replay(&trace, &mut replayed);
+        assert!(!report.complete);
+        assert_eq!(replayed.live_sets(), 2);
+    }
+}

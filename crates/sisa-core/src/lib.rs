@@ -3,47 +3,62 @@
 //! The SISA runtime: everything between a set-centric algorithm and the PIM
 //! cost models.
 //!
-//! This crate plays three roles from the paper's cross-layer design (§3, §8):
+//! This crate plays four roles from the paper's cross-layer design (§3, §8):
 //!
-//! * **The thin software layer** (§6.3.3): [`SisaRuntime`] exposes C-style
+//! * **The execution-backend boundary**: [`SetEngine`] is the trait every
+//!   set-centric algorithm in `sisa-algorithms` is written against — C-style
 //!   set operations (`intersect`, `union`, `difference`, counting variants,
 //!   membership, element insertion/removal, set lifecycle) addressed by
-//!   logical [`SetId`]s — the programming interface the set-centric
-//!   algorithms in `sisa-algorithms` are written against.
-//! * **The SISA Controller Unit** (§8.2): every operation is turned into a
-//!   [`sisa_isa::SisaInstruction`], handed to the [`scu::Scu`], which consults
-//!   the Set-Metadata table (through the SMB cache), chooses SISA-PUM or
-//!   SISA-PNM and merge vs. galloping using the §8.3 performance models, and
-//!   charges the corresponding cycles.
+//!   logical [`SetId`]s. Two backends ship: the simulated SISA platform
+//!   ([`SisaRuntime`]) and a software baseline on the CPU cost model
+//!   ([`HostEngine`]).
+//! * **The thin software layer + SCU** (§6.3.3, §8.2): inside `SisaRuntime`
+//!   every operation is first *issued* — materialised as a genuine
+//!   [`sisa_isa::SisaInstruction`] with operands mapped through the
+//!   [`issue::RegisterFile`] binding table, optionally captured by a bounded
+//!   [`TraceSink`] — then *dispatched* by the [`scu::Scu`], which consults the
+//!   Set-Metadata table (through the SMB cache), chooses SISA-PUM or SISA-PNM
+//!   and merge vs. galloping using the §8.3 performance models, and charges
+//!   the corresponding cycles. A captured trace is a real
+//!   [`sisa_isa::SisaProgram`] and can be replayed against any backend by the
+//!   [`Interpreter`].
 //! * **The set organisation** (§6.1): [`SetGraph`] loads a CSR graph into
 //!   SISA sets, storing the largest neighbourhoods as dense bitvectors and the
 //!   rest as sparse arrays, subject to the user's bias parameter and storage
 //!   budget.
-//!
-//! [`parallel`] provides the virtual-thread scheduler that turns per-task
-//! cycle counts (from either the SISA runtime or the baseline CPU model in
-//! `sisa-pim`) into end-to-end runtimes, per-thread stall fractions and
-//! bandwidth-contention effects — the quantities plotted in Figures 1, 6, 8
-//! and 9 of the paper.
+//! * **Scheduling**: [`parallel`] provides the virtual-thread scheduler that
+//!   turns per-task cycle counts (from any [`SetEngine`]) into end-to-end
+//!   runtimes, per-thread stall fractions and bandwidth-contention effects —
+//!   the quantities plotted in Figures 1, 6, 8 and 9 of the paper.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod engine;
+pub mod host_engine;
+pub mod interpreter;
+pub mod issue;
 pub mod metadata;
 pub mod parallel;
 pub mod runtime;
 pub mod scu;
 pub mod set_graph;
 pub mod stats;
+pub mod trace;
 
 pub use config::{SetGraphConfig, SisaConfig, VariantSelection};
+pub use engine::SetEngine;
+pub use host_engine::HostEngine;
+pub use interpreter::{Interpreter, ReplayReport};
+pub use issue::RegisterFile;
 pub use metadata::{SetMetadata, SetMetadataTable, SmbCache};
 pub use parallel::{schedule, schedule_cpu, RunReport, TaskRecord, ThreadReport};
 pub use runtime::SisaRuntime;
 pub use scu::{ExecutionChoice, ExecutionTarget, Scu};
 pub use set_graph::SetGraph;
 pub use stats::ExecStats;
+pub use trace::{TraceEvent, TraceOp, TraceSink};
 
 /// A logical SISA set identifier (re-exported from `sisa-isa`).
 pub type SetId = sisa_isa::SetId;

@@ -1,22 +1,32 @@
-//! The SISA runtime: the programming interface set-centric algorithms use.
+//! The SISA runtime: the simulated SISA platform behind [`SetEngine`].
 //!
 //! [`SisaRuntime`] owns the physical sets (indexed by [`SetId`]), the
-//! Set-Metadata table and the SCU. Every public operation does two things:
+//! Set-Metadata table and the SCU. Every operation flows through two stages:
 //!
-//! 1. **Functionally executes** the set operation on the real data (so
-//!    algorithms produce real answers that tests can validate), and
-//! 2. **Charges simulated cycles** by recording a SISA instruction and letting
-//!    the SCU dispatch it onto the PUM/PNM cost models.
+//! 1. **Issue** — the operation is materialised as a genuine
+//!    [`sisa_isa::SisaInstruction`]: operands are mapped onto RISC-V registers
+//!    through the [`crate::issue::RegisterFile`] binding table, the dynamic
+//!    instruction count is recorded, and (when a [`TraceSink`] is attached)
+//!    the instruction plus its semantic payload are captured so the run can
+//!    be replayed by [`crate::Interpreter`].
+//! 2. **Dispatch** — the SCU consults the set metadata (through the SMB),
+//!    chooses SISA-PUM or SISA-PNM and merge vs. galloping (§8.2–§8.3), and
+//!    charges the corresponding cycles; the operation is then functionally
+//!    executed on the real set data so algorithms produce validated answers.
 //!
 //! Invalid set identifiers are programming errors and panic, mirroring how a
 //! real SISA program would fault on a dangling set ID.
 
 use crate::config::SisaConfig;
+use crate::engine::SetEngine;
+use crate::issue::RegisterFile;
 use crate::metadata::SetMetadataTable;
+use crate::parallel::TaskRecord;
 use crate::scu::{BinarySetOp, DispatchOutcome, ExecutionTarget, Scu};
 use crate::stats::ExecStats;
+use crate::trace::{TraceOp, TraceSink};
 use crate::Vertex;
-use sisa_isa::{SetId, SisaOpcode};
+use sisa_isa::{SetId, SisaInstruction, SisaOpcode};
 use sisa_sets::{RepresentationKind, SetRepr};
 
 /// The SISA runtime (thin software layer + SCU + set storage).
@@ -31,12 +41,14 @@ pub struct SisaRuntime {
     free_ids: Vec<u32>,
     host_ops_pending: f64,
     task_mark: u64,
+    regs: RegisterFile,
+    trace: Option<TraceSink>,
 }
 
 impl SisaRuntime {
     /// Creates a runtime with the given configuration. The vertex universe
     /// defaults to 0 and is usually set by [`crate::SetGraph::load`] or
-    /// [`SisaRuntime::set_universe`].
+    /// [`SetEngine::set_universe`].
     #[must_use]
     pub fn new(config: SisaConfig) -> Self {
         Self {
@@ -49,6 +61,8 @@ impl SisaRuntime {
             free_ids: Vec::new(),
             host_ops_pending: 0.0,
             task_mark: 0,
+            regs: RegisterFile::new(),
+            trace: None,
         }
     }
 
@@ -64,177 +78,134 @@ impl SisaRuntime {
         &self.config
     }
 
-    /// Sets the vertex universe `n` used when dense bitvectors are created.
-    pub fn set_universe(&mut self, n: usize) {
-        self.universe = self.universe.max(n);
-    }
-
-    /// The current vertex universe.
-    #[must_use]
-    pub fn universe(&self) -> usize {
-        self.universe
-    }
-
-    /// Execution statistics accumulated so far.
-    #[must_use]
-    pub fn stats(&self) -> &ExecStats {
-        &self.stats
-    }
-
-    /// Clears the accumulated statistics (used after graph loading so that
-    /// reported cycles cover only the algorithm itself, matching the paper's
-    /// methodology of excluding graph construction).
-    pub fn reset_stats(&mut self) {
-        self.stats = ExecStats::default();
-        self.host_ops_pending = 0.0;
-        self.task_mark = 0;
-    }
-
     /// The SCU (exposed for harnesses that want its hit ratios and models).
     #[must_use]
     pub fn scu(&self) -> &Scu {
         &self.scu
     }
 
-    /// Number of live sets.
+    /// The register binding table of the issue stage.
     #[must_use]
-    pub fn live_sets(&self) -> usize {
-        self.sets.iter().filter(|s| s.is_some()).count()
+    pub fn registers(&self) -> &RegisterFile {
+        &self.regs
     }
 
     // -----------------------------------------------------------------------
-    // Set lifecycle
+    // Tracing
     // -----------------------------------------------------------------------
 
-    /// Creates a set from an explicit representation, returning its ID.
-    pub fn create(&mut self, repr: SetRepr) -> SetId {
+    /// Attaches a bounded [`TraceSink`] capturing up to `capacity` events;
+    /// subsequent operations are recorded until [`SisaRuntime::take_trace`].
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(TraceSink::bounded(capacity));
+    }
+
+    /// Attaches a trace sink with the default capacity.
+    pub fn enable_default_trace(&mut self) {
+        self.trace = Some(TraceSink::default());
+    }
+
+    /// The attached trace, if any.
+    #[must_use]
+    pub fn trace(&self) -> Option<&TraceSink> {
+        self.trace.as_ref()
+    }
+
+    /// Detaches and returns the trace, stopping further recording.
+    pub fn take_trace(&mut self) -> Option<TraceSink> {
+        self.trace.take()
+    }
+
+    // -----------------------------------------------------------------------
+    // Issue stage
+    // -----------------------------------------------------------------------
+
+    /// Records the materialised instruction in the dynamic-count statistics
+    /// and the trace, completing the issue stage.
+    fn issued(&mut self, instruction: SisaInstruction, op: TraceOp) {
+        self.stats.record_instruction(instruction.opcode);
+        if let Some(sink) = &mut self.trace {
+            sink.record(Some(instruction), op);
+        }
+    }
+
+    /// Records a host-side event (no SISA instruction) in the trace.
+    fn host_event(&mut self, op: TraceOp) {
+        if let Some(sink) = &mut self.trace {
+            sink.record(None, op);
+        }
+    }
+
+    /// Charges host scalar operations without recording a trace event (used
+    /// where the charge is a sub-step of an already-traced operation).
+    fn charge_host_ops(&mut self, n: u64) {
+        self.host_ops_pending += n as f64 * self.config.host_op_cost;
+        let whole = self.host_ops_pending.floor();
+        if whole >= 1.0 {
+            self.stats.host_cycles += whole as u64;
+            self.host_ops_pending -= whole;
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Dispatch stage internals
+    // -----------------------------------------------------------------------
+
+    fn binary_dispatch(
+        &mut self,
+        a: SetId,
+        b: SetId,
+        op: BinarySetOp,
+        count_only: bool,
+    ) -> DispatchOutcome {
+        let ma = *self.metadata.get(a).expect("operation on unknown set A");
+        let mb = *self.metadata.get(b).expect("operation on unknown set B");
+        let outcome = self.scu.dispatch_binary(op, count_only, a, &ma, b, &mb);
+        if self.config.track_set_sizes {
+            self.stats.processed_set_sizes.push(ma.cardinality as u32);
+            self.stats.processed_set_sizes.push(mb.cardinality as u32);
+        }
+        self.apply_outcome(&outcome, Some(outcome.choice));
+        outcome
+    }
+
+    fn binary_repr(&mut self, a: SetId, b: SetId, op: BinarySetOp) -> SetRepr {
+        self.binary_dispatch(a, b, op, false);
+        let (ra, rb) = (self.repr(a), self.repr(b));
+        match op {
+            BinarySetOp::Intersection => ra.intersect(rb),
+            BinarySetOp::Union => ra.union(rb),
+            BinarySetOp::Difference => ra.difference(rb),
+        }
+    }
+
+    fn register_set(&mut self, repr: SetRepr) -> SetId {
         let id = self.allocate_id();
         self.metadata
             .register(id, repr.kind(), repr.len(), self.universe_of(&repr));
-        self.record_lifecycle(SisaOpcode::CreateSet, &[id]);
         self.scu.prime(id);
         self.sets[id.0 as usize] = Some(repr);
         id
     }
 
-    /// Creates an empty sorted sparse-array set.
-    pub fn create_empty_sorted(&mut self) -> SetId {
-        self.create(SetRepr::empty_sorted())
-    }
-
-    /// Creates an empty dense bitvector over the current universe.
-    pub fn create_empty_dense(&mut self) -> SetId {
-        let universe = self.universe;
-        self.create(SetRepr::empty_dense(universe))
-    }
-
-    /// Creates a sorted sparse-array set from members.
-    pub fn create_sorted(&mut self, members: impl IntoIterator<Item = Vertex>) -> SetId {
-        self.create(SetRepr::sorted_from(members))
-    }
-
-    /// Creates a dense-bitvector set over the current universe from members.
-    pub fn create_dense(&mut self, members: impl IntoIterator<Item = Vertex>) -> SetId {
-        let universe = self.universe;
-        self.create(SetRepr::dense_from(universe, members))
-    }
-
-    /// Creates a dense-bitvector set containing every vertex of the universe.
-    pub fn create_full_dense(&mut self) -> SetId {
-        let universe = self.universe;
-        self.create(SetRepr::Dense(sisa_sets::DenseBitVector::full(universe)))
-    }
-
-    /// Clones a set into a fresh ID.
-    pub fn clone_set(&mut self, id: SetId) -> SetId {
-        let repr = self.repr(id).clone();
-        let new_id = self.allocate_id();
-        self.metadata
-            .register(new_id, repr.kind(), repr.len(), self.universe_of(&repr));
-        self.record_lifecycle(SisaOpcode::CloneSet, &[id, new_id]);
-        self.scu.prime(new_id);
-        // Cloning physically copies the set's storage.
-        let cost = match repr.kind() {
-            RepresentationKind::DenseBitvector => self
-                .scu
-                .pum_model()
-                .bulk_op_cost(sisa_pim::pum::BulkOp::Or, self.universe_of(&repr)),
-            _ => self.scu.pnm_model().streaming_cost(repr.len(), 0),
-        };
-        self.stats.pnm_cycles += cost;
-        self.sets[new_id.0 as usize] = Some(repr);
-        new_id
-    }
-
-    /// Deletes a set, freeing its ID.
-    pub fn delete(&mut self, id: SetId) {
-        self.record_lifecycle(SisaOpcode::DeleteSet, &[id]);
+    fn replace(&mut self, id: SetId, repr: SetRepr) {
         self.expect_slot(id);
-        self.sets[id.0 as usize] = None;
-        self.metadata.remove(id);
-        self.scu.invalidate(id);
-        self.free_ids.push(id.0);
-    }
-
-    // -----------------------------------------------------------------------
-    // Queries
-    // -----------------------------------------------------------------------
-
-    /// The cardinality `|A|` (an `O(1)` metadata lookup, §6.2.3).
-    pub fn cardinality(&mut self, id: SetId) -> usize {
-        self.stats.record_instruction(SisaOpcode::Cardinality);
-        let outcome = self.scu.dispatch_metadata(&[id]);
-        self.apply_outcome(&outcome, None);
-        self.repr(id).len()
-    }
-
-    /// Membership `x ∈ A`.
-    pub fn contains(&mut self, id: SetId, v: Vertex) -> bool {
-        self.stats.record_instruction(SisaOpcode::Membership);
-        let meta = *self.metadata.get(id).expect("membership on unknown set");
-        let outcome = self.scu.dispatch_element(id, &meta);
-        self.apply_outcome(&outcome, None);
-        self.repr(id).contains(v)
-    }
-
-    /// The members of a set as a sorted vector. Host-side iteration is
-    /// charged at one host operation per element.
-    pub fn members(&mut self, id: SetId) -> Vec<Vertex> {
-        let members = self.repr(id).to_sorted_vec();
-        self.host_ops(members.len() as u64);
-        members
-    }
-
-    /// Read-only access to a set's physical representation (no cost; intended
-    /// for result extraction and tests).
-    #[must_use]
-    pub fn repr(&self, id: SetId) -> &SetRepr {
-        self.sets
-            .get(id.0 as usize)
-            .and_then(Option::as_ref)
-            .unwrap_or_else(|| panic!("set {id} does not exist"))
-    }
-
-    // -----------------------------------------------------------------------
-    // Element updates
-    // -----------------------------------------------------------------------
-
-    /// Inserts a vertex: `A ∪= {x}`.
-    pub fn insert(&mut self, id: SetId, v: Vertex) -> bool {
-        self.element_update(id, v, SisaOpcode::InsertElement, true)
-    }
-
-    /// Removes a vertex: `A \= {x}`.
-    pub fn remove(&mut self, id: SetId, v: Vertex) -> bool {
-        self.element_update(id, v, SisaOpcode::RemoveElement, false)
+        self.metadata.update(id, repr.kind(), repr.len());
+        self.sets[id.0 as usize] = Some(repr);
     }
 
     fn element_update(&mut self, id: SetId, v: Vertex, opcode: SisaOpcode, insert: bool) -> bool {
-        self.stats.record_instruction(opcode);
         let meta = *self
             .metadata
             .get(id)
             .expect("element update on unknown set");
+        let instr = self.regs.issue_element(opcode, id);
+        let trace_op = if insert {
+            TraceOp::Insert { id, v }
+        } else {
+            TraceOp::Remove { id, v }
+        };
+        self.issued(instr, trace_op);
         let outcome = self.scu.dispatch_element(id, &meta);
         self.apply_outcome(&outcome, None);
         self.expect_slot(id);
@@ -251,92 +222,37 @@ impl SisaRuntime {
         changed
     }
 
-    // -----------------------------------------------------------------------
-    // Binary set operations
-    // -----------------------------------------------------------------------
-
-    /// `A ∩ B`, materialised as a new set.
-    pub fn intersect(&mut self, a: SetId, b: SetId) -> SetId {
-        self.binary_materialising(a, b, BinarySetOp::Intersection, SisaOpcode::IntersectAuto)
+    fn opcode_of(op: BinarySetOp, count_only: bool) -> SisaOpcode {
+        match (op, count_only) {
+            (BinarySetOp::Intersection, false) => SisaOpcode::IntersectAuto,
+            (BinarySetOp::Union, false) => SisaOpcode::UnionAuto,
+            (BinarySetOp::Difference, false) => SisaOpcode::DifferenceAuto,
+            (BinarySetOp::Intersection, true) => SisaOpcode::IntersectCountAuto,
+            (BinarySetOp::Union, true) => SisaOpcode::UnionCountAuto,
+            (BinarySetOp::Difference, true) => SisaOpcode::DifferenceCountAuto,
+        }
     }
 
-    /// `A ∪ B`, materialised as a new set.
-    pub fn union(&mut self, a: SetId, b: SetId) -> SetId {
-        self.binary_materialising(a, b, BinarySetOp::Union, SisaOpcode::UnionAuto)
-    }
-
-    /// `A \ B`, materialised as a new set.
-    pub fn difference(&mut self, a: SetId, b: SetId) -> SetId {
-        self.binary_materialising(a, b, BinarySetOp::Difference, SisaOpcode::DifferenceAuto)
-    }
-
-    /// `|A ∩ B|` without materialising the intersection.
-    pub fn intersect_count(&mut self, a: SetId, b: SetId) -> usize {
-        self.binary_counting(
-            a,
-            b,
-            BinarySetOp::Intersection,
-            SisaOpcode::IntersectCountAuto,
-        )
-    }
-
-    /// `|A ∪ B|` without materialising the union.
-    pub fn union_count(&mut self, a: SetId, b: SetId) -> usize {
-        self.binary_counting(a, b, BinarySetOp::Union, SisaOpcode::UnionCountAuto)
-    }
-
-    /// `|A \ B|` without materialising the difference.
-    pub fn difference_count(&mut self, a: SetId, b: SetId) -> usize {
-        self.binary_counting(
-            a,
-            b,
-            BinarySetOp::Difference,
-            SisaOpcode::DifferenceCountAuto,
-        )
-    }
-
-    /// In-place union `A ∪= B` (the result replaces `A`).
-    pub fn union_assign(&mut self, a: SetId, b: SetId) {
-        let result = self.binary_repr(a, b, BinarySetOp::Union, SisaOpcode::UnionAuto);
-        self.replace(a, result);
-    }
-
-    /// In-place intersection `A ∩= B`.
-    pub fn intersect_assign(&mut self, a: SetId, b: SetId) {
-        let result = self.binary_repr(a, b, BinarySetOp::Intersection, SisaOpcode::IntersectAuto);
-        self.replace(a, result);
-    }
-
-    /// In-place difference `A \= B`.
-    pub fn difference_assign(&mut self, a: SetId, b: SetId) {
-        let result = self.binary_repr(a, b, BinarySetOp::Difference, SisaOpcode::DifferenceAuto);
-        self.replace(a, result);
-    }
-
-    fn binary_materialising(
-        &mut self,
-        a: SetId,
-        b: SetId,
-        op: BinarySetOp,
-        opcode: SisaOpcode,
-    ) -> SetId {
-        let result = self.binary_repr(a, b, op, opcode);
-        let id = self.allocate_id();
-        self.metadata
-            .register(id, result.kind(), result.len(), self.universe_of(&result));
-        self.scu.prime(id);
-        self.sets[id.0 as usize] = Some(result);
+    fn binary_materialising(&mut self, a: SetId, b: SetId, op: BinarySetOp) -> SetId {
+        let result = self.binary_repr(a, b, op);
+        let id = self.register_set(result);
+        let instr = self
+            .regs
+            .issue_binary(Self::opcode_of(op, false), a, b, Some(id));
+        self.issued(instr, TraceOp::Binary { op, a, b, dst: id });
         id
     }
 
-    fn binary_counting(
-        &mut self,
-        a: SetId,
-        b: SetId,
-        op: BinarySetOp,
-        opcode: SisaOpcode,
-    ) -> usize {
-        self.charge_binary(a, b, op, opcode, true);
+    fn binary_counting(&mut self, a: SetId, b: SetId, op: BinarySetOp) -> usize {
+        // Validate before issuing, so a dangling operand faults without
+        // corrupting the instruction counts or the register binding table.
+        self.expect_slot(a);
+        self.expect_slot(b);
+        let instr = self
+            .regs
+            .issue_binary(Self::opcode_of(op, true), a, b, None);
+        self.issued(instr, TraceOp::BinaryCount { op, a, b });
+        self.binary_dispatch(a, b, op, true);
         let (ra, rb) = (self.repr(a), self.repr(b));
         match op {
             BinarySetOp::Intersection => ra.intersect_count(rb),
@@ -345,70 +261,22 @@ impl SisaRuntime {
         }
     }
 
-    fn binary_repr(&mut self, a: SetId, b: SetId, op: BinarySetOp, opcode: SisaOpcode) -> SetRepr {
-        self.charge_binary(a, b, op, opcode, false);
-        let (ra, rb) = (self.repr(a), self.repr(b));
-        match op {
-            BinarySetOp::Intersection => ra.intersect(rb),
-            BinarySetOp::Union => ra.union(rb),
-            BinarySetOp::Difference => ra.difference(rb),
-        }
+    fn binary_assign(&mut self, a: SetId, b: SetId, op: BinarySetOp) {
+        self.expect_slot(a);
+        self.expect_slot(b);
+        // The in-place form writes the result back over A, so rd = rs1.
+        let instr = self
+            .regs
+            .issue_binary(Self::opcode_of(op, false), a, b, Some(a));
+        self.issued(instr, TraceOp::BinaryAssign { op, a, b });
+        let result = self.binary_repr(a, b, op);
+        self.replace(a, result);
     }
 
-    fn charge_binary(
-        &mut self,
-        a: SetId,
-        b: SetId,
-        op: BinarySetOp,
-        opcode: SisaOpcode,
-        count_only: bool,
-    ) {
-        self.stats.record_instruction(opcode);
-        let ma = *self.metadata.get(a).expect("operation on unknown set A");
-        let mb = *self.metadata.get(b).expect("operation on unknown set B");
-        let outcome = self.scu.dispatch_binary(op, count_only, a, &ma, b, &mb);
-        if self.config.track_set_sizes {
-            self.stats.processed_set_sizes.push(ma.cardinality as u32);
-            self.stats.processed_set_sizes.push(mb.cardinality as u32);
-        }
-        self.apply_outcome(&outcome, Some(outcome.choice));
+    fn dispatch_metadata(&mut self, ids: &[SetId]) {
+        let outcome = self.scu.dispatch_metadata(ids);
+        self.apply_outcome(&outcome, None);
     }
-
-    fn replace(&mut self, id: SetId, repr: SetRepr) {
-        self.expect_slot(id);
-        self.metadata.update(id, repr.kind(), repr.len());
-        self.sets[id.0 as usize] = Some(repr);
-    }
-
-    // -----------------------------------------------------------------------
-    // Host-side accounting and task boundaries
-    // -----------------------------------------------------------------------
-
-    /// Charges `n` host-side scalar operations (loop control, counters,
-    /// comparisons done outside SISA instructions).
-    pub fn host_ops(&mut self, n: u64) {
-        self.host_ops_pending += n as f64 * self.config.host_op_cost;
-        let whole = self.host_ops_pending.floor();
-        if whole >= 1.0 {
-            self.stats.host_cycles += whole as u64;
-            self.host_ops_pending -= whole;
-        }
-    }
-
-    /// Marks the beginning of a parallel task; [`SisaRuntime::task_end`]
-    /// returns the cycles accumulated since this call.
-    pub fn task_begin(&mut self) {
-        self.task_mark = self.stats.total_cycles();
-    }
-
-    /// Ends the current task, returning its cycle count.
-    pub fn task_end(&mut self) -> u64 {
-        self.stats.total_cycles() - self.task_mark
-    }
-
-    // -----------------------------------------------------------------------
-    // Internals
-    // -----------------------------------------------------------------------
 
     fn allocate_id(&mut self) -> SetId {
         if let Some(raw) = self.free_ids.pop() {
@@ -418,12 +286,6 @@ impl SisaRuntime {
             self.sets.push(None);
             id
         }
-    }
-
-    fn record_lifecycle(&mut self, opcode: SisaOpcode, ids: &[SetId]) {
-        self.stats.record_instruction(opcode);
-        let outcome = self.scu.dispatch_metadata(ids);
-        self.apply_outcome(&outcome, None);
     }
 
     fn apply_outcome(
@@ -470,6 +332,226 @@ impl SisaRuntime {
     }
 }
 
+impl SetEngine for SisaRuntime {
+    fn backend_name(&self) -> &'static str {
+        "sisa"
+    }
+
+    fn set_universe(&mut self, n: usize) {
+        self.universe = self.universe.max(n);
+        self.host_event(TraceOp::SetUniverse { n });
+    }
+
+    fn universe(&self) -> usize {
+        self.universe
+    }
+
+    fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = ExecStats::default();
+        self.host_ops_pending = 0.0;
+        self.task_mark = 0;
+        self.host_event(TraceOp::ResetStats);
+    }
+
+    fn live_sets(&self) -> usize {
+        self.sets.iter().filter(|s| s.is_some()).count()
+    }
+
+    // -----------------------------------------------------------------------
+    // Set lifecycle
+    // -----------------------------------------------------------------------
+
+    fn create(&mut self, repr: SetRepr) -> SetId {
+        // The set contents are cloned into the trace only when one is attached.
+        let traced = self.trace.is_some().then(|| repr.clone());
+        let id = self.allocate_id();
+        self.metadata
+            .register(id, repr.kind(), repr.len(), self.universe_of(&repr));
+        let instr = self
+            .regs
+            .issue_lifecycle(SisaOpcode::CreateSet, None, Some(id));
+        match traced {
+            Some(repr) => self.issued(instr, TraceOp::Create { id, repr }),
+            None => self.stats.record_instruction(instr.opcode),
+        }
+        // The create instruction's own metadata lookup precedes the SMB prime:
+        // the SCU only writes the SMB entry once the set exists.
+        self.dispatch_metadata(&[id]);
+        self.scu.prime(id);
+        self.sets[id.0 as usize] = Some(repr);
+        id
+    }
+
+    fn clone_set(&mut self, id: SetId) -> SetId {
+        let repr = self.repr(id).clone();
+        // Cloning physically copies the set's storage.
+        let cost = match repr.kind() {
+            RepresentationKind::DenseBitvector => self
+                .scu
+                .pum_model()
+                .bulk_op_cost(sisa_pim::pum::BulkOp::Or, self.universe_of(&repr)),
+            _ => self.scu.pnm_model().streaming_cost(repr.len(), 0),
+        };
+        let new_id = self.allocate_id();
+        self.metadata
+            .register(new_id, repr.kind(), repr.len(), self.universe_of(&repr));
+        let instr = self
+            .regs
+            .issue_lifecycle(SisaOpcode::CloneSet, Some(id), Some(new_id));
+        self.issued(
+            instr,
+            TraceOp::Clone {
+                src: id,
+                dst: new_id,
+            },
+        );
+        self.dispatch_metadata(&[id, new_id]);
+        self.scu.prime(new_id);
+        self.stats.pnm_cycles += cost;
+        self.sets[new_id.0 as usize] = Some(repr);
+        new_id
+    }
+
+    fn delete(&mut self, id: SetId) {
+        // Validate before touching statistics or the binding table, so a
+        // double delete faults without corrupting the instruction counts.
+        self.expect_slot(id);
+        let instr = self
+            .regs
+            .issue_lifecycle(SisaOpcode::DeleteSet, Some(id), None);
+        self.issued(instr, TraceOp::Delete { id });
+        self.dispatch_metadata(&[id]);
+        self.sets[id.0 as usize] = None;
+        self.metadata.remove(id);
+        self.scu.invalidate(id);
+        self.regs.release(id);
+        self.free_ids.push(id.0);
+    }
+
+    // -----------------------------------------------------------------------
+    // Queries
+    // -----------------------------------------------------------------------
+
+    fn cardinality(&mut self, id: SetId) -> usize {
+        self.expect_slot(id);
+        let instr = self
+            .regs
+            .issue_lifecycle(SisaOpcode::Cardinality, Some(id), None);
+        self.issued(instr, TraceOp::Cardinality { id });
+        self.dispatch_metadata(&[id]);
+        self.repr(id).len()
+    }
+
+    fn contains(&mut self, id: SetId, v: Vertex) -> bool {
+        let meta = *self.metadata.get(id).expect("membership on unknown set");
+        let instr = self.regs.issue_element(SisaOpcode::Membership, id);
+        self.issued(instr, TraceOp::Membership { id, v });
+        let outcome = self.scu.dispatch_element(id, &meta);
+        self.apply_outcome(&outcome, None);
+        self.repr(id).contains(v)
+    }
+
+    fn members(&mut self, id: SetId) -> Vec<Vertex> {
+        let members = self.repr(id).to_sorted_vec();
+        // Result extraction streams the set out of memory through the PNM
+        // (dense bitvectors stream their whole bitmap, sparse arrays their
+        // elements) and then hands each element to the host.
+        let stream_elems = match self.repr(id).kind() {
+            RepresentationKind::DenseBitvector => self.universe_of(self.repr(id)).div_ceil(32),
+            _ => members.len(),
+        };
+        self.stats.pnm_cycles += self.scu.pnm_model().streaming_cost(stream_elems, 0);
+        self.host_event(TraceOp::Members { id });
+        // Charged without a separate trace event: replaying `Members` already
+        // re-executes this per-element host iteration.
+        self.charge_host_ops(members.len() as u64);
+        members
+    }
+
+    fn repr(&self, id: SetId) -> &SetRepr {
+        self.sets
+            .get(id.0 as usize)
+            .and_then(Option::as_ref)
+            .unwrap_or_else(|| panic!("set {id} does not exist"))
+    }
+
+    // -----------------------------------------------------------------------
+    // Element updates
+    // -----------------------------------------------------------------------
+
+    fn insert(&mut self, id: SetId, v: Vertex) -> bool {
+        self.element_update(id, v, SisaOpcode::InsertElement, true)
+    }
+
+    fn remove(&mut self, id: SetId, v: Vertex) -> bool {
+        self.element_update(id, v, SisaOpcode::RemoveElement, false)
+    }
+
+    // -----------------------------------------------------------------------
+    // Binary set operations
+    // -----------------------------------------------------------------------
+
+    fn intersect(&mut self, a: SetId, b: SetId) -> SetId {
+        self.binary_materialising(a, b, BinarySetOp::Intersection)
+    }
+
+    fn union(&mut self, a: SetId, b: SetId) -> SetId {
+        self.binary_materialising(a, b, BinarySetOp::Union)
+    }
+
+    fn difference(&mut self, a: SetId, b: SetId) -> SetId {
+        self.binary_materialising(a, b, BinarySetOp::Difference)
+    }
+
+    fn intersect_count(&mut self, a: SetId, b: SetId) -> usize {
+        self.binary_counting(a, b, BinarySetOp::Intersection)
+    }
+
+    fn union_count(&mut self, a: SetId, b: SetId) -> usize {
+        self.binary_counting(a, b, BinarySetOp::Union)
+    }
+
+    fn difference_count(&mut self, a: SetId, b: SetId) -> usize {
+        self.binary_counting(a, b, BinarySetOp::Difference)
+    }
+
+    fn intersect_assign(&mut self, a: SetId, b: SetId) {
+        self.binary_assign(a, b, BinarySetOp::Intersection);
+    }
+
+    fn union_assign(&mut self, a: SetId, b: SetId) {
+        self.binary_assign(a, b, BinarySetOp::Union);
+    }
+
+    fn difference_assign(&mut self, a: SetId, b: SetId) {
+        self.binary_assign(a, b, BinarySetOp::Difference);
+    }
+
+    // -----------------------------------------------------------------------
+    // Host-side accounting and task boundaries
+    // -----------------------------------------------------------------------
+
+    fn host_ops(&mut self, n: u64) {
+        self.host_event(TraceOp::HostOps { n });
+        self.charge_host_ops(n);
+    }
+
+    fn task_begin(&mut self) {
+        self.task_mark = self.stats.total_cycles();
+    }
+
+    fn task_end(&mut self) -> TaskRecord {
+        // SISA tasks carry no separate stall/DRAM component: the PIM cost
+        // models already include memory time and PNM bandwidth scales with
+        // the vault count (§8.4).
+        TaskRecord::compute_only(self.stats.total_cycles() - self.task_mark)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -503,6 +585,52 @@ mod tests {
         let a = rt.create_sorted([1]);
         rt.delete(a);
         let _ = rt.repr(a);
+    }
+
+    #[test]
+    fn double_delete_panics_without_corrupting_instruction_counts() {
+        let mut rt = runtime();
+        let a = rt.create_sorted([1, 2]);
+        rt.delete(a);
+        let counts_before = rt.stats().instructions.clone();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.delete(a);
+        }));
+        assert!(outcome.is_err(), "double delete must fault");
+        // The faulting delete must not have been counted as executed.
+        assert_eq!(rt.stats().instructions, counts_before);
+    }
+
+    #[test]
+    fn dangling_operands_fault_before_any_stats_or_binding_mutation() {
+        let mut rt = runtime();
+        let live = rt.create_sorted([1, 2, 3]);
+        let dead = rt.create_sorted([4, 5]);
+        rt.delete(dead);
+
+        let ops: [&mut dyn FnMut(&mut SisaRuntime); 4] = [
+            &mut |p| {
+                let _ = p.intersect_count(live, dead);
+            },
+            &mut |p| {
+                let _ = p.union_count(dead, live);
+            },
+            &mut |p| p.difference_assign(live, dead),
+            &mut |p| {
+                let _ = p.cardinality(dead);
+            },
+        ];
+        for f in ops {
+            let mut probe = rt.clone();
+            let stats_before = probe.stats().clone();
+            let bound_before = probe.registers().bound();
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut probe)));
+            assert!(outcome.is_err(), "dangling operand must fault");
+            // The faulting operation must not have been counted or have bound
+            // the dead ID into the register file.
+            assert_eq!(probe.stats(), &stats_before);
+            assert_eq!(probe.registers().bound(), bound_before);
+        }
     }
 
     #[test]
@@ -575,6 +703,27 @@ mod tests {
     }
 
     #[test]
+    fn members_charges_pnm_streaming_for_result_extraction() {
+        let mut rt = runtime();
+        let sparse = rt.create_sorted((0..200).collect::<Vec<_>>());
+        let dense = rt.create_dense((0..200).collect::<Vec<_>>());
+        for id in [sparse, dense] {
+            let before = rt.stats().clone();
+            let out = rt.members(id);
+            assert_eq!(out.len(), 200);
+            let after = rt.stats();
+            assert!(
+                after.pnm_cycles > before.pnm_cycles,
+                "reading a set out must charge PNM streaming cycles"
+            );
+            assert!(
+                after.host_cycles > before.host_cycles,
+                "per-element host iteration must still be charged"
+            );
+        }
+    }
+
+    #[test]
     fn task_boundaries_measure_deltas() {
         let mut rt = runtime();
         let a = rt.create_dense([1, 2, 3]);
@@ -582,10 +731,11 @@ mod tests {
         rt.task_begin();
         let _ = rt.intersect(a, b);
         let t1 = rt.task_end();
-        assert!(t1 > 0);
+        assert!(t1.cycles > 0);
+        assert_eq!(t1.stall_cycles, 0);
         rt.task_begin();
         let t2 = rt.task_end();
-        assert_eq!(t2, 0);
+        assert_eq!(t2.cycles, 0);
     }
 
     #[test]
@@ -605,5 +755,57 @@ mod tests {
         assert_eq!(rt.stats().host_cycles, 0);
         rt.host_ops(1); // reaches 1.0
         assert_eq!(rt.stats().host_cycles, 1);
+    }
+
+    #[test]
+    fn trace_captures_a_program_of_real_instructions() {
+        let mut rt = runtime();
+        rt.enable_default_trace();
+        let a = rt.create_sorted([1, 2, 3]);
+        let b = rt.create_dense([2, 3, 4]);
+        let c = rt.intersect(a, b);
+        let _ = rt.intersect_count(a, b);
+        assert!(rt.contains(c, 2));
+        rt.delete(c);
+        let trace = rt.take_trace().expect("trace attached");
+        assert!(trace.is_complete());
+        let program = trace.program();
+        let mix = program.mnemonic_histogram();
+        assert_eq!(mix["sisa.new"], 2);
+        assert_eq!(mix["sisa.int"], 1);
+        assert_eq!(mix["sisa.intc"], 1);
+        assert_eq!(mix["sisa.member"], 1);
+        assert_eq!(mix["sisa.del"], 1);
+        // The materialised instructions carry real register operands: the
+        // intersect result register differs from its operand registers.
+        let int = program
+            .instructions()
+            .iter()
+            .find(|i| i.opcode == SisaOpcode::IntersectAuto)
+            .unwrap();
+        assert_ne!(int.rd, int.rs1);
+        assert_ne!(int.rd, int.rs2);
+        // The program round-trips through the RISC-V encoding.
+        let words = program.encode();
+        assert_eq!(
+            sisa_isa::SisaProgram::decode(&words).unwrap().len(),
+            program.len()
+        );
+    }
+
+    #[test]
+    fn instruction_counts_match_the_traced_program() {
+        let mut rt = runtime();
+        rt.enable_default_trace();
+        let a = rt.create_sorted([1, 2, 3, 8]);
+        let b = rt.create_dense([2, 3, 4]);
+        let c = rt.union(a, b);
+        rt.insert(c, 17);
+        rt.remove(c, 2);
+        let _ = rt.cardinality(c);
+        rt.difference_assign(a, b);
+        let trace = rt.take_trace().unwrap();
+        let program_total: u64 = trace.program().opcode_histogram().values().sum::<usize>() as u64;
+        assert_eq!(rt.stats().total_instructions(), program_total);
     }
 }

@@ -9,7 +9,7 @@
 //! dense bitvectors, respectively".
 
 use crate::config::SetGraphConfig;
-use crate::runtime::SisaRuntime;
+use crate::engine::SetEngine;
 use crate::{SetId, Vertex};
 use sisa_graph::CsrGraph;
 use sisa_sets::SetRepr;
@@ -24,7 +24,7 @@ pub struct SetGraph {
 }
 
 impl SetGraph {
-    /// Loads `g` into `rt`, creating one SISA set per neighbourhood.
+    /// Loads `g` into any [`SetEngine`], creating one set per neighbourhood.
     ///
     /// Neighbourhoods are ranked by degree; the largest `cfg.db_fraction`
     /// fraction are stored as dense bitvectors as long as the cumulative
@@ -32,7 +32,7 @@ impl SetGraph {
     /// within `cfg.storage_budget_frac` of the CSR size. Everything else is a
     /// sorted sparse array.
     #[must_use]
-    pub fn load(rt: &mut SisaRuntime, g: &CsrGraph, cfg: &SetGraphConfig) -> Self {
+    pub fn load<E: SetEngine>(rt: &mut E, g: &CsrGraph, cfg: &SetGraphConfig) -> Self {
         let n = g.num_vertices();
         rt.set_universe(n);
 
@@ -158,6 +158,7 @@ impl SetGraph {
 mod tests {
     use super::*;
     use crate::config::SisaConfig;
+    use crate::runtime::SisaRuntime;
     use sisa_graph::generators;
 
     fn load(g: &CsrGraph, cfg: &SetGraphConfig) -> (SisaRuntime, SetGraph) {

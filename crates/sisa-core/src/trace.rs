@@ -1,0 +1,252 @@
+//! Capturing a run as a stream of SISA instructions.
+//!
+//! A [`TraceSink`] attached to [`crate::SisaRuntime`] records every operation
+//! the issue stage materialises: the genuine [`SisaInstruction`] (when the
+//! operation is a SISA instruction) plus the semantic payload needed to
+//! re-execute it ([`TraceOp`]). Host-side events that cost cycles but are not
+//! SISA instructions — result extraction via `members`, scalar `host_ops`,
+//! universe/statistics bookkeeping — are recorded too, so that
+//! [`crate::Interpreter::replay`] can reproduce a captured run's
+//! [`crate::ExecStats`] cycle-for-cycle on a fresh engine.
+//!
+//! The sink is **bounded**: once `capacity` events are recorded, further
+//! events are counted but dropped, so tracing a long run cannot exhaust
+//! memory. A truncated trace still replays correctly as a prefix of the run.
+
+use crate::scu::BinarySetOp;
+use crate::Vertex;
+use sisa_isa::{SetId, SisaInstruction, SisaProgram};
+use sisa_sets::SetRepr;
+
+/// The semantic payload of one traced event: everything the interpreter needs
+/// to re-execute the operation against another engine.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceOp {
+    /// The universe was grown to at least `n` vertices.
+    SetUniverse {
+        /// The requested universe size.
+        n: usize,
+    },
+    /// Statistics were cleared (the load/measure boundary).
+    ResetStats,
+    /// A set was created with the given contents.
+    Create {
+        /// The ID the run assigned to the new set.
+        id: SetId,
+        /// The representation the set was created with.
+        repr: SetRepr,
+    },
+    /// `dst = clone(src)`.
+    Clone {
+        /// The source set.
+        src: SetId,
+        /// The ID assigned to the copy.
+        dst: SetId,
+    },
+    /// A set was deleted.
+    Delete {
+        /// The deleted set.
+        id: SetId,
+    },
+    /// `|A|` was queried.
+    Cardinality {
+        /// The queried set.
+        id: SetId,
+    },
+    /// `x ∈ A` was queried.
+    Membership {
+        /// The queried set.
+        id: SetId,
+        /// The probed vertex.
+        v: Vertex,
+    },
+    /// `A ∪= {x}`.
+    Insert {
+        /// The updated set.
+        id: SetId,
+        /// The inserted vertex.
+        v: Vertex,
+    },
+    /// `A \= {x}`.
+    Remove {
+        /// The updated set.
+        id: SetId,
+        /// The removed vertex.
+        v: Vertex,
+    },
+    /// A materialising binary operation `dst = A op B`.
+    Binary {
+        /// The abstract operation.
+        op: BinarySetOp,
+        /// Left operand.
+        a: SetId,
+        /// Right operand.
+        b: SetId,
+        /// The ID assigned to the result set.
+        dst: SetId,
+    },
+    /// A counting binary operation `|A op B|`.
+    BinaryCount {
+        /// The abstract operation.
+        op: BinarySetOp,
+        /// Left operand.
+        a: SetId,
+        /// Right operand.
+        b: SetId,
+    },
+    /// An in-place binary operation `A op= B`.
+    BinaryAssign {
+        /// The abstract operation.
+        op: BinarySetOp,
+        /// The mutated left operand.
+        a: SetId,
+        /// Right operand.
+        b: SetId,
+    },
+    /// The set's members were read out to the host.
+    Members {
+        /// The read set.
+        id: SetId,
+    },
+    /// `n` host-side scalar operations were charged.
+    HostOps {
+        /// Number of scalar operations.
+        n: u64,
+    },
+}
+
+/// One recorded event: the materialised instruction (for SISA operations) and
+/// the semantic payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// The instruction the issue stage materialised, or `None` for host-side
+    /// events (`members`, `host_ops`, bookkeeping).
+    pub instruction: Option<SisaInstruction>,
+    /// The semantic payload.
+    pub op: TraceOp,
+}
+
+/// A bounded recorder of issued operations.
+#[derive(Clone, Debug)]
+pub struct TraceSink {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceSink {
+    /// The default event capacity (events beyond it are counted but dropped).
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    /// Creates a sink that stops recording after `capacity` events.
+    #[must_use]
+    pub fn bounded(capacity: usize) -> Self {
+        Self {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records one event (drops it if the sink is full).
+    pub fn record(&mut self, instruction: Option<SisaInstruction>, op: TraceOp) {
+        if self.events.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(TraceEvent { instruction, op });
+    }
+
+    /// The recorded events, in issue order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events dropped after the capacity was reached.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Whether the sink captured the complete run (nothing was dropped).
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.dropped == 0
+    }
+
+    /// The captured run as a genuine [`SisaProgram`]: the dynamic stream of
+    /// materialised SISA instructions, host-side events elided.
+    #[must_use]
+    pub fn program(&self) -> SisaProgram {
+        self.events.iter().filter_map(|e| e.instruction).collect()
+    }
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        Self::bounded(Self::DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sisa_isa::{Register, SisaOpcode};
+
+    fn instr(op: SisaOpcode) -> SisaInstruction {
+        SisaInstruction::new(op, Register::new(1), Register::new(2), Register::new(3))
+    }
+
+    #[test]
+    fn records_until_capacity_then_counts_drops() {
+        let mut sink = TraceSink::bounded(2);
+        sink.record(None, TraceOp::HostOps { n: 1 });
+        sink.record(None, TraceOp::HostOps { n: 2 });
+        assert!(sink.is_complete());
+        sink.record(None, TraceOp::HostOps { n: 3 });
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.dropped(), 1);
+        assert!(!sink.is_complete());
+        assert!(!sink.is_empty());
+    }
+
+    #[test]
+    fn program_keeps_only_instruction_events_in_order() {
+        let mut sink = TraceSink::default();
+        sink.record(
+            Some(instr(SisaOpcode::CreateSet)),
+            TraceOp::Create {
+                id: SetId(0),
+                repr: SetRepr::empty_sorted(),
+            },
+        );
+        sink.record(None, TraceOp::HostOps { n: 5 });
+        sink.record(
+            Some(instr(SisaOpcode::IntersectAuto)),
+            TraceOp::Binary {
+                op: BinarySetOp::Intersection,
+                a: SetId(0),
+                b: SetId(0),
+                dst: SetId(1),
+            },
+        );
+        let program = sink.program();
+        assert_eq!(program.len(), 2);
+        assert_eq!(program.instructions()[0].opcode, SisaOpcode::CreateSet);
+        assert_eq!(program.instructions()[1].opcode, SisaOpcode::IntersectAuto);
+        assert_eq!(sink.events().len(), 3);
+    }
+}

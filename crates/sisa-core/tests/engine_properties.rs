@@ -1,0 +1,167 @@
+//! Property-based tests for the `SetEngine` boundary:
+//!
+//! 1. **Trace replay fidelity** — replaying a captured trace through the
+//!    [`Interpreter`] into a fresh [`SisaRuntime`] reproduces the original
+//!    run's [`sisa_core::ExecStats`] exactly, for arbitrary operation
+//!    sequences.
+//! 2. **Backend agreement** — [`HostEngine`] and [`SisaRuntime`] compute the
+//!    same set-algebra results across every representation pairing
+//!    (sorted × sorted, sorted × dense, dense × dense).
+
+use proptest::prelude::*;
+use sisa_core::{HostEngine, Interpreter, SetEngine, SisaConfig, SisaRuntime};
+use sisa_sets::Vertex;
+use std::collections::BTreeSet;
+
+const UNIVERSE: usize = 256;
+
+fn vertex_set() -> impl Strategy<Value = BTreeSet<Vertex>> {
+    proptest::collection::btree_set(0u32..UNIVERSE as u32, 0..64)
+}
+
+/// One step of a random engine workload.
+#[derive(Clone, Debug)]
+enum Step {
+    Intersect,
+    Union,
+    Difference,
+    IntersectCount,
+    UnionCount,
+    DifferenceCount,
+    UnionAssign,
+    DifferenceAssign,
+    Insert(Vertex),
+    Remove(Vertex),
+    Contains(Vertex),
+    Cardinality,
+    Members,
+    CloneAndDelete,
+    HostOps(u64),
+}
+
+/// Decodes a random integer into one workload step (the vendored proptest
+/// shim has no `prop_oneof`, so the variant choice and its payload are both
+/// derived from a single draw).
+fn step() -> impl Strategy<Value = Step> {
+    (0u64..1_000_000).prop_map(|raw| {
+        let v = ((raw / 15) % UNIVERSE as u64) as Vertex;
+        match raw % 15 {
+            0 => Step::Intersect,
+            1 => Step::Union,
+            2 => Step::Difference,
+            3 => Step::IntersectCount,
+            4 => Step::UnionCount,
+            5 => Step::DifferenceCount,
+            6 => Step::UnionAssign,
+            7 => Step::DifferenceAssign,
+            8 => Step::Insert(v),
+            9 => Step::Remove(v),
+            10 => Step::Contains(v),
+            11 => Step::Cardinality,
+            12 => Step::Members,
+            13 => Step::CloneAndDelete,
+            _ => Step::HostOps(raw % 31 + 1),
+        }
+    })
+}
+
+/// Executes a workload over the two seed sets (one sorted, one dense, so the
+/// SCU sees mixed representation pairings) and collects observable results.
+fn run_steps<E: SetEngine>(
+    engine: &mut E,
+    a_members: &BTreeSet<Vertex>,
+    b_members: &BTreeSet<Vertex>,
+    steps: &[Step],
+) -> Vec<Vec<Vertex>> {
+    engine.set_universe(UNIVERSE);
+    let a = engine.create_sorted(a_members.iter().copied());
+    let b = engine.create_dense(b_members.iter().copied());
+    let mut observed = Vec::new();
+    let scalar = |x: usize| vec![x as Vertex];
+    for s in steps {
+        match s {
+            Step::Intersect => {
+                let c = engine.intersect(a, b);
+                observed.push(engine.members(c));
+                engine.delete(c);
+            }
+            Step::Union => {
+                let c = engine.union(a, b);
+                observed.push(engine.members(c));
+                engine.delete(c);
+            }
+            Step::Difference => {
+                let c = engine.difference(a, b);
+                observed.push(engine.members(c));
+                engine.delete(c);
+            }
+            Step::IntersectCount => observed.push(scalar(engine.intersect_count(a, b))),
+            Step::UnionCount => observed.push(scalar(engine.union_count(a, b))),
+            Step::DifferenceCount => observed.push(scalar(engine.difference_count(a, b))),
+            Step::UnionAssign => {
+                engine.union_assign(a, b);
+                observed.push(engine.members(a));
+            }
+            Step::DifferenceAssign => {
+                engine.difference_assign(a, b);
+                observed.push(engine.members(a));
+            }
+            Step::Insert(v) => observed.push(scalar(usize::from(engine.insert(a, *v)))),
+            Step::Remove(v) => observed.push(scalar(usize::from(engine.remove(b, *v)))),
+            Step::Contains(v) => observed.push(scalar(usize::from(engine.contains(a, *v)))),
+            Step::Cardinality => {
+                observed.push(scalar(engine.cardinality(a)));
+                observed.push(scalar(engine.cardinality(b)));
+            }
+            Step::Members => {
+                observed.push(engine.members(a));
+                observed.push(engine.members(b));
+            }
+            Step::CloneAndDelete => {
+                let c = engine.clone_set(b);
+                observed.push(engine.members(c));
+                engine.delete(c);
+            }
+            Step::HostOps(n) => engine.host_ops(*n),
+        }
+    }
+    observed
+}
+
+proptest! {
+    /// (a) Replaying a captured trace reproduces `ExecStats` exactly.
+    #[test]
+    fn trace_replay_reproduces_exec_stats(
+        a in vertex_set(),
+        b in vertex_set(),
+        steps in proptest::collection::vec(step(), 1..40),
+    ) {
+        let mut original = SisaRuntime::new(SisaConfig::default());
+        original.enable_default_trace();
+        let _ = run_steps(&mut original, &a, &b, &steps);
+        let trace = original.take_trace().expect("trace attached");
+        prop_assert!(trace.is_complete());
+
+        let mut replayed = SisaRuntime::new(SisaConfig::default());
+        let report = Interpreter::replay(&trace, &mut replayed);
+        prop_assert!(report.complete);
+        prop_assert_eq!(replayed.stats(), original.stats());
+        prop_assert_eq!(replayed.live_sets(), original.live_sets());
+    }
+
+    /// (b) The CPU backend and the SISA runtime agree on every observable
+    /// result across representation pairings.
+    #[test]
+    fn host_engine_and_sisa_runtime_agree(
+        a in vertex_set(),
+        b in vertex_set(),
+        steps in proptest::collection::vec(step(), 1..40),
+    ) {
+        let mut sisa = SisaRuntime::new(SisaConfig::default());
+        let mut host = HostEngine::with_defaults();
+        let from_sisa = run_steps(&mut sisa, &a, &b, &steps);
+        let from_host = run_steps(&mut host, &a, &b, &steps);
+        prop_assert_eq!(from_sisa, from_host);
+        prop_assert_eq!(sisa.live_sets(), host.live_sets());
+    }
+}

@@ -102,6 +102,24 @@ impl SisaProgram {
         }
         hist.into_values().collect()
     }
+
+    /// Per-opcode dynamic instruction counts keyed by assembly mnemonic
+    /// (ready for JSON emission: mnemonics sort alphabetically and need no
+    /// custom serializer).
+    #[must_use]
+    pub fn mnemonic_histogram(&self) -> BTreeMap<&'static str, usize> {
+        self.opcode_histogram()
+            .into_iter()
+            .map(|(op, n)| (op.mnemonic(), n))
+            .collect()
+    }
+}
+
+// A program displays as its assembly listing.
+impl std::fmt::Display for SisaProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_assembly())
+    }
 }
 
 impl FromIterator<SisaInstruction> for SisaProgram {
@@ -184,6 +202,16 @@ mod tests {
     fn opcode_ordering_follows_funct7() {
         assert!(SisaOpcode::IntersectMerge < SisaOpcode::UnionMerge);
         assert!(SisaOpcode::CreateSet > SisaOpcode::Membership);
+    }
+
+    #[test]
+    fn display_matches_assembly_and_mnemonic_histogram_counts() {
+        let p = sample_program();
+        assert_eq!(p.to_string(), p.to_assembly());
+        let mix = p.mnemonic_histogram();
+        assert_eq!(mix["sisa.int"], 2);
+        assert_eq!(mix["sisa.new"], 1);
+        assert_eq!(mix.values().sum::<usize>(), 5);
     }
 
     #[test]

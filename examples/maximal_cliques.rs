@@ -7,7 +7,7 @@
 use sisa::algorithms::baseline::{maximal_cliques_baseline, BaselineMode};
 use sisa::algorithms::setcentric::maximal_cliques;
 use sisa::algorithms::SearchLimits;
-use sisa::core::{parallel, SetGraph, SetGraphConfig, SisaConfig, SisaRuntime};
+use sisa::core::{parallel, SetEngine, SetGraph, SetGraphConfig, SisaConfig, SisaRuntime};
 use sisa::graph::{datasets, orientation::degeneracy_order};
 use sisa::pim::CpuConfig;
 

@@ -5,7 +5,9 @@
 
 use sisa::algorithms::setcentric::k_clique_count;
 use sisa::algorithms::SearchLimits;
-use sisa::core::{parallel, SetGraph, SetGraphConfig, SisaConfig, SisaRuntime, VariantSelection};
+use sisa::core::{
+    parallel, SetEngine, SetGraph, SetGraphConfig, SisaConfig, SisaRuntime, VariantSelection,
+};
 use sisa::graph::{datasets, orientation::degeneracy_order};
 
 fn measure(

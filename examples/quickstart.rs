@@ -5,7 +5,7 @@
 
 use sisa::algorithms::setcentric::{maximal_cliques, triangle_count};
 use sisa::algorithms::SearchLimits;
-use sisa::core::{parallel, SetGraph, SetGraphConfig, SisaConfig, SisaRuntime};
+use sisa::core::{parallel, SetEngine, SetGraph, SetGraphConfig, SisaConfig, SisaRuntime};
 use sisa::graph::{generators, orientation::degeneracy_order};
 
 fn main() {

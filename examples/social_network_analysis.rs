@@ -7,7 +7,7 @@ use sisa::algorithms::setcentric::{
     bfs, jarvis_patrick_clustering, pairwise_similarity, BfsMode, SimilarityMeasure,
 };
 use sisa::algorithms::SearchLimits;
-use sisa::core::{SetGraph, SetGraphConfig, SisaConfig, SisaRuntime};
+use sisa::core::{SetEngine, SetGraph, SetGraphConfig, SisaConfig, SisaRuntime};
 use sisa::graph::datasets;
 
 fn main() {

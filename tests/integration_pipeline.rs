@@ -6,7 +6,7 @@ use sisa::algorithms::setcentric::{
     maximal_cliques, star_pattern, subgraph_isomorphism_count, triangle_count,
 };
 use sisa::algorithms::SearchLimits;
-use sisa::core::{parallel, SetGraph, SetGraphConfig, SisaConfig, SisaRuntime};
+use sisa::core::{parallel, SetEngine, SetGraph, SetGraphConfig, SisaConfig, SisaRuntime};
 use sisa::graph::{datasets, generators, orientation::degeneracy_order, properties};
 use sisa::pim::CpuConfig;
 

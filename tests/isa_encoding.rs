@@ -34,7 +34,7 @@ fn full_opcode_space_round_trips_and_stays_custom() {
 fn triangle_counting_instruction_mix_is_intersection_dominated() {
     use sisa::algorithms::setcentric::triangle_count;
     use sisa::algorithms::SearchLimits;
-    use sisa::core::{SetGraph, SetGraphConfig, SisaConfig, SisaRuntime};
+    use sisa::core::{SetEngine, SetGraph, SetGraphConfig, SisaConfig, SisaRuntime};
     use sisa::graph::{generators, orientation::degeneracy_order};
 
     let g = generators::erdos_renyi(150, 0.1, 1);

@@ -6,7 +6,8 @@
 use sisa::algorithms::SearchLimits;
 use sisa::graph::generators;
 use sisa_bench::{
-    run_auxiliary_formulations, run_cell, PlatformSummary, Problem, Scheme, Workload,
+    capture_instruction_mix, run_auxiliary_formulations, run_cell, InstructionMix, PlatformSummary,
+    Problem, Scheme, Workload,
 };
 
 #[test]
@@ -71,6 +72,33 @@ fn platform_summary_round_trips_through_json() {
     assert!(json.contains("\"cpu\""), "json should name the cpu section");
     let back: PlatformSummary = serde_json::from_str(&json).expect("platform.json parses back");
     assert_eq!(back, summary);
+}
+
+#[test]
+fn instruction_mix_comes_from_a_real_traced_program() {
+    // run_all publishes results/instruction_mix.json from the SisaProgram a
+    // traced run captures; the mix must be non-empty, name real SISA
+    // mnemonics, and survive a JSON round trip.
+    let g = generators::erdos_renyi(100, 0.08, 7);
+    let mix = capture_instruction_mix("tiny", &g);
+    assert!(mix.trace_complete, "the bounded trace must not overflow");
+    assert!(mix.total_instructions > 0);
+    assert_eq!(
+        mix.mix.values().sum::<u64>(),
+        mix.total_instructions,
+        "per-opcode counts must add up to the program length"
+    );
+    assert!(
+        mix.mix.contains_key("sisa.new"),
+        "graph loading creates sets"
+    );
+    assert!(
+        mix.mix.contains_key("sisa.intc"),
+        "triangle counting issues counting intersections"
+    );
+    let json = mix.to_json();
+    let back: InstructionMix = serde_json::from_str(&json).expect("mix parses back");
+    assert_eq!(back, mix);
 }
 
 #[test]

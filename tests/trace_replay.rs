@@ -1,0 +1,55 @@
+//! Cross-crate acceptance test for the trace/replay pipeline: a traced
+//! set-centric triangle-count run, captured as a genuine `SisaProgram`, must
+//! replay through the `Interpreter` and reproduce the original run's
+//! `ExecStats` cycle-for-cycle — and re-price on the CPU backend.
+
+use sisa::algorithms::setcentric::{orient_by_degeneracy, triangle_count};
+use sisa::algorithms::SearchLimits;
+use sisa::core::{HostEngine, Interpreter, SetEngine, SetGraphConfig, SisaConfig, SisaRuntime};
+use sisa::graph::generators;
+
+#[test]
+fn traced_triangle_count_replays_with_identical_exec_stats() {
+    let g = generators::erdos_renyi(150, 0.06, 21);
+
+    // Original run: trace from the runtime's first instruction, including the
+    // graph load and the load/measure statistics reset.
+    let mut original = SisaRuntime::new(SisaConfig::default());
+    original.enable_default_trace();
+    let (oriented, _) = orient_by_degeneracy(&mut original, &g, &SetGraphConfig::default());
+    original.reset_stats();
+    let run = triangle_count(&mut original, &oriented, &SearchLimits::unlimited());
+    let trace = original.take_trace().expect("trace attached");
+    assert!(
+        trace.is_complete(),
+        "the default capacity must fit this run"
+    );
+
+    // The capture is a genuine SISA program with a triangle-count shape.
+    let program = trace.program();
+    assert!(!program.is_empty());
+    let mix = program.mnemonic_histogram();
+    assert!(mix["sisa.intc"] as u64 >= run.result.min(1));
+    assert!(mix.contains_key("sisa.new"));
+
+    // Replay into a fresh runtime with the same configuration: the statistics
+    // must match exactly, cycle for cycle, instruction for instruction.
+    let mut replayed = SisaRuntime::new(SisaConfig::default());
+    let report = Interpreter::replay(&trace, &mut replayed);
+    assert!(report.complete);
+    assert_eq!(report.instructions, program.len());
+    assert_eq!(replayed.stats(), original.stats());
+
+    // The same trace replays against the CPU backend, which re-prices it:
+    // same instruction stream, different cost model.
+    let mut host = HostEngine::with_defaults();
+    let host_report = Interpreter::replay(&trace, &mut host);
+    assert!(host_report.complete);
+    assert_eq!(host_report.events, report.events);
+    assert!(host.stats().host_cycles > 0);
+    assert_ne!(
+        host.stats().total_cycles(),
+        original.stats().total_cycles(),
+        "the CPU backend prices the same program differently"
+    );
+}
