@@ -10,7 +10,10 @@ use sisa_algorithms::setcentric::{
     triangle_count, BfsMode, SimilarityMeasure,
 };
 use sisa_algorithms::SearchLimits;
-use sisa_core::{HostEngine, SetEngine, SetGraph, SetGraphConfig, SisaRuntime};
+use sisa_core::{
+    FunctionalEngine, HostEngine, PartitionStrategy, SetEngine, SetGraph, SetGraphConfig,
+    ShardedEngine, SisaConfig, SisaRuntime,
+};
 use sisa_graph::orientation::degeneracy_order;
 use sisa_graph::{generators, CsrGraph};
 
@@ -109,6 +112,48 @@ fn learning_and_matching_kernels_agree_across_engines() {
     let si_sisa = subgraph_isomorphism_count(&mut sisa, &sisa_sg, &star_pattern(3), &limits);
     let si_host = subgraph_isomorphism_count(&mut host, &host_sg, &star_pattern(3), &limits);
     assert_eq!(si_sisa.result, si_host.result);
+}
+
+#[test]
+fn algorithms_get_multi_cube_execution_for_free() {
+    // The same generic algorithms run unchanged on a sharded multi-cube
+    // engine and on the cost-free functional backend, and agree with the flat
+    // SISA runtime on every result.
+    let g = test_graph();
+    let limits = SearchLimits::unlimited();
+    let ordering = degeneracy_order(&g);
+
+    let mut flat = SisaRuntime::with_defaults();
+    let (flat_oriented, _) = orient_by_degeneracy(&mut flat, &g, &SetGraphConfig::default());
+    let flat_sg = SetGraph::load(&mut flat, &g, &SetGraphConfig::default());
+    let tc_flat = triangle_count(&mut flat, &flat_oriented, &limits);
+    let kcc_flat = k_clique_count(&mut flat, &flat_oriented, 4, &limits);
+    let mc_flat = maximal_cliques(&mut flat, &flat_sg, &ordering, &limits, false);
+
+    let mut functional = FunctionalEngine::new();
+    let (fn_oriented, _) = orient_by_degeneracy(&mut functional, &g, &SetGraphConfig::default());
+    let tc_fn = triangle_count(&mut functional, &fn_oriented, &limits);
+    assert_eq!(tc_fn.result, tc_flat.result);
+    assert_eq!(tc_fn.total_cycles(), 0, "the functional engine is free");
+
+    for strategy in PartitionStrategy::ALL {
+        let mut sharded = ShardedEngine::sisa(4, strategy, SisaConfig::default());
+        let (oriented, _) = orient_by_degeneracy(&mut sharded, &g, &SetGraphConfig::default());
+        let sg = SetGraph::load(&mut sharded, &g, &SetGraphConfig::default());
+
+        let tc = triangle_count(&mut sharded, &oriented, &limits);
+        assert_eq!(tc.result, tc_flat.result, "{strategy:?}");
+        let kcc = k_clique_count(&mut sharded, &oriented, 4, &limits);
+        assert_eq!(kcc.result, kcc_flat.result, "{strategy:?}");
+        let mc = maximal_cliques(&mut sharded, &sg, &ordering, &limits, false);
+        assert_eq!(mc.result.count, mc_flat.result.count, "{strategy:?}");
+
+        // A real multi-cube run moved operands across shards.
+        assert!(sharded.traffic().cross_ops > 0, "{strategy:?}");
+        let report = sharded.report();
+        assert_eq!(report.shards, 4);
+        assert!(report.imbalance() >= 1.0);
+    }
 }
 
 #[test]

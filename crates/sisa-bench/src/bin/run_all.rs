@@ -16,6 +16,7 @@ fn main() {
         "tab6_complexity",
         "scalability",
         "paradigms",
+        "multi_cube",
     ];
     for bin in bins {
         println!("\n================ {bin} ================");

@@ -25,7 +25,8 @@ use sisa_algorithms::setcentric::{
 };
 use sisa_algorithms::{MiningRun, SearchLimits};
 use sisa_core::{
-    parallel, RunReport, SetEngine, SetGraph, SetGraphConfig, SisaConfig, SisaRuntime,
+    parallel, PartitionStrategy, RunReport, SetEngine, SetGraph, SetGraphConfig, ShardedEngine,
+    SisaConfig, SisaRuntime,
 };
 use sisa_graph::orientation::degeneracy_order;
 use sisa_graph::{CsrGraph, LabeledGraph};
@@ -386,6 +387,92 @@ pub fn capture_instruction_mix(name: &str, g: &CsrGraph) -> InstructionMix {
             .map(|(mnemonic, count)| (mnemonic.to_string(), count as u64))
             .collect(),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-cube sharding sweep (the `multi_cube` figure)
+// ---------------------------------------------------------------------------
+
+/// One measured cell of the multi-cube sweep: a workload executed on a
+/// [`ShardedEngine`] with a given shard count and partition strategy
+/// (emitted as `results/multi_cube.json` by the `multi_cube` binary).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MultiCubeCell {
+    /// The workload label (`tc`, `kcc-4`).
+    pub workload: String,
+    /// The input graph's registered name.
+    pub graph: String,
+    /// The partition strategy label.
+    pub strategy: String,
+    /// Number of shards (vault groups / cubes).
+    pub shards: usize,
+    /// The algorithm's numeric result (must agree across all cells of a
+    /// workload).
+    pub result: u64,
+    /// Total simulated cycles across all shards, links included (the serial
+    /// view).
+    pub total_cycles: u64,
+    /// The busiest shard's cycles (the multi-cube makespan).
+    pub makespan_cycles: u64,
+    /// Shard load imbalance (1.0 = perfectly balanced).
+    pub imbalance: f64,
+    /// Binary operations whose operands lived on different shards.
+    pub cross_shard_ops: u64,
+    /// Bytes moved over vault/cube links.
+    pub cross_shard_bytes: u64,
+    /// Cycles spent on link transfers.
+    pub link_cycles: u64,
+}
+
+/// The workloads the multi-cube sweep measures.
+const MULTI_CUBE_WORKLOADS: [Problem; 2] = [Problem::Tc, Problem::Kcc(4)];
+
+/// Runs the multi-cube sweep on one graph: every workload × partition
+/// strategy × shard count, on a [`ShardedEngine`]`<`[`SisaRuntime`]`>`.
+/// Graph loading is excluded from the measured cycles (statistics are reset
+/// after the load, matching the flat harnesses).
+#[must_use]
+pub fn multi_cube_sweep(
+    name: &str,
+    g: &CsrGraph,
+    shard_counts: &[usize],
+    limits: &SearchLimits,
+) -> Vec<MultiCubeCell> {
+    let mut cells = Vec::new();
+    for problem in MULTI_CUBE_WORKLOADS {
+        for strategy in PartitionStrategy::ALL {
+            for &shards in shard_counts {
+                let mut engine = ShardedEngine::sisa(shards, strategy, SisaConfig::default());
+                let (oriented, _) =
+                    setcentric::orient_by_degeneracy(&mut engine, g, &SetGraphConfig::default());
+                engine.reset_stats();
+                let result = match problem {
+                    Problem::Tc => {
+                        setcentric::triangle_count(&mut engine, &oriented, limits).result
+                    }
+                    Problem::Kcc(k) => {
+                        setcentric::k_clique_count(&mut engine, &oriented, k, limits).result
+                    }
+                    _ => unreachable!("multi-cube sweep covers tc and kcc only"),
+                };
+                let report = engine.report();
+                cells.push(MultiCubeCell {
+                    workload: problem.label(),
+                    graph: name.to_string(),
+                    strategy: strategy.label().to_string(),
+                    shards,
+                    result,
+                    total_cycles: engine.stats().total_cycles(),
+                    makespan_cycles: report.makespan_cycles(),
+                    imbalance: report.imbalance(),
+                    cross_shard_ops: report.traffic.cross_ops,
+                    cross_shard_bytes: report.traffic.bytes,
+                    link_cycles: report.traffic.cycles,
+                });
+            }
+        }
+    }
+    cells
 }
 
 // ---------------------------------------------------------------------------

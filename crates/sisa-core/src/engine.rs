@@ -8,9 +8,13 @@
 //! `E: SetEngine`, so the same formulation runs on
 //!
 //! * [`crate::SisaRuntime`] — the simulated SISA platform (SCU dispatch onto
-//!   the PUM/PNM cost models), and
+//!   the PUM/PNM cost models),
 //! * [`crate::HostEngine`] — a software set-centric backend on the baseline
 //!   out-of-order CPU model,
+//! * [`crate::FunctionalEngine`] — plain software sets with no cost model
+//!   (the correctness oracle / fuzzing backend), and
+//! * [`crate::ShardedEngine`] — a multi-cube wrapper sharding the set
+//!   universe across several inner engines and pricing cross-shard traffic,
 //!
 //! and the benchmark harness compares backends by swapping the engine rather
 //! than by maintaining per-backend driver code.

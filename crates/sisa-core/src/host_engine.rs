@@ -98,13 +98,7 @@ impl HostEngine {
     }
 
     fn allocate_id(&mut self) -> SetId {
-        if let Some(raw) = self.free_ids.pop() {
-            SetId(raw)
-        } else {
-            let id = SetId(self.sets.len() as u32);
-            self.sets.push(None);
-            id
-        }
+        crate::slots::allocate(&mut self.sets, &mut self.free_ids)
     }
 
     /// Stores `repr` under a fresh ID, charging the write-out of its bytes.
@@ -297,8 +291,7 @@ impl SetEngine for HostEngine {
         // behaviour on dangling IDs.
         let _ = self.slot(id);
         self.thread.scalar_ops(1);
-        self.sets[id.0 as usize] = None;
-        self.free_ids.push(id.0);
+        crate::slots::release(&mut self.sets, &mut self.free_ids, id);
         self.count(SisaOpcode::DeleteSet);
     }
 

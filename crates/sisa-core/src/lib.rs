@@ -9,9 +9,12 @@
 //!   set-centric algorithm in `sisa-algorithms` is written against — C-style
 //!   set operations (`intersect`, `union`, `difference`, counting variants,
 //!   membership, element insertion/removal, set lifecycle) addressed by
-//!   logical [`SetId`]s. Two backends ship: the simulated SISA platform
-//!   ([`SisaRuntime`]) and a software baseline on the CPU cost model
-//!   ([`HostEngine`]).
+//!   logical [`SetId`]s. Four backends ship: the simulated SISA platform
+//!   ([`SisaRuntime`]), a software baseline on the CPU cost model
+//!   ([`HostEngine`]), a cost-free functional oracle ([`FunctionalEngine`])
+//!   and a sharded multi-cube wrapper ([`ShardedEngine`]) that partitions the
+//!   set universe across inner engines via a [`PartitionStrategy`] and prices
+//!   cross-shard operand movement with the PNM link model.
 //! * **The thin software layer + SCU** (§6.3.3, §8.2): inside `SisaRuntime`
 //!   every operation is first *issued* — materialised as a genuine
 //!   [`sisa_isa::SisaInstruction`] with operands mapped through the
@@ -36,6 +39,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod functional;
 pub mod host_engine;
 pub mod interpreter;
 pub mod issue;
@@ -44,11 +48,15 @@ pub mod parallel;
 pub mod runtime;
 pub mod scu;
 pub mod set_graph;
+pub mod shard;
+pub mod sharded;
+pub(crate) mod slots;
 pub mod stats;
 pub mod trace;
 
 pub use config::{SetGraphConfig, SisaConfig, VariantSelection};
 pub use engine::SetEngine;
+pub use functional::FunctionalEngine;
 pub use host_engine::HostEngine;
 pub use interpreter::{Interpreter, ReplayReport};
 pub use issue::RegisterFile;
@@ -57,7 +65,9 @@ pub use parallel::{schedule, schedule_cpu, RunReport, TaskRecord, ThreadReport};
 pub use runtime::SisaRuntime;
 pub use scu::{ExecutionChoice, ExecutionTarget, Scu};
 pub use set_graph::SetGraph;
-pub use stats::ExecStats;
+pub use shard::PartitionStrategy;
+pub use sharded::{LinkTraffic, ShardReport, ShardedEngine};
+pub use stats::{ExecStats, StatsCheckpoint};
 pub use trace::{TraceEvent, TraceOp, TraceSink};
 
 /// A logical SISA set identifier (re-exported from `sisa-isa`).

@@ -279,13 +279,7 @@ impl SisaRuntime {
     }
 
     fn allocate_id(&mut self) -> SetId {
-        if let Some(raw) = self.free_ids.pop() {
-            SetId(raw)
-        } else {
-            let id = SetId(self.sets.len() as u32);
-            self.sets.push(None);
-            id
-        }
+        crate::slots::allocate(&mut self.sets, &mut self.free_ids)
     }
 
     fn apply_outcome(
@@ -425,11 +419,10 @@ impl SetEngine for SisaRuntime {
             .issue_lifecycle(SisaOpcode::DeleteSet, Some(id), None);
         self.issued(instr, TraceOp::Delete { id });
         self.dispatch_metadata(&[id]);
-        self.sets[id.0 as usize] = None;
+        crate::slots::release(&mut self.sets, &mut self.free_ids, id);
         self.metadata.remove(id);
         self.scu.invalidate(id);
         self.regs.release(id);
-        self.free_ids.push(id.0);
     }
 
     // -----------------------------------------------------------------------

@@ -19,6 +19,11 @@ pub struct ExecStats {
     pub pnm_cycles: u64,
     /// Cycles of host-side scalar work reported by the algorithm.
     pub host_cycles: u64,
+    /// Cycles spent moving operands over vault/cube links (cross-shard
+    /// transfers in a sharded engine; always 0 for flat engines).
+    pub link_cycles: u64,
+    /// Bytes moved over vault/cube links by cross-shard transfers.
+    pub link_bytes: u64,
     /// Dynamic instruction counts per opcode.
     pub instructions: BTreeMap<SisaOpcode, u64>,
     /// Number of operations dispatched to SISA-PUM.
@@ -44,7 +49,7 @@ impl ExecStats {
     /// Total simulated cycles across all units.
     #[must_use]
     pub fn total_cycles(&self) -> u64 {
-        self.scu_cycles + self.pum_cycles + self.pnm_cycles + self.host_cycles
+        self.scu_cycles + self.pum_cycles + self.pnm_cycles + self.host_cycles + self.link_cycles
     }
 
     /// Total dynamic SISA instruction count.
@@ -86,6 +91,8 @@ impl ExecStats {
         self.pum_cycles += other.pum_cycles;
         self.pnm_cycles += other.pnm_cycles;
         self.host_cycles += other.host_cycles;
+        self.link_cycles += other.link_cycles;
+        self.link_bytes += other.link_bytes;
         for (&op, &n) in &other.instructions {
             *self.instructions.entry(op).or_insert(0) += n;
         }
@@ -99,6 +106,93 @@ impl ExecStats {
         self.processed_set_sizes
             .extend_from_slice(&other.processed_set_sizes);
     }
+
+    /// Takes a cheap snapshot of the current counters, so that the cost of
+    /// the operations executed after it can be attributed elsewhere with
+    /// [`ExecStats::merge_since`]. The snapshot is allocation-free — opcode
+    /// counts go into a fixed `funct7`-indexed array and only the length of
+    /// `processed_set_sizes` is recorded, not its contents — because
+    /// composite engines checkpoint on every forwarded operation.
+    #[must_use]
+    pub fn checkpoint(&self) -> StatsCheckpoint {
+        let mut instructions = [0u64; StatsCheckpoint::OPCODE_SLOTS];
+        for (&op, &n) in &self.instructions {
+            instructions[op.funct7() as usize] = n;
+        }
+        StatsCheckpoint {
+            scu_cycles: self.scu_cycles,
+            pum_cycles: self.pum_cycles,
+            pnm_cycles: self.pnm_cycles,
+            host_cycles: self.host_cycles,
+            link_cycles: self.link_cycles,
+            link_bytes: self.link_bytes,
+            instructions,
+            pum_ops: self.pum_ops,
+            pnm_ops: self.pnm_ops,
+            merge_selected: self.merge_selected,
+            gallop_selected: self.gallop_selected,
+            smb_hits: self.smb_hits,
+            smb_misses: self.smb_misses,
+            energy_nj: self.energy_nj,
+            processed_set_sizes_len: self.processed_set_sizes.len(),
+        }
+    }
+
+    /// Adds `current - at` into `self`: the cost accumulated by the observed
+    /// statistics record since the checkpoint was taken. Counters only grow
+    /// between checkpoints (statistics resets are handled by re-checkpointing),
+    /// so the subtraction is well defined.
+    pub fn merge_since(&mut self, current: &ExecStats, at: &StatsCheckpoint) {
+        self.scu_cycles += current.scu_cycles - at.scu_cycles;
+        self.pum_cycles += current.pum_cycles - at.pum_cycles;
+        self.pnm_cycles += current.pnm_cycles - at.pnm_cycles;
+        self.host_cycles += current.host_cycles - at.host_cycles;
+        self.link_cycles += current.link_cycles - at.link_cycles;
+        self.link_bytes += current.link_bytes - at.link_bytes;
+        for (&op, &n) in &current.instructions {
+            let before = at.instructions[op.funct7() as usize];
+            if n > before {
+                *self.instructions.entry(op).or_insert(0) += n - before;
+            }
+        }
+        self.pum_ops += current.pum_ops - at.pum_ops;
+        self.pnm_ops += current.pnm_ops - at.pnm_ops;
+        self.merge_selected += current.merge_selected - at.merge_selected;
+        self.gallop_selected += current.gallop_selected - at.gallop_selected;
+        self.smb_hits += current.smb_hits - at.smb_hits;
+        self.smb_misses += current.smb_misses - at.smb_misses;
+        self.energy_nj += current.energy_nj - at.energy_nj;
+        self.processed_set_sizes
+            .extend_from_slice(&current.processed_set_sizes[at.processed_set_sizes_len..]);
+    }
+}
+
+/// A snapshot of [`ExecStats`] counters taken by [`ExecStats::checkpoint`],
+/// used by composite engines (e.g. [`crate::ShardedEngine`]) to attribute the
+/// cost of each forwarded operation to an aggregate record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatsCheckpoint {
+    scu_cycles: u64,
+    pum_cycles: u64,
+    pnm_cycles: u64,
+    host_cycles: u64,
+    link_cycles: u64,
+    link_bytes: u64,
+    /// Per-opcode counts indexed by the opcode's 7-bit `funct7` value.
+    instructions: [u64; Self::OPCODE_SLOTS],
+    pum_ops: u64,
+    pnm_ops: u64,
+    merge_selected: u64,
+    gallop_selected: u64,
+    smb_hits: u64,
+    smb_misses: u64,
+    energy_nj: f64,
+    processed_set_sizes_len: usize,
+}
+
+impl StatsCheckpoint {
+    /// One slot per possible `funct7` value (a 7-bit field).
+    const OPCODE_SLOTS: usize = 128;
 }
 
 #[cfg(test)]
@@ -133,6 +227,49 @@ mod tests {
         assert_eq!(s.total_cycles(), 0);
         assert_eq!(s.pum_fraction(), 0.0);
         assert_eq!(s.smb_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn total_cycles_include_link_transfers() {
+        let s = ExecStats {
+            pnm_cycles: 5,
+            link_cycles: 7,
+            link_bytes: 64,
+            ..ExecStats::default()
+        };
+        assert_eq!(s.total_cycles(), 12);
+    }
+
+    #[test]
+    fn checkpoint_delta_matches_direct_merge() {
+        let mut base = ExecStats::default();
+        base.record_instruction(SisaOpcode::IntersectAuto);
+        base.pnm_cycles = 10;
+        base.energy_nj = 1.0;
+        base.processed_set_sizes.push(4);
+
+        let at = base.checkpoint();
+        // Simulate further execution on the same record.
+        let mut grown = base.clone();
+        grown.record_instruction(SisaOpcode::IntersectAuto);
+        grown.record_instruction(SisaOpcode::UnionAuto);
+        grown.pnm_cycles += 3;
+        grown.scu_cycles += 2;
+        grown.link_cycles += 9;
+        grown.link_bytes += 128;
+        grown.energy_nj += 0.5;
+        grown.processed_set_sizes.push(8);
+
+        let mut agg = ExecStats::default();
+        agg.merge_since(&grown, &at);
+        assert_eq!(agg.total_instructions(), 2);
+        assert_eq!(agg.instructions[&SisaOpcode::UnionAuto], 1);
+        assert_eq!(agg.pnm_cycles, 3);
+        assert_eq!(agg.scu_cycles, 2);
+        assert_eq!(agg.link_cycles, 9);
+        assert_eq!(agg.link_bytes, 128);
+        assert!((agg.energy_nj - 0.5).abs() < 1e-12);
+        assert_eq!(agg.processed_set_sizes, vec![8]);
     }
 
     #[test]

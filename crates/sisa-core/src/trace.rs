@@ -201,6 +201,229 @@ impl Default for TraceSink {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Serialization (through the vendored serde shim)
+// ---------------------------------------------------------------------------
+//
+// A serialized trace is a complete, self-contained workload: instructions are
+// stored as their 32-bit machine words (the Figure 5 encoding), semantic
+// payloads as tagged maps. Round-tripping a `TraceSink` through JSON preserves
+// `PartialEq` equality, so captured runs can be checked in as fixtures and
+// replayed by the `Interpreter` in later PRs. The vendored `serde_derive` shim
+// only handles named-field structs, hence the manual impls for the enums.
+
+use serde::{Content, Deserialize, Error, Serialize};
+
+impl Serialize for BinarySetOp {
+    fn to_content(&self) -> Content {
+        Content::Str(
+            match self {
+                BinarySetOp::Intersection => "intersection",
+                BinarySetOp::Union => "union",
+                BinarySetOp::Difference => "difference",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl Deserialize for BinarySetOp {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match String::from_content(content)?.as_str() {
+            "intersection" => Ok(BinarySetOp::Intersection),
+            "union" => Ok(BinarySetOp::Union),
+            "difference" => Ok(BinarySetOp::Difference),
+            other => Err(Error::custom(format!("unknown binary set op `{other}`"))),
+        }
+    }
+}
+
+/// Builds the tagged map for one trace op.
+fn tagged(tag: &str, fields: Vec<(String, Content)>) -> Content {
+    let mut entries = vec![("op".to_string(), Content::Str(tag.to_string()))];
+    entries.extend(fields);
+    Content::Map(entries)
+}
+
+/// Reads one required field of a tagged map.
+fn field<T: Deserialize>(content: &Content, tag: &str, name: &str) -> Result<T, Error> {
+    let value = content
+        .get(name)
+        .ok_or_else(|| Error::custom(format!("trace op `{tag}` missing field `{name}`")))?;
+    T::from_content(value)
+}
+
+impl Serialize for TraceOp {
+    fn to_content(&self) -> Content {
+        let entry = |name: &str, value: Content| (name.to_string(), value);
+        match self {
+            TraceOp::SetUniverse { n } => tagged("set_universe", vec![entry("n", n.to_content())]),
+            TraceOp::ResetStats => tagged("reset_stats", vec![]),
+            TraceOp::Create { id, repr } => tagged(
+                "create",
+                vec![
+                    entry("id", id.to_content()),
+                    entry("repr", repr.to_content()),
+                ],
+            ),
+            TraceOp::Clone { src, dst } => tagged(
+                "clone",
+                vec![
+                    entry("src", src.to_content()),
+                    entry("dst", dst.to_content()),
+                ],
+            ),
+            TraceOp::Delete { id } => tagged("delete", vec![entry("id", id.to_content())]),
+            TraceOp::Cardinality { id } => {
+                tagged("cardinality", vec![entry("id", id.to_content())])
+            }
+            TraceOp::Membership { id, v } => tagged(
+                "membership",
+                vec![entry("id", id.to_content()), entry("v", v.to_content())],
+            ),
+            TraceOp::Insert { id, v } => tagged(
+                "insert",
+                vec![entry("id", id.to_content()), entry("v", v.to_content())],
+            ),
+            TraceOp::Remove { id, v } => tagged(
+                "remove",
+                vec![entry("id", id.to_content()), entry("v", v.to_content())],
+            ),
+            TraceOp::Binary { op, a, b, dst } => tagged(
+                "binary",
+                vec![
+                    entry("kind", op.to_content()),
+                    entry("a", a.to_content()),
+                    entry("b", b.to_content()),
+                    entry("dst", dst.to_content()),
+                ],
+            ),
+            TraceOp::BinaryCount { op, a, b } => tagged(
+                "binary_count",
+                vec![
+                    entry("kind", op.to_content()),
+                    entry("a", a.to_content()),
+                    entry("b", b.to_content()),
+                ],
+            ),
+            TraceOp::BinaryAssign { op, a, b } => tagged(
+                "binary_assign",
+                vec![
+                    entry("kind", op.to_content()),
+                    entry("a", a.to_content()),
+                    entry("b", b.to_content()),
+                ],
+            ),
+            TraceOp::Members { id } => tagged("members", vec![entry("id", id.to_content())]),
+            TraceOp::HostOps { n } => tagged("host_ops", vec![entry("n", n.to_content())]),
+        }
+    }
+}
+
+impl Deserialize for TraceOp {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        let tag = String::from_content(
+            content
+                .get("op")
+                .ok_or_else(|| Error::custom("trace op without an `op` tag"))?,
+        )?;
+        let t = tag.as_str();
+        match t {
+            "set_universe" => Ok(TraceOp::SetUniverse {
+                n: field(content, t, "n")?,
+            }),
+            "reset_stats" => Ok(TraceOp::ResetStats),
+            "create" => Ok(TraceOp::Create {
+                id: field(content, t, "id")?,
+                repr: field(content, t, "repr")?,
+            }),
+            "clone" => Ok(TraceOp::Clone {
+                src: field(content, t, "src")?,
+                dst: field(content, t, "dst")?,
+            }),
+            "delete" => Ok(TraceOp::Delete {
+                id: field(content, t, "id")?,
+            }),
+            "cardinality" => Ok(TraceOp::Cardinality {
+                id: field(content, t, "id")?,
+            }),
+            "membership" => Ok(TraceOp::Membership {
+                id: field(content, t, "id")?,
+                v: field(content, t, "v")?,
+            }),
+            "insert" => Ok(TraceOp::Insert {
+                id: field(content, t, "id")?,
+                v: field(content, t, "v")?,
+            }),
+            "remove" => Ok(TraceOp::Remove {
+                id: field(content, t, "id")?,
+                v: field(content, t, "v")?,
+            }),
+            "binary" => Ok(TraceOp::Binary {
+                op: field(content, t, "kind")?,
+                a: field(content, t, "a")?,
+                b: field(content, t, "b")?,
+                dst: field(content, t, "dst")?,
+            }),
+            "binary_count" => Ok(TraceOp::BinaryCount {
+                op: field(content, t, "kind")?,
+                a: field(content, t, "a")?,
+                b: field(content, t, "b")?,
+            }),
+            "binary_assign" => Ok(TraceOp::BinaryAssign {
+                op: field(content, t, "kind")?,
+                a: field(content, t, "a")?,
+                b: field(content, t, "b")?,
+            }),
+            "members" => Ok(TraceOp::Members {
+                id: field(content, t, "id")?,
+            }),
+            "host_ops" => Ok(TraceOp::HostOps {
+                n: field(content, t, "n")?,
+            }),
+            other => Err(Error::custom(format!("unknown trace op `{other}`"))),
+        }
+    }
+}
+
+impl Serialize for TraceEvent {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("instruction".to_string(), self.instruction.to_content()),
+            ("op".to_string(), self.op.to_content()),
+        ])
+    }
+}
+
+impl Deserialize for TraceEvent {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Ok(TraceEvent {
+            instruction: field(content, "event", "instruction")?,
+            op: field(content, "event", "op")?,
+        })
+    }
+}
+
+impl Serialize for TraceSink {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("capacity".to_string(), self.capacity.to_content()),
+            ("dropped".to_string(), self.dropped.to_content()),
+            ("events".to_string(), self.events.to_content()),
+        ])
+    }
+}
+
+impl Deserialize for TraceSink {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Ok(TraceSink {
+            capacity: field(content, "trace", "capacity")?,
+            dropped: field(content, "trace", "dropped")?,
+            events: field(content, "trace", "events")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,5 +471,100 @@ mod tests {
         assert_eq!(program.instructions()[0].opcode, SisaOpcode::CreateSet);
         assert_eq!(program.instructions()[1].opcode, SisaOpcode::IntersectAuto);
         assert_eq!(sink.events().len(), 3);
+    }
+
+    /// Every `TraceOp` variant, with representative payloads.
+    fn one_of_every_op() -> Vec<TraceOp> {
+        vec![
+            TraceOp::SetUniverse { n: 64 },
+            TraceOp::ResetStats,
+            TraceOp::Create {
+                id: SetId(0),
+                repr: SetRepr::sorted_from([1u32, 2, 9]),
+            },
+            TraceOp::Create {
+                id: SetId(1),
+                repr: SetRepr::dense_from(64, [3u32, 63]),
+            },
+            TraceOp::Clone {
+                src: SetId(0),
+                dst: SetId(2),
+            },
+            TraceOp::Delete { id: SetId(2) },
+            TraceOp::Cardinality { id: SetId(0) },
+            TraceOp::Membership { id: SetId(0), v: 2 },
+            TraceOp::Insert { id: SetId(1), v: 5 },
+            TraceOp::Remove { id: SetId(1), v: 3 },
+            TraceOp::Binary {
+                op: BinarySetOp::Intersection,
+                a: SetId(0),
+                b: SetId(1),
+                dst: SetId(3),
+            },
+            TraceOp::BinaryCount {
+                op: BinarySetOp::Union,
+                a: SetId(0),
+                b: SetId(1),
+            },
+            TraceOp::BinaryAssign {
+                op: BinarySetOp::Difference,
+                a: SetId(0),
+                b: SetId(1),
+            },
+            TraceOp::Members { id: SetId(0) },
+            TraceOp::HostOps { n: 17 },
+        ]
+    }
+
+    #[test]
+    fn every_trace_op_round_trips_through_json() {
+        use serde::{Deserialize as _, Serialize as _};
+        for op in one_of_every_op() {
+            let content = op.to_content();
+            let back = TraceOp::from_content(&content).unwrap();
+            assert_eq!(back, op);
+        }
+    }
+
+    #[test]
+    fn a_full_sink_round_trips_through_json() {
+        let mut sink = TraceSink::bounded(4);
+        sink.record(
+            Some(instr(SisaOpcode::CreateSet)),
+            TraceOp::Create {
+                id: SetId(0),
+                repr: SetRepr::sorted_from([4u32, 7]),
+            },
+        );
+        sink.record(None, TraceOp::HostOps { n: 3 });
+        sink.record(
+            Some(instr(SisaOpcode::IntersectCountAuto)),
+            TraceOp::BinaryCount {
+                op: BinarySetOp::Intersection,
+                a: SetId(0),
+                b: SetId(0),
+            },
+        );
+        // Overflow one event so capacity/dropped state is exercised too.
+        sink.record(None, TraceOp::HostOps { n: 1 });
+        sink.record(None, TraceOp::HostOps { n: 1 });
+        let json = serde_json::to_string_pretty(&sink).unwrap();
+        let back: TraceSink = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.events(), sink.events());
+        assert_eq!(back.dropped(), sink.dropped());
+        assert_eq!(back.is_complete(), sink.is_complete());
+        // The instructions survive as decodable machine words.
+        assert_eq!(back.program(), sink.program());
+    }
+
+    #[test]
+    fn malformed_trace_ops_are_rejected() {
+        use serde::{Content, Deserialize as _};
+        assert!(TraceOp::from_content(&Content::U64(1)).is_err());
+        let unknown = Content::Map(vec![("op".into(), Content::Str("warp".into()))]);
+        assert!(TraceOp::from_content(&unknown).is_err());
+        let missing_field = Content::Map(vec![("op".into(), Content::Str("delete".into()))]);
+        assert!(TraceOp::from_content(&missing_field).is_err());
+        assert!(BinarySetOp::from_content(&Content::Str("xor".into())).is_err());
     }
 }

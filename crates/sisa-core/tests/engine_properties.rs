@@ -7,9 +7,14 @@
 //! 2. **Backend agreement** — [`HostEngine`] and [`SisaRuntime`] compute the
 //!    same set-algebra results across every representation pairing
 //!    (sorted × sorted, sorted × dense, dense × dense).
+//! 3. **Functional oracle** — the cost-free [`FunctionalEngine`] executes the
+//!    same workloads and every priced backend must agree with it, while its
+//!    statistics stay identically zero.
 
 use proptest::prelude::*;
-use sisa_core::{HostEngine, Interpreter, SetEngine, SisaConfig, SisaRuntime};
+use sisa_core::{
+    ExecStats, FunctionalEngine, HostEngine, Interpreter, SetEngine, SisaConfig, SisaRuntime,
+};
 use sisa_sets::Vertex;
 use std::collections::BTreeSet;
 
@@ -163,5 +168,22 @@ proptest! {
         let from_host = run_steps(&mut host, &a, &b, &steps);
         prop_assert_eq!(from_sisa, from_host);
         prop_assert_eq!(sisa.live_sets(), host.live_sets());
+    }
+
+    /// (c) The functional engine is an oracle: the priced backends agree with
+    /// its results on every workload, and running it costs nothing.
+    #[test]
+    fn functional_engine_is_an_oracle_for_priced_backends(
+        a in vertex_set(),
+        b in vertex_set(),
+        steps in proptest::collection::vec(step(), 1..40),
+    ) {
+        let mut oracle = FunctionalEngine::new();
+        let mut sisa = SisaRuntime::new(SisaConfig::default());
+        let expected = run_steps(&mut oracle, &a, &b, &steps);
+        let from_sisa = run_steps(&mut sisa, &a, &b, &steps);
+        prop_assert_eq!(&expected, &from_sisa);
+        prop_assert_eq!(oracle.live_sets(), sisa.live_sets());
+        prop_assert_eq!(oracle.stats(), &ExecStats::default());
     }
 }

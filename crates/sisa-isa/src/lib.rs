@@ -40,6 +40,7 @@ pub mod encoding;
 pub mod instruction;
 pub mod opcode;
 pub mod program;
+pub mod serde_impls;
 
 pub use encoding::{DecodeError, CUSTOM_OPCODE};
 pub use instruction::{Register, SisaInstruction};

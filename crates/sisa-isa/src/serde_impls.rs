@@ -1,0 +1,100 @@
+//! Serialization of ISA types through the vendored serde shim.
+//!
+//! The binary encoding (Figure 5) *is* the canonical serial form of an
+//! instruction, so [`SisaInstruction`] serializes as its 32-bit machine word
+//! and [`SisaProgram`] as the word sequence — a captured trace checked into a
+//! fixture is literally a SISA binary image. [`SetId`] serializes as its raw
+//! identifier. (The vendored `serde_derive` shim only handles named-field
+//! structs, hence the manual impls.)
+
+use crate::instruction::SisaInstruction;
+use crate::program::SisaProgram;
+use crate::SetId;
+use serde::{Content, Deserialize, Error, Serialize};
+
+impl Serialize for SetId {
+    fn to_content(&self) -> Content {
+        Content::U64(u64::from(self.0))
+    }
+}
+
+impl Deserialize for SetId {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        u32::from_content(content).map(SetId)
+    }
+}
+
+impl Serialize for SisaInstruction {
+    fn to_content(&self) -> Content {
+        Content::U64(u64::from(self.encode()))
+    }
+}
+
+impl Deserialize for SisaInstruction {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        let word = u32::from_content(content)?;
+        SisaInstruction::decode(word)
+            .map_err(|e| Error::custom(format!("invalid SISA instruction word {word:#010x}: {e}")))
+    }
+}
+
+impl Serialize for SisaProgram {
+    fn to_content(&self) -> Content {
+        Content::Seq(
+            self.encode()
+                .into_iter()
+                .map(|w| Content::U64(u64::from(w)))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for SisaProgram {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        let words = Vec::<u32>::from_content(content)?;
+        SisaProgram::decode(&words)
+            .map_err(|(i, e)| Error::custom(format!("invalid instruction at index {i}: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Register, SisaOpcode};
+
+    #[test]
+    fn set_id_round_trips() {
+        let id = SetId(77);
+        assert_eq!(SetId::from_content(&id.to_content()), Ok(id));
+    }
+
+    #[test]
+    fn instruction_round_trips_as_its_machine_word() {
+        let i = SisaInstruction::new(
+            SisaOpcode::IntersectCountAuto,
+            Register::new(5),
+            Register::new(10),
+            Register::new(11),
+        );
+        let content = i.to_content();
+        assert_eq!(content, Content::U64(u64::from(i.encode())));
+        assert_eq!(SisaInstruction::from_content(&content), Ok(i));
+    }
+
+    #[test]
+    fn invalid_words_are_rejected() {
+        // An ADDI is not a SISA instruction.
+        assert!(SisaInstruction::from_content(&Content::U64(0x13)).is_err());
+    }
+
+    #[test]
+    fn program_round_trips_through_json() {
+        let mut p = SisaProgram::new();
+        p.emit(SisaOpcode::CreateSet, 1, 0, 0)
+            .emit(SisaOpcode::IntersectAuto, 3, 1, 2)
+            .emit(SisaOpcode::DeleteSet, 0, 3, 0);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: SisaProgram = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -128,6 +128,13 @@ pub struct PnmConfig {
     pub core_ipc: f64,
     /// Word size in bytes for sparse-array elements (`W` = 32 bits).
     pub word_bytes: usize,
+    /// Latency of traversing one vault/cube link hop, in cycles (SerDes
+    /// serialisation plus switching; used by the inter-vault transfer model).
+    pub link_hop_latency: u64,
+    /// Per-transfer bandwidth of the external cube-to-cube SerDes links in
+    /// bytes per cycle (`b_C`); lower than the intra-cube share because
+    /// inter-cube traffic is multiplexed over a handful of external links.
+    pub inter_cube_bandwidth_bytes_per_cycle: f64,
 }
 
 impl Default for PnmConfig {
@@ -145,6 +152,12 @@ impl Default for PnmConfig {
             dram_latency: ns_to_cycles(30.0),
             core_ipc: 1.0,
             word_bytes: 4,
+            // A vault-to-vault or cube-to-cube hop costs a few nanoseconds of
+            // SerDes serialisation and switching.
+            link_hop_latency: ns_to_cycles(4.0),
+            // External HMC links offer less per-transfer bandwidth than the
+            // intra-cube crossbar share modelled by `link_bandwidth`.
+            inter_cube_bandwidth_bytes_per_cycle: 4.0,
         }
     }
 }
@@ -265,6 +278,11 @@ mod tests {
         assert_eq!(cfg.vaults_per_cube, 32);
         assert_eq!(cfg.total_vaults(), 512);
         assert!(cfg.effective_stream_bandwidth() <= cfg.vault_bandwidth_bytes_per_cycle);
+        assert!(cfg.link_hop_latency > 0);
+        assert!(
+            cfg.inter_cube_bandwidth_bytes_per_cycle <= cfg.link_bandwidth_bytes_per_cycle,
+            "external SerDes links must not be faster than the intra-cube share"
+        );
     }
 
     #[test]

@@ -22,6 +22,10 @@ pub struct EnergyModel {
     pub channel_transfer_nj_per_byte: f64,
     /// Energy per byte moved through a TSV/vault link (PNM traffic).
     pub tsv_transfer_nj_per_byte: f64,
+    /// Energy per byte per hop moved over vault/cube interconnect links
+    /// (cross-shard operand transfers; pricier than a TSV, cheaper than the
+    /// off-chip channel).
+    pub link_transfer_nj_per_byte_hop: f64,
     /// Energy of one cache access (any level, averaged).
     pub cache_access_nj: f64,
     /// Energy of one scalar core operation.
@@ -34,6 +38,7 @@ impl Default for EnergyModel {
             dram_row_activation_nj: 25.0,
             channel_transfer_nj_per_byte: 0.30,
             tsv_transfer_nj_per_byte: 0.06,
+            link_transfer_nj_per_byte_hop: 0.12,
             cache_access_nj: 0.10,
             scalar_op_nj: 0.02,
         }
@@ -52,6 +57,13 @@ impl EnergyModel {
     #[must_use]
     pub fn pnm_energy(&self, bytes: u64, ops: u64) -> f64 {
         bytes as f64 * self.tsv_transfer_nj_per_byte + ops as f64 * self.scalar_op_nj
+    }
+
+    /// Energy of moving `bytes` bytes over `hops` vault/cube link hops (a
+    /// cross-shard operand transfer).
+    #[must_use]
+    pub fn link_energy(&self, bytes: u64, hops: u64) -> f64 {
+        bytes as f64 * hops as f64 * self.link_transfer_nj_per_byte_hop
     }
 
     /// Energy of CPU-side work given cache accesses, DRAM bytes and scalar
@@ -81,6 +93,17 @@ mod tests {
     fn tsv_transfers_are_cheaper_than_channel_transfers() {
         let e = EnergyModel::default();
         assert!(e.pnm_energy(1024, 0) < e.cpu_energy(0, 1024, 0));
+    }
+
+    #[test]
+    fn link_energy_sits_between_tsv_and_channel() {
+        let e = EnergyModel::default();
+        let one_hop = e.link_energy(1024, 1);
+        assert!(one_hop > e.pnm_energy(1024, 0));
+        assert!(one_hop < e.cpu_energy(0, 1024, 0));
+        // Energy grows with the hop count and is zero for local data.
+        assert!(e.link_energy(1024, 3) > one_hop);
+        assert_eq!(e.link_energy(1024, 0), 0.0);
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub use cache::{Cache, CacheConfig};
 pub use config::{CpuConfig, PimPlatform, PnmConfig, PumConfig};
 pub use cpu::{AddressSpace, CpuThread, TaskCost};
 pub use energy::EnergyModel;
-pub use pnm::PnmModel;
+pub use pnm::{LinkModel, LinkRoute, PnmModel};
 pub use pum::PumModel;
 pub use stats::MemoryStats;
 

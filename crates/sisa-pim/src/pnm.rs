@@ -124,6 +124,118 @@ impl Default for PnmModel {
     }
 }
 
+/// Cost model for moving set data between vaults and cubes.
+///
+/// A flat runtime executes every operation "where the data already is"; a
+/// sharded multi-cube runtime (one engine per vault group / cube) must move
+/// one operand whenever a binary operation's inputs live on different shards.
+/// Tesseract-style PIM prices that movement as hop latency plus a
+/// bandwidth-limited transfer: `hops · l_H + ⌈bytes / b⌉`, where `b` is the
+/// intra-cube crossbar share for neighbouring shards and the external SerDes
+/// bandwidth once the transfer crosses a cube boundary.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkModel {
+    cfg: PnmConfig,
+}
+
+impl LinkModel {
+    /// Creates the model from a PNM configuration.
+    #[must_use]
+    pub fn new(cfg: PnmConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &PnmConfig {
+        &self.cfg
+    }
+
+    /// Width of the (near-)square cube mesh used for hop counting: the
+    /// smallest `w` with `w² ≥ cubes` (4 for the default 16 cubes, 3 for 9).
+    #[must_use]
+    pub fn mesh_width(&self) -> usize {
+        let cubes = self.cfg.cubes.max(1);
+        (1..=cubes).find(|w| w * w >= cubes).unwrap_or(1)
+    }
+
+    /// Resolves the route between two shards when `num_shards` shards are
+    /// spread over the configured cubes.
+    ///
+    /// Shards are laid out contiguously over the cubes; two shards mapped to
+    /// the same cube are one vault-to-vault crossbar hop apart, otherwise the
+    /// hop count is the Manhattan distance between their cubes on a
+    /// [`LinkModel::mesh_width`]-wide mesh and the route crosses the external
+    /// SerDes links. The same shard is zero hops from itself.
+    #[must_use]
+    pub fn route(&self, shard_a: usize, shard_b: usize, num_shards: usize) -> LinkRoute {
+        if shard_a == shard_b {
+            return LinkRoute {
+                hops: 0,
+                inter_cube: false,
+            };
+        }
+        let cubes = self.cfg.cubes.max(1);
+        let n = num_shards.max(1);
+        let cube_of = |shard: usize| (shard.min(n - 1) * cubes) / n;
+        let (ca, cb) = (cube_of(shard_a), cube_of(shard_b));
+        if ca == cb {
+            // Intra-cube: one crossbar hop between vault groups.
+            return LinkRoute {
+                hops: 1,
+                inter_cube: false,
+            };
+        }
+        let width = self.mesh_width();
+        let coord = |c: usize| (c % width, c / width);
+        let ((xa, ya), (xb, yb)) = (coord(ca), coord(cb));
+        LinkRoute {
+            hops: xa.abs_diff(xb) + ya.abs_diff(yb),
+            inter_cube: true,
+        }
+    }
+
+    /// Number of link hops between two shards (see [`LinkModel::route`]).
+    #[must_use]
+    pub fn hops_between(&self, shard_a: usize, shard_b: usize, num_shards: usize) -> usize {
+        self.route(shard_a, shard_b, num_shards).hops
+    }
+
+    /// Cycles to move `bytes` bytes over `route` (zero when the data does not
+    /// move). Inter-cube routes see the external SerDes bandwidth even at one
+    /// hop; intra-cube routes use the crossbar share.
+    #[must_use]
+    pub fn transfer_cost(&self, bytes: usize, route: LinkRoute) -> Cycles {
+        if route.hops == 0 || bytes == 0 {
+            return 0;
+        }
+        let bandwidth = if route.inter_cube {
+            self.cfg.inter_cube_bandwidth_bytes_per_cycle
+        } else {
+            self.cfg.link_bandwidth_bytes_per_cycle
+        };
+        let transfer = (bytes as f64 / bandwidth).ceil() as Cycles;
+        self.cfg.link_hop_latency * route.hops as u64 + transfer
+    }
+}
+
+/// A resolved shard-to-shard route: how many link hops the data traverses and
+/// whether any of them are external cube-to-cube SerDes links (which carry
+/// less per-transfer bandwidth than the intra-cube crossbar).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkRoute {
+    /// Number of link hops (0 = same shard).
+    pub hops: usize,
+    /// Whether the route crosses a cube boundary.
+    pub inter_cube: bool,
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        Self::new(PnmConfig::default())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,5 +288,95 @@ mod tests {
     fn parallel_units_match_vault_count() {
         let m = PnmModel::default();
         assert_eq!(m.parallel_units(), 512);
+    }
+
+    #[test]
+    fn link_routes_reflect_the_shard_layout() {
+        let l = LinkModel::default();
+        // Same shard: no movement.
+        assert_eq!(l.hops_between(3, 3, 8), 0);
+        // 32 shards over 16 cubes: shards 0 and 1 share cube 0 (one
+        // vault-to-vault hop); shards 0 and 2 are on adjacent cubes.
+        let same_cube = l.route(0, 1, 32);
+        assert_eq!(same_cube.hops, 1);
+        assert!(!same_cube.inter_cube);
+        let adjacent_cubes = l.route(0, 2, 32);
+        assert_eq!(adjacent_cubes.hops, 1);
+        assert!(adjacent_cubes.inter_cube, "cube 0 → cube 1 is external");
+        // 16 shards, one per cube: opposite mesh corners are 6 hops apart.
+        assert_eq!(l.hops_between(0, 15, 16), 6);
+        // Routes are symmetric.
+        for n in [2usize, 4, 16, 32] {
+            for a in 0..n.min(8) {
+                for b in 0..n.min(8) {
+                    assert_eq!(l.route(a, b, n), l.route(b, a, n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn link_transfers_price_latency_and_bandwidth() {
+        let l = LinkModel::default();
+        let local = LinkRoute {
+            hops: 0,
+            inter_cube: false,
+        };
+        let crossbar = LinkRoute {
+            hops: 1,
+            inter_cube: false,
+        };
+        let far = LinkRoute {
+            hops: 4,
+            inter_cube: true,
+        };
+        assert_eq!(l.transfer_cost(4096, local), 0);
+        assert_eq!(l.transfer_cost(0, far), 0);
+        let near_cost = l.transfer_cost(4096, crossbar);
+        assert!(near_cost > 0);
+        // More hops cost more latency and cross-cube transfers see the lower
+        // external bandwidth.
+        assert!(l.transfer_cost(4096, far) > near_cost);
+        // Bandwidth term dominates for large payloads.
+        assert!(l.transfer_cost(1 << 20, crossbar) > l.transfer_cost(1 << 10, crossbar) * 100);
+    }
+
+    #[test]
+    fn one_hop_inter_cube_transfers_pay_the_serdes_bandwidth() {
+        // A single mesh hop between adjacent cubes must not be billed at the
+        // intra-cube crossbar rate: same hop count, slower external links.
+        let l = LinkModel::default();
+        let crossbar = LinkRoute {
+            hops: 1,
+            inter_cube: false,
+        };
+        let serdes = LinkRoute {
+            hops: 1,
+            inter_cube: true,
+        };
+        assert!(l.transfer_cost(4096, serdes) > l.transfer_cost(4096, crossbar));
+    }
+
+    #[test]
+    fn mesh_width_follows_the_configured_cube_count() {
+        let nine = LinkModel::new(PnmConfig {
+            cubes: 9,
+            ..PnmConfig::default()
+        });
+        assert_eq!(nine.mesh_width(), 3);
+        assert_eq!(LinkModel::default().mesh_width(), 4);
+        // 9 cubes, one shard per cube: opposite corners of the 3×3 mesh.
+        let corner = nine.route(0, 8, 9);
+        assert_eq!(corner.hops, 4);
+        assert!(corner.inter_cube);
+    }
+
+    #[test]
+    fn two_shards_on_default_geometry_cross_cubes() {
+        let l = LinkModel::default();
+        // 2 shards over 16 cubes: shard 0 → cube 0, shard 1 → cube 8.
+        let route = l.route(0, 1, 2);
+        assert!(route.inter_cube, "two half-machine shards are remote");
+        assert!(route.hops >= 2);
     }
 }

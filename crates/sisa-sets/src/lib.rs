@@ -51,6 +51,7 @@ pub mod counting;
 pub mod dense;
 pub mod ops;
 pub mod repr;
+pub mod serde_impls;
 pub mod sparse;
 
 pub use dense::DenseBitVector;

@@ -6,8 +6,8 @@
 use sisa::algorithms::SearchLimits;
 use sisa::graph::generators;
 use sisa_bench::{
-    capture_instruction_mix, run_auxiliary_formulations, run_cell, InstructionMix, PlatformSummary,
-    Problem, Scheme, Workload,
+    capture_instruction_mix, multi_cube_sweep, run_auxiliary_formulations, run_cell,
+    InstructionMix, MultiCubeCell, PlatformSummary, Problem, Scheme, Workload,
 };
 
 #[test]
@@ -99,6 +99,58 @@ fn instruction_mix_comes_from_a_real_traced_program() {
     let json = mix.to_json();
     let back: InstructionMix = serde_json::from_str(&json).expect("mix parses back");
     assert_eq!(back, mix);
+}
+
+#[test]
+fn multi_cube_sweep_runs_and_its_json_parses() {
+    // run_all's multi_cube binary publishes results/multi_cube.json from this
+    // sweep; drive it on a tiny graph and check the figure's claims hold.
+    let g = generators::erdos_renyi(70, 0.1, 9);
+    let cells = multi_cube_sweep("tiny", &g, &[1, 2, 4], &SearchLimits::patterns(5_000));
+    // The workload list comes from the sweep output itself, so cells of a
+    // newly added workload cannot be skipped silently by a stale local list.
+    let workloads: std::collections::BTreeSet<&str> =
+        cells.iter().map(|c| c.workload.as_str()).collect();
+    let strategies = sisa::core::PartitionStrategy::ALL.len();
+    assert!(workloads.len() >= 2, "tc and kcc-4 at minimum");
+    assert_eq!(cells.len(), workloads.len() * strategies * 3);
+
+    for workload in workloads {
+        let of_workload: Vec<&MultiCubeCell> =
+            cells.iter().filter(|c| c.workload == workload).collect();
+        // Every cell of a workload mines the same answer.
+        assert!(
+            of_workload.windows(2).all(|w| w[0].result == w[1].result),
+            "{workload}: sharded runs disagree"
+        );
+        // One shard: no cross-shard traffic, perfect balance.
+        for cell in of_workload.iter().filter(|c| c.shards == 1) {
+            assert_eq!(cell.cross_shard_ops, 0, "{workload}/{}", cell.strategy);
+            assert_eq!(cell.cross_shard_bytes, 0);
+            assert_eq!(cell.link_cycles, 0);
+            assert!((cell.imbalance - 1.0).abs() < 1e-9);
+        }
+        // Multi-shard runs move operands over the links.
+        assert!(of_workload
+            .iter()
+            .filter(|c| c.shards > 1)
+            .all(|c| c.cross_shard_ops > 0 && c.link_cycles > 0));
+        // The figure's point: traffic and imbalance vary by strategy.
+        let traffic_at_4: std::collections::BTreeSet<u64> = of_workload
+            .iter()
+            .filter(|c| c.shards == 4)
+            .map(|c| c.cross_shard_bytes)
+            .collect();
+        assert!(
+            traffic_at_4.len() > 1,
+            "{workload}: all strategies induced identical cross-shard traffic"
+        );
+    }
+
+    // The JSON the binary writes parses back into the same cells.
+    let json = serde_json::to_string_pretty(&cells).expect("cells serialize");
+    let back: Vec<MultiCubeCell> = serde_json::from_str(&json).expect("multi_cube.json parses");
+    assert_eq!(back, cells);
 }
 
 #[test]

@@ -1,0 +1,145 @@
+//! Cross-PR regression fixture for the trace pipeline: a captured set-centric
+//! triangle-count run is checked in as `tests/fixtures/triangle_count_trace.json`
+//! and replayed through the `Interpreter` on every run.
+//!
+//! The fixture pins the *functional* shape of the issue stage — the exact
+//! instruction words materialised (register binding included) and the exact
+//! semantic payload stream — without pinning any cost-model cycle counts, so
+//! cost refinements in later PRs do not invalidate it but issue-stage
+//! regressions do. If an intentional issue-stage change lands, regenerate
+//! with:
+//!
+//! ```sh
+//! UPDATE_FIXTURES=1 cargo test --test trace_fixture
+//! ```
+
+use serde::{Deserialize, Serialize};
+use sisa::algorithms::setcentric::{orient_by_degeneracy, triangle_count};
+use sisa::algorithms::SearchLimits;
+use sisa::core::{
+    FunctionalEngine, Interpreter, SetEngine, SetGraphConfig, SisaConfig, SisaRuntime, TraceSink,
+};
+use sisa::graph::generators;
+use std::path::PathBuf;
+
+/// The checked-in artefact: the captured trace plus the quantities a replay
+/// must reproduce.
+#[derive(Debug, Serialize, Deserialize)]
+struct TraceFixture {
+    description: String,
+    graph: String,
+    expected_triangles: u64,
+    expected_instructions: u64,
+    expected_live_sets: u64,
+    trace: TraceSink,
+}
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/triangle_count_trace.json")
+}
+
+/// The deterministic workload the fixture captures (seeded generator, default
+/// configuration, traced from the runtime's first instruction).
+fn capture() -> TraceFixture {
+    let g = generators::erdos_renyi(48, 0.12, 11);
+    let mut rt = SisaRuntime::new(SisaConfig::default());
+    rt.enable_default_trace();
+    let (oriented, _) = orient_by_degeneracy(&mut rt, &g, &SetGraphConfig::default());
+    rt.reset_stats();
+    let run = triangle_count(&mut rt, &oriented, &SearchLimits::unlimited());
+    let trace = rt.take_trace().expect("trace attached");
+    assert!(trace.is_complete(), "fixture workload must fit the sink");
+    TraceFixture {
+        description: "set-centric triangle count on a degeneracy-oriented Erdős–Rényi graph"
+            .to_string(),
+        graph: "erdos_renyi(48, 0.12, seed 11)".to_string(),
+        expected_triangles: run.result,
+        expected_instructions: rt.stats().total_instructions(),
+        expected_live_sets: rt.live_sets() as u64,
+        trace,
+    }
+}
+
+fn load_fixture() -> TraceFixture {
+    let path = fixture_path();
+    if std::env::var_os("UPDATE_FIXTURES").is_some() {
+        let fresh = capture();
+        let json = serde_json::to_string_pretty(&fresh).expect("fixture serializes");
+        std::fs::create_dir_all(path.parent().unwrap()).expect("fixtures dir");
+        std::fs::write(&path, json).expect("fixture written");
+    }
+    let json = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run with UPDATE_FIXTURES=1",
+            path.display()
+        )
+    });
+    serde_json::from_str(&json).expect("fixture parses")
+}
+
+#[test]
+fn fixture_matches_a_fresh_capture() {
+    // The issue stage is deterministic: re-tracing the same workload must
+    // reproduce the checked-in instruction words and payload stream exactly.
+    // A mismatch means the issue stage changed behaviour — if intentional,
+    // regenerate the fixture (see module docs).
+    let stored = load_fixture();
+    let fresh = capture();
+    assert_eq!(stored.expected_triangles, fresh.expected_triangles);
+    assert_eq!(stored.expected_instructions, fresh.expected_instructions);
+    assert_eq!(stored.expected_live_sets, fresh.expected_live_sets);
+    assert_eq!(stored.trace.events(), fresh.trace.events());
+}
+
+#[test]
+fn fixture_replays_through_the_interpreter() {
+    let fixture = load_fixture();
+
+    // Replay into a fresh SISA runtime. The trace contains the graph load,
+    // a statistics reset and the measured run, so the replayed engine's
+    // post-reset instruction count must land exactly on the capture-time
+    // record, while the replay report covers the whole event stream.
+    let mut replayed = SisaRuntime::new(SisaConfig::default());
+    let report = Interpreter::replay(&fixture.trace, &mut replayed);
+    assert!(report.complete);
+    assert_eq!(report.instructions, fixture.trace.program().len());
+    assert_eq!(
+        replayed.stats().total_instructions(),
+        fixture.expected_instructions
+    );
+    assert_eq!(replayed.live_sets() as u64, fixture.expected_live_sets);
+
+    // Replays are deterministic: a second replay prices identically,
+    // cycle for cycle.
+    let mut again = SisaRuntime::new(SisaConfig::default());
+    Interpreter::replay(&fixture.trace, &mut again);
+    assert_eq!(again.stats(), replayed.stats());
+
+    // The cost-free functional backend executes the same stream and agrees on
+    // the surviving sets.
+    let mut functional = FunctionalEngine::new();
+    let functional_report = Interpreter::replay(&fixture.trace, &mut functional);
+    assert_eq!(functional_report.events, report.events);
+    assert_eq!(functional.live_sets(), replayed.live_sets());
+    assert_eq!(functional.stats().total_cycles(), 0);
+
+    // The captured program is a genuine triangle-count instruction stream.
+    let mix = fixture.trace.program().mnemonic_histogram();
+    assert!(mix["sisa.new"] as u64 >= 48, "one create per neighbourhood");
+    assert!(
+        mix["sisa.intc"] > 0,
+        "triangle counting issues counting intersections"
+    );
+}
+
+#[test]
+fn fixture_records_the_true_triangle_count() {
+    // The stored triangle count is a real property of the (deterministic)
+    // input graph, independent of the trace machinery.
+    let fixture = load_fixture();
+    let g = generators::erdos_renyi(48, 0.12, 11);
+    assert_eq!(
+        sisa::graph::properties::triangle_count(&g),
+        fixture.expected_triangles
+    );
+}
