@@ -17,6 +17,7 @@ fn main() {
         "scalability",
         "paradigms",
         "multi_cube",
+        "pipeline_overlap",
     ];
     for bin in bins {
         println!("\n================ {bin} ================");

@@ -341,8 +341,11 @@ pub fn run_auxiliary_formulations(g: &CsrGraph) -> (usize, usize) {
 
 /// The per-opcode dynamic instruction mix of a traced run, extracted from the
 /// captured [`sisa_isa::SisaProgram`] (emitted as `results/instruction_mix.json`
-/// by `run_all`).
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// by `run_all`). The run executes on a pipelined issue queue, so alongside
+/// the dynamic counts the mix reports where the schedule's dependence stalls
+/// land — the data the instruction-mix-driven optimisation work needs to pick
+/// which opcode's cost model or scheduling to refine next.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct InstructionMix {
     /// The traced workloads.
     pub workload: String,
@@ -352,8 +355,22 @@ pub struct InstructionMix {
     pub total_instructions: u64,
     /// Whether the bounded trace captured the whole run.
     pub trace_complete: bool,
+    /// Issue-queue depth the run executed with.
+    pub issue_depth: usize,
+    /// Virtual vault lane count the run executed with.
+    pub issue_lanes: usize,
+    /// Serial work total of the run, in cycles.
+    pub serial_cycles: u64,
+    /// Completion time of the overlapped schedule, in cycles.
+    pub makespan_cycles: u64,
+    /// Total cycles instructions stalled on operand hazards (RAW/WAW/WAR on
+    /// set IDs).
+    pub dep_stall_cycles: u64,
     /// Dynamic count per assembly mnemonic.
     pub mix: std::collections::BTreeMap<String, u64>,
+    /// Dependence-stall cycles per assembly mnemonic (the instruction that
+    /// stalled). Mnemonics that never stalled are omitted.
+    pub dep_stalls: std::collections::BTreeMap<String, u64>,
 }
 
 impl InstructionMix {
@@ -364,11 +381,19 @@ impl InstructionMix {
     }
 }
 
-/// Traces a triangle-count + BFS run on `g` through the SISA runtime and
-/// summarises the captured program's per-opcode instruction mix.
+/// The issue-queue depth `capture_instruction_mix` runs with: deep enough
+/// that independent instructions genuinely overlap and the per-opcode stall
+/// report is non-trivial (a depth-1 run never exposes a hazard).
+pub const INSTRUCTION_MIX_ISSUE_DEPTH: usize = 16;
+
+/// Traces a triangle-count + BFS run on `g` through the SISA runtime (on a
+/// pipelined issue queue, so hazards surface) and summarises the captured
+/// program's per-opcode instruction mix plus where the schedule's dependence
+/// stalls landed.
 #[must_use]
 pub fn capture_instruction_mix(name: &str, g: &CsrGraph) -> InstructionMix {
-    let mut rt = SisaRuntime::new(SisaConfig::default());
+    let config = SisaConfig::pipelined(INSTRUCTION_MIX_ISSUE_DEPTH);
+    let mut rt = SisaRuntime::new(config);
     rt.enable_default_trace();
     let (oriented, _) = setcentric::orient_by_degeneracy(&mut rt, g, &SetGraphConfig::default());
     let _ = setcentric::triangle_count(&mut rt, &oriented, &SearchLimits::patterns(50_000));
@@ -376,17 +401,127 @@ pub fn capture_instruction_mix(name: &str, g: &CsrGraph) -> InstructionMix {
     let _ = setcentric::bfs(&mut rt, &sg, 0, setcentric::BfsMode::DirectionOptimizing);
     let trace = rt.take_trace().expect("trace was enabled");
     let program = trace.program();
+    let stats = rt.stats();
     InstructionMix {
         workload: "tc+bfs".into(),
         graph: name.into(),
         total_instructions: program.len() as u64,
         trace_complete: trace.is_complete(),
+        issue_depth: config.issue_depth,
+        issue_lanes: config.resolved_issue_lanes(),
+        serial_cycles: stats.total_cycles(),
+        makespan_cycles: stats.makespan_cycles,
+        dep_stall_cycles: stats.dep_stall_cycles,
         mix: program
             .mnemonic_histogram()
             .into_iter()
             .map(|(mnemonic, count)| (mnemonic.to_string(), count as u64))
             .collect(),
+        dep_stalls: stats.dep_stall_by_opcode.iter().fold(
+            std::collections::BTreeMap::new(),
+            |mut acc, (&opcode, &cycles)| {
+                *acc.entry(opcode.mnemonic().to_string()).or_insert(0) += cycles;
+                acc
+            },
+        ),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline overlap sweep (the `pipeline_overlap` figure)
+// ---------------------------------------------------------------------------
+
+/// One measured cell of the pipeline-overlap sweep: a workload executed on a
+/// [`SisaRuntime`] whose scoreboarded issue queue runs at a given depth and
+/// virtual-lane count (emitted as `results/pipeline_overlap.json` by the
+/// `pipeline_overlap` binary).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PipelineOverlapCell {
+    /// The workload label (`tc`, `kcc-4`).
+    pub workload: String,
+    /// The input graph's registered name.
+    pub graph: String,
+    /// Issue-queue depth (1 = the serial cost model).
+    pub depth: usize,
+    /// Number of virtual vault lanes.
+    pub lanes: usize,
+    /// The algorithm's numeric result (must agree across all cells of a
+    /// workload — scheduling never changes answers).
+    pub result: u64,
+    /// Serial work total in cycles; identical across all cells of a workload
+    /// (the issue queue prices time, not work).
+    pub work_cycles: u64,
+    /// Completion time of the overlapped schedule.
+    pub makespan_cycles: u64,
+    /// Cycles instructions stalled on operand hazards.
+    pub dep_stall_cycles: u64,
+    /// `work_cycles / makespan_cycles` — the overlap speedup.
+    pub overlap_speedup: f64,
+}
+
+/// The workloads the pipeline-overlap sweep measures.
+const PIPELINE_OVERLAP_WORKLOADS: [Problem; 2] = [Problem::Tc, Problem::Kcc(4)];
+
+/// Runs the pipeline-overlap sweep on one graph: every workload × issue-queue
+/// depth × lane count on a flat [`SisaRuntime`]. Graph loading is excluded
+/// from the measured cycles (statistics — and the overlap timeline — are
+/// reset after the load, matching the flat harnesses).
+#[must_use]
+pub fn pipeline_overlap_sweep(
+    name: &str,
+    g: &CsrGraph,
+    depths: &[usize],
+    lane_counts: &[usize],
+    limits: &SearchLimits,
+) -> Vec<PipelineOverlapCell> {
+    let mut cells = Vec::new();
+    for problem in PIPELINE_OVERLAP_WORKLOADS {
+        for &depth in depths {
+            // A 1-deep queue is provably serial regardless of lane count
+            // (pinned by the engine property tests), so the depth-1 row is
+            // measured once and replicated across lane counts.
+            let mut depth_one: Option<PipelineOverlapCell> = None;
+            for &lanes in lane_counts {
+                if depth == 1 {
+                    if let Some(template) = &depth_one {
+                        cells.push(PipelineOverlapCell {
+                            lanes,
+                            ..template.clone()
+                        });
+                        continue;
+                    }
+                }
+                let mut rt = SisaRuntime::new(SisaConfig::with_pipeline(depth, lanes));
+                let (oriented, _) =
+                    setcentric::orient_by_degeneracy(&mut rt, g, &SetGraphConfig::default());
+                rt.reset_stats();
+                let result = match problem {
+                    Problem::Tc => setcentric::triangle_count(&mut rt, &oriented, limits).result,
+                    Problem::Kcc(k) => {
+                        setcentric::k_clique_count(&mut rt, &oriented, k, limits).result
+                    }
+                    _ => unreachable!("pipeline-overlap sweep covers tc and kcc only"),
+                };
+                let stats = rt.stats();
+                let cell = PipelineOverlapCell {
+                    workload: problem.label(),
+                    graph: name.to_string(),
+                    depth,
+                    lanes,
+                    result,
+                    work_cycles: stats.total_cycles(),
+                    makespan_cycles: stats.makespan_cycles,
+                    dep_stall_cycles: stats.dep_stall_cycles,
+                    overlap_speedup: stats.overlap_speedup(),
+                };
+                if depth == 1 {
+                    depth_one = Some(cell.clone());
+                }
+                cells.push(cell);
+            }
+        }
+    }
+    cells
 }
 
 // ---------------------------------------------------------------------------

@@ -80,6 +80,19 @@ pub struct SisaConfig {
     /// Whether to record the sizes of every pair of sets processed (used by
     /// the Figure 9b set-size histograms). Off by default to save memory.
     pub track_set_sizes: bool,
+    /// Depth of the scoreboarded issue queue: how many SISA instructions may
+    /// be in flight at once. Depth 1 (the default) is fully serial execution
+    /// — every instruction waits for its predecessor to retire, reproducing
+    /// the classic sequential cost model cycle-for-cycle. Larger depths let
+    /// instructions with disjoint operand sets overlap across the virtual
+    /// vault lanes; dependent instructions stall (RAW/WAW/WAR on set IDs)
+    /// and the stall lands in [`crate::ExecStats::dep_stall_cycles`].
+    pub issue_depth: usize,
+    /// Number of virtual vault lanes the issue queue dispatches onto. 0 (the
+    /// default) derives the count from the PNM cube/vault geometry via
+    /// [`sisa_pim::PnmConfig::issue_lanes`]; any other value overrides it
+    /// (used by the `pipeline_overlap` lane sweep).
+    pub issue_lanes: usize,
 }
 
 impl Default for SisaConfig {
@@ -89,6 +102,8 @@ impl Default for SisaConfig {
             variant_selection: VariantSelection::PerformanceModel,
             host_op_cost: 0.5,
             track_set_sizes: false,
+            issue_depth: 1,
+            issue_lanes: 0,
         }
     }
 }
@@ -110,6 +125,38 @@ impl SisaConfig {
         let mut cfg = Self::default();
         cfg.platform.smb_enabled = false;
         cfg
+    }
+
+    /// The default configuration with a pipelined issue queue of the given
+    /// depth (lane count derived from the PNM cube/vault geometry).
+    #[must_use]
+    pub fn pipelined(issue_depth: usize) -> Self {
+        Self {
+            issue_depth,
+            ..Self::default()
+        }
+    }
+
+    /// The default configuration with an explicit issue-queue depth and lane
+    /// count (the `pipeline_overlap` sweep's knobs).
+    #[must_use]
+    pub fn with_pipeline(issue_depth: usize, issue_lanes: usize) -> Self {
+        Self {
+            issue_depth,
+            issue_lanes,
+            ..Self::default()
+        }
+    }
+
+    /// The lane count the issue queue actually runs with: the explicit
+    /// override if set, otherwise derived from the PNM geometry.
+    #[must_use]
+    pub fn resolved_issue_lanes(&self) -> usize {
+        if self.issue_lanes == 0 {
+            self.platform.pnm.issue_lanes()
+        } else {
+            self.issue_lanes
+        }
     }
 }
 
@@ -140,5 +187,19 @@ mod tests {
     fn smb_can_be_disabled() {
         assert!(!SisaConfig::without_smb().platform.smb_enabled);
         assert!(SisaConfig::with_set_size_tracking().track_set_sizes);
+    }
+
+    #[test]
+    fn pipeline_defaults_are_serial_with_derived_lanes() {
+        let cfg = SisaConfig::default();
+        assert_eq!(cfg.issue_depth, 1, "serial issue by default");
+        assert_eq!(cfg.issue_lanes, 0, "lane count derived from the platform");
+        assert_eq!(cfg.resolved_issue_lanes(), cfg.platform.pnm.issue_lanes());
+        let deep = SisaConfig::pipelined(16);
+        assert_eq!(deep.issue_depth, 16);
+        assert_eq!(deep.resolved_issue_lanes(), deep.platform.pnm.issue_lanes());
+        let explicit = SisaConfig::with_pipeline(8, 4);
+        assert_eq!(explicit.issue_depth, 8);
+        assert_eq!(explicit.resolved_issue_lanes(), 4);
     }
 }

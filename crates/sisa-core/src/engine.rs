@@ -144,6 +144,20 @@ pub trait SetEngine {
     /// comparisons done outside set operations).
     fn host_ops(&mut self, n: u64);
 
+    /// Absorbs externally priced lane work — cycles a composite wrapper has
+    /// already accounted for elsewhere (e.g. a [`crate::ShardedEngine`]
+    /// cross-shard link transfer, billed to the aggregate's link counters) —
+    /// into this engine's overlap timeline, so the wait occupies a virtual
+    /// vault lane and can overlap with independent instructions instead of
+    /// serialising the whole machine. `writes` names the local sets the work
+    /// produces (e.g. the staged replica a link transfer delivers): hazard
+    /// tracking then keeps consumers of those sets behind the absorbed work.
+    /// Engines without an overlap model (the default) ignore it; no work
+    /// counters are charged.
+    fn absorb_lane_work(&mut self, cycles: u64, writes: &[SetId]) {
+        let _ = (cycles, writes);
+    }
+
     /// Marks the beginning of a parallel task; [`SetEngine::task_end`] returns
     /// the cost accumulated since this call.
     fn task_begin(&mut self);

@@ -8,6 +8,13 @@
 //! on the set metadata, which the replayed operations rebuild identically);
 //! replaying into a [`crate::HostEngine`] re-prices the same instruction
 //! stream on the baseline CPU model instead.
+//!
+//! Replay routes through the same scoreboarded issue queue as live execution,
+//! so a captured trace can also be *re-scheduled*: replaying into a runtime
+//! configured with a deeper queue or more virtual lanes
+//! ([`crate::SisaConfig::with_pipeline`]) conserves every work counter while
+//! the overlapped makespan shrinks — the property `tests/pipeline_replay.rs`
+//! pins on the checked-in triangle-count fixture.
 
 use crate::engine::SetEngine;
 use crate::scu::BinarySetOp;

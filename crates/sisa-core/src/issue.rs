@@ -9,7 +9,10 @@
 //! reserved registers for scalar results and vertex operands. Every operation
 //! [`crate::SisaRuntime`] executes is first materialised as a genuine
 //! [`SisaInstruction`] through this table (the *issue* stage) before the SCU
-//! dispatches it onto the PIM cost models (the *dispatch* stage).
+//! dispatches it onto the PIM cost models (the *dispatch* stage) and the
+//! costed result is enqueued into the scoreboarded
+//! [`crate::pipeline::IssueQueue`], which decides where the instruction lands
+//! on the overlapped vault-lane timeline.
 
 use sisa_isa::{Register, SetId, SisaInstruction, SisaOpcode};
 

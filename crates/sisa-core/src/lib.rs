@@ -21,8 +21,13 @@
 //!   [`issue::RegisterFile`] binding table, optionally captured by a bounded
 //!   [`TraceSink`] — then *dispatched* by the [`scu::Scu`], which consults the
 //!   Set-Metadata table (through the SMB cache), chooses SISA-PUM or SISA-PNM
-//!   and merge vs. galloping using the §8.3 performance models, and charges
-//!   the corresponding cycles. A captured trace is a real
+//!   and merge vs. galloping using the §8.3 performance models, and returns a
+//!   costed outcome that is absorbed into the work counters and enqueued into
+//!   the scoreboarded [`IssueQueue`] (§8.4 "Harnessing Parallelism"):
+//!   instructions with disjoint operand sets overlap across virtual vault
+//!   lanes, dependent ones stall on the set-ID [`Scoreboard`], and
+//!   [`ExecStats`] reports the overlapped makespan and dependence-stall
+//!   cycles next to the serial work totals. A captured trace is a real
 //!   [`sisa_isa::SisaProgram`] and can be replayed against any backend by the
 //!   [`Interpreter`].
 //! * **The set organisation** (§6.1): [`SetGraph`] loads a CSR graph into
@@ -45,7 +50,9 @@ pub mod interpreter;
 pub mod issue;
 pub mod metadata;
 pub mod parallel;
+pub mod pipeline;
 pub mod runtime;
+pub mod scoreboard;
 pub mod scu;
 pub mod set_graph;
 pub mod shard;
@@ -62,7 +69,9 @@ pub use interpreter::{Interpreter, ReplayReport};
 pub use issue::RegisterFile;
 pub use metadata::{SetMetadata, SetMetadataTable, SmbCache};
 pub use parallel::{schedule, schedule_cpu, RunReport, TaskRecord, ThreadReport};
+pub use pipeline::{IssueOutcome, IssueQueue, LaneKind};
 pub use runtime::SisaRuntime;
+pub use scoreboard::Scoreboard;
 pub use scu::{ExecutionChoice, ExecutionTarget, Scu};
 pub use set_graph::SetGraph;
 pub use shard::PartitionStrategy;

@@ -11,8 +11,16 @@
 //!    be replayed by [`crate::Interpreter`].
 //! 2. **Dispatch** — the SCU consults the set metadata (through the SMB),
 //!    chooses SISA-PUM or SISA-PNM and merge vs. galloping (§8.2–§8.3), and
-//!    charges the corresponding cycles; the operation is then functionally
-//!    executed on the real set data so algorithms produce validated answers.
+//!    returns a costed [`DispatchOutcome`]; the runtime absorbs the outcome's
+//!    cycles/energy into the per-unit work counters and **enqueues** the
+//!    instruction's latency, operand reads and result writes into the
+//!    scoreboarded [`IssueQueue`], which computes where it lands on the
+//!    overlapped timeline ([`ExecStats::makespan_cycles`], with operand
+//!    hazards attributed to [`ExecStats::dep_stall_cycles`]). The operation
+//!    is then functionally executed on the real set data so algorithms
+//!    produce validated answers. At issue depth 1 (the default) the queue is
+//!    fully serial and the makespan equals the serial work total
+//!    cycle-for-cycle.
 //!
 //! Invalid set identifiers are programming errors and panic, mirroring how a
 //! real SISA program would fault on a dangling set ID.
@@ -22,6 +30,7 @@ use crate::engine::SetEngine;
 use crate::issue::RegisterFile;
 use crate::metadata::SetMetadataTable;
 use crate::parallel::TaskRecord;
+use crate::pipeline::{IssueQueue, LaneKind};
 use crate::scu::{BinarySetOp, DispatchOutcome, ExecutionTarget, Scu};
 use crate::stats::ExecStats;
 use crate::trace::{TraceOp, TraceSink};
@@ -43,6 +52,7 @@ pub struct SisaRuntime {
     task_mark: u64,
     regs: RegisterFile,
     trace: Option<TraceSink>,
+    pipeline: IssueQueue,
 }
 
 impl SisaRuntime {
@@ -63,6 +73,7 @@ impl SisaRuntime {
             task_mark: 0,
             regs: RegisterFile::new(),
             trace: None,
+            pipeline: IssueQueue::new(config.issue_depth, config.resolved_issue_lanes()),
         }
     }
 
@@ -88,6 +99,12 @@ impl SisaRuntime {
     #[must_use]
     pub fn registers(&self) -> &RegisterFile {
         &self.regs
+    }
+
+    /// The scoreboarded issue queue pricing instruction overlap.
+    #[must_use]
+    pub fn pipeline(&self) -> &IssueQueue {
+        &self.pipeline
     }
 
     // -----------------------------------------------------------------------
@@ -137,19 +154,44 @@ impl SisaRuntime {
     }
 
     /// Charges host scalar operations without recording a trace event (used
-    /// where the charge is a sub-step of an already-traced operation).
+    /// where the charge is a sub-step of an already-traced operation). The
+    /// whole cycles charged are enqueued as serial work on the issue queue's
+    /// host resource: host work overlaps vault work but never itself.
     fn charge_host_ops(&mut self, n: u64) {
         self.host_ops_pending += n as f64 * self.config.host_op_cost;
         let whole = self.host_ops_pending.floor();
         if whole >= 1.0 {
             self.stats.host_cycles += whole as u64;
             self.host_ops_pending -= whole;
+            self.timeline(None, LaneKind::Host, whole as u64, &[], &[]);
         }
     }
 
     // -----------------------------------------------------------------------
     // Dispatch stage internals
     // -----------------------------------------------------------------------
+
+    /// Enqueues one timed work item into the scoreboarded issue queue and
+    /// folds the schedule it lands on into the statistics: the overlapped
+    /// makespan, and any operand-hazard stall (attributed to `opcode` when
+    /// the item is a SISA instruction).
+    fn timeline(
+        &mut self,
+        opcode: Option<SisaOpcode>,
+        kind: LaneKind,
+        cycles: u64,
+        reads: &[SetId],
+        writes: &[SetId],
+    ) {
+        let landed = self.pipeline.issue(kind, cycles, reads, writes);
+        self.stats.makespan_cycles = self.pipeline.makespan_cycles();
+        if landed.dep_stall > 0 {
+            self.stats.dep_stall_cycles += landed.dep_stall;
+            if let Some(op) = opcode {
+                *self.stats.dep_stall_by_opcode.entry(op).or_insert(0) += landed.dep_stall;
+            }
+        }
+    }
 
     fn binary_dispatch(
         &mut self,
@@ -169,9 +211,8 @@ impl SisaRuntime {
         outcome
     }
 
-    fn binary_repr(&mut self, a: SetId, b: SetId, op: BinarySetOp) -> SetRepr {
-        self.binary_dispatch(a, b, op, false);
-        let (ra, rb) = (self.repr(a), self.repr(b));
+    /// Functionally applies a binary operation to two representations.
+    fn combine(ra: &SetRepr, rb: &SetRepr, op: BinarySetOp) -> SetRepr {
         match op {
             BinarySetOp::Intersection => ra.intersect(rb),
             BinarySetOp::Union => ra.union(rb),
@@ -208,6 +249,14 @@ impl SisaRuntime {
         self.issued(instr, trace_op);
         let outcome = self.scu.dispatch_element(id, &meta);
         self.apply_outcome(&outcome, None);
+        // An element update reads and rewrites its set.
+        self.timeline(
+            Some(opcode),
+            LaneKind::Vault,
+            outcome.latency(),
+            &[id],
+            &[id],
+        );
         self.expect_slot(id);
         let repr = self.sets[id.0 as usize]
             .as_mut()
@@ -234,12 +283,20 @@ impl SisaRuntime {
     }
 
     fn binary_materialising(&mut self, a: SetId, b: SetId, op: BinarySetOp) -> SetId {
-        let result = self.binary_repr(a, b, op);
+        let outcome = self.binary_dispatch(a, b, op, false);
+        let result = Self::combine(self.repr(a), self.repr(b), op);
         let id = self.register_set(result);
         let instr = self
             .regs
             .issue_binary(Self::opcode_of(op, false), a, b, Some(id));
         self.issued(instr, TraceOp::Binary { op, a, b, dst: id });
+        self.timeline(
+            Some(instr.opcode),
+            LaneKind::Vault,
+            outcome.latency(),
+            &[a, b],
+            &[id],
+        );
         id
     }
 
@@ -252,7 +309,14 @@ impl SisaRuntime {
             .regs
             .issue_binary(Self::opcode_of(op, true), a, b, None);
         self.issued(instr, TraceOp::BinaryCount { op, a, b });
-        self.binary_dispatch(a, b, op, true);
+        let outcome = self.binary_dispatch(a, b, op, true);
+        self.timeline(
+            Some(instr.opcode),
+            LaneKind::Vault,
+            outcome.latency(),
+            &[a, b],
+            &[],
+        );
         let (ra, rb) = (self.repr(a), self.repr(b));
         match op {
             BinarySetOp::Intersection => ra.intersect_count(rb),
@@ -269,13 +333,25 @@ impl SisaRuntime {
             .regs
             .issue_binary(Self::opcode_of(op, false), a, b, Some(a));
         self.issued(instr, TraceOp::BinaryAssign { op, a, b });
-        let result = self.binary_repr(a, b, op);
+        let outcome = self.binary_dispatch(a, b, op, false);
+        let result = Self::combine(self.repr(a), self.repr(b), op);
+        self.timeline(
+            Some(instr.opcode),
+            LaneKind::Vault,
+            outcome.latency(),
+            &[a, b],
+            &[a],
+        );
         self.replace(a, result);
     }
 
-    fn dispatch_metadata(&mut self, ids: &[SetId]) {
+    /// Dispatches a metadata-only SCU operation, absorbing its cost into the
+    /// work counters and returning its latency for the caller's issue-queue
+    /// entry.
+    fn dispatch_metadata(&mut self, ids: &[SetId]) -> u64 {
         let outcome = self.scu.dispatch_metadata(ids);
         self.apply_outcome(&outcome, None);
+        outcome.latency()
     }
 
     fn allocate_id(&mut self) -> SetId {
@@ -348,6 +424,8 @@ impl SetEngine for SisaRuntime {
         self.stats = ExecStats::default();
         self.host_ops_pending = 0.0;
         self.task_mark = 0;
+        // The load/measure boundary restarts the overlap timeline too.
+        self.pipeline.reset();
         self.host_event(TraceOp::ResetStats);
     }
 
@@ -374,7 +452,14 @@ impl SetEngine for SisaRuntime {
         }
         // The create instruction's own metadata lookup precedes the SMB prime:
         // the SCU only writes the SMB entry once the set exists.
-        self.dispatch_metadata(&[id]);
+        let latency = self.dispatch_metadata(&[id]);
+        self.timeline(
+            Some(SisaOpcode::CreateSet),
+            LaneKind::Vault,
+            latency,
+            &[],
+            &[id],
+        );
         self.scu.prime(id);
         self.sets[id.0 as usize] = Some(repr);
         id
@@ -403,9 +488,17 @@ impl SetEngine for SisaRuntime {
                 dst: new_id,
             },
         );
-        self.dispatch_metadata(&[id, new_id]);
+        let latency = self.dispatch_metadata(&[id, new_id]) + cost;
         self.scu.prime(new_id);
         self.stats.pnm_cycles += cost;
+        // The physical copy reads the source and produces the clone.
+        self.timeline(
+            Some(SisaOpcode::CloneSet),
+            LaneKind::Vault,
+            latency,
+            &[id],
+            &[new_id],
+        );
         self.sets[new_id.0 as usize] = Some(repr);
         new_id
     }
@@ -418,7 +511,17 @@ impl SetEngine for SisaRuntime {
             .regs
             .issue_lifecycle(SisaOpcode::DeleteSet, Some(id), None);
         self.issued(instr, TraceOp::Delete { id });
-        self.dispatch_metadata(&[id]);
+        let latency = self.dispatch_metadata(&[id]);
+        // Deletion writes the set's slot: WAR/WAW hazards keep it behind
+        // every in-flight use of the set, and a later create recycling the
+        // ID stays behind the delete.
+        self.timeline(
+            Some(SisaOpcode::DeleteSet),
+            LaneKind::Vault,
+            latency,
+            &[],
+            &[id],
+        );
         crate::slots::release(&mut self.sets, &mut self.free_ids, id);
         self.metadata.remove(id);
         self.scu.invalidate(id);
@@ -435,7 +538,14 @@ impl SetEngine for SisaRuntime {
             .regs
             .issue_lifecycle(SisaOpcode::Cardinality, Some(id), None);
         self.issued(instr, TraceOp::Cardinality { id });
-        self.dispatch_metadata(&[id]);
+        let latency = self.dispatch_metadata(&[id]);
+        self.timeline(
+            Some(SisaOpcode::Cardinality),
+            LaneKind::Vault,
+            latency,
+            &[id],
+            &[],
+        );
         self.repr(id).len()
     }
 
@@ -445,6 +555,13 @@ impl SetEngine for SisaRuntime {
         self.issued(instr, TraceOp::Membership { id, v });
         let outcome = self.scu.dispatch_element(id, &meta);
         self.apply_outcome(&outcome, None);
+        self.timeline(
+            Some(SisaOpcode::Membership),
+            LaneKind::Vault,
+            outcome.latency(),
+            &[id],
+            &[],
+        );
         self.repr(id).contains(v)
     }
 
@@ -457,7 +574,12 @@ impl SetEngine for SisaRuntime {
             RepresentationKind::DenseBitvector => self.universe_of(self.repr(id)).div_ceil(32),
             _ => members.len(),
         };
-        self.stats.pnm_cycles += self.scu.pnm_model().streaming_cost(stream_elems, 0);
+        let stream_cost = self.scu.pnm_model().streaming_cost(stream_elems, 0);
+        self.stats.pnm_cycles += stream_cost;
+        // The read-out streams the set through a vault lane (a read hazard on
+        // the set); the per-element host hand-off below lands on the host
+        // resource via `charge_host_ops`.
+        self.timeline(None, LaneKind::Vault, stream_cost, &[id], &[]);
         self.host_event(TraceOp::Members { id });
         // Charged without a separate trace event: replaying `Members` already
         // re-executes this per-element host iteration.
@@ -531,6 +653,16 @@ impl SetEngine for SisaRuntime {
     fn host_ops(&mut self, n: u64) {
         self.host_event(TraceOp::HostOps { n });
         self.charge_host_ops(n);
+    }
+
+    fn absorb_lane_work(&mut self, cycles: u64, writes: &[SetId]) {
+        // Externally billed cycles (cross-shard link transfers) occupy a
+        // vault lane on the overlap timeline but charge no work counters
+        // here — the composite wrapper owns those. The write set keeps
+        // consumers of whatever the work delivers behind it.
+        if cycles > 0 {
+            self.timeline(None, LaneKind::Vault, cycles, &[], writes);
+        }
     }
 
     fn task_begin(&mut self) {
@@ -748,6 +880,112 @@ mod tests {
         assert_eq!(rt.stats().host_cycles, 0);
         rt.host_ops(1); // reaches 1.0
         assert_eq!(rt.stats().host_cycles, 1);
+    }
+
+    #[test]
+    fn depth_one_makespan_equals_the_serial_work_total() {
+        // The default configuration issues serially (depth 1): every charged
+        // cycle lands end-to-end on the timeline, so the overlapped makespan
+        // degenerates to the serial total and no dependence stall is exposed.
+        let mut rt = runtime();
+        let a = rt.create_dense((0..100).collect::<Vec<_>>());
+        let b = rt.create_dense((50..150).collect::<Vec<_>>());
+        let c = rt.intersect(a, b);
+        let _ = rt.intersect_count(c, a);
+        let _ = rt.members(a);
+        rt.insert(c, 200);
+        rt.host_ops(11);
+        rt.delete(c);
+        let stats = rt.stats();
+        assert!(stats.total_cycles() > 0);
+        assert_eq!(stats.makespan_cycles, stats.total_cycles());
+        assert_eq!(stats.dep_stall_cycles, 0);
+        assert!(stats.dep_stall_by_opcode.is_empty());
+        assert!((stats.overlap_speedup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deeper_queues_overlap_independent_instructions() {
+        // Counting intersections over pairwise-disjoint operand sets carry no
+        // hazards: with lanes and depth available they overlap, and the work
+        // counters (incl. energy) stay exactly the serial totals.
+        let run = |config: SisaConfig| {
+            let mut rt = SisaRuntime::new(config);
+            rt.set_universe(512);
+            let sets: Vec<SetId> = (0..16u32)
+                .map(|i| rt.create_sorted((i * 32..i * 32 + 30).collect::<Vec<_>>()))
+                .collect();
+            rt.reset_stats();
+            for pair in sets.chunks(2) {
+                let _ = rt.intersect_count(pair[0], pair[1]);
+            }
+            rt
+        };
+        let serial = run(SisaConfig::default());
+        let deep = run(SisaConfig::with_pipeline(16, 8));
+        assert_eq!(
+            serial.stats().total_cycles(),
+            deep.stats().total_cycles(),
+            "work is conserved across issue depths"
+        );
+        assert_eq!(serial.stats().energy_nj, deep.stats().energy_nj);
+        assert_eq!(serial.stats().instructions, deep.stats().instructions);
+        assert!(
+            deep.stats().makespan_cycles < serial.stats().makespan_cycles,
+            "independent instructions must overlap: {} !< {}",
+            deep.stats().makespan_cycles,
+            serial.stats().makespan_cycles
+        );
+        assert!(deep.stats().overlap_speedup() > 1.0);
+    }
+
+    #[test]
+    fn dependent_instructions_stall_with_the_wait_attributed_per_opcode() {
+        let mut rt = SisaRuntime::new(SisaConfig::with_pipeline(16, 8));
+        rt.set_universe(256);
+        let a = rt.create_sorted((0..64).collect::<Vec<_>>());
+        let b = rt.create_sorted((32..96).collect::<Vec<_>>());
+        rt.reset_stats();
+        let c = rt.intersect(a, b); // writes c
+        let _ = rt.intersect_count(c, a); // RAW on c: must wait
+        let stats = rt.stats();
+        assert!(stats.dep_stall_cycles > 0, "the RAW hazard must stall");
+        assert!(
+            stats.dep_stall_by_opcode[&SisaOpcode::IntersectCountAuto] > 0,
+            "the stall is attributed to the stalled instruction's opcode"
+        );
+        assert!(stats.makespan_cycles <= stats.total_cycles());
+    }
+
+    #[test]
+    fn reset_stats_restarts_the_overlap_timeline() {
+        let mut rt = SisaRuntime::new(SisaConfig::pipelined(8));
+        rt.set_universe(128);
+        let a = rt.create_sorted([1, 2, 3]);
+        let b = rt.create_sorted([2, 3, 4]);
+        let _ = rt.intersect_count(a, b);
+        assert!(rt.stats().makespan_cycles > 0);
+        rt.reset_stats();
+        assert_eq!(rt.stats().makespan_cycles, 0);
+        assert_eq!(rt.pipeline().issued(), 0);
+        // Work after the boundary starts a fresh timeline at cycle 0.
+        let _ = rt.intersect_count(a, b);
+        assert!(rt.stats().makespan_cycles <= rt.stats().total_cycles());
+    }
+
+    #[test]
+    fn absorbed_lane_work_occupies_the_timeline_but_charges_no_counters() {
+        let mut rt = runtime();
+        let before = rt.stats().clone();
+        rt.absorb_lane_work(1_000, &[]);
+        let after = rt.stats();
+        assert_eq!(after.total_cycles(), before.total_cycles());
+        assert_eq!(after.total_instructions(), before.total_instructions());
+        assert_eq!(
+            after.makespan_cycles,
+            before.makespan_cycles + 1_000,
+            "at depth 1 the absorbed wait serialises onto the timeline"
+        );
     }
 
     #[test]

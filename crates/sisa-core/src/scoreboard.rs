@@ -1,0 +1,156 @@
+//! The set-ID scoreboard: hazard tracking for the issue queue.
+//!
+//! SISA instructions name *sets*, not registers, so the dependences that
+//! decide whether two instructions may overlap are dependences on set IDs:
+//!
+//! * **RAW** — an instruction reading a set must wait for the last write to
+//!   that set to complete;
+//! * **WAW** — an instruction writing a set must wait for the previous write
+//!   to complete (results must land in program order);
+//! * **WAR** — an instruction writing a set must wait for every earlier
+//!   reader to drain (the write would otherwise clobber an operand that is
+//!   still streaming out of a vault).
+//!
+//! [`Scoreboard`] keeps, per set ID, the completion time of the last write
+//! and the latest completion time over all reads, on the issue queue's
+//! virtual clock. [`Scoreboard::ready_at`] folds the three hazard rules into
+//! the earliest cycle an instruction's operands allow it to start, and
+//! [`Scoreboard::record`] publishes an issued instruction's completion time.
+//!
+//! Set IDs are reused after deletion (the slot allocator is LIFO). The
+//! scoreboard deliberately keeps the dead ID's times: a `sisa.new` that
+//! recycles the ID *writes* it, so the WAW/WAR rules serialise the new set's
+//! creation behind every use of its predecessor — exactly the conservative
+//! behaviour a real SCU tracking physical set slots would exhibit.
+
+use sisa_isa::SetId;
+
+/// Completion times recorded for one set ID.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct SetTimes {
+    /// Cycle at which the last write to the set completes.
+    write_done: u64,
+    /// Latest cycle at which any read of the set completes.
+    reads_done: u64,
+}
+
+/// Tracks RAW/WAW/WAR hazards on operand sets for the issue queue.
+#[derive(Clone, Debug, Default)]
+pub struct Scoreboard {
+    times: Vec<SetTimes>,
+}
+
+impl Scoreboard {
+    /// Creates an empty scoreboard.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn entry(&self, id: SetId) -> SetTimes {
+        self.times
+            .get(id.raw() as usize)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    fn entry_mut(&mut self, id: SetId) -> &mut SetTimes {
+        let slot = id.raw() as usize;
+        if slot >= self.times.len() {
+            self.times.resize(slot + 1, SetTimes::default());
+        }
+        &mut self.times[slot]
+    }
+
+    /// The earliest cycle at which an instruction reading `reads` and writing
+    /// `writes` may start, honouring RAW, WAW and WAR hazards.
+    #[must_use]
+    pub fn ready_at(&self, reads: &[SetId], writes: &[SetId]) -> u64 {
+        let mut ready = 0;
+        for &r in reads {
+            // RAW: the operand must have been produced.
+            ready = ready.max(self.entry(r).write_done);
+        }
+        for &w in writes {
+            let t = self.entry(w);
+            // WAW: writes to a set complete in program order.
+            // WAR: earlier readers drain before the set is overwritten.
+            ready = ready.max(t.write_done).max(t.reads_done);
+        }
+        ready
+    }
+
+    /// Publishes an issued instruction's completion time against its operands.
+    pub fn record(&mut self, reads: &[SetId], writes: &[SetId], finish: u64) {
+        for &r in reads {
+            let t = self.entry_mut(r);
+            t.reads_done = t.reads_done.max(finish);
+        }
+        for &w in writes {
+            let t = self.entry_mut(w);
+            t.write_done = t.write_done.max(finish);
+        }
+    }
+
+    /// Forgets every recorded time (the timeline restarts at cycle 0).
+    pub fn clear(&mut self) {
+        self.times.clear();
+    }
+
+    /// Number of set IDs with recorded hazard state (capacity telemetry).
+    #[must_use]
+    pub fn tracked(&self) -> usize {
+        self.times.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_sets_are_always_ready() {
+        let mut sb = Scoreboard::new();
+        sb.record(&[], &[SetId(0)], 100);
+        assert_eq!(sb.ready_at(&[SetId(1)], &[SetId(2)]), 0);
+    }
+
+    #[test]
+    fn raw_waits_for_the_producing_write() {
+        let mut sb = Scoreboard::new();
+        sb.record(&[], &[SetId(3)], 40);
+        assert_eq!(sb.ready_at(&[SetId(3)], &[]), 40);
+        // Reads do not gate later reads.
+        sb.record(&[SetId(3)], &[], 90);
+        assert_eq!(sb.ready_at(&[SetId(3)], &[]), 40);
+    }
+
+    #[test]
+    fn waw_and_war_gate_writes() {
+        let mut sb = Scoreboard::new();
+        sb.record(&[], &[SetId(5)], 30); // write at 30
+        sb.record(&[SetId(5)], &[], 70); // read drains at 70
+                                         // A new write must wait for both the prior write and the reader.
+        assert_eq!(sb.ready_at(&[], &[SetId(5)]), 70);
+    }
+
+    #[test]
+    fn clear_restarts_the_timeline() {
+        let mut sb = Scoreboard::new();
+        sb.record(&[], &[SetId(9)], 500);
+        assert!(sb.tracked() > 0);
+        sb.clear();
+        assert_eq!(sb.ready_at(&[SetId(9)], &[SetId(9)]), 0);
+        assert_eq!(sb.tracked(), 0);
+    }
+
+    #[test]
+    fn recycled_ids_serialise_behind_their_predecessor() {
+        let mut sb = Scoreboard::new();
+        sb.record(&[SetId(2)], &[], 80); // old set still being read until 80
+        sb.record(&[], &[SetId(2)], 50); // delete completes at 50
+                                         // Creating a new set in the recycled slot is a write: WAR against the
+                                         // old reader keeps it ordered.
+        assert_eq!(sb.ready_at(&[], &[SetId(2)]), 80);
+    }
+}

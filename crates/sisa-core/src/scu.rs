@@ -97,6 +97,18 @@ pub struct DispatchOutcome {
     pub smb_misses: u64,
 }
 
+impl DispatchOutcome {
+    /// End-to-end latency of this dispatch: SCU front-end plus accelerator
+    /// execution. This is the duration the instruction occupies a virtual
+    /// vault lane in the scoreboarded issue queue; the same cycles are also
+    /// absorbed into the per-unit work counters, so at issue depth 1 the
+    /// queue's makespan equals the serial total exactly.
+    #[must_use]
+    pub fn latency(&self) -> Cycles {
+        self.scu_cycles + self.exec_cycles
+    }
+}
+
 /// The SISA Controller Unit.
 #[derive(Clone, Debug)]
 pub struct Scu {
@@ -348,6 +360,7 @@ mod tests {
         assert_eq!(out.choice.target(), ExecutionTarget::Pum);
         assert!(out.exec_cycles > 0);
         assert!(out.energy_nj > 0.0);
+        assert_eq!(out.latency(), out.scu_cycles + out.exec_cycles);
     }
 
     #[test]

@@ -283,8 +283,13 @@ impl<E: SetEngine> ShardedEngine<E> {
     /// Charges one cross-shard operand transfer of `bytes` bytes from `src`
     /// to `dst` into the aggregate statistics and the traffic ledger. The
     /// transfer cycles are attributed to the executing shard `dst`, which
-    /// waits for the operand to arrive.
-    fn charge_transfer(&mut self, src: usize, dst: usize, bytes: u64) {
+    /// waits for the operand to arrive — and are handed to that shard's
+    /// overlap timeline as lane work *writing* the staged replica `delivers`,
+    /// so on a pipelined inner engine the wait occupies one virtual vault
+    /// lane, the instruction consuming the replica stays behind the transfer
+    /// (a RAW hazard), and independent instructions keep flowing instead of
+    /// the whole machine stalling.
+    fn charge_transfer(&mut self, src: usize, dst: usize, bytes: u64, delivers: SetId) {
         let route = self.link.route(src, dst, self.shards.len());
         let cycles = self.link.transfer_cost(bytes as usize, route);
         let energy = self.energy.link_energy(bytes, route.hops as u64);
@@ -298,6 +303,12 @@ impl<E: SetEngine> ShardedEngine<E> {
         self.traffic.cycles_by_shard[dst] += cycles;
         // Only the ledger changed; reuse the cached shard fold.
         self.stats.energy_nj = self.shard_energy_sum + self.traffic.energy_nj;
+        // Link wait becomes overlappable lane work on the receiving shard
+        // (no work counters charged there — the ledger above owns the cost).
+        // Routed through `on_shard` so whatever the shard's timeline does
+        // record (makespan growth, a WAW stall behind the replica's create)
+        // is checkpoint-merged into the aggregate like every other counter.
+        self.on_shard(dst, |e| e.absorb_lane_work(cycles, &[delivers]));
     }
 
     /// Resolves a binary operation's operands to one executing shard. When the
@@ -327,9 +338,13 @@ impl<E: SetEngine> ShardedEngine<E> {
         } else {
             (sb, sa, la, bits_a)
         };
-        self.charge_transfer(src, dst, moved_bits.div_ceil(8) as u64);
+        // Stage the replica's slot first, then price the transfer that fills
+        // it: the transfer writes the replica on the destination's overlap
+        // timeline, so the consuming operation waits for the operand to
+        // actually arrive (RAW) instead of racing its own transfer.
         let replica = self.shards[src].repr(moved_local).clone();
         let temp = self.on_shard(dst, |e| e.create(replica));
+        self.charge_transfer(src, dst, moved_bits.div_ceil(8) as u64, temp);
         ResolvedBinary {
             shard: dst,
             a: if move_b { la } else { temp },
@@ -669,6 +684,69 @@ mod tests {
         assert_eq!(engine.members(a), vec![1, 2, 3, 4, 5, 6, 7, 8]);
         // The (larger) right operand was transferred because a is pinned.
         assert_eq!(engine.stats().link_bytes, 400);
+    }
+
+    #[test]
+    fn link_transfers_become_lane_work_on_the_receiving_shard() {
+        let mut engine = sharded(2, PartitionStrategy::Modulo);
+        let a = engine.create_sorted([1, 2, 3]); // shard 0
+        let b = engine.create_sorted((0..50).collect::<Vec<_>>()); // shard 1
+        let c = engine.intersect(a, b); // the smaller operand crosses the link
+        assert_eq!(engine.members(c), vec![1, 2, 3]);
+        let dst = engine.shard_of(b);
+        let waited = engine.traffic().cycles_by_shard[dst];
+        assert!(waited > 0);
+        // The wait was absorbed into the receiving shard's overlap timeline:
+        // at the default issue depth (1) the inner engine serialises it, so
+        // its makespan is its own work plus the link cycles it waited for —
+        // while its work counters stay untouched by the transfer.
+        assert_eq!(
+            engine.shard_stats(dst).makespan_cycles,
+            engine.shard_stats(dst).total_cycles() + waited
+        );
+        // The aggregate's makespan view tracks the slowest shard.
+        assert_eq!(
+            engine.stats().makespan_cycles,
+            (0..engine.shard_count())
+                .map(|s| engine.shard_stats(s).makespan_cycles)
+                .max()
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn pipelined_shards_keep_consumers_behind_their_transfers() {
+        // On pipelined inner engines the transfer must act as a producer of
+        // the staged replica: the consuming operation stalls until the
+        // operand has actually crossed the link, rather than racing its own
+        // transfer on a free lane.
+        let mut engine = ShardedEngine::sisa(
+            2,
+            PartitionStrategy::Modulo,
+            SisaConfig::with_pipeline(8, 4),
+        );
+        engine.set_universe(2048);
+        let small = engine.create_sorted([1, 2, 3]); // shard 0
+        let large = engine.create_sorted((0..1000).collect::<Vec<_>>()); // shard 1
+        let _ = engine.intersect(small, large); // the small operand crosses
+        let dst = engine.shard_of(large);
+        let waited = engine.traffic().cycles_by_shard[dst];
+        assert!(waited > 0);
+        // The consumer's RAW stall on the replica covers at least the whole
+        // transfer duration (the transfer finishes no earlier than `waited`
+        // cycles in, and the intersect could otherwise have started at ~0).
+        assert!(
+            engine.shard_stats(dst).dep_stall_cycles >= waited,
+            "consumer stalled {} cycles, transfer took {}",
+            engine.shard_stats(dst).dep_stall_cycles,
+            waited
+        );
+        // Every stall recorded on a shard timeline — including any recorded
+        // by the absorbed transfer itself — survives into the aggregate.
+        let summed: u64 = (0..engine.shard_count())
+            .map(|s| engine.shard_stats(s).dep_stall_cycles)
+            .sum();
+        assert_eq!(engine.stats().dep_stall_cycles, summed);
     }
 
     #[test]

@@ -24,6 +24,20 @@ pub struct ExecStats {
     pub link_cycles: u64,
     /// Bytes moved over vault/cube links by cross-shard transfers.
     pub link_bytes: u64,
+    /// Cycles instructions stalled on operand hazards (RAW/WAW/WAR on set
+    /// IDs) in the scoreboarded issue queue, beyond what the issue window and
+    /// lane availability already imposed. Always 0 for engines that do not
+    /// model overlap and for a depth-1 (serial) queue.
+    pub dep_stall_cycles: u64,
+    /// Completion time of the overlapped schedule on the issue queue's
+    /// virtual clock. Equals [`ExecStats::total_cycles`] for a depth-1
+    /// (serial) queue; at depth > 1 with several lanes it is at most the
+    /// serial total, and `work / makespan` is the overlap speedup. 0 for
+    /// engines that do not model overlap (see the README engines table).
+    pub makespan_cycles: u64,
+    /// Dependence-stall cycles attributed per opcode (the instruction that
+    /// stalled), feeding the instruction-mix stall report.
+    pub dep_stall_by_opcode: BTreeMap<SisaOpcode, u64>,
     /// Dynamic instruction counts per opcode.
     pub instructions: BTreeMap<SisaOpcode, u64>,
     /// Number of operations dispatched to SISA-PUM.
@@ -74,6 +88,17 @@ impl ExecStats {
         }
     }
 
+    /// Overlap speedup of the scoreboarded issue queue: serial work divided
+    /// by the overlapped makespan. 1.0 when no makespan was modelled.
+    #[must_use]
+    pub fn overlap_speedup(&self) -> f64 {
+        if self.makespan_cycles == 0 {
+            1.0
+        } else {
+            self.total_cycles() as f64 / self.makespan_cycles as f64
+        }
+    }
+
     /// SMB hit ratio.
     #[must_use]
     pub fn smb_hit_ratio(&self) -> f64 {
@@ -85,7 +110,9 @@ impl ExecStats {
         }
     }
 
-    /// Merges another statistics record into this one.
+    /// Merges another statistics record into this one. Work counters add;
+    /// `makespan_cycles` takes the maximum (merged records model units that
+    /// ran in parallel, e.g. the shards of a [`crate::ShardedEngine`]).
     pub fn merge(&mut self, other: &ExecStats) {
         self.scu_cycles += other.scu_cycles;
         self.pum_cycles += other.pum_cycles;
@@ -93,6 +120,11 @@ impl ExecStats {
         self.host_cycles += other.host_cycles;
         self.link_cycles += other.link_cycles;
         self.link_bytes += other.link_bytes;
+        self.dep_stall_cycles += other.dep_stall_cycles;
+        self.makespan_cycles = self.makespan_cycles.max(other.makespan_cycles);
+        for (&op, &n) in &other.dep_stall_by_opcode {
+            *self.dep_stall_by_opcode.entry(op).or_insert(0) += n;
+        }
         for (&op, &n) in &other.instructions {
             *self.instructions.entry(op).or_insert(0) += n;
         }
@@ -119,6 +151,10 @@ impl ExecStats {
         for (&op, &n) in &self.instructions {
             instructions[op.funct7() as usize] = n;
         }
+        let mut dep_stall_by_opcode = [0u64; StatsCheckpoint::OPCODE_SLOTS];
+        for (&op, &n) in &self.dep_stall_by_opcode {
+            dep_stall_by_opcode[op.funct7() as usize] = n;
+        }
         StatsCheckpoint {
             scu_cycles: self.scu_cycles,
             pum_cycles: self.pum_cycles,
@@ -126,6 +162,8 @@ impl ExecStats {
             host_cycles: self.host_cycles,
             link_cycles: self.link_cycles,
             link_bytes: self.link_bytes,
+            dep_stall_cycles: self.dep_stall_cycles,
+            dep_stall_by_opcode,
             instructions,
             pum_ops: self.pum_ops,
             pnm_ops: self.pnm_ops,
@@ -141,7 +179,10 @@ impl ExecStats {
     /// Adds `current - at` into `self`: the cost accumulated by the observed
     /// statistics record since the checkpoint was taken. Counters only grow
     /// between checkpoints (statistics resets are handled by re-checkpointing),
-    /// so the subtraction is well defined.
+    /// so the subtraction is well defined. `makespan_cycles` is not a delta:
+    /// the observed record's current makespan is folded in with `max`, exactly
+    /// as [`ExecStats::merge`] does, so composite engines track the slowest
+    /// parallel unit.
     pub fn merge_since(&mut self, current: &ExecStats, at: &StatsCheckpoint) {
         self.scu_cycles += current.scu_cycles - at.scu_cycles;
         self.pum_cycles += current.pum_cycles - at.pum_cycles;
@@ -149,6 +190,14 @@ impl ExecStats {
         self.host_cycles += current.host_cycles - at.host_cycles;
         self.link_cycles += current.link_cycles - at.link_cycles;
         self.link_bytes += current.link_bytes - at.link_bytes;
+        self.dep_stall_cycles += current.dep_stall_cycles - at.dep_stall_cycles;
+        self.makespan_cycles = self.makespan_cycles.max(current.makespan_cycles);
+        for (&op, &n) in &current.dep_stall_by_opcode {
+            let before = at.dep_stall_by_opcode[op.funct7() as usize];
+            if n > before {
+                *self.dep_stall_by_opcode.entry(op).or_insert(0) += n - before;
+            }
+        }
         for (&op, &n) in &current.instructions {
             let before = at.instructions[op.funct7() as usize];
             if n > before {
@@ -178,6 +227,9 @@ pub struct StatsCheckpoint {
     host_cycles: u64,
     link_cycles: u64,
     link_bytes: u64,
+    dep_stall_cycles: u64,
+    /// Per-opcode dependence-stall cycles indexed by `funct7`.
+    dep_stall_by_opcode: [u64; Self::OPCODE_SLOTS],
     /// Per-opcode counts indexed by the opcode's 7-bit `funct7` value.
     instructions: [u64; Self::OPCODE_SLOTS],
     pum_ops: u64,
@@ -257,6 +309,12 @@ mod tests {
         grown.scu_cycles += 2;
         grown.link_cycles += 9;
         grown.link_bytes += 128;
+        grown.dep_stall_cycles += 6;
+        *grown
+            .dep_stall_by_opcode
+            .entry(SisaOpcode::UnionAuto)
+            .or_insert(0) += 6;
+        grown.makespan_cycles = 40;
         grown.energy_nj += 0.5;
         grown.processed_set_sizes.push(8);
 
@@ -268,8 +326,42 @@ mod tests {
         assert_eq!(agg.scu_cycles, 2);
         assert_eq!(agg.link_cycles, 9);
         assert_eq!(agg.link_bytes, 128);
+        assert_eq!(agg.dep_stall_cycles, 6);
+        assert_eq!(agg.dep_stall_by_opcode[&SisaOpcode::UnionAuto], 6);
+        assert_eq!(
+            agg.makespan_cycles, 40,
+            "makespan folds in the observed record's current value"
+        );
         assert!((agg.energy_nj - 0.5).abs() < 1e-12);
         assert_eq!(agg.processed_set_sizes, vec![8]);
+    }
+
+    #[test]
+    fn makespan_merges_as_a_maximum_and_stalls_add() {
+        let mut a = ExecStats {
+            makespan_cycles: 100,
+            dep_stall_cycles: 5,
+            ..ExecStats::default()
+        };
+        let b = ExecStats {
+            makespan_cycles: 70,
+            dep_stall_cycles: 8,
+            ..ExecStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.makespan_cycles, 100, "parallel units: slowest wins");
+        assert_eq!(a.dep_stall_cycles, 13);
+    }
+
+    #[test]
+    fn overlap_speedup_is_work_over_makespan() {
+        let s = ExecStats {
+            pnm_cycles: 300,
+            makespan_cycles: 100,
+            ..ExecStats::default()
+        };
+        assert!((s.overlap_speedup() - 3.0).abs() < 1e-12);
+        assert_eq!(ExecStats::default().overlap_speedup(), 1.0);
     }
 
     #[test]

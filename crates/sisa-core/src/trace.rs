@@ -12,6 +12,11 @@
 //! The sink is **bounded**: once `capacity` events are recorded, further
 //! events are counted but dropped, so tracing a long run cannot exhaust
 //! memory. A truncated trace still replays correctly as a prefix of the run.
+//!
+//! Traces record *what* was issued, never *when* it executed: no schedule or
+//! cycle information is stored, so the same capture replays against a serial
+//! (depth-1) runtime or any pipelined configuration and the issue-queue model
+//! is free to evolve without invalidating checked-in fixtures.
 
 use crate::scu::BinarySetOp;
 use crate::Vertex;

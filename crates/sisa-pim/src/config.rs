@@ -135,6 +135,14 @@ pub struct PnmConfig {
     /// bytes per cycle (`b_C`); lower than the intra-cube share because
     /// inter-cube traffic is multiplexed over a handful of external links.
     pub inter_cube_bandwidth_bytes_per_cycle: f64,
+    /// Number of vaults ganged behind one virtual issue lane of the
+    /// scoreboarded issue queue. One SISA set operation occupies a whole lane
+    /// (its data is striped across the lane's vaults), so the usable
+    /// instruction-level parallelism is `total_vaults / vaults_per_lane`
+    /// rather than one instruction per vault — the occupancy limit real PIM
+    /// studies observe. The default gangs one cube's worth of vaults per
+    /// lane.
+    pub vaults_per_lane: usize,
 }
 
 impl Default for PnmConfig {
@@ -158,6 +166,9 @@ impl Default for PnmConfig {
             // External HMC links offer less per-transfer bandwidth than the
             // intra-cube crossbar share modelled by `link_bandwidth`.
             inter_cube_bandwidth_bytes_per_cycle: 4.0,
+            // One lane per cube: a set operation stripes across the cube's 32
+            // vaults, so 16 cubes sustain 16 concurrent set operations.
+            vaults_per_lane: 32,
         }
     }
 }
@@ -175,6 +186,15 @@ impl PnmConfig {
     pub fn effective_stream_bandwidth(&self) -> f64 {
         self.vault_bandwidth_bytes_per_cycle
             .min(self.link_bandwidth_bytes_per_cycle)
+    }
+
+    /// Number of virtual issue lanes the cube/vault geometry sustains:
+    /// `total_vaults / vaults_per_lane`, at least 1. This is the lane count
+    /// the scoreboarded issue queue derives when the runtime configuration
+    /// does not override it.
+    #[must_use]
+    pub fn issue_lanes(&self) -> usize {
+        (self.total_vaults() / self.vaults_per_lane.max(1)).max(1)
     }
 }
 
@@ -283,6 +303,19 @@ mod tests {
             cfg.inter_cube_bandwidth_bytes_per_cycle <= cfg.link_bandwidth_bytes_per_cycle,
             "external SerDes links must not be faster than the intra-cube share"
         );
+        // One lane per cube by default; degenerate occupancy still yields a
+        // usable lane.
+        assert_eq!(cfg.issue_lanes(), cfg.cubes);
+        let starved = PnmConfig {
+            vaults_per_lane: 10_000,
+            ..cfg
+        };
+        assert_eq!(starved.issue_lanes(), 1);
+        let zero = PnmConfig {
+            vaults_per_lane: 0,
+            ..cfg
+        };
+        assert_eq!(zero.issue_lanes(), cfg.total_vaults());
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! Helpers shared by the trace-fixture integration tests
+//! (`tests/trace_fixture.rs`, `tests/pipeline_replay.rs`): the checked-in
+//! fixture's schema and loader live here so the two test binaries cannot
+//! drift apart when the fixture is regenerated.
+#![allow(dead_code)] // each test binary uses a different subset
+
+use serde::{Deserialize, Serialize};
+use sisa::core::TraceSink;
+use std::path::PathBuf;
+
+/// The checked-in artefact: the captured trace plus the quantities a replay
+/// must reproduce.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct TraceFixture {
+    pub description: String,
+    pub graph: String,
+    pub expected_triangles: u64,
+    pub expected_instructions: u64,
+    pub expected_live_sets: u64,
+    pub trace: TraceSink,
+}
+
+/// Path of the checked-in triangle-count trace capture.
+pub fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/triangle_count_trace.json")
+}
+
+/// Reads and parses the checked-in fixture (no regeneration — see
+/// `tests/trace_fixture.rs` for the `UPDATE_FIXTURES=1` path).
+pub fn read_fixture() -> TraceFixture {
+    let path = fixture_path();
+    let json = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run with UPDATE_FIXTURES=1",
+            path.display()
+        )
+    });
+    serde_json::from_str(&json).expect("fixture parses")
+}

@@ -6,8 +6,9 @@
 use sisa::algorithms::SearchLimits;
 use sisa::graph::generators;
 use sisa_bench::{
-    capture_instruction_mix, multi_cube_sweep, run_auxiliary_formulations, run_cell,
-    InstructionMix, MultiCubeCell, PlatformSummary, Problem, Scheme, Workload,
+    capture_instruction_mix, multi_cube_sweep, pipeline_overlap_sweep, run_auxiliary_formulations,
+    run_cell, InstructionMix, MultiCubeCell, PipelineOverlapCell, PlatformSummary, Problem, Scheme,
+    Workload,
 };
 
 #[test]
@@ -96,9 +97,119 @@ fn instruction_mix_comes_from_a_real_traced_program() {
         mix.mix.contains_key("sisa.intc"),
         "triangle counting issues counting intersections"
     );
+    // The mix run executes on a pipelined issue queue, so the stall report
+    // alongside the dynamic counts is non-trivial and consistent.
+    assert!(mix.issue_depth > 1, "the mix run must be pipelined");
+    assert!(mix.issue_lanes >= 1);
+    assert!(
+        mix.makespan_cycles > 0 && mix.makespan_cycles <= mix.serial_cycles,
+        "overlap can only shorten the schedule: {} vs {}",
+        mix.makespan_cycles,
+        mix.serial_cycles
+    );
+    // Per-opcode stalls are the instruction-attributed subset of the total:
+    // host-side events (e.g. `members` read-outs) can stall too but carry no
+    // opcode.
+    let attributed: u64 = mix.dep_stalls.values().sum();
+    assert!(
+        attributed > 0 && attributed <= mix.dep_stall_cycles,
+        "attributed stalls ({attributed}) must be a non-trivial subset of the total ({})",
+        mix.dep_stall_cycles
+    );
+    for mnemonic in mix.dep_stalls.keys() {
+        assert!(
+            mix.mix.contains_key(mnemonic),
+            "stalling mnemonic {mnemonic} must appear in the dynamic mix"
+        );
+    }
     let json = mix.to_json();
     let back: InstructionMix = serde_json::from_str(&json).expect("mix parses back");
     assert_eq!(back, mix);
+}
+
+#[test]
+fn pipeline_overlap_sweep_runs_and_its_json_parses() {
+    // run_all's pipeline_overlap binary publishes results/pipeline_overlap.json
+    // from this sweep; drive it on a tiny graph and check the figure's schema
+    // claims hold.
+    let g = generators::erdos_renyi(70, 0.1, 9);
+    let depths = [1usize, 8, 32];
+    let lane_counts = [1usize, 2, 4, 8];
+    let cells = pipeline_overlap_sweep(
+        "tiny",
+        &g,
+        &depths,
+        &lane_counts,
+        &SearchLimits::patterns(5_000),
+    );
+    let workloads: std::collections::BTreeSet<&str> =
+        cells.iter().map(|c| c.workload.as_str()).collect();
+    assert!(workloads.len() >= 2, "tc and kcc-4 at minimum");
+    assert_eq!(
+        cells.len(),
+        workloads.len() * depths.len() * lane_counts.len()
+    );
+
+    for workload in &workloads {
+        let of_workload: Vec<&PipelineOverlapCell> =
+            cells.iter().filter(|c| &c.workload == workload).collect();
+        // Scheduling never changes answers, and the queue prices time, not
+        // work: results and work totals agree across every cell.
+        assert!(
+            of_workload.windows(2).all(|w| w[0].result == w[1].result),
+            "{workload}: pipelined runs disagree on the result"
+        );
+        assert!(
+            of_workload
+                .windows(2)
+                .all(|w| w[0].work_cycles == w[1].work_cycles),
+            "{workload}: work must be conserved across depth x lanes"
+        );
+        for cell in &of_workload {
+            // Depth 1 is the serial cost model.
+            if cell.depth == 1 {
+                assert_eq!(cell.makespan_cycles, cell.work_cycles, "{workload}");
+                assert_eq!(cell.dep_stall_cycles, 0, "{workload}");
+                assert!((cell.overlap_speedup - 1.0).abs() < 1e-12);
+            }
+            // The makespan never beats the critical path to zero nor exceeds
+            // the serial total.
+            assert!(cell.makespan_cycles > 0 && cell.makespan_cycles <= cell.work_cycles);
+            assert!(cell.overlap_speedup >= 1.0);
+        }
+        // At a fixed depth the makespan is monotone non-increasing in the
+        // lane count (more lanes never slow the schedule down).
+        for &depth in &depths {
+            let mut last = u64::MAX;
+            for &lanes in &lane_counts {
+                let cell = of_workload
+                    .iter()
+                    .find(|c| c.depth == depth && c.lanes == lanes)
+                    .expect("cell present");
+                assert!(
+                    cell.makespan_cycles <= last,
+                    "{workload}: makespan grew from {last} to {} at depth {depth} x {lanes} lanes",
+                    cell.makespan_cycles
+                );
+                last = cell.makespan_cycles;
+            }
+        }
+    }
+    // The acceptance claim: triangle counting overlaps strictly at depth >= 8
+    // with >= 4 lanes.
+    assert!(
+        cells.iter().any(|c| c.workload == "tc"
+            && c.depth >= 8
+            && c.lanes >= 4
+            && c.makespan_cycles < c.work_cycles),
+        "triangle counting must overlap at depth >= 8 with >= 4 lanes"
+    );
+
+    // The JSON the binary writes parses back into the same cells.
+    let json = serde_json::to_string_pretty(&cells).expect("cells serialize");
+    let back: Vec<PipelineOverlapCell> =
+        serde_json::from_str(&json).expect("pipeline_overlap.json parses");
+    assert_eq!(back, cells);
 }
 
 #[test]

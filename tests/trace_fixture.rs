@@ -13,30 +13,15 @@
 //! UPDATE_FIXTURES=1 cargo test --test trace_fixture
 //! ```
 
-use serde::{Deserialize, Serialize};
+mod common;
+
+use common::{fixture_path, read_fixture, TraceFixture};
 use sisa::algorithms::setcentric::{orient_by_degeneracy, triangle_count};
 use sisa::algorithms::SearchLimits;
 use sisa::core::{
-    FunctionalEngine, Interpreter, SetEngine, SetGraphConfig, SisaConfig, SisaRuntime, TraceSink,
+    FunctionalEngine, Interpreter, SetEngine, SetGraphConfig, SisaConfig, SisaRuntime,
 };
 use sisa::graph::generators;
-use std::path::PathBuf;
-
-/// The checked-in artefact: the captured trace plus the quantities a replay
-/// must reproduce.
-#[derive(Debug, Serialize, Deserialize)]
-struct TraceFixture {
-    description: String,
-    graph: String,
-    expected_triangles: u64,
-    expected_instructions: u64,
-    expected_live_sets: u64,
-    trace: TraceSink,
-}
-
-fn fixture_path() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/triangle_count_trace.json")
-}
 
 /// The deterministic workload the fixture captures (seeded generator, default
 /// configuration, traced from the runtime's first instruction).
@@ -61,20 +46,14 @@ fn capture() -> TraceFixture {
 }
 
 fn load_fixture() -> TraceFixture {
-    let path = fixture_path();
     if std::env::var_os("UPDATE_FIXTURES").is_some() {
+        let path = fixture_path();
         let fresh = capture();
         let json = serde_json::to_string_pretty(&fresh).expect("fixture serializes");
         std::fs::create_dir_all(path.parent().unwrap()).expect("fixtures dir");
         std::fs::write(&path, json).expect("fixture written");
     }
-    let json = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "missing fixture {} ({e}); run with UPDATE_FIXTURES=1",
-            path.display()
-        )
-    });
-    serde_json::from_str(&json).expect("fixture parses")
+    read_fixture()
 }
 
 #[test]
