@@ -1,0 +1,134 @@
+//! Rename/out-of-order study: set-ID renaming tag-pool size × reorder-window
+//! size on a flat SISA runtime.
+//!
+//! The `pipeline_overlap` figure shows kcc-4 flooring near 1.17x overlap on
+//! the in-order pipeline while tc reaches 16x: its materialise → recurse →
+//! delete chains serialise on WAR/WAW hazards over recycled set IDs — false
+//! dependences, the register-renaming problem in set-ID clothing. This sweep
+//! measures what breaking them recovers: every (window, tags) point runs the
+//! renamed out-of-order scheduler (tags = 0 is the rename-off in-order
+//! reference, identical to the `pipeline_overlap` cell of the same depth),
+//! and reports the overlap speedup, the true-RAW dependence stalls that
+//! remain, the false stalls renaming removed (the two sum exactly to the
+//! rename-off stall budget) and the instructions that bypassed a stalled
+//! predecessor. Expected shape: makespans are monotone non-increasing in
+//! both the window and the tag pool, tc gains little (it was never
+//! hazard-bound), and kcc-4 climbs well past its in-order floor.
+
+use sisa_algorithms::SearchLimits;
+use sisa_bench::{
+    emit, format_table, full_mode, rename_ooo_sweep, results_dir, RenameOooCell,
+    RENAME_OOO_HEADLINE_WINDOW,
+};
+
+fn main() {
+    let full = full_mode();
+    let limits = SearchLimits::patterns(if full { 200_000 } else { 20_000 });
+    let windows = [1usize, 4, RENAME_OOO_HEADLINE_WINDOW, 16, 64];
+    let tag_counts = [0usize, 64, 512];
+    let lanes = 16usize;
+
+    let g = sisa_graph::datasets::by_name("soc-fbMsg")
+        .expect("registered stand-in")
+        .generate(1);
+    let cells = rename_ooo_sweep("soc-fbMsg", &g, &windows, &tag_counts, lanes, &limits);
+
+    let mut rows = Vec::new();
+    for cell in &cells {
+        rows.push(vec![
+            cell.workload.clone(),
+            cell.window.to_string(),
+            if cell.tags == 0 {
+                "off".to_string()
+            } else {
+                cell.tags.to_string()
+            },
+            format!("{:.3}", cell.work_cycles as f64 / 1e6),
+            format!("{:.3}", cell.makespan_cycles as f64 / 1e6),
+            format!("{:.2}x", cell.overlap_speedup),
+            format!("{:.3}", cell.dep_stall_cycles as f64 / 1e6),
+            format!("{:.3}", cell.false_dep_stalls_removed as f64 / 1e6),
+            cell.bypassed_instructions.to_string(),
+        ]);
+    }
+    let table = format_table(
+        &[
+            "workload",
+            "window",
+            "tags",
+            "work [Mcyc]",
+            "makespan [Mcyc]",
+            "speedup",
+            "dep-stall [Mcyc]",
+            "false-removed [Mcyc]",
+            "bypasses",
+        ],
+        &rows,
+    );
+
+    emit(
+        "rename_ooo",
+        &format!(
+            "Set-ID renaming + out-of-order issue on soc-fbMsg (flat SISA runtime, {lanes} lanes).\n\
+             Every write binds a fresh physical tag, so recycled set IDs carry no WAR/WAW\n\
+             hazards; a bounded reorder window lets ready instructions bypass stalled ones\n\
+             (retirement stays in program order) and tag free-list pressure is a structural\n\
+             stall. tags = off is the rename-off in-order pipeline of the same depth; on a\n\
+             renamed row, true-RAW + false-removed equals the rename-off row's dependence\n\
+             stall exactly.\n\n{table}"
+        ),
+    );
+
+    // Machine-readable mirror for downstream analysis.
+    let dir = results_dir();
+    let json = serde_json::to_string_pretty(&cells).expect("cells serialize");
+    if std::fs::create_dir_all(&dir).is_ok()
+        && std::fs::write(dir.join("rename_ooo.json"), &json).is_ok()
+    {
+        println!(
+            "Sweep data ({} cells) recorded in {}",
+            cells.len(),
+            dir.join("rename_ooo.json").display()
+        );
+    }
+
+    // Scheduling must never change answers or work, stalls must decompose
+    // exactly, and the headline claim must hold.
+    let workloads: std::collections::BTreeSet<&str> =
+        cells.iter().map(|c| c.workload.as_str()).collect();
+    for workload in workloads {
+        let of_workload: Vec<&RenameOooCell> =
+            cells.iter().filter(|c| c.workload == workload).collect();
+        assert!(
+            of_workload.windows(2).all(|w| w[0].result == w[1].result),
+            "{workload}: renamed runs disagree on the result"
+        );
+        assert!(
+            of_workload
+                .windows(2)
+                .all(|w| w[0].work_cycles == w[1].work_cycles),
+            "{workload}: the renamed pipeline must conserve work"
+        );
+        for cell in of_workload.iter().filter(|c| c.tags > 0) {
+            let reference = of_workload
+                .iter()
+                .find(|c| c.tags == 0 && c.window == cell.window)
+                .expect("rename-off reference row present");
+            assert_eq!(
+                cell.dep_stall_cycles + cell.false_dep_stalls_removed,
+                reference.dep_stall_cycles,
+                "{workload}: stall decomposition must reconstruct the \
+                 rename-off stall budget at window {}",
+                cell.window
+            );
+        }
+    }
+    assert!(
+        cells.iter().any(|c| c.workload == "kcc-4"
+            && c.window == RENAME_OOO_HEADLINE_WINDOW
+            && c.tags >= 512
+            && c.overlap_speedup > 1.5),
+        "kcc-4 must exceed 1.5x overlap with renaming and an \
+         {RENAME_OOO_HEADLINE_WINDOW}-entry window"
+    );
+}

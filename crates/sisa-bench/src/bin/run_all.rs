@@ -18,6 +18,7 @@ fn main() {
         "paradigms",
         "multi_cube",
         "pipeline_overlap",
+        "rename_ooo",
     ];
     for bin in bins {
         println!("\n================ {bin} ================");

@@ -17,13 +17,26 @@
 //! the earliest cycle an instruction's operands allow it to start, and
 //! [`Scoreboard::record`] publishes an issued instruction's completion time.
 //!
-//! Set IDs are reused after deletion (the slot allocator is LIFO). The
-//! scoreboard deliberately keeps the dead ID's times: a `sisa.new` that
-//! recycles the ID *writes* it, so the WAW/WAR rules serialise the new set's
-//! creation behind every use of its predecessor — exactly the conservative
-//! behaviour a real SCU tracking physical set slots would exhibit.
+//! The scoreboard serves two masters:
+//!
+//! * The **in-order issue queue** indexes it by *logical* set ID. Set IDs are
+//!   reused after deletion (the slot allocator is LIFO) and the stale times
+//!   are deliberately kept: a `sisa.new` that recycles the ID *writes* it, so
+//!   the WAW/WAR rules serialise the new set's creation behind every use of
+//!   its predecessor — exactly the conservative behaviour a real SCU tracking
+//!   physical set slots would exhibit. (Those are the *false* dependences the
+//!   renaming layer in [`crate::rename`] removes.)
+//! * The **renamed out-of-order path** indexes it by *physical tag*: every
+//!   write gets a fresh tag, so only the RAW rule ever fires, and a tag's
+//!   entry is [released](Scoreboard::release) when the tag is reclaimed.
+//!
+//! Entries whose recorded times can no longer influence any future schedule
+//! are pruned by [`Scoreboard::prune_completed`], so a scoreboard driven
+//! across a long program stays bounded by the *in-flight* operand footprint
+//! instead of growing with every set ID the program ever touched.
 
 use sisa_isa::SetId;
+use std::collections::BTreeMap;
 
 /// Completion times recorded for one set ID.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -37,7 +50,7 @@ struct SetTimes {
 /// Tracks RAW/WAW/WAR hazards on operand sets for the issue queue.
 #[derive(Clone, Debug, Default)]
 pub struct Scoreboard {
-    times: Vec<SetTimes>,
+    times: BTreeMap<u32, SetTimes>,
 }
 
 impl Scoreboard {
@@ -48,18 +61,7 @@ impl Scoreboard {
     }
 
     fn entry(&self, id: SetId) -> SetTimes {
-        self.times
-            .get(id.raw() as usize)
-            .copied()
-            .unwrap_or_default()
-    }
-
-    fn entry_mut(&mut self, id: SetId) -> &mut SetTimes {
-        let slot = id.raw() as usize;
-        if slot >= self.times.len() {
-            self.times.resize(slot + 1, SetTimes::default());
-        }
-        &mut self.times[slot]
+        self.times.get(&id.raw()).copied().unwrap_or_default()
     }
 
     /// The earliest cycle at which an instruction reading `reads` and writing
@@ -80,16 +82,59 @@ impl Scoreboard {
         ready
     }
 
+    /// The earliest cycle the *producer* of each of `reads` allows a reader
+    /// to start — the RAW rule alone, ignoring WAW/WAR. This is the readiness
+    /// rule of the renamed pipeline, whose fresh-tag-per-write discipline
+    /// makes the write-side hazards structurally impossible.
+    #[must_use]
+    pub fn raw_ready_at(&self, reads: &[SetId]) -> u64 {
+        reads
+            .iter()
+            .map(|&r| self.entry(r).write_done)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Publishes an issued instruction's completion time against its operands.
     pub fn record(&mut self, reads: &[SetId], writes: &[SetId], finish: u64) {
         for &r in reads {
-            let t = self.entry_mut(r);
+            let t = self.times.entry(r.raw()).or_default();
             t.reads_done = t.reads_done.max(finish);
         }
         for &w in writes {
-            let t = self.entry_mut(w);
+            let t = self.times.entry(w.raw()).or_default();
             t.write_done = t.write_done.max(finish);
         }
+    }
+
+    /// The last write completion and latest read completion recorded for
+    /// `id` (both 0 when the ID carries no hazard state). The renamed
+    /// pipeline uses this to price when a superseded physical tag's storage
+    /// has drained and can be reclaimed.
+    #[must_use]
+    pub fn times_of(&self, id: SetId) -> (u64, u64) {
+        let t = self.entry(id);
+        (t.write_done, t.reads_done)
+    }
+
+    /// Forgets the hazard state of one ID (a reclaimed physical tag: the next
+    /// binding of the tag starts with a clean slate instead of inheriting its
+    /// predecessor's times).
+    pub fn release(&mut self, id: SetId) {
+        self.times.remove(&id.raw());
+    }
+
+    /// Prunes every entry whose recorded times have fully retired: once the
+    /// issue queue can prove that no future instruction will start before
+    /// `horizon`, an entry with both times `<= horizon` can never again bind
+    /// a `ready_at` result (the start-time max is dominated by the queue's
+    /// structural/resource floor), so dropping it changes no schedule.
+    /// Returns the number of entries dropped.
+    pub fn prune_completed(&mut self, horizon: u64) -> usize {
+        let before = self.times.len();
+        self.times
+            .retain(|_, t| t.write_done > horizon || t.reads_done > horizon);
+        before - self.times.len()
     }
 
     /// Forgets every recorded time (the timeline restarts at cycle 0).
@@ -135,6 +180,17 @@ mod tests {
     }
 
     #[test]
+    fn raw_only_readiness_ignores_readers() {
+        let mut sb = Scoreboard::new();
+        sb.record(&[], &[SetId(5)], 30);
+        sb.record(&[SetId(5)], &[], 70);
+        // The RAW-only rule sees the producer, never the drained readers.
+        assert_eq!(sb.raw_ready_at(&[SetId(5)]), 30);
+        assert_eq!(sb.raw_ready_at(&[SetId(9)]), 0);
+        assert_eq!(sb.raw_ready_at(&[]), 0);
+    }
+
+    #[test]
     fn clear_restarts_the_timeline() {
         let mut sb = Scoreboard::new();
         sb.record(&[], &[SetId(9)], 500);
@@ -152,5 +208,52 @@ mod tests {
                                          // Creating a new set in the recycled slot is a write: WAR against the
                                          // old reader keeps it ordered.
         assert_eq!(sb.ready_at(&[], &[SetId(2)]), 80);
+    }
+
+    #[test]
+    fn release_forgets_one_id() {
+        let mut sb = Scoreboard::new();
+        sb.record(&[], &[SetId(7)], 100);
+        sb.record(&[], &[SetId(8)], 100);
+        sb.release(SetId(7));
+        assert_eq!(sb.ready_at(&[SetId(7)], &[SetId(7)]), 0);
+        assert_eq!(sb.ready_at(&[SetId(8)], &[]), 100);
+        assert_eq!(sb.tracked(), 1);
+    }
+
+    #[test]
+    fn pruning_drops_only_retired_entries() {
+        let mut sb = Scoreboard::new();
+        sb.record(&[], &[SetId(1)], 50);
+        sb.record(&[SetId(2)], &[], 200);
+        sb.record(&[], &[SetId(3)], 120);
+        // Horizon 100: only set 1 (both times <= 100) is prunable.
+        assert_eq!(sb.prune_completed(100), 1);
+        assert_eq!(sb.tracked(), 2);
+        // The surviving entries still constrain schedules.
+        assert_eq!(sb.ready_at(&[], &[SetId(2)]), 200);
+        assert_eq!(sb.ready_at(&[SetId(3)], &[]), 120);
+        // And the pruned one no longer does (which is safe: the queue only
+        // prunes once every future start is provably >= the horizon).
+        assert_eq!(sb.ready_at(&[SetId(1)], &[SetId(1)]), 0);
+    }
+
+    #[test]
+    fn pruning_a_long_id_stream_keeps_the_scoreboard_bounded() {
+        // Regression for the unbounded-growth bug: a scoreboard fed an
+        // ever-growing stream of distinct IDs used to retain one entry per ID
+        // forever. Pruning at the retire horizon keeps it at the in-flight
+        // footprint.
+        let mut sb = Scoreboard::new();
+        for i in 0..10_000u32 {
+            let t = u64::from(i) * 10;
+            sb.record(&[SetId(i)], &[SetId(i)], t + 10);
+            if i % 64 == 0 {
+                // Everything finishing at or before `t` has retired.
+                sb.prune_completed(t);
+            }
+        }
+        sb.prune_completed(u64::MAX);
+        assert_eq!(sb.tracked(), 0);
     }
 }

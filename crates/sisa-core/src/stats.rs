@@ -35,9 +35,27 @@ pub struct ExecStats {
     /// serial total, and `work / makespan` is the overlap speedup. 0 for
     /// engines that do not model overlap (see the README engines table).
     pub makespan_cycles: u64,
+    /// False WAR/WAW stall cycles the set-ID renaming layer removed from the
+    /// in-order reference schedule. Under renaming, `dep_stall_cycles` is the
+    /// true-RAW component of that reference, so `dep_stall_cycles +
+    /// false_dep_stalls_removed` equals — exactly, per opcode — the
+    /// `dep_stall_cycles` a rename-off run reports on the same program.
+    /// Always 0 when renaming is off.
+    pub false_dep_stalls_removed: u64,
+    /// Instructions that started ahead of a program-earlier instruction
+    /// still in the reorder window (out-of-order bypasses; includes
+    /// non-instruction timeline items such as result read-outs). Always 0 on
+    /// the in-order path.
+    pub bypassed_instructions: u64,
     /// Dependence-stall cycles attributed per opcode (the instruction that
     /// stalled), feeding the instruction-mix stall report.
     pub dep_stall_by_opcode: BTreeMap<SisaOpcode, u64>,
+    /// False-dependence stall cycles removed by renaming, attributed per
+    /// opcode (the instruction the in-order reference would have stalled).
+    pub false_dep_removed_by_opcode: BTreeMap<SisaOpcode, u64>,
+    /// Out-of-order bypasses attributed per opcode (the instruction that
+    /// overtook a stalled predecessor).
+    pub bypass_by_opcode: BTreeMap<SisaOpcode, u64>,
     /// Dynamic instruction counts per opcode.
     pub instructions: BTreeMap<SisaOpcode, u64>,
     /// Number of operations dispatched to SISA-PUM.
@@ -121,9 +139,17 @@ impl ExecStats {
         self.link_cycles += other.link_cycles;
         self.link_bytes += other.link_bytes;
         self.dep_stall_cycles += other.dep_stall_cycles;
+        self.false_dep_stalls_removed += other.false_dep_stalls_removed;
+        self.bypassed_instructions += other.bypassed_instructions;
         self.makespan_cycles = self.makespan_cycles.max(other.makespan_cycles);
         for (&op, &n) in &other.dep_stall_by_opcode {
             *self.dep_stall_by_opcode.entry(op).or_insert(0) += n;
+        }
+        for (&op, &n) in &other.false_dep_removed_by_opcode {
+            *self.false_dep_removed_by_opcode.entry(op).or_insert(0) += n;
+        }
+        for (&op, &n) in &other.bypass_by_opcode {
+            *self.bypass_by_opcode.entry(op).or_insert(0) += n;
         }
         for (&op, &n) in &other.instructions {
             *self.instructions.entry(op).or_insert(0) += n;
@@ -155,6 +181,14 @@ impl ExecStats {
         for (&op, &n) in &self.dep_stall_by_opcode {
             dep_stall_by_opcode[op.funct7() as usize] = n;
         }
+        let mut false_dep_removed_by_opcode = [0u64; StatsCheckpoint::OPCODE_SLOTS];
+        for (&op, &n) in &self.false_dep_removed_by_opcode {
+            false_dep_removed_by_opcode[op.funct7() as usize] = n;
+        }
+        let mut bypass_by_opcode = [0u64; StatsCheckpoint::OPCODE_SLOTS];
+        for (&op, &n) in &self.bypass_by_opcode {
+            bypass_by_opcode[op.funct7() as usize] = n;
+        }
         StatsCheckpoint {
             scu_cycles: self.scu_cycles,
             pum_cycles: self.pum_cycles,
@@ -163,7 +197,11 @@ impl ExecStats {
             link_cycles: self.link_cycles,
             link_bytes: self.link_bytes,
             dep_stall_cycles: self.dep_stall_cycles,
+            false_dep_stalls_removed: self.false_dep_stalls_removed,
+            bypassed_instructions: self.bypassed_instructions,
             dep_stall_by_opcode,
+            false_dep_removed_by_opcode,
+            bypass_by_opcode,
             instructions,
             pum_ops: self.pum_ops,
             pnm_ops: self.pnm_ops,
@@ -191,11 +229,26 @@ impl ExecStats {
         self.link_cycles += current.link_cycles - at.link_cycles;
         self.link_bytes += current.link_bytes - at.link_bytes;
         self.dep_stall_cycles += current.dep_stall_cycles - at.dep_stall_cycles;
+        self.false_dep_stalls_removed +=
+            current.false_dep_stalls_removed - at.false_dep_stalls_removed;
+        self.bypassed_instructions += current.bypassed_instructions - at.bypassed_instructions;
         self.makespan_cycles = self.makespan_cycles.max(current.makespan_cycles);
         for (&op, &n) in &current.dep_stall_by_opcode {
             let before = at.dep_stall_by_opcode[op.funct7() as usize];
             if n > before {
                 *self.dep_stall_by_opcode.entry(op).or_insert(0) += n - before;
+            }
+        }
+        for (&op, &n) in &current.false_dep_removed_by_opcode {
+            let before = at.false_dep_removed_by_opcode[op.funct7() as usize];
+            if n > before {
+                *self.false_dep_removed_by_opcode.entry(op).or_insert(0) += n - before;
+            }
+        }
+        for (&op, &n) in &current.bypass_by_opcode {
+            let before = at.bypass_by_opcode[op.funct7() as usize];
+            if n > before {
+                *self.bypass_by_opcode.entry(op).or_insert(0) += n - before;
             }
         }
         for (&op, &n) in &current.instructions {
@@ -228,8 +281,14 @@ pub struct StatsCheckpoint {
     link_cycles: u64,
     link_bytes: u64,
     dep_stall_cycles: u64,
+    false_dep_stalls_removed: u64,
+    bypassed_instructions: u64,
     /// Per-opcode dependence-stall cycles indexed by `funct7`.
     dep_stall_by_opcode: [u64; Self::OPCODE_SLOTS],
+    /// Per-opcode removed-false-dependence cycles indexed by `funct7`.
+    false_dep_removed_by_opcode: [u64; Self::OPCODE_SLOTS],
+    /// Per-opcode out-of-order bypass counts indexed by `funct7`.
+    bypass_by_opcode: [u64; Self::OPCODE_SLOTS],
     /// Per-opcode counts indexed by the opcode's 7-bit `funct7` value.
     instructions: [u64; Self::OPCODE_SLOTS],
     pum_ops: u64,
@@ -314,6 +373,16 @@ mod tests {
             .dep_stall_by_opcode
             .entry(SisaOpcode::UnionAuto)
             .or_insert(0) += 6;
+        grown.false_dep_stalls_removed += 11;
+        *grown
+            .false_dep_removed_by_opcode
+            .entry(SisaOpcode::DeleteSet)
+            .or_insert(0) += 11;
+        grown.bypassed_instructions += 2;
+        *grown
+            .bypass_by_opcode
+            .entry(SisaOpcode::IntersectCountAuto)
+            .or_insert(0) += 2;
         grown.makespan_cycles = 40;
         grown.energy_nj += 0.5;
         grown.processed_set_sizes.push(8);
@@ -328,6 +397,10 @@ mod tests {
         assert_eq!(agg.link_bytes, 128);
         assert_eq!(agg.dep_stall_cycles, 6);
         assert_eq!(agg.dep_stall_by_opcode[&SisaOpcode::UnionAuto], 6);
+        assert_eq!(agg.false_dep_stalls_removed, 11);
+        assert_eq!(agg.false_dep_removed_by_opcode[&SisaOpcode::DeleteSet], 11);
+        assert_eq!(agg.bypassed_instructions, 2);
+        assert_eq!(agg.bypass_by_opcode[&SisaOpcode::IntersectCountAuto], 2);
         assert_eq!(
             agg.makespan_cycles, 40,
             "makespan folds in the observed record's current value"
