@@ -1,0 +1,73 @@
+//! Criterion microbenchmarks of the host-kernel dispatch layer: every
+//! representation pairing × set operation × operand density, under both the
+//! optimized dispatch and the seed's scalar reference kernels. The
+//! `bench_kernels` binary mirrors this matrix into
+//! `results/BENCH_kernels.json` with fixed-seed p50/p95 figures; this harness
+//! is for interactive `cargo bench` comparisons while iterating on a kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sisa_sets::repr::{self, KernelPolicy};
+use sisa_sets::{SetRepr, Vertex};
+use std::hint::black_box;
+
+const UNIVERSE: usize = 32_768;
+
+fn members(count: usize, salt: usize) -> Vec<Vertex> {
+    let stride = UNIVERSE / count;
+    (0..count)
+        .map(|i| (i * stride + (i * 7 + salt * 13) % stride) as Vertex)
+        .collect()
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("host_kernels");
+    group.sample_size(20);
+    let sorted = |m: &[Vertex]| SetRepr::sorted_from(m.iter().copied());
+    let dense = |m: &[Vertex]| SetRepr::dense_from(UNIVERSE, m.iter().copied());
+    let similar_a = members(4096, 1);
+    let similar_b = members(4096, 2);
+    let tiny = members(64, 3);
+    let shapes: [(&str, SetRepr, SetRepr); 4] = [
+        ("sorted-similar", sorted(&similar_a), sorted(&similar_b)),
+        ("sorted-skewed-64to1", sorted(&tiny), sorted(&similar_b)),
+        ("dense-dense", dense(&similar_a), dense(&similar_b)),
+        ("sorted-dense", sorted(&similar_a), dense(&similar_b)),
+    ];
+    type OpFn = fn(&SetRepr, &SetRepr);
+    let ops: [(&str, OpFn); 4] = [
+        ("intersect", |a, b| {
+            black_box(a.intersect(b));
+        }),
+        ("union", |a, b| {
+            black_box(a.union(b));
+        }),
+        ("difference", |a, b| {
+            black_box(a.difference(b));
+        }),
+        ("intersect_count", |a, b| {
+            black_box(a.intersect_count(b));
+        }),
+    ];
+    for (shape, ra, rb) in &shapes {
+        for (op, f) in ops {
+            for (policy, label) in [
+                (KernelPolicy::Optimized, "optimized"),
+                (KernelPolicy::Reference, "reference"),
+            ] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{op}/{shape}"), label),
+                    &policy,
+                    |bench, &policy| {
+                        repr::set_kernel_policy(policy);
+                        bench.iter(|| f(black_box(ra), black_box(rb)));
+                        repr::set_kernel_policy(KernelPolicy::Optimized);
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

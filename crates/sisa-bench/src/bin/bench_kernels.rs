@@ -1,0 +1,377 @@
+//! Wall-clock benchmark of the host-side set kernels: the word-parallel
+//! dense ops, the true galloping sparse kernels and the size-ratio dispatch
+//! policy, measured against the seed's scalar reference kernels
+//! ([`KernelPolicy::Reference`]) on fixed-seed operands — plus the headline
+//! end-to-end scenario, triangle counting on the soc-fbMsg stand-in over a
+//! 16-shard engine at three rungs of the execution stack: the sequential
+//! scalar baseline (per-op priced loop with the seed kernels — the seed's
+//! only path), the raw host execution layer
+//! (`ShardedEngine::host_count_batch` — threaded optimized kernels, no
+//! simulated-machine bookkeeping), and the priced batched path
+//! ([`ShardedEngine::execute`]).
+//!
+//! Emits `results/BENCH_kernels.json` (schema in [`sisa_bench::BenchKernels`],
+//! documented in the README's results appendix) and self-validates the
+//! emitted artifact. Flags: `--smoke` shrinks the sampling budget for CI;
+//! `--check` re-validates an existing artifact without re-measuring.
+
+use sisa_bench::{
+    emit, format_table, percentile_ns, results_dir, BenchKernels, HeadlineBench, HostPlatform,
+    KernelCell, BENCH_KERNELS_SCHEMA_VERSION,
+};
+use sisa_core::{
+    BatchOp, PartitionStrategy, SetEngine, SetGraphConfig, ShardedEngine, SisaConfig, SisaRuntime,
+};
+use sisa_pim::PimPlatform;
+use sisa_sets::repr::{self, KernelPolicy};
+use sisa_sets::{SetRepr, Vertex};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Every operand draw and the graph generation start from this seed.
+const SEED: u64 = 1;
+/// Shard count of the headline scenario (the acceptance geometry).
+const HEADLINE_SHARDS: usize = 16;
+/// Universe of the micro-kernel operand sets.
+const MICRO_UNIVERSE: usize = 32_768;
+
+/// A splitmix-style deterministic generator (no external RNG crates).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// `count` distinct sorted vertices from `0..universe`: stride sampling with
+/// seeded jitter (deterministic, duplicate-free by construction).
+fn sorted_members(count: usize, universe: usize, rng: &mut Rng) -> Vec<Vertex> {
+    let stride = universe / count;
+    assert!(stride >= 1, "universe must cover the requested count");
+    (0..count)
+        .map(|i| (i * stride + (rng.next() as usize % stride)) as Vertex)
+        .collect()
+}
+
+/// Times `f` repeatedly: calibrates an inner iteration count so one sample
+/// spans roughly `target_ns`, then returns `samples` per-call means.
+fn time_ns(samples: usize, target_ns: u64, mut f: impl FnMut()) -> Vec<u64> {
+    f(); // warm up caches and the arena pool
+    let calibration = Instant::now();
+    for _ in 0..4 {
+        f();
+    }
+    let per_call = (calibration.elapsed().as_nanos() as u64 / 4).max(1);
+    let iters = (target_ns / per_call).clamp(4, 8192) as u32;
+    (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_nanos() as u64 / u64::from(iters)
+        })
+        .collect()
+}
+
+/// Runs the micro matrix: op × operand shape, both kernel policies.
+fn micro_matrix(samples: usize, target_ns: u64) -> Vec<KernelCell> {
+    let mut rng = Rng(SEED);
+    let dense = |members: &[Vertex]| SetRepr::dense_from(MICRO_UNIVERSE, members.iter().copied());
+    let sorted = |members: &[Vertex]| SetRepr::sorted_from(members.iter().copied());
+    let similar_a = sorted_members(4096, MICRO_UNIVERSE, &mut rng);
+    let similar_b = sorted_members(4096, MICRO_UNIVERSE, &mut rng);
+    let tiny = sorted_members(64, MICRO_UNIVERSE, &mut rng);
+    let shapes: [(&str, SetRepr, SetRepr); 4] = [
+        ("sorted-similar", sorted(&similar_a), sorted(&similar_b)),
+        ("sorted-skewed-64to1", sorted(&tiny), sorted(&similar_b)),
+        ("dense-dense", dense(&similar_a), dense(&similar_b)),
+        ("sorted-dense", sorted(&similar_a), dense(&similar_b)),
+    ];
+    type OpFn = fn(&SetRepr, &SetRepr);
+    let ops: [(&str, OpFn); 4] = [
+        ("intersect", |a, b| {
+            black_box(a.intersect(b));
+        }),
+        ("union", |a, b| {
+            black_box(a.union(b));
+        }),
+        ("difference", |a, b| {
+            black_box(a.difference(b));
+        }),
+        ("intersect_count", |a, b| {
+            black_box(a.intersect_count(b));
+        }),
+    ];
+
+    let mut cells = Vec::new();
+    for (shape, ra, rb) in &shapes {
+        for (op, f) in ops {
+            let timed = |policy: KernelPolicy| {
+                repr::set_kernel_policy(policy);
+                let ns = time_ns(samples, target_ns, || f(ra, rb));
+                repr::set_kernel_policy(KernelPolicy::Optimized);
+                ns
+            };
+            let reference = timed(KernelPolicy::Reference);
+            let optimized = timed(KernelPolicy::Optimized);
+            let reference_p50_ns = percentile_ns(&reference, 50.0);
+            let optimized_p50_ns = percentile_ns(&optimized, 50.0);
+            cells.push(KernelCell {
+                op: op.to_string(),
+                shape: (*shape).to_string(),
+                len_a: ra.len(),
+                len_b: rb.len(),
+                samples,
+                reference_p50_ns,
+                reference_p95_ns: percentile_ns(&reference, 95.0),
+                optimized_p50_ns,
+                optimized_p95_ns: percentile_ns(&optimized, 95.0),
+                speedup_p50: reference_p50_ns as f64 / optimized_p50_ns.max(1) as f64,
+            });
+        }
+    }
+    cells
+}
+
+/// The headline scenario: a full triangle-count batch (one `IntersectCount`
+/// per oriented edge) on a 16-shard engine, measured at three rungs —
+/// the sequential scalar baseline (per-op priced loop, seed reference
+/// kernels: the seed's only path), the raw host execution layer
+/// (`host_count_batch`: threaded optimized kernels, no simulation), and the
+/// priced batched path (`execute`). Returns the measurement and the
+/// host-kernel selections the optimized path dispatched.
+fn headline(samples: usize) -> (HeadlineBench, std::collections::BTreeMap<String, u64>) {
+    let graph = "soc-fbMsg";
+    let g = sisa_graph::datasets::by_name(graph)
+        .expect("registered stand-in")
+        .generate(SEED);
+    let mut engine = ShardedEngine::sisa(
+        HEADLINE_SHARDS,
+        PartitionStrategy::Modulo,
+        SisaConfig::default(),
+    );
+    let (oriented, _) = sisa_algorithms::setcentric::orient_by_degeneracy(
+        &mut engine,
+        &g,
+        &SetGraphConfig::default(),
+    );
+    let mut batch = Vec::new();
+    for u in 0..oriented.num_vertices() as Vertex {
+        let nu = oriented.neighborhood(u);
+        for &v in oriented.neighbors(u) {
+            batch.push(BatchOp::IntersectCount(nu, oriented.neighborhood(v)));
+        }
+    }
+
+    let run_baseline = |engine: &mut ShardedEngine<SisaRuntime>| -> u64 {
+        repr::set_kernel_policy(KernelPolicy::Reference);
+        let mut triangles = 0u64;
+        for op in &batch {
+            let (a, b) = op.operands();
+            triangles += engine.intersect_count(a, b) as u64;
+        }
+        repr::set_kernel_policy(KernelPolicy::Optimized);
+        triangles
+    };
+    let run_host = |engine: &ShardedEngine<SisaRuntime>| -> u64 {
+        engine
+            .host_count_batch(&batch)
+            .iter()
+            .map(|&c| c as u64)
+            .sum()
+    };
+    let run_priced_batch = |engine: &mut ShardedEngine<SisaRuntime>| -> u64 {
+        engine
+            .execute(&batch)
+            .iter()
+            .map(|r| r.count() as u64)
+            .sum()
+    };
+
+    // Every path must mine the same number of triangles — the optimized
+    // layers are only faster engines, never a different answer.
+    let expected = run_baseline(&mut engine);
+    assert_eq!(run_host(&engine), expected, "host layer disagrees");
+    assert_eq!(
+        run_priced_batch(&mut engine),
+        expected,
+        "priced batch disagrees"
+    );
+
+    // Host-kernel selections of one optimized pass (dispatch provenance).
+    // Tallies are thread-local, so count on the main thread alone.
+    let restore_threads = engine.host_threads();
+    engine.set_host_threads(1);
+    repr::reset_kernel_selection_counts();
+    let _ = run_host(&engine);
+    let selections = repr::kernel_selection_counts();
+    engine.set_host_threads(restore_threads);
+
+    // Simulated cost of one batch (identical for every host path: host
+    // kernels change wall-clock only, never the platform-level cycle model).
+    engine.reset_stats();
+    let _ = run_priced_batch(&mut engine);
+    let simulated_total_cycles = engine.stats().total_cycles();
+    let simulated_energy_nj = engine.stats().energy_nj;
+    let simulated_makespan_cycles = engine.report().makespan_cycles();
+
+    // Interleave the timed runs so drift lands evenly on all paths.
+    let mut baseline_ns = Vec::with_capacity(samples);
+    let mut optimized_ns = Vec::with_capacity(samples);
+    let mut priced_ns = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        let t = run_baseline(&mut engine);
+        baseline_ns.push(start.elapsed().as_nanos() as u64);
+        assert_eq!(t, expected);
+        let start = Instant::now();
+        let t = run_host(&engine);
+        optimized_ns.push(start.elapsed().as_nanos() as u64);
+        assert_eq!(t, expected);
+        let start = Instant::now();
+        let t = run_priced_batch(&mut engine);
+        priced_ns.push(start.elapsed().as_nanos() as u64);
+        assert_eq!(t, expected);
+    }
+
+    let baseline_p50_ns = percentile_ns(&baseline_ns, 50.0);
+    let optimized_p50_ns = percentile_ns(&optimized_ns, 50.0);
+    let bench = HeadlineBench {
+        workload: "tc".into(),
+        graph: graph.into(),
+        shards: HEADLINE_SHARDS,
+        host_threads: engine.resolved_host_threads(),
+        batch_ops: batch.len(),
+        result: expected,
+        samples,
+        baseline_p50_ns,
+        baseline_p95_ns: percentile_ns(&baseline_ns, 95.0),
+        optimized_p50_ns,
+        optimized_p95_ns: percentile_ns(&optimized_ns, 95.0),
+        priced_batch_p50_ns: percentile_ns(&priced_ns, 50.0),
+        priced_batch_p95_ns: percentile_ns(&priced_ns, 95.0),
+        speedup_p50: baseline_p50_ns as f64 / optimized_p50_ns.max(1) as f64,
+        simulated_total_cycles,
+        simulated_makespan_cycles,
+        simulated_energy_nj,
+    };
+    let selections = [
+        ("merge".to_string(), selections.merge),
+        ("gallop".to_string(), selections.gallop),
+        ("bitmap".to_string(), selections.bitmap),
+    ]
+    .into_iter()
+    .collect();
+    (bench, selections)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let path = results_dir().join("BENCH_kernels.json");
+
+    if args.iter().any(|a| a == "--check") {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let doc = BenchKernels::from_json(&text)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        doc.validate()
+            .unwrap_or_else(|e| panic!("{} violates the schema: {e}", path.display()));
+        println!(
+            "{} is a valid schema-v{} document (headline {:.2}x, {} kernel cells).",
+            path.display(),
+            doc.schema_version,
+            doc.headline.speedup_p50,
+            doc.kernels.len()
+        );
+        return;
+    }
+
+    let (samples, target_ns) = if smoke { (5, 50_000) } else { (15, 200_000) };
+    let kernels = micro_matrix(samples, target_ns);
+    let (headline, host_kernels) = headline(if smoke { 3 } else { 7 });
+
+    let mut rows: Vec<Vec<String>> = kernels
+        .iter()
+        .map(|c| {
+            vec![
+                c.op.clone(),
+                c.shape.clone(),
+                format!("{}x{}", c.len_a, c.len_b),
+                c.reference_p50_ns.to_string(),
+                c.optimized_p50_ns.to_string(),
+                format!("{:.2}x", c.speedup_p50),
+            ]
+        })
+        .collect();
+    rows.push(vec![
+        "tc batch".into(),
+        format!("{} x{}shards", headline.graph, headline.shards),
+        headline.batch_ops.to_string(),
+        headline.baseline_p50_ns.to_string(),
+        headline.optimized_p50_ns.to_string(),
+        format!("{:.2}x", headline.speedup_p50),
+    ]);
+    let table = format_table(
+        &[
+            "op",
+            "shape",
+            "size",
+            "ref p50 [ns]",
+            "opt p50 [ns]",
+            "speedup",
+        ],
+        &rows,
+    );
+    emit(
+        "bench_kernels",
+        &format!(
+            "Host kernel wall clock, seed {SEED} ({} mode): seed scalar kernels \
+             (KernelPolicy::Reference) vs word-parallel/galloping/arena dispatch.\n\
+             Headline: triangle-count batch on {} over {} shards — {:.2}x \
+             (sequential scalar baseline p50 {:.3} ms, raw host layer p50 \
+             {:.3} ms, priced batched path p50 {:.3} ms, {} host threads).\n\n{table}",
+            if smoke { "smoke" } else { "full" },
+            headline.graph,
+            headline.shards,
+            headline.speedup_p50,
+            headline.baseline_p50_ns as f64 / 1e6,
+            headline.optimized_p50_ns as f64 / 1e6,
+            headline.priced_batch_p50_ns as f64 / 1e6,
+            headline.host_threads,
+        ),
+    );
+
+    let doc = BenchKernels {
+        schema_version: BENCH_KERNELS_SCHEMA_VERSION,
+        mode: if smoke { "smoke" } else { "full" }.into(),
+        seed: SEED,
+        host: HostPlatform::capture(),
+        pim: PimPlatform::default(),
+        host_kernels,
+        kernels,
+        headline,
+    };
+    doc.validate().expect("emitted document is schema-valid");
+    assert!(
+        doc.headline.speedup_p50 >= 3.0,
+        "headline regression: {:.2}x is below the tracked 3x floor",
+        doc.headline.speedup_p50
+    );
+
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("results dir");
+    std::fs::write(&path, doc.to_json()).expect("write BENCH_kernels.json");
+    // Read the artifact back so a serialization regression fails loudly here
+    // rather than in a downstream consumer.
+    let reread = BenchKernels::from_json(&std::fs::read_to_string(&path).expect("reread"))
+        .expect("emitted artifact parses");
+    assert_eq!(reread, doc, "artifact does not round-trip");
+    println!("Wall-clock trajectory recorded in {}", path.display());
+}

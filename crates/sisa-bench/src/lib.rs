@@ -371,6 +371,10 @@ pub struct InstructionMix {
     /// Dependence-stall cycles per assembly mnemonic (the instruction that
     /// stalled). Mnemonics that never stalled are omitted.
     pub dep_stalls: std::collections::BTreeMap<String, u64>,
+    /// Host kernels the size-ratio dispatch policy selected while executing
+    /// the binary set-op opcodes of this trace (`merge` / `gallop` /
+    /// `bitmap` tallies from [`sisa_sets::repr::kernel_selection_counts`]).
+    pub host_kernels: std::collections::BTreeMap<String, u64>,
     /// Analysis notes: what the stall report implied and what acting on it
     /// measured — currently the kcc-4 overlap recovered by set-ID renaming
     /// plus the out-of-order window (the `rename_ooo` figure), quantified on
@@ -434,10 +438,12 @@ pub fn capture_instruction_mix(name: &str, g: &CsrGraph) -> InstructionMix {
     let config = SisaConfig::pipelined(INSTRUCTION_MIX_ISSUE_DEPTH);
     let mut rt = SisaRuntime::new(config);
     rt.enable_default_trace();
+    sisa_sets::repr::reset_kernel_selection_counts();
     let (oriented, _) = setcentric::orient_by_degeneracy(&mut rt, g, &SetGraphConfig::default());
     let _ = setcentric::triangle_count(&mut rt, &oriented, &SearchLimits::patterns(50_000));
     let sg = SetGraph::load(&mut rt, g, &SetGraphConfig::default());
     let _ = setcentric::bfs(&mut rt, &sg, 0, setcentric::BfsMode::DirectionOptimizing);
+    let selections = sisa_sets::repr::kernel_selection_counts();
     let trace = rt.take_trace().expect("trace was enabled");
     let program = trace.program();
     let stats = rt.stats();
@@ -456,7 +462,11 @@ pub fn capture_instruction_mix(name: &str, g: &CsrGraph) -> InstructionMix {
          serialise on WAR/WAW hazards over recycled set IDs. Measured on this graph: \
          kcc-4 overlap is {kcc_in_order:.2}x in order and {kcc_renamed:.2}x with set-ID \
          renaming + an {RENAME_OOO_HEADLINE_WINDOW}-entry out-of-order window \
-         (SisaConfig::renamed; full sweep in rename_ooo.json)."
+         (SisaConfig::renamed; full sweep in rename_ooo.json). Host kernel dispatch \
+         across this trace's binary set-op opcodes (sisa.int/sisa.uni/sisa.dif and \
+         their counting forms): {} merge, {} galloping, {} bitmap selections \
+         (size-ratio policy, sisa_sets::repr; wall-clock effect in BENCH_kernels.json).",
+        selections.merge, selections.gallop, selections.bitmap
     );
     InstructionMix {
         workload: "tc+bfs".into(),
@@ -480,6 +490,13 @@ pub fn capture_instruction_mix(name: &str, g: &CsrGraph) -> InstructionMix {
                 acc
             },
         ),
+        host_kernels: [
+            ("merge".to_string(), selections.merge),
+            ("gallop".to_string(), selections.gallop),
+            ("bitmap".to_string(), selections.bitmap),
+        ]
+        .into_iter()
+        .collect(),
         notes,
     }
 }
@@ -777,6 +794,236 @@ pub fn multi_cube_sweep(
 }
 
 // ---------------------------------------------------------------------------
+// Host-kernel wall-clock benchmark (`BENCH_kernels.json`)
+// ---------------------------------------------------------------------------
+
+/// Schema version of `results/BENCH_kernels.json`; bump when a field is
+/// added, removed or re-interpreted so downstream tooling can dispatch.
+pub const BENCH_KERNELS_SCHEMA_VERSION: u32 = 1;
+
+/// Provenance of the machine a wall-clock benchmark ran on. Simulated cycle
+/// counts are platform-independent; nanosecond figures are only comparable
+/// against runs with matching host provenance.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HostPlatform {
+    /// `std::env::consts::OS` of the benchmarking host.
+    pub os: String,
+    /// `std::env::consts::ARCH` of the benchmarking host.
+    pub arch: String,
+    /// Hardware threads reported by `std::thread::available_parallelism`.
+    pub available_parallelism: usize,
+    /// Whether the binary was compiled with debug assertions (a `true` here
+    /// means the nanosecond figures are not release-grade).
+    pub debug_assertions: bool,
+    /// The workspace version the benchmark binary was built from.
+    pub crate_version: String,
+}
+
+impl HostPlatform {
+    /// Captures the current host's provenance.
+    #[must_use]
+    pub fn capture() -> Self {
+        Self {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            available_parallelism: std::thread::available_parallelism()
+                .map_or(1, std::num::NonZeroUsize::get),
+            debug_assertions: cfg!(debug_assertions),
+            crate_version: env!("CARGO_PKG_VERSION").to_string(),
+        }
+    }
+}
+
+/// One measured micro-kernel cell of `bench_kernels`: a set operation on a
+/// fixed-seed operand shape, timed under both kernel policies
+/// ([`sisa_sets::KernelPolicy::Reference`] replays the seed's scalar host
+/// kernels, `Optimized` is the dispatched word-parallel / galloping / arena
+/// path).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KernelCell {
+    /// The set operation (`intersect`, `union`, `difference`,
+    /// `intersect_count`).
+    pub op: String,
+    /// The operand shape label (`sorted-similar`, `sorted-skewed-64to1`,
+    /// `dense-dense`, `sorted-dense`).
+    pub shape: String,
+    /// Elements in the left operand.
+    pub len_a: usize,
+    /// Elements in the right operand.
+    pub len_b: usize,
+    /// Timing samples taken per policy (each sample is the mean of an inner
+    /// iteration loop).
+    pub samples: usize,
+    /// Median per-operation wall clock of the reference (seed) kernels, ns.
+    pub reference_p50_ns: u64,
+    /// 95th-percentile per-operation wall clock of the reference kernels, ns.
+    pub reference_p95_ns: u64,
+    /// Median per-operation wall clock of the optimized kernels, ns.
+    pub optimized_p50_ns: u64,
+    /// 95th-percentile per-operation wall clock of the optimized kernels, ns.
+    pub optimized_p95_ns: u64,
+    /// `reference_p50_ns / optimized_p50_ns`.
+    pub speedup_p50: f64,
+}
+
+/// The headline end-to-end scenario of `bench_kernels`: a full triangle-count
+/// batch on a sharded engine, measured at three rungs of the host execution
+/// stack. **Baseline** is the seed's only path — a sequential per-op loop
+/// through the priced engine with the scalar reference kernels. **Optimized**
+/// is the raw host execution layer (`ShardedEngine::host_count_batch`):
+/// threaded, word-parallel/galloping/arena-backed, computing the same answers
+/// directly on the shard-resident representations without advancing the
+/// simulated machine. **Priced batch** is `ShardedEngine::execute` — the
+/// fully priced batched path, for runs that need simulated statistics.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HeadlineBench {
+    /// The workload label (`tc`).
+    pub workload: String,
+    /// The input graph's registered name.
+    pub graph: String,
+    /// Shard count of the sharded engine.
+    pub shards: usize,
+    /// Host worker threads the optimized paths resolved to
+    /// ([`SisaConfig::host_threads`] = 0 → available parallelism).
+    pub host_threads: usize,
+    /// Operations in the batch (one `IntersectCount` per oriented edge).
+    pub batch_ops: usize,
+    /// The mined result (triangle count); identical for all paths by
+    /// construction, asserted by the binary.
+    pub result: u64,
+    /// Timing samples taken per path.
+    pub samples: usize,
+    /// Median wall clock of the sequential scalar baseline (per-op priced
+    /// loop, seed reference kernels), ns.
+    pub baseline_p50_ns: u64,
+    /// 95th-percentile wall clock of the baseline loop, ns.
+    pub baseline_p95_ns: u64,
+    /// Median wall clock of the optimized raw host layer
+    /// (`host_count_batch`, optimized kernels, worker threads), ns.
+    pub optimized_p50_ns: u64,
+    /// 95th-percentile wall clock of the optimized raw host layer, ns.
+    pub optimized_p95_ns: u64,
+    /// Median wall clock of the priced batched path
+    /// ([`ShardedEngine::execute`], optimized kernels, worker threads), ns.
+    pub priced_batch_p50_ns: u64,
+    /// 95th-percentile wall clock of the priced batched path, ns.
+    pub priced_batch_p95_ns: u64,
+    /// `baseline_p50_ns / optimized_p50_ns` — the headline speedup.
+    pub speedup_p50: f64,
+    /// Simulated serial work total of one batch, in cycles (platform-level
+    /// cost — identical for every host path; host kernels never touch it).
+    pub simulated_total_cycles: u64,
+    /// Simulated busiest-shard makespan of one batch, in cycles.
+    pub simulated_makespan_cycles: u64,
+    /// Simulated energy of one batch, in nanojoules.
+    pub simulated_energy_nj: f64,
+}
+
+/// The full `results/BENCH_kernels.json` document emitted by the
+/// `bench_kernels` binary: fixed-seed micro-kernel timings, the headline
+/// sharded triangle-count scenario, host-kernel dispatch tallies and
+/// platform provenance.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchKernels {
+    /// [`BENCH_KERNELS_SCHEMA_VERSION`] at emission time.
+    pub schema_version: u32,
+    /// `smoke` (CI-sized sampling) or `full`.
+    pub mode: String,
+    /// The RNG seed every operand draw and graph generation used.
+    pub seed: u64,
+    /// Host machine provenance for the nanosecond figures.
+    pub host: HostPlatform,
+    /// The simulated PIM platform the cycle figures were produced with.
+    pub pim: PimPlatform,
+    /// Host kernels the dispatch policy chose during the headline batch
+    /// (`merge` / `gallop` / `bitmap` tallies).
+    pub host_kernels: std::collections::BTreeMap<String, u64>,
+    /// The micro-kernel matrix (op × operand shape).
+    pub kernels: Vec<KernelCell>,
+    /// The end-to-end headline scenario.
+    pub headline: HeadlineBench,
+}
+
+impl BenchKernels {
+    /// Pretty-printed JSON for this document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("bench document serializes")
+    }
+
+    /// Parses a `BENCH_kernels.json` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error's message when `text` is not a valid document.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("{e:?}"))
+    }
+
+    /// Checks the document's internal invariants (the schema validation CI
+    /// runs on the emitted artifact).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema_version != BENCH_KERNELS_SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version {} != supported {BENCH_KERNELS_SCHEMA_VERSION}",
+                self.schema_version
+            ));
+        }
+        if self.mode != "smoke" && self.mode != "full" {
+            return Err(format!("mode {:?} is not smoke|full", self.mode));
+        }
+        if self.kernels.is_empty() {
+            return Err("kernel matrix is empty".into());
+        }
+        for cell in &self.kernels {
+            if cell.samples == 0 {
+                return Err(format!("{}/{}: zero samples", cell.op, cell.shape));
+            }
+            if cell.reference_p50_ns > cell.reference_p95_ns
+                || cell.optimized_p50_ns > cell.optimized_p95_ns
+            {
+                return Err(format!("{}/{}: p50 exceeds p95", cell.op, cell.shape));
+            }
+            if !(cell.speedup_p50.is_finite() && cell.speedup_p50 > 0.0) {
+                return Err(format!("{}/{}: bad speedup", cell.op, cell.shape));
+            }
+        }
+        let h = &self.headline;
+        if h.shards == 0 || h.batch_ops == 0 || h.samples == 0 {
+            return Err("headline is degenerate".into());
+        }
+        if h.baseline_p50_ns > h.baseline_p95_ns
+            || h.optimized_p50_ns > h.optimized_p95_ns
+            || h.priced_batch_p50_ns > h.priced_batch_p95_ns
+        {
+            return Err("headline p50 exceeds p95".into());
+        }
+        if !(h.speedup_p50.is_finite() && h.speedup_p50 > 0.0) {
+            return Err("headline speedup is not a positive finite number".into());
+        }
+        if self.host_kernels.values().sum::<u64>() == 0 {
+            return Err("headline recorded no host-kernel selections".into());
+        }
+        Ok(())
+    }
+}
+
+/// Nearest-rank percentile of a sample set (`pct` in `[0, 100]`). Sorts a
+/// copy; panics on an empty slice.
+#[must_use]
+pub fn percentile_ns(samples: &[u64], pct: f64) -> u64 {
+    assert!(!samples.is_empty(), "percentile of an empty sample set");
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+// ---------------------------------------------------------------------------
 // Summaries and output helpers
 // ---------------------------------------------------------------------------
 
@@ -955,6 +1202,105 @@ mod tests {
         assert_eq!(Problem::Si4sL.label(), "si-4s-L");
         assert_eq!(Scheme::Sisa.label(), "sisa");
         assert_eq!(Problem::figure6_panels().len(), 11);
+    }
+
+    fn sample_bench_document() -> BenchKernels {
+        BenchKernels {
+            schema_version: BENCH_KERNELS_SCHEMA_VERSION,
+            mode: "smoke".into(),
+            seed: 1,
+            host: HostPlatform::capture(),
+            pim: PimPlatform::default(),
+            host_kernels: [("merge".to_string(), 3), ("bitmap".to_string(), 2)]
+                .into_iter()
+                .collect(),
+            kernels: vec![KernelCell {
+                op: "intersect".into(),
+                shape: "sorted-similar".into(),
+                len_a: 4096,
+                len_b: 4096,
+                samples: 5,
+                reference_p50_ns: 900,
+                reference_p95_ns: 1100,
+                optimized_p50_ns: 300,
+                optimized_p95_ns: 350,
+                speedup_p50: 3.0,
+            }],
+            headline: HeadlineBench {
+                workload: "tc".into(),
+                graph: "soc-fbMsg".into(),
+                shards: 16,
+                host_threads: 1,
+                batch_ops: 14336,
+                result: 42,
+                samples: 3,
+                baseline_p50_ns: 9_000_000,
+                baseline_p95_ns: 9_500_000,
+                optimized_p50_ns: 2_000_000,
+                optimized_p95_ns: 2_200_000,
+                priced_batch_p50_ns: 7_000_000,
+                priced_batch_p95_ns: 7_400_000,
+                speedup_p50: 4.5,
+                simulated_total_cycles: 1_000_000,
+                simulated_makespan_cycles: 80_000,
+                simulated_energy_nj: 12.5,
+            },
+        }
+    }
+
+    #[test]
+    fn bench_document_roundtrips_and_validates() {
+        let doc = sample_bench_document();
+        doc.validate().expect("sample document is valid");
+        let parsed = BenchKernels::from_json(&doc.to_json()).expect("roundtrip parses");
+        assert_eq!(parsed, doc);
+        assert!(BenchKernels::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn bench_document_validation_rejects_violations() {
+        let mut doc = sample_bench_document();
+        doc.schema_version += 1;
+        assert!(doc.validate().is_err(), "wrong schema version");
+        let mut doc = sample_bench_document();
+        doc.mode = "quick".into();
+        assert!(doc.validate().is_err(), "unknown mode");
+        let mut doc = sample_bench_document();
+        doc.kernels.clear();
+        assert!(doc.validate().is_err(), "empty matrix");
+        let mut doc = sample_bench_document();
+        doc.kernels[0].optimized_p50_ns = doc.kernels[0].optimized_p95_ns + 1;
+        assert!(doc.validate().is_err(), "p50 above p95");
+        let mut doc = sample_bench_document();
+        doc.headline.speedup_p50 = f64::NAN;
+        assert!(doc.validate().is_err(), "non-finite headline speedup");
+        let mut doc = sample_bench_document();
+        doc.headline.priced_batch_p50_ns = doc.headline.priced_batch_p95_ns + 1;
+        assert!(doc.validate().is_err(), "priced-batch p50 above p95");
+        let mut doc = sample_bench_document();
+        doc.host_kernels.clear();
+        assert!(doc.validate().is_err(), "no dispatch tallies");
+    }
+
+    #[test]
+    fn percentiles_use_the_nearest_rank() {
+        let samples = [50u64, 10, 40, 20, 30];
+        assert_eq!(percentile_ns(&samples, 50.0), 30);
+        assert_eq!(percentile_ns(&samples, 95.0), 50);
+        assert_eq!(percentile_ns(&samples, 0.0), 10);
+        assert_eq!(percentile_ns(&[7], 95.0), 7);
+    }
+
+    #[test]
+    fn instruction_mix_records_host_kernel_selections() {
+        let g = generators::erdos_renyi(120, 0.08, 3);
+        let mix = capture_instruction_mix("er-120", &g);
+        let total: u64 = mix.host_kernels.values().sum();
+        assert!(total > 0, "a tc+bfs trace dispatches host kernels");
+        assert!(mix.notes.contains("Host kernel dispatch"));
+        for key in ["merge", "gallop", "bitmap"] {
+            assert!(mix.host_kernels.contains_key(key), "{key} tally present");
+        }
     }
 
     #[test]

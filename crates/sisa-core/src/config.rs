@@ -109,6 +109,12 @@ pub struct SisaConfig {
     /// reorders under the full logical-ID hazard rules, which is provably
     /// identical to an in-order window of the same size).
     pub ooo_window: usize,
+    /// Host worker threads used by [`crate::ShardedEngine::execute`] to fan
+    /// independent per-shard batch work across OS threads. 0 (the default)
+    /// resolves to the machine's available parallelism at run time; 1 forces
+    /// sequential execution. Purely a host-speed knob: the simulated
+    /// statistics are bit-for-bit identical for every thread count.
+    pub host_threads: usize,
 }
 
 impl Default for SisaConfig {
@@ -122,6 +128,7 @@ impl Default for SisaConfig {
             issue_lanes: 0,
             rename_tags: 0,
             ooo_window: 0,
+            host_threads: 0,
         }
     }
 }

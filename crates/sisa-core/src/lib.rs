@@ -77,7 +77,7 @@ pub use scoreboard::Scoreboard;
 pub use scu::{ExecutionChoice, ExecutionTarget, Scu};
 pub use set_graph::SetGraph;
 pub use shard::PartitionStrategy;
-pub use sharded::{LinkTraffic, ShardReport, ShardedEngine};
+pub use sharded::{BatchOp, BatchResult, LinkTraffic, ShardReport, ShardedEngine};
 pub use stats::{ExecStats, StatsCheckpoint};
 pub use trace::{TraceEvent, TraceOp, TraceSink};
 

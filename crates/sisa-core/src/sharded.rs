@@ -33,7 +33,7 @@ use crate::engine::SetEngine;
 use crate::parallel::{schedule, RunReport, TaskRecord};
 use crate::runtime::SisaRuntime;
 use crate::shard::PartitionStrategy;
-use crate::stats::ExecStats;
+use crate::stats::{ExecStats, StatsCheckpoint};
 use crate::Vertex;
 use sisa_isa::SetId;
 use sisa_pim::{EnergyModel, LinkModel};
@@ -102,6 +102,123 @@ struct ResolvedBinary {
     temp: Option<SetId>,
 }
 
+/// One operation of a [`ShardedEngine::execute`] batch.
+///
+/// Batches are restricted to the side-effect-free binary forms (materialising
+/// and counting): every operation reads pre-existing sets and at most creates
+/// a fresh result, so all operations in a batch are mutually independent and
+/// the engine is free to run different shards' work on different host
+/// threads. Operands must name sets that exist when `execute` is called —
+/// results of earlier operations in the same batch are not yet addressable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchOp {
+    /// `A ∩ B`, materialised.
+    Intersect(SetId, SetId),
+    /// `A ∪ B`, materialised.
+    Union(SetId, SetId),
+    /// `A \ B`, materialised.
+    Difference(SetId, SetId),
+    /// `|A ∩ B|`.
+    IntersectCount(SetId, SetId),
+    /// `|A ∪ B|`.
+    UnionCount(SetId, SetId),
+    /// `|A \ B|`.
+    DifferenceCount(SetId, SetId),
+}
+
+impl BatchOp {
+    /// The operation's `(A, B)` operand pair.
+    #[must_use]
+    pub fn operands(self) -> (SetId, SetId) {
+        match self {
+            Self::Intersect(a, b)
+            | Self::Union(a, b)
+            | Self::Difference(a, b)
+            | Self::IntersectCount(a, b)
+            | Self::UnionCount(a, b)
+            | Self::DifferenceCount(a, b) => (a, b),
+        }
+    }
+}
+
+/// The outcome of one [`BatchOp`], in batch order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchResult {
+    /// A materialised result set (global ID).
+    Set(SetId),
+    /// A cardinality.
+    Count(usize),
+}
+
+impl BatchResult {
+    /// The global set ID of a materialised result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this result is a count.
+    #[must_use]
+    pub fn set(self) -> SetId {
+        match self {
+            Self::Set(id) => id,
+            Self::Count(n) => panic!("expected a set result, got count {n}"),
+        }
+    }
+
+    /// The cardinality of a counting result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this result is a materialised set.
+    #[must_use]
+    pub fn count(self) -> usize {
+        match self {
+            Self::Count(n) => n,
+            Self::Set(id) => panic!("expected a count result, got set {id}"),
+        }
+    }
+}
+
+/// A batch operation bound to its executing shard's local IDs.
+struct QueuedOp {
+    index: usize,
+    op: BatchOp,
+    a: SetId,
+    b: SetId,
+    temp: Option<SetId>,
+}
+
+/// What a shard worker produced for one queued operation.
+enum LocalOutcome {
+    Set(SetId),
+    Count(usize),
+}
+
+/// Runs one shard's queue against its inner engine, in queue order. This is
+/// the only code that touches a shard during the execution phase, so running
+/// queues inline or on worker threads produces identical shard states.
+fn run_queue<E: SetEngine>(engine: &mut E, queue: &[QueuedOp]) -> Vec<(usize, LocalOutcome)> {
+    let mut out = Vec::with_capacity(queue.len());
+    for item in queue {
+        let outcome = match item.op {
+            BatchOp::Intersect(..) => LocalOutcome::Set(engine.intersect(item.a, item.b)),
+            BatchOp::Union(..) => LocalOutcome::Set(engine.union(item.a, item.b)),
+            BatchOp::Difference(..) => LocalOutcome::Set(engine.difference(item.a, item.b)),
+            BatchOp::IntersectCount(..) => {
+                LocalOutcome::Count(engine.intersect_count(item.a, item.b))
+            }
+            BatchOp::UnionCount(..) => LocalOutcome::Count(engine.union_count(item.a, item.b)),
+            BatchOp::DifferenceCount(..) => {
+                LocalOutcome::Count(engine.difference_count(item.a, item.b))
+            }
+        };
+        if let Some(temp) = item.temp {
+            engine.delete(temp);
+        }
+        out.push((item.index, outcome));
+    }
+    out
+}
+
 /// A [`SetEngine`] that partitions the set universe across several inner
 /// engines and prices cross-shard operand movement.
 #[derive(Clone, Debug)]
@@ -122,6 +239,8 @@ pub struct ShardedEngine<E: SetEngine> {
     /// Cached ordered fold of per-shard energies (see `refresh_energy`).
     shard_energy_sum: f64,
     task_mark: u64,
+    /// Worker threads for [`Self::execute`]; 0 = available parallelism.
+    host_threads: usize,
 }
 
 impl<E: SetEngine> ShardedEngine<E> {
@@ -154,6 +273,7 @@ impl<E: SetEngine> ShardedEngine<E> {
             created_load: vec![0; n],
             shard_energy_sum: 0.0,
             task_mark: 0,
+            host_threads: 0,
         }
     }
 
@@ -187,6 +307,30 @@ impl<E: SetEngine> ShardedEngine<E> {
         &self.traffic
     }
 
+    /// The configured worker-thread knob for [`Self::execute`]
+    /// (0 = resolve to available parallelism at run time).
+    #[must_use]
+    pub fn host_threads(&self) -> usize {
+        self.host_threads
+    }
+
+    /// Sets the worker-thread knob for [`Self::execute`]. 0 (the default)
+    /// resolves to the machine's available parallelism; 1 forces sequential
+    /// execution. Thread count never changes results or simulated statistics.
+    pub fn set_host_threads(&mut self, threads: usize) {
+        self.host_threads = threads;
+    }
+
+    /// The number of worker threads [`Self::execute`] will actually use.
+    #[must_use]
+    pub fn resolved_host_threads(&self) -> usize {
+        if self.host_threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.host_threads
+        }
+    }
+
     /// The shard currently storing a set.
     ///
     /// # Panics
@@ -195,6 +339,19 @@ impl<E: SetEngine> ShardedEngine<E> {
     #[must_use]
     pub fn shard_of(&self, id: SetId) -> usize {
         self.locate(id).0
+    }
+
+    /// The stored representation of a live set, read in place on the shard
+    /// that holds it (no transfer is priced — this is host-side inspection,
+    /// not a simulated operation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not name a live set.
+    #[must_use]
+    pub fn repr_of(&self, id: SetId) -> &SetRepr {
+        let (shard, local) = self.locate(id);
+        self.shards[shard].repr(local)
     }
 
     /// Aggregates per-shard statistics and the traffic ledger into a
@@ -290,6 +447,21 @@ impl<E: SetEngine> ShardedEngine<E> {
     /// (a RAW hazard), and independent instructions keep flowing instead of
     /// the whole machine stalling.
     fn charge_transfer(&mut self, src: usize, dst: usize, bytes: u64, delivers: SetId) {
+        let cycles = self.ledger_transfer(src, dst, bytes);
+        // Link wait becomes overlappable lane work on the receiving shard
+        // (no work counters charged there — the ledger above owns the cost).
+        // Routed through `on_shard` so whatever the shard's timeline does
+        // record (makespan growth, a WAW stall behind the replica's create)
+        // is checkpoint-merged into the aggregate like every other counter.
+        self.on_shard(dst, |e| e.absorb_lane_work(cycles, &[delivers]));
+    }
+
+    /// Books one `src → dst` transfer of `bytes` bytes into the aggregate
+    /// statistics and the traffic ledger, returning the link cycles it cost.
+    /// The lane-work absorption on the receiving shard is the caller's
+    /// responsibility (forwarding path: through [`Self::on_shard`]; batch
+    /// path: raw, folded in by the end-of-batch merge).
+    fn ledger_transfer(&mut self, src: usize, dst: usize, bytes: u64) -> u64 {
         let route = self.link.route(src, dst, self.shards.len());
         let cycles = self.link.transfer_cost(bytes as usize, route);
         let energy = self.energy.link_energy(bytes, route.hops as u64);
@@ -298,17 +470,14 @@ impl<E: SetEngine> ShardedEngine<E> {
         self.traffic.cross_ops += 1;
         self.traffic.bytes += bytes;
         self.traffic.cycles += cycles;
+        self.traffic.cycles_by_shard[dst] += cycles;
         self.traffic.energy_nj += energy;
         self.traffic.sent_by_shard[src] += bytes;
-        self.traffic.cycles_by_shard[dst] += cycles;
-        // Only the ledger changed; reuse the cached shard fold.
+        // Only the ledger changed; reuse the cached shard fold. (During a
+        // batch the shard fold may be stale — the batch's closing
+        // `refresh_energy` recomputes it before anyone can observe it.)
         self.stats.energy_nj = self.shard_energy_sum + self.traffic.energy_nj;
-        // Link wait becomes overlappable lane work on the receiving shard
-        // (no work counters charged there — the ledger above owns the cost).
-        // Routed through `on_shard` so whatever the shard's timeline does
-        // record (makespan growth, a WAW stall behind the replica's create)
-        // is checkpoint-merged into the aggregate like every other counter.
-        self.on_shard(dst, |e| e.absorb_lane_work(cycles, &[delivers]));
+        cycles
     }
 
     /// Resolves a binary operation's operands to one executing shard. When the
@@ -345,6 +514,42 @@ impl<E: SetEngine> ShardedEngine<E> {
         let replica = self.shards[src].repr(moved_local).clone();
         let temp = self.on_shard(dst, |e| e.create(replica));
         self.charge_transfer(src, dst, moved_bits.div_ceil(8) as u64, temp);
+        ResolvedBinary {
+            shard: dst,
+            a: if move_b { la } else { temp },
+            b: if move_b { temp } else { lb },
+            temp: Some(temp),
+        }
+    }
+
+    /// Batch-staging variant of [`Self::resolve_binary`]: the shard-level
+    /// effects (replica creation, transfer pricing, lane-work absorption) are
+    /// identical, but nothing is merged into the aggregate per operation —
+    /// [`Self::execute`] checkpoints every shard before staging and folds one
+    /// delta per shard when the batch closes.
+    fn resolve_binary_raw(&mut self, a: SetId, b: SetId) -> ResolvedBinary {
+        let (sa, la) = self.locate(a);
+        let (sb, lb) = self.locate(b);
+        if sa == sb {
+            return ResolvedBinary {
+                shard: sa,
+                a: la,
+                b: lb,
+                temp: None,
+            };
+        }
+        let bits_a = self.shards[sa].repr(la).storage_bits();
+        let bits_b = self.shards[sb].repr(lb).storage_bits();
+        let move_b = bits_b <= bits_a;
+        let (dst, src, moved_local, moved_bits) = if move_b {
+            (sa, sb, lb, bits_b)
+        } else {
+            (sb, sa, la, bits_a)
+        };
+        let replica = self.shards[src].repr(moved_local).clone();
+        let temp = self.shards[dst].create(replica);
+        let cycles = self.ledger_transfer(src, dst, moved_bits.div_ceil(8) as u64);
+        self.shards[dst].absorb_lane_work(cycles, &[temp]);
         ResolvedBinary {
             shard: dst,
             a: if move_b { la } else { temp },
@@ -391,6 +596,223 @@ impl<E: SetEngine> ShardedEngine<E> {
     }
 }
 
+impl<E: SetEngine + Send> ShardedEngine<E> {
+    /// Operations staged per [`Self::execute`] window: large enough to keep
+    /// every worker's queue full on wide batches, small enough that the
+    /// staged replicas alive at once stay within the shard allocators' hot
+    /// slot-reuse footprint.
+    const EXECUTE_WINDOW: usize = 1024;
+
+    /// Executes a batch of independent binary operations, fanning per-shard
+    /// work across host worker threads (see [`Self::set_host_threads`]).
+    ///
+    /// The batch runs as staged/run **windows** between one opening
+    /// checkpoint and one closing merge:
+    ///
+    /// 1. **Checkpoint** (main thread): every shard's statistics are
+    ///    checkpointed once, before any staging — the whole batch settles
+    ///    into the aggregate as a single delta per shard at the end, instead
+    ///    of the forwarding path's per-operation checkpoint/merge/refresh.
+    /// 2. **Stage a window** (main thread, batch order): operands of the
+    ///    next `EXECUTE_WINDOW` (1024) operations are resolved and
+    ///    cross-shard transfers are priced exactly as the per-op path does —
+    ///    the smaller operand crosses the link and is staged as a replica on
+    ///    the executing shard. Each operation is appended to its executing
+    ///    shard's queue. Windowing bounds how many staged replicas are alive
+    ///    at once, so the shard allocators keep recycling the same hot slots
+    ///    instead of growing a batch-sized cold tail.
+    /// 3. **Run the window**: every shard's queue runs against that shard
+    ///    alone, either inline (one worker) or on `std::thread::scope`
+    ///    workers over disjoint shard chunks. A shard's state evolution
+    ///    depends only on its own queue, so thread count cannot change what
+    ///    any shard computes or records.
+    /// 4. **Merge** (main thread, shard order, once after the last window):
+    ///    one checkpoint delta per shard is folded into the aggregate
+    ///    statistics, then the aggregate energy is recomputed as the usual
+    ///    ordered fold over shards. This makes the aggregate — including the
+    ///    floating-point `energy_nj` — bit-for-bit identical for every
+    ///    thread count. Materialised results are then registered in batch
+    ///    order.
+    ///
+    /// Returns one [`BatchResult`] per operation, in batch order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand does not name a live set, or if a worker thread
+    /// panics.
+    pub fn execute(&mut self, ops: &[BatchOp]) -> Vec<BatchResult> {
+        let n = self.shards.len();
+        let checkpoints: Vec<StatsCheckpoint> =
+            self.shards.iter().map(|s| s.stats().checkpoint()).collect();
+        let threads = self.resolved_host_threads().clamp(1, n);
+        let mut results: Vec<Option<(usize, LocalOutcome)>> = ops.iter().map(|_| None).collect();
+        let mut queues: Vec<Vec<QueuedOp>> = (0..n).map(|_| Vec::new()).collect();
+        for (w, window) in ops.chunks(Self::EXECUTE_WINDOW).enumerate() {
+            for queue in &mut queues {
+                queue.clear();
+            }
+            for (off, &op) in window.iter().enumerate() {
+                let (a, b) = op.operands();
+                let site = self.resolve_binary_raw(a, b);
+                queues[site.shard].push(QueuedOp {
+                    index: w * Self::EXECUTE_WINDOW + off,
+                    op,
+                    a: site.a,
+                    b: site.b,
+                    temp: site.temp,
+                });
+            }
+            if threads <= 1 {
+                for (shard, queue) in queues.iter().enumerate() {
+                    for (index, outcome) in run_queue(&mut self.shards[shard], queue) {
+                        results[index] = Some((shard, outcome));
+                    }
+                }
+            } else {
+                let chunk = n.div_ceil(threads);
+                let shard_chunks = self.shards.chunks_mut(chunk);
+                let results = &mut results;
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::new();
+                    for (ci, (shard_chunk, queue_chunk)) in
+                        shard_chunks.zip(queues.chunks(chunk)).enumerate()
+                    {
+                        handles.push(scope.spawn(move || {
+                            let base = ci * chunk;
+                            let mut out = Vec::new();
+                            for (off, (engine, queue)) in
+                                shard_chunk.iter_mut().zip(queue_chunk).enumerate()
+                            {
+                                for (index, outcome) in run_queue(engine, queue) {
+                                    out.push((index, base + off, outcome));
+                                }
+                            }
+                            out
+                        }));
+                    }
+                    for handle in handles {
+                        for (index, shard, outcome) in handle.join().expect("shard worker panicked")
+                        {
+                            results[index] = Some((shard, outcome));
+                        }
+                    }
+                });
+            }
+        }
+
+        for (shard, at) in checkpoints.iter().enumerate() {
+            self.stats.merge_since(self.shards[shard].stats(), at);
+        }
+        self.refresh_energy();
+
+        results
+            .into_iter()
+            .map(|slot| {
+                let (shard, outcome) = slot.expect("every batch op produces an outcome");
+                match outcome {
+                    LocalOutcome::Set(local) => {
+                        self.created_load[shard] += self.shards[shard].repr(local).len() as u64;
+                        BatchResult::Set(self.register_global(shard, local))
+                    }
+                    LocalOutcome::Count(count) => BatchResult::Count(count),
+                }
+            })
+            .collect()
+    }
+}
+
+impl<E: SetEngine + Sync> ShardedEngine<E> {
+    /// Evaluates a batch of **counting** operations with the host kernels
+    /// alone: results are computed directly on the shard-resident
+    /// representations, in place, without issuing instructions or advancing
+    /// the simulated machine — no cycles, energy, traffic or metadata change.
+    ///
+    /// This is the raw-speed functional layer beneath the priced paths. Use
+    /// it when only the answers matter (validation sweeps, result-only
+    /// analyses, wall-clock kernel benchmarking); use [`Self::execute`] or
+    /// the per-op [`SetEngine`] calls when the run must be priced. The priced
+    /// paths compute every count through the same [`SetRepr`] kernels, so
+    /// this evaluator returns exactly what they would.
+    ///
+    /// Operations are grouped by executing shard (the shard holding the
+    /// larger operand — the same site rule the priced paths use) and fan out
+    /// over [`Self::resolved_host_threads`] worker threads; shard state is
+    /// only read, so thread count affects wall-clock alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand does not name a live set, if the batch contains
+    /// a materialising form, or if a worker thread panics.
+    #[must_use]
+    pub fn host_count_batch(&self, ops: &[BatchOp]) -> Vec<usize> {
+        let n = self.shards.len();
+        let mut queues: Vec<Vec<(usize, BatchOp)>> = (0..n).map(|_| Vec::new()).collect();
+        for (index, &op) in ops.iter().enumerate() {
+            assert!(
+                matches!(
+                    op,
+                    BatchOp::IntersectCount(..)
+                        | BatchOp::UnionCount(..)
+                        | BatchOp::DifferenceCount(..)
+                ),
+                "host_count_batch evaluates counting forms only"
+            );
+            let (a, b) = op.operands();
+            let (sa, la) = self.locate(a);
+            let (sb, lb) = self.locate(b);
+            let site = if sa == sb
+                || self.shards[sb].repr(lb).storage_bits()
+                    <= self.shards[sa].repr(la).storage_bits()
+            {
+                sa
+            } else {
+                sb
+            };
+            queues[site].push((index, op));
+        }
+
+        let eval = |op: BatchOp| -> usize {
+            let (a, b) = op.operands();
+            let (ra, rb) = (self.repr_of(a), self.repr_of(b));
+            match op {
+                BatchOp::IntersectCount(..) => ra.intersect_count(rb),
+                BatchOp::UnionCount(..) => ra.union_count(rb),
+                BatchOp::DifferenceCount(..) => ra.difference_count(rb),
+                _ => unreachable!("materialising forms rejected above"),
+            }
+        };
+        let mut results = vec![0usize; ops.len()];
+        let threads = self.resolved_host_threads().clamp(1, n);
+        if threads <= 1 {
+            for queue in &queues {
+                for &(index, op) in queue {
+                    results[index] = eval(op);
+                }
+            }
+        } else {
+            let chunk = n.div_ceil(threads);
+            let results = &mut results;
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for queue_chunk in queues.chunks(chunk) {
+                    handles.push(scope.spawn(move || {
+                        queue_chunk
+                            .iter()
+                            .flat_map(|queue| queue.iter().map(|&(index, op)| (index, eval(op))))
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                for handle in handles {
+                    for (index, count) in handle.join().expect("kernel worker panicked") {
+                        results[index] = count;
+                    }
+                }
+            });
+        }
+        results
+    }
+}
+
 impl ShardedEngine<SisaRuntime> {
     /// A sharded SISA platform: `shards` independent [`SisaRuntime`]s (each a
     /// vault group / cube slice of the configured platform) behind the given
@@ -402,7 +824,9 @@ impl ShardedEngine<SisaRuntime> {
         let engines = (0..shards.max(1))
             .map(|_| SisaRuntime::new(config))
             .collect();
-        Self::from_shards(engines, strategy, link)
+        let mut engine = Self::from_shards(engines, strategy, link);
+        engine.set_host_threads(config.host_threads);
+        engine
     }
 }
 
@@ -862,6 +1286,172 @@ mod tests {
         }
         // The engine still works after a reset.
         assert_eq!(engine.members(a), vec![1, 2]);
+    }
+
+    /// Seed sets plus a batch touching every [`BatchOp`] form, with both
+    /// same-shard and cross-shard operand pairs.
+    fn batch_fixture(engine: &mut ShardedEngine<SisaRuntime>) -> (Vec<SetId>, Vec<BatchOp>) {
+        let ids = vec![
+            engine.create_sorted([1, 2, 3, 40, 90]),
+            engine.create_dense([2, 3, 4, 80]),
+            engine.create_sorted([3, 4, 5, 6]),
+            engine.create_sorted((0..120).collect::<Vec<_>>()),
+        ];
+        let ops = vec![
+            BatchOp::Intersect(ids[0], ids[1]),
+            BatchOp::Union(ids[1], ids[2]),
+            BatchOp::Difference(ids[3], ids[0]),
+            BatchOp::IntersectCount(ids[0], ids[3]),
+            BatchOp::UnionCount(ids[1], ids[3]),
+            BatchOp::DifferenceCount(ids[2], ids[1]),
+            BatchOp::Intersect(ids[2], ids[3]),
+        ];
+        (ids, ops)
+    }
+
+    #[test]
+    fn execute_matches_the_per_op_results() {
+        let mut batched = sharded(3, PartitionStrategy::Modulo);
+        let (_, ops) = batch_fixture(&mut batched);
+        let results = batched.execute(&ops);
+
+        let mut reference = sharded(3, PartitionStrategy::Modulo);
+        let (ids, _) = batch_fixture(&mut reference);
+        let expected_sets = [
+            reference.intersect(ids[0], ids[1]),
+            reference.union(ids[1], ids[2]),
+            reference.difference(ids[3], ids[0]),
+        ];
+        let expected_counts = [
+            reference.intersect_count(ids[0], ids[3]),
+            reference.union_count(ids[1], ids[3]),
+            reference.difference_count(ids[2], ids[1]),
+        ];
+        let last = reference.intersect(ids[2], ids[3]);
+
+        for (i, &id) in expected_sets.iter().enumerate() {
+            assert_eq!(
+                batched.members(results[i].set()),
+                reference.members(id),
+                "op {i}"
+            );
+        }
+        for (i, &count) in expected_counts.iter().enumerate() {
+            assert_eq!(results[i + 3].count(), count, "op {}", i + 3);
+        }
+        assert_eq!(batched.members(results[6].set()), reference.members(last));
+        // Staged replicas were all released: only seeds + materialised
+        // results remain live.
+        assert_eq!(batched.live_sets(), reference.live_sets());
+    }
+
+    #[test]
+    fn execute_stats_are_identical_for_every_thread_count() {
+        let reference = {
+            let mut engine = sharded(4, PartitionStrategy::Modulo);
+            engine.set_host_threads(1);
+            let (_, ops) = batch_fixture(&mut engine);
+            let _ = engine.execute(&ops);
+            engine
+        };
+        for threads in [2usize, 3, 8, 64] {
+            let mut engine = sharded(4, PartitionStrategy::Modulo);
+            engine.set_host_threads(threads);
+            assert_eq!(engine.resolved_host_threads(), threads);
+            let (_, ops) = batch_fixture(&mut engine);
+            let _ = engine.execute(&ops);
+            assert_eq!(engine.stats(), reference.stats(), "{threads} threads");
+            assert_eq!(
+                engine.stats().energy_nj.to_bits(),
+                reference.stats().energy_nj.to_bits(),
+                "energy must be bit-for-bit identical at {threads} threads"
+            );
+            assert_eq!(engine.traffic(), reference.traffic());
+            for shard in 0..engine.shard_count() {
+                assert_eq!(
+                    engine.shard_stats(shard),
+                    reference.shard_stats(shard),
+                    "shard {shard} at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repr_of_reads_the_shard_resident_representation() {
+        let mut engine = sharded(3, PartitionStrategy::Modulo);
+        let a = engine.create_sorted([1, 5, 9]);
+        let b = engine.create_dense([2, 4]);
+        let before = engine.stats().clone();
+        assert_eq!(engine.repr_of(a).to_sorted_vec(), vec![1, 5, 9]);
+        assert_eq!(engine.repr_of(b).to_sorted_vec(), vec![2, 4]);
+        assert_eq!(*engine.stats(), before, "inspection prices nothing");
+    }
+
+    #[test]
+    fn host_count_batch_matches_the_priced_paths_and_prices_nothing() {
+        let mut engine = sharded(3, PartitionStrategy::Modulo);
+        let (ids, _) = batch_fixture(&mut engine);
+        let ops = vec![
+            BatchOp::IntersectCount(ids[0], ids[3]),
+            BatchOp::UnionCount(ids[1], ids[3]),
+            BatchOp::DifferenceCount(ids[2], ids[1]),
+            BatchOp::IntersectCount(ids[2], ids[2]),
+        ];
+        let before = engine.stats().clone();
+        let before_live = engine.live_sets();
+        let counts = engine.host_count_batch(&ops);
+        assert_eq!(*engine.stats(), before, "functional layer advances nothing");
+        assert_eq!(engine.live_sets(), before_live);
+        let expected = vec![
+            engine.intersect_count(ids[0], ids[3]),
+            engine.union_count(ids[1], ids[3]),
+            engine.difference_count(ids[2], ids[1]),
+            engine.intersect_count(ids[2], ids[2]),
+        ];
+        assert_eq!(counts, expected);
+        // Thread count affects wall-clock alone, never the answers.
+        for threads in [2usize, 8] {
+            engine.set_host_threads(threads);
+            assert_eq!(engine.host_count_batch(&ops), expected, "{threads} threads");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "counting forms only")]
+    fn host_count_batch_rejects_materialising_forms() {
+        let mut engine = sharded(2, PartitionStrategy::Modulo);
+        let a = engine.create_sorted([1, 2]);
+        let b = engine.create_sorted([2, 3]);
+        let _ = engine.host_count_batch(&[BatchOp::Intersect(a, b)]);
+    }
+
+    #[test]
+    fn execute_conserves_the_aggregate_like_the_per_op_path() {
+        let mut engine = sharded(4, PartitionStrategy::DegreeBalanced);
+        engine.set_host_threads(4);
+        let (_, ops) = batch_fixture(&mut engine);
+        let _ = engine.execute(&ops);
+        let mut recomputed = ExecStats::default();
+        for shard in 0..engine.shard_count() {
+            recomputed.merge(engine.shard_stats(shard));
+        }
+        recomputed.link_cycles += engine.traffic().cycles;
+        recomputed.link_bytes += engine.traffic().bytes;
+        recomputed.energy_nj += engine.traffic().energy_nj;
+        assert_eq!(recomputed, *engine.stats());
+    }
+
+    #[test]
+    fn host_threads_knob_flows_from_the_config() {
+        let mut config = SisaConfig::default();
+        assert_eq!(config.host_threads, 0, "auto by default");
+        config.host_threads = 3;
+        let engine = ShardedEngine::sisa(2, PartitionStrategy::Modulo, config);
+        assert_eq!(engine.host_threads(), 3);
+        assert_eq!(engine.resolved_host_threads(), 3);
+        let auto = ShardedEngine::sisa(2, PartitionStrategy::Modulo, SisaConfig::default());
+        assert!(auto.resolved_host_threads() >= 1, "auto resolves to >= 1");
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Property-based tests for the threaded batch executor: for arbitrary set
+//! populations and batches, `ShardedEngine::execute` must produce
+//!
+//! 1. the same *values* as issuing the operations one at a time through the
+//!    [`SetEngine`] trait, and
+//! 2. the same *results, work counters and bit-exact `energy_nj`* for every
+//!    host thread count — threading is a wall-clock knob, never a semantic
+//!    one.
+
+use proptest::prelude::*;
+use sisa_core::{
+    BatchOp, BatchResult, PartitionStrategy, SetEngine, ShardedEngine, SisaConfig, SisaRuntime,
+};
+use sisa_sets::Vertex;
+use std::collections::BTreeSet;
+
+const UNIVERSE: usize = 192;
+const POOL: usize = 6;
+
+fn vertex_set() -> impl Strategy<Value = BTreeSet<Vertex>> {
+    proptest::collection::btree_set(0u32..UNIVERSE as u32, 0..48)
+}
+
+/// A batch operation encoded as one draw (the vendored proptest shim has no
+/// `prop_oneof` or tuple strategies): the low bits pick the form, the rest
+/// pick the operands.
+fn batch_op() -> impl Strategy<Value = (u64, usize, usize)> {
+    (0u64..1_000_000).prop_map(|raw| {
+        (
+            raw % 6,
+            (raw / 6) as usize % POOL,
+            (raw / 6 / POOL as u64) as usize % POOL,
+        )
+    })
+}
+
+fn decode(ops: &[(u64, usize, usize)], ids: &[sisa_core::SetId]) -> Vec<BatchOp> {
+    ops.iter()
+        .map(|&(kind, a, b)| {
+            let (a, b) = (ids[a], ids[b]);
+            match kind {
+                0 => BatchOp::Intersect(a, b),
+                1 => BatchOp::Union(a, b),
+                2 => BatchOp::Difference(a, b),
+                3 => BatchOp::IntersectCount(a, b),
+                4 => BatchOp::UnionCount(a, b),
+                _ => BatchOp::DifferenceCount(a, b),
+            }
+        })
+        .collect()
+}
+
+/// Builds a sharded engine holding the pool sets (alternating sorted/dense
+/// representations so both sparse and bitmap paths are exercised).
+fn build(
+    shards: usize,
+    threads: usize,
+    pool: &[BTreeSet<Vertex>],
+) -> (ShardedEngine<SisaRuntime>, Vec<sisa_core::SetId>) {
+    let mut engine = ShardedEngine::sisa(shards, PartitionStrategy::Modulo, SisaConfig::default());
+    engine.set_host_threads(threads);
+    engine.set_universe(UNIVERSE);
+    let ids = pool
+        .iter()
+        .enumerate()
+        .map(|(i, members)| {
+            if i % 2 == 0 {
+                engine.create_sorted(members.iter().copied())
+            } else {
+                engine.create_dense(members.iter().copied())
+            }
+        })
+        .collect();
+    (engine, ids)
+}
+
+/// Reads every batch result back as comparable values.
+fn observe(engine: &mut ShardedEngine<SisaRuntime>, results: &[BatchResult]) -> Vec<Vec<Vertex>> {
+    results
+        .iter()
+        .map(|r| match *r {
+            BatchResult::Set(id) => engine.members(id),
+            BatchResult::Count(n) => vec![n as Vertex],
+        })
+        .collect()
+}
+
+proptest! {
+    /// (2): thread count is invisible — results, every work counter, the
+    /// traffic ledger and the floating-point energy are bit-for-bit equal.
+    #[test]
+    fn threaded_execution_reproduces_sequential_stats_bit_for_bit(
+        pool in proptest::collection::vec(vertex_set(), POOL..POOL + 1),
+        ops in proptest::collection::vec(batch_op(), 1..24),
+    ) {
+        let (mut sequential, ids) = build(4, 1, &pool);
+        let batch = decode(&ops, &ids);
+        let seq_results = sequential.execute(&batch);
+        let seq_observed = observe(&mut sequential, &seq_results);
+
+        for threads in [2usize, 4, 16] {
+            let (mut threaded, ids) = build(4, threads, &pool);
+            let batch = decode(&ops, &ids);
+            let results = threaded.execute(&batch);
+            prop_assert_eq!(&results, &seq_results, "{} threads", threads);
+            prop_assert_eq!(
+                &observe(&mut threaded, &results),
+                &seq_observed,
+                "{} threads",
+                threads
+            );
+            prop_assert_eq!(threaded.stats(), sequential.stats(), "{} threads", threads);
+            prop_assert_eq!(
+                threaded.stats().energy_nj.to_bits(),
+                sequential.stats().energy_nj.to_bits(),
+                "energy must be bit-exact at {} threads",
+                threads
+            );
+            prop_assert_eq!(threaded.traffic(), sequential.traffic());
+            for shard in 0..threaded.shard_count() {
+                prop_assert_eq!(
+                    threaded.shard_stats(shard),
+                    sequential.shard_stats(shard),
+                    "shard {} at {} threads",
+                    shard,
+                    threads
+                );
+            }
+            prop_assert_eq!(threaded.live_sets(), sequential.live_sets());
+        }
+    }
+
+    /// (1): a batch agrees value-for-value with the one-at-a-time trait path.
+    #[test]
+    fn batches_agree_with_the_per_op_path(
+        pool in proptest::collection::vec(vertex_set(), POOL..POOL + 1),
+        ops in proptest::collection::vec(batch_op(), 1..16),
+    ) {
+        let (mut batched, ids) = build(3, 2, &pool);
+        let batch = decode(&ops, &ids);
+        let results = batched.execute(&batch);
+        let batched_observed = observe(&mut batched, &results);
+
+        let (mut reference, ids) = build(3, 1, &pool);
+        let mut expected = Vec::new();
+        for op in decode(&ops, &ids) {
+            expected.push(match op {
+                BatchOp::Intersect(a, b) => {
+                    let id = reference.intersect(a, b);
+                    reference.members(id)
+                }
+                BatchOp::Union(a, b) => {
+                    let id = reference.union(a, b);
+                    reference.members(id)
+                }
+                BatchOp::Difference(a, b) => {
+                    let id = reference.difference(a, b);
+                    reference.members(id)
+                }
+                BatchOp::IntersectCount(a, b) => {
+                    vec![reference.intersect_count(a, b) as Vertex]
+                }
+                BatchOp::UnionCount(a, b) => vec![reference.union_count(a, b) as Vertex],
+                BatchOp::DifferenceCount(a, b) => {
+                    vec![reference.difference_count(a, b) as Vertex]
+                }
+            });
+        }
+        prop_assert_eq!(batched_observed, expected);
+        prop_assert_eq!(batched.live_sets(), reference.live_sets());
+    }
+}

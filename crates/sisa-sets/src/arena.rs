@@ -1,0 +1,220 @@
+//! Thread-local scratch-buffer arena for hot set operations.
+//!
+//! The binary set operations in [`crate::repr`] routinely need short-lived
+//! working storage: a sorted copy of an unsorted operand, the member list of a
+//! dense operand, a word buffer for a bitvector combine. Allocating a fresh
+//! `Vec` for each of those on every operation dominates the host-side cost of
+//! small sets, so this module keeps a small per-thread pool of recycled
+//! buffers that callers *lease*: [`vertices`] and [`words`] hand out a cleared
+//! buffer (reusing a pooled allocation when one is available) wrapped in a
+//! guard that returns it to the pool on drop.
+//!
+//! The `SisaRuntime` and `ShardedEngine` in `sisa-core` lease their scratch
+//! through this arena implicitly — every engine-level set operation funnels
+//! into [`crate::SetRepr`], whose operand staging runs on leased buffers — and
+//! the threaded shard executor gets an independent pool per worker thread for
+//! free, with no locks on the hot path.
+//!
+//! [`stats`] exposes lease/reuse counters so tests (and the benchmark
+//! harness) can assert the pool actually recycles instead of silently
+//! allocating.
+
+use crate::Vertex;
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+
+/// Maximum number of buffers of each kind the per-thread pool retains;
+/// anything beyond this is dropped on release. Binary operations lease at
+/// most two vertex buffers at a time, so a small pool suffices even for
+/// deeply nested algorithm code.
+const POOL_LIMIT: usize = 16;
+
+/// Lease/reuse counters for one thread's arena.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Buffers handed out (both kinds).
+    pub leases: u64,
+    /// Leases satisfied from the pool instead of a fresh allocation.
+    pub reuses: u64,
+}
+
+#[derive(Default)]
+struct Pool {
+    vertex_bufs: Vec<Vec<Vertex>>,
+    word_bufs: Vec<Vec<u64>>,
+    stats: ArenaStats,
+}
+
+thread_local! {
+    static POOL: RefCell<Pool> = RefCell::new(Pool::default());
+}
+
+/// A leased `Vec<Vertex>` scratch buffer; returns to the pool on drop.
+#[derive(Debug)]
+pub struct VertexScratch(Vec<Vertex>);
+
+/// A leased `Vec<u64>` word scratch buffer; returns to the pool on drop.
+#[derive(Debug)]
+pub struct WordScratch(Vec<u64>);
+
+/// Leases a cleared vertex buffer from this thread's pool.
+#[must_use]
+pub fn vertices() -> VertexScratch {
+    POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        pool.stats.leases += 1;
+        match pool.vertex_bufs.pop() {
+            Some(buf) => {
+                pool.stats.reuses += 1;
+                VertexScratch(buf)
+            }
+            None => VertexScratch(Vec::new()),
+        }
+    })
+}
+
+/// Leases a cleared word buffer from this thread's pool.
+#[must_use]
+pub fn words() -> WordScratch {
+    POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        pool.stats.leases += 1;
+        match pool.word_bufs.pop() {
+            Some(buf) => {
+                pool.stats.reuses += 1;
+                WordScratch(buf)
+            }
+            None => WordScratch(Vec::new()),
+        }
+    })
+}
+
+/// This thread's cumulative lease/reuse counters.
+#[must_use]
+pub fn stats() -> ArenaStats {
+    POOL.with(|p| p.borrow().stats)
+}
+
+/// Resets this thread's lease/reuse counters (the pooled buffers stay).
+pub fn reset_stats() {
+    POOL.with(|p| p.borrow_mut().stats = ArenaStats::default());
+}
+
+impl Deref for VertexScratch {
+    type Target = Vec<Vertex>;
+    fn deref(&self) -> &Vec<Vertex> {
+        &self.0
+    }
+}
+
+impl DerefMut for VertexScratch {
+    fn deref_mut(&mut self) -> &mut Vec<Vertex> {
+        &mut self.0
+    }
+}
+
+impl Drop for VertexScratch {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.0);
+        release_vertex(buf);
+    }
+}
+
+impl Deref for WordScratch {
+    type Target = Vec<u64>;
+    fn deref(&self) -> &Vec<u64> {
+        &self.0
+    }
+}
+
+impl DerefMut for WordScratch {
+    fn deref_mut(&mut self) -> &mut Vec<u64> {
+        &mut self.0
+    }
+}
+
+impl Drop for WordScratch {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.0);
+        release_word(buf);
+    }
+}
+
+fn release_vertex(mut buf: Vec<Vertex>) {
+    buf.clear();
+    POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.vertex_bufs.len() < POOL_LIMIT {
+            pool.vertex_bufs.push(buf);
+        }
+    });
+}
+
+fn release_word(mut buf: Vec<u64>) {
+    buf.clear();
+    POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.word_bufs.len() < POOL_LIMIT {
+            pool.word_bufs.push(buf);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leases_come_back_cleared_and_reuse_their_allocation() {
+        reset_stats();
+        let first_ptr;
+        {
+            let mut buf = vertices();
+            buf.extend_from_slice(&[1, 2, 3]);
+            buf.reserve(1024);
+            first_ptr = buf.as_ptr();
+        }
+        {
+            let buf = vertices();
+            assert!(buf.is_empty(), "recycled buffers must come back cleared");
+            assert_eq!(buf.as_ptr(), first_ptr, "allocation must be recycled");
+            assert!(buf.capacity() >= 1024);
+        }
+        let s = stats();
+        assert_eq!(s.leases, 2);
+        assert_eq!(s.reuses, 1);
+    }
+
+    #[test]
+    fn word_buffers_pool_independently() {
+        reset_stats();
+        {
+            let mut w = words();
+            w.push(u64::MAX);
+        }
+        let w = words();
+        assert!(w.is_empty());
+        assert_eq!(stats().reuses, 1);
+    }
+
+    #[test]
+    fn concurrent_leases_get_distinct_buffers() {
+        let mut a = vertices();
+        let mut b = vertices();
+        a.push(1);
+        b.push(2);
+        assert_ne!(a.as_ptr(), b.as_ptr());
+        assert_eq!((a.len(), b.len()), (1, 1));
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        // Leasing far more buffers than the pool limit must not grow the pool
+        // without bound: release drops the excess.
+        let many: Vec<VertexScratch> = (0..POOL_LIMIT * 3).map(|_| vertices()).collect();
+        drop(many);
+        POOL.with(|p| {
+            assert!(p.borrow().vertex_bufs.len() <= POOL_LIMIT);
+        });
+    }
+}

@@ -6,6 +6,7 @@
 //! operations (SISA-PUM): intersection is a bulk AND, union a bulk OR, and
 //! difference an AND with the negation (§8.1).
 
+use crate::kernels;
 use crate::Vertex;
 
 /// A dense bitvector over a fixed vertex universe `0..universe`.
@@ -171,25 +172,41 @@ impl DenseBitVector {
     /// Bitwise AND (set intersection). Universes must match.
     #[must_use]
     pub fn and(&self, other: &Self) -> Self {
-        self.zip_with(other, |a, b| a & b)
+        self.combine(other, kernels::and_into)
     }
 
     /// Bitwise OR (set union). Universes must match.
     #[must_use]
     pub fn or(&self, other: &Self) -> Self {
-        self.zip_with(other, |a, b| a | b)
+        self.combine(other, kernels::or_into)
     }
 
     /// Bitwise AND-NOT (set difference `self \ other`). Universes must match.
     #[must_use]
     pub fn and_not(&self, other: &Self) -> Self {
-        self.zip_with(other, |a, b| a & !b)
+        self.combine(other, kernels::and_not_into)
     }
 
     /// Bitwise XOR (symmetric difference). Universes must match.
     #[must_use]
     pub fn xor(&self, other: &Self) -> Self {
-        self.zip_with(other, |a, b| a ^ b)
+        self.combine(other, kernels::xor_into)
+    }
+
+    /// Bitwise AND into an existing bitvector, reusing its word storage (no
+    /// allocation once `out`'s buffer has reached this universe's word count).
+    pub fn and_into(&self, other: &Self, out: &mut Self) {
+        self.combine_reusing(other, out, kernels::and_into);
+    }
+
+    /// Bitwise OR into an existing bitvector, reusing its word storage.
+    pub fn or_into(&self, other: &Self, out: &mut Self) {
+        self.combine_reusing(other, out, kernels::or_into);
+    }
+
+    /// Bitwise AND-NOT into an existing bitvector, reusing its word storage.
+    pub fn and_not_into(&self, other: &Self, out: &mut Self) {
+        self.combine_reusing(other, out, kernels::and_not_into);
     }
 
     /// Complement within the universe.
@@ -206,50 +223,44 @@ impl DenseBitVector {
 
     /// In-place intersection: `self &= other`.
     pub fn and_assign(&mut self, other: &Self) {
-        self.zip_assign(other, |a, b| a & b);
+        self.assert_same_universe(other);
+        self.len = kernels::and_assign(&mut self.words, &other.words) as usize;
+        self.debug_assert_padding_clear();
     }
 
     /// In-place union: `self |= other`.
     pub fn or_assign(&mut self, other: &Self) {
-        self.zip_assign(other, |a, b| a | b);
+        self.assert_same_universe(other);
+        self.len = kernels::or_assign(&mut self.words, &other.words) as usize;
+        self.debug_assert_padding_clear();
     }
 
     /// In-place difference: `self &= !other`.
     pub fn and_not_assign(&mut self, other: &Self) {
-        self.zip_assign(other, |a, b| a & !b);
+        self.assert_same_universe(other);
+        self.len = kernels::and_not_assign(&mut self.words, &other.words) as usize;
+        self.debug_assert_padding_clear();
     }
 
     /// Cardinality of the intersection without materialising it.
     #[must_use]
     pub fn and_count(&self, other: &Self) -> usize {
         self.assert_same_universe(other);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        kernels::and_count(&self.words, &other.words) as usize
     }
 
     /// Cardinality of the union without materialising it.
     #[must_use]
     pub fn or_count(&self, other: &Self) -> usize {
         self.assert_same_universe(other);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a | b).count_ones() as usize)
-            .sum()
+        kernels::or_count(&self.words, &other.words) as usize
     }
 
     /// Cardinality of `self \ other` without materialising it.
     #[must_use]
     pub fn and_not_count(&self, other: &Self) -> usize {
         self.assert_same_universe(other);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & !b).count_ones() as usize)
-            .sum()
+        kernels::and_not_count(&self.words, &other.words) as usize
     }
 
     /// Whether `self` and `other` share no member.
@@ -269,31 +280,36 @@ impl DenseBitVector {
             .all(|(a, b)| a & !b == 0)
     }
 
-    fn zip_with(&self, other: &Self, f: impl Fn(u64, u64) -> u64) -> Self {
+    /// Runs a word-parallel kernel over both operands into a fresh bitvector.
+    /// The kernel's fused popcount becomes the cardinality directly — there is
+    /// no separate recount pass, and no padding fix-up is needed because every
+    /// binary combine of padding-clean inputs stays padding-clean (the padding
+    /// words of both operands are zero, and `0 op 0 = 0` for AND, OR, AND-NOT
+    /// and XOR alike).
+    fn combine(&self, other: &Self, kernel: impl Fn(&[u64], &[u64], &mut Vec<u64>) -> u64) -> Self {
         self.assert_same_universe(other);
-        let words: Vec<u64> = self
-            .words
-            .iter()
-            .zip(&other.words)
-            .map(|(&a, &b)| f(a, b))
-            .collect();
-        let mut out = Self {
+        let mut words = Vec::new();
+        let ones = kernel(&self.words, &other.words, &mut words);
+        let out = Self {
             words,
             universe: self.universe,
-            len: 0,
+            len: ones as usize,
         };
-        out.clear_padding();
-        out.recount();
+        out.debug_assert_padding_clear();
         out
     }
 
-    fn zip_assign(&mut self, other: &Self, f: impl Fn(u64, u64) -> u64) {
+    /// Like [`Self::combine`] but writes into `out`, reusing its word buffer.
+    fn combine_reusing(
+        &self,
+        other: &Self,
+        out: &mut Self,
+        kernel: impl Fn(&[u64], &[u64], &mut Vec<u64>) -> u64,
+    ) {
         self.assert_same_universe(other);
-        for (a, &b) in self.words.iter_mut().zip(&other.words) {
-            *a = f(*a, b);
-        }
-        self.clear_padding();
-        self.recount();
+        out.universe = self.universe;
+        out.len = kernel(&self.words, &other.words, &mut out.words) as usize;
+        out.debug_assert_padding_clear();
     }
 
     fn assert_same_universe(&self, other: &Self) {
@@ -313,8 +329,19 @@ impl DenseBitVector {
         }
     }
 
+    fn debug_assert_padding_clear(&self) {
+        debug_assert!(
+            self.universe.is_multiple_of(64)
+                || self
+                    .words
+                    .last()
+                    .is_none_or(|w| w & !((1u64 << (self.universe % 64)) - 1) == 0),
+            "padding bits must stay clear"
+        );
+    }
+
     fn recount(&mut self) {
-        self.len = self.words.iter().map(|w| w.count_ones() as usize).sum();
+        self.len = kernels::popcount(&self.words) as usize;
     }
 }
 
@@ -406,6 +433,45 @@ mod tests {
         assert_eq!(a.and_count(&b), 3);
         assert_eq!(a.or_count(&b), 7);
         assert_eq!(a.and_not_count(&b), 2);
+    }
+
+    #[test]
+    fn destination_reuse_ops_do_not_reallocate() {
+        let a = DenseBitVector::from_members(1000, (0..1000).step_by(3).map(|v| v as Vertex));
+        let b = DenseBitVector::from_members(1000, (0..1000).step_by(5).map(|v| v as Vertex));
+        let mut out = DenseBitVector::new(1000);
+        a.and_into(&b, &mut out);
+        let ptr = out.words().as_ptr();
+        for _ in 0..8 {
+            a.and_into(&b, &mut out);
+            a.or_into(&b, &mut out);
+            a.and_not_into(&b, &mut out);
+        }
+        assert_eq!(
+            out.words().as_ptr(),
+            ptr,
+            "destination buffer must be reused, not reallocated"
+        );
+        assert_eq!(out.to_sorted_vec(), a.and_not(&b).to_sorted_vec());
+        assert_eq!(out.len(), a.and_not(&b).len());
+    }
+
+    #[test]
+    fn in_place_ops_fuse_the_count() {
+        // The in-place kernels return the popcount directly; `len()` must
+        // agree with a from-scratch recount on word-boundary universes.
+        for universe in [63usize, 64, 65, 128, 130] {
+            let mut a =
+                DenseBitVector::from_members(universe, (0..universe as u32).filter(|v| v % 2 == 0));
+            let b =
+                DenseBitVector::from_members(universe, (0..universe as u32).filter(|v| v % 3 == 0));
+            a.and_assign(&b);
+            assert_eq!(a.len(), a.iter().count(), "universe {universe}");
+            a.or_assign(&b);
+            assert_eq!(a.len(), a.iter().count(), "universe {universe}");
+            a.and_not_assign(&b);
+            assert_eq!(a.len(), a.iter().count(), "universe {universe}");
+        }
     }
 
     #[test]

@@ -72,20 +72,112 @@ pub fn intersect_merge_count(a: &[Vertex], b: &[Vertex]) -> usize {
     count
 }
 
-/// Galloping (binary-search based) intersection of two sorted sparse arrays.
+/// Galloping (exponential-search based) intersection of two sorted sparse
+/// arrays.
 ///
-/// Iterates over the smaller set and binary-searches the larger one; cost
-/// `O(min(|A|,|B|) · log max(|A|,|B|))`, preferred when one operand is much
-/// smaller than the other (§6.2.1).
+/// Iterates over the smaller set and gallops through the larger one with an
+/// exponential probe from the last match; cost
+/// `O(min(|A|,|B|) · log(max(|A|,|B|) / min(|A|,|B|)))`, preferred when one
+/// operand is much smaller than the other (§6.2.1).
 #[must_use]
 pub fn intersect_galloping(a: &SortedVertexArray, b: &SortedVertexArray) -> SortedVertexArray {
     let out = intersect_galloping_slices(a.as_slice(), b.as_slice());
     SortedVertexArray::from_sorted(out)
 }
 
-/// Galloping intersection over raw sorted slices.
+/// Position of the first element of `hay[start..]` that is `>= needle`,
+/// found by exponential probing from `start` followed by a binary search of
+/// the bracketed window. Returns `(found, pos)` where `found` says whether
+/// `hay[pos] == needle`.
+///
+/// Because the probe restarts from the previous match and the search window
+/// shrinks to the bracket the probe established, a sequence of increasing
+/// needles costs `O(log gap)` per needle (with cache locality in the bracket)
+/// instead of the full-range `O(log |hay|)` a fresh `binary_search` pays —
+/// the defining property of galloping that the previous implementation of
+/// this variant lacked.
+#[inline]
+fn gallop_seek(hay: &[Vertex], start: usize, needle: Vertex) -> (bool, usize) {
+    let n = hay.len();
+    if start >= n {
+        return (false, n);
+    }
+    match hay[start].cmp(&needle) {
+        std::cmp::Ordering::Equal => return (true, start),
+        std::cmp::Ordering::Greater => return (false, start),
+        std::cmp::Ordering::Less => {}
+    }
+    // Exponential probe: double the step until we overshoot (or run out).
+    let mut step = 1usize;
+    let mut lo = start; // hay[lo] < needle holds throughout
+    while start + step < n && hay[start + step] < needle {
+        lo = start + step;
+        step <<= 1;
+    }
+    let hi = (start + step).min(n); // needle <= hay[hi] (or hi == n)
+                                    // Binary search of the bracketed window (lo, hi].
+    let mut l = lo + 1;
+    let mut h = hi;
+    while l < h {
+        let mid = l + (h - l) / 2;
+        if hay[mid] < needle {
+            l = mid + 1;
+        } else {
+            h = mid;
+        }
+    }
+    (l < n && hay[l] == needle, l)
+}
+
+/// Galloping intersection over raw sorted slices: exponential probe from the
+/// last match with a shrinking search window.
 #[must_use]
 pub fn intersect_galloping_slices(a: &[Vertex], b: &[Vertex]) -> Vec<Vertex> {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(small.len());
+    let mut cursor = 0usize;
+    for &v in small {
+        let (found, pos) = gallop_seek(large, cursor, v);
+        if found {
+            out.push(v);
+            cursor = pos + 1;
+        } else {
+            cursor = pos;
+        }
+        if cursor >= large.len() {
+            break;
+        }
+    }
+    out
+}
+
+/// Cardinality of the galloping intersection without materialising it.
+#[must_use]
+pub fn intersect_galloping_count(a: &[Vertex], b: &[Vertex]) -> usize {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut count = 0usize;
+    let mut cursor = 0usize;
+    for &v in small {
+        let (found, pos) = gallop_seek(large, cursor, v);
+        if found {
+            count += 1;
+            cursor = pos + 1;
+        } else {
+            cursor = pos;
+        }
+        if cursor >= large.len() {
+            break;
+        }
+    }
+    count
+}
+
+/// The seed implementation of the "galloping" intersection: a full-range
+/// `binary_search` per element of the smaller operand, `O(m · log n)` with no
+/// locality. Kept as the scalar reference the differential tests and the
+/// benchmark baseline pin the true galloping kernel against.
+#[must_use]
+pub fn intersect_galloping_slices_reference(a: &[Vertex], b: &[Vertex]) -> Vec<Vertex> {
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     let mut out = Vec::with_capacity(small.len());
     for &v in small {
@@ -96,9 +188,9 @@ pub fn intersect_galloping_slices(a: &[Vertex], b: &[Vertex]) -> Vec<Vertex> {
     out
 }
 
-/// Cardinality of the galloping intersection without materialising it.
+/// Cardinality twin of [`intersect_galloping_slices_reference`].
 #[must_use]
-pub fn intersect_galloping_count(a: &[Vertex], b: &[Vertex]) -> usize {
+pub fn intersect_galloping_count_reference(a: &[Vertex], b: &[Vertex]) -> usize {
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     small
         .iter()
@@ -232,11 +324,34 @@ pub fn difference_merge_slices(a: &[Vertex], b: &[Vertex]) -> Vec<Vertex> {
     out
 }
 
-/// Galloping difference `A \ B`: iterate over `A`, binary-search `B`.
+/// Galloping difference `A \ B`: iterate over `A`, gallop through `B` with an
+/// exponential probe from the last probe position.
 ///
-/// Cost `O(|A| log |B|)`; preferred when `|A| ≪ |B|`.
+/// Cost `O(|A| · log(|B| / |A|))`; preferred when `|A| ≪ |B|`.
 #[must_use]
 pub fn difference_galloping_slices(a: &[Vertex], b: &[Vertex]) -> Vec<Vertex> {
+    let mut out = Vec::with_capacity(a.len());
+    let mut cursor = 0usize;
+    for (i, &v) in a.iter().enumerate() {
+        if cursor >= b.len() {
+            out.extend_from_slice(&a[i..]);
+            break;
+        }
+        let (found, pos) = gallop_seek(b, cursor, v);
+        if found {
+            cursor = pos + 1;
+        } else {
+            cursor = pos;
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// The seed implementation of the galloping difference (full-range
+/// `binary_search` per element); the scalar reference for differential tests.
+#[must_use]
+pub fn difference_galloping_slices_reference(a: &[Vertex], b: &[Vertex]) -> Vec<Vertex> {
     a.iter()
         .copied()
         .filter(|v| b.binary_search(v).is_err())

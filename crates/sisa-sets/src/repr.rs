@@ -5,9 +5,29 @@
 //! identifier; operations on it dispatch to the appropriate variant in
 //! [`crate::ops`], following the result-representation policy described on
 //! each method.
+//!
+//! ## Host kernel dispatch
+//!
+//! Independently of the *simulated* variant selection done by the SISA
+//! controller (which prices merge vs galloping in cycles), the host has to
+//! actually execute each operation. [`choose_host_kernel`] implements the
+//! size-ratio dispatch policy: heavily skewed sparse operands run the
+//! galloping kernel, similar sizes run the linear merge, and dense operands
+//! run the word-parallel bitmap kernels from [`crate::kernels`]. Operand
+//! staging (sorting an unsorted array, expanding a bitvector) happens on
+//! buffers leased from the thread-local [`crate::arena`] instead of fresh
+//! allocations.
+//!
+//! [`KernelPolicy`] is a per-thread switch between this optimized path and a
+//! [`KernelPolicy::Reference`] mode that reproduces the seed implementation's
+//! behaviour — a fresh sorted `Vec` per operand and always-merge execution —
+//! so benchmarks can measure the host-side speedup against an unchanged
+//! semantic baseline.
 
 use crate::ops;
-use crate::{DenseBitVector, SortedVertexArray, UnsortedVertexArray, Vertex};
+use crate::{arena, DenseBitVector, SortedVertexArray, UnsortedVertexArray, Vertex};
+use std::cell::Cell;
+use std::ops::Deref;
 
 /// Which physical representation a set currently uses.
 ///
@@ -34,6 +54,174 @@ impl RepresentationKind {
     #[must_use]
     pub fn is_dense(self) -> bool {
         matches!(self, Self::DenseBitvector)
+    }
+}
+
+/// The host-side execution strategy chosen for one binary set operation.
+///
+/// This is about *wall-clock* execution on the simulating host; the cycle
+/// cost charged by the simulated SISA controller is decided separately (and
+/// independently) by the SCU's variant selection in `sisa-core`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HostKernel {
+    /// Linear two-pointer merge over two sorted arrays.
+    Merge,
+    /// Galloping (exponential-probe) search of the larger sorted array.
+    Gallop,
+    /// Word-parallel bitwise kernel (or single-bit probe) over a bitvector.
+    Bitmap,
+}
+
+/// How [`SetRepr`]'s hot binary operations execute on this thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KernelPolicy {
+    /// Arena-staged operands plus size-ratio kernel dispatch (the default).
+    Optimized,
+    /// The seed implementation's behaviour: a freshly allocated sorted `Vec`
+    /// per operand and always-merge sparse execution. Used as the benchmark
+    /// baseline; results are identical to [`KernelPolicy::Optimized`].
+    Reference,
+}
+
+/// Per-thread tally of which host kernel the dispatch policy selected.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelSelectionCounts {
+    /// Operations executed with the linear merge kernel.
+    pub merge: u64,
+    /// Operations executed with the galloping kernel.
+    pub gallop: u64,
+    /// Operations executed with a bitmap (word-parallel or probing) kernel.
+    pub bitmap: u64,
+}
+
+impl KernelSelectionCounts {
+    /// Total operations tallied.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.merge + self.gallop + self.bitmap
+    }
+}
+
+/// Size skew at which galloping replaces merging for sparse×sparse ops.
+///
+/// Galloping costs `O(|small| · log(|large| / |small|))`; with the probe
+/// overhead (each element pays the exponential scan *and* the bracketed
+/// binary search) it reliably beats the `O(|small| + |large|)` merge once the
+/// larger operand is ~16× the smaller one.
+pub const GALLOP_RATIO: usize = 16;
+
+/// Picks the host kernel for a sparse×sparse binary operation from the two
+/// operand cardinalities, per the size-ratio dispatch policy.
+#[must_use]
+pub fn choose_host_kernel(len_a: usize, len_b: usize) -> HostKernel {
+    let (small, large) = if len_a <= len_b {
+        (len_a, len_b)
+    } else {
+        (len_b, len_a)
+    };
+    if small > 0 && large >= small.saturating_mul(GALLOP_RATIO) {
+        HostKernel::Gallop
+    } else {
+        HostKernel::Merge
+    }
+}
+
+thread_local! {
+    static POLICY: Cell<KernelPolicy> = const { Cell::new(KernelPolicy::Optimized) };
+    static SELECTIONS: Cell<KernelSelectionCounts> = const {
+        Cell::new(KernelSelectionCounts {
+            merge: 0,
+            gallop: 0,
+            bitmap: 0,
+        })
+    };
+}
+
+/// The kernel policy currently active on this thread.
+#[must_use]
+pub fn kernel_policy() -> KernelPolicy {
+    POLICY.with(Cell::get)
+}
+
+/// Sets the kernel policy for this thread (worker threads start
+/// [`KernelPolicy::Optimized`]).
+pub fn set_kernel_policy(policy: KernelPolicy) {
+    POLICY.with(|p| p.set(policy));
+}
+
+/// This thread's cumulative kernel-selection tallies.
+#[must_use]
+pub fn kernel_selection_counts() -> KernelSelectionCounts {
+    SELECTIONS.with(Cell::get)
+}
+
+/// Resets this thread's kernel-selection tallies.
+pub fn reset_kernel_selection_counts() {
+    SELECTIONS.with(|s| s.set(KernelSelectionCounts::default()));
+}
+
+fn record_selection(kernel: HostKernel) {
+    SELECTIONS.with(|s| {
+        let mut counts = s.get();
+        match kernel {
+            HostKernel::Merge => counts.merge += 1,
+            HostKernel::Gallop => counts.gallop += 1,
+            HostKernel::Bitmap => counts.bitmap += 1,
+        }
+        s.set(counts);
+    });
+}
+
+/// Chooses (and tallies) the kernel for a sparse×sparse operation under the
+/// active policy: [`KernelPolicy::Reference`] always merges.
+fn dispatch_sparse(len_a: usize, len_b: usize) -> HostKernel {
+    let kernel = match kernel_policy() {
+        KernelPolicy::Optimized => choose_host_kernel(len_a, len_b),
+        KernelPolicy::Reference => HostKernel::Merge,
+    };
+    record_selection(kernel);
+    kernel
+}
+
+/// A sorted slice view of one operand, staged per the active policy.
+enum SortedView<'a> {
+    /// The operand was already a sorted array: borrow it, zero cost.
+    Borrowed(&'a [Vertex]),
+    /// Reference policy: a freshly allocated sorted copy (seed behaviour).
+    Owned(Vec<Vertex>),
+    /// Optimized policy: a sorted copy on an arena-leased scratch buffer.
+    Leased(arena::VertexScratch),
+}
+
+impl Deref for SortedView<'_> {
+    type Target = [Vertex];
+    fn deref(&self) -> &[Vertex] {
+        match self {
+            Self::Borrowed(s) => s,
+            Self::Owned(v) => v,
+            Self::Leased(buf) => buf,
+        }
+    }
+}
+
+/// Stages `set` as a sorted slice for a sparse kernel.
+fn staged(set: &SetRepr) -> SortedView<'_> {
+    if kernel_policy() == KernelPolicy::Reference {
+        return SortedView::Owned(set.to_sorted_vec());
+    }
+    match set {
+        SetRepr::Sorted(s) => SortedView::Borrowed(s.as_slice()),
+        SetRepr::Unsorted(s) => {
+            let mut buf = arena::vertices();
+            buf.extend_from_slice(s.as_slice());
+            buf.sort_unstable();
+            SortedView::Leased(buf)
+        }
+        SetRepr::Dense(d) => {
+            let mut buf = arena::vertices();
+            buf.extend(d.iter());
+            SortedView::Leased(buf)
+        }
     }
 }
 
@@ -203,21 +391,32 @@ impl SetRepr {
     /// Result representation policy: DB ∩ DB stays dense (it is produced in
     /// situ); every other combination yields a sorted sparse array, because
     /// the result is no larger than the sparse operand.
+    ///
+    /// Host execution follows the active [`KernelPolicy`]: sparse pairs
+    /// dispatch merge vs galloping via [`choose_host_kernel`], dense pairs run
+    /// the word-parallel bitmap kernel.
     #[must_use]
     pub fn intersect(&self, other: &SetRepr) -> SetRepr {
         match (self, other) {
-            (Self::Dense(a), Self::Dense(b)) => Self::Dense(ops::intersect_db_db(a, b)),
+            (Self::Dense(a), Self::Dense(b)) => {
+                record_selection(HostKernel::Bitmap);
+                Self::Dense(ops::intersect_db_db(a, b))
+            }
             (Self::Dense(d), sparse) | (sparse, Self::Dense(d)) => {
-                let mut members = ops::intersect_sa_db(&sparse.to_sorted_vec(), d);
-                members.sort_unstable();
+                record_selection(HostKernel::Bitmap);
+                let view = staged(sparse);
+                // The staged view is sorted, so the probe output already is.
+                let members = ops::intersect_sa_db(&view, d);
                 Self::Sorted(SortedVertexArray::from_sorted(members))
             }
             (a, b) => {
-                let av = a.to_sorted_vec();
-                let bv = b.to_sorted_vec();
-                Self::Sorted(SortedVertexArray::from_sorted(ops::intersect_merge_slices(
-                    &av, &bv,
-                )))
+                let av = staged(a);
+                let bv = staged(b);
+                let out = match dispatch_sparse(av.len(), bv.len()) {
+                    HostKernel::Gallop => ops::intersect_galloping_slices(&av, &bv),
+                    _ => ops::intersect_merge_slices(&av, &bv),
+                };
+                Self::Sorted(SortedVertexArray::from_sorted(out))
             }
         }
     }
@@ -226,11 +425,23 @@ impl SetRepr {
     #[must_use]
     pub fn intersect_count(&self, other: &SetRepr) -> usize {
         match (self, other) {
-            (Self::Dense(a), Self::Dense(b)) => ops::intersect_db_db_count(a, b),
-            (Self::Dense(d), sparse) | (sparse, Self::Dense(d)) => {
-                ops::intersect_sa_db_count(&sparse.to_sorted_vec(), d)
+            (Self::Dense(a), Self::Dense(b)) => {
+                record_selection(HostKernel::Bitmap);
+                ops::intersect_db_db_count(a, b)
             }
-            (a, b) => ops::intersect_merge_count(&a.to_sorted_vec(), &b.to_sorted_vec()),
+            (Self::Dense(d), sparse) | (sparse, Self::Dense(d)) => {
+                record_selection(HostKernel::Bitmap);
+                let view = staged(sparse);
+                ops::intersect_sa_db_count(&view, d)
+            }
+            (a, b) => {
+                let av = staged(a);
+                let bv = staged(b);
+                match dispatch_sparse(av.len(), bv.len()) {
+                    HostKernel::Gallop => ops::intersect_galloping_count(&av, &bv),
+                    _ => ops::intersect_merge_count(&av, &bv),
+                }
+            }
         }
     }
 
@@ -238,16 +449,25 @@ impl SetRepr {
     ///
     /// Result representation policy: if either operand is dense the result is
     /// dense (it can only grow); otherwise it is a sorted sparse array.
+    ///
+    /// Unions always touch every element of both operands, so the sparse path
+    /// always merges; there is no galloping variant to dispatch to.
     #[must_use]
     pub fn union(&self, other: &SetRepr) -> SetRepr {
         match (self, other) {
-            (Self::Dense(a), Self::Dense(b)) => Self::Dense(ops::union_db_db(a, b)),
+            (Self::Dense(a), Self::Dense(b)) => {
+                record_selection(HostKernel::Bitmap);
+                Self::Dense(ops::union_db_db(a, b))
+            }
             (Self::Dense(d), sparse) | (sparse, Self::Dense(d)) => {
-                Self::Dense(ops::union_sa_db(&sparse.to_sorted_vec(), d))
+                record_selection(HostKernel::Bitmap);
+                let view = staged(sparse);
+                Self::Dense(ops::union_sa_db(&view, d))
             }
             (a, b) => {
-                let av = a.to_sorted_vec();
-                let bv = b.to_sorted_vec();
+                record_selection(HostKernel::Merge);
+                let av = staged(a);
+                let bv = staged(b);
                 Self::Sorted(SortedVertexArray::from_sorted(ops::union_merge_slices(
                     &av, &bv,
                 )))
@@ -266,25 +486,46 @@ impl SetRepr {
     /// Result representation policy: the result keeps the representation
     /// family of `A` (it is a subset of `A`), except that an unsorted `A`
     /// yields a sorted result.
+    ///
+    /// The sparse×sparse path gallops into `B` when it is at least
+    /// [`GALLOP_RATIO`]× larger than `A` (every element of `A` is looked up
+    /// in `B`, so only `B`'s size matters for the skew test).
     #[must_use]
     pub fn difference(&self, other: &SetRepr) -> SetRepr {
         match (self, other) {
-            (Self::Dense(a), Self::Dense(b)) => Self::Dense(ops::difference_db_db(a, b)),
+            (Self::Dense(a), Self::Dense(b)) => {
+                record_selection(HostKernel::Bitmap);
+                Self::Dense(ops::difference_db_db(a, b))
+            }
             (Self::Dense(a), sparse) => {
+                record_selection(HostKernel::Bitmap);
                 let b = sparse.to_dense(a.universe());
                 Self::Dense(ops::difference_db_db(a, &b))
             }
             (sparse, Self::Dense(d)) => {
-                let mut members = ops::difference_sa_db(&sparse.to_sorted_vec(), d);
-                members.sort_unstable();
+                record_selection(HostKernel::Bitmap);
+                let view = staged(sparse);
+                // The staged view is sorted, so the probe output already is.
+                let members = ops::difference_sa_db(&view, d);
                 Self::Sorted(SortedVertexArray::from_sorted(members))
             }
             (a, b) => {
-                let av = a.to_sorted_vec();
-                let bv = b.to_sorted_vec();
-                Self::Sorted(SortedVertexArray::from_sorted(
-                    ops::difference_merge_slices(&av, &bv),
-                ))
+                let av = staged(a);
+                let bv = staged(b);
+                let gallop = kernel_policy() == KernelPolicy::Optimized
+                    && !av.is_empty()
+                    && bv.len() >= av.len().saturating_mul(GALLOP_RATIO);
+                let kernel = if gallop {
+                    HostKernel::Gallop
+                } else {
+                    HostKernel::Merge
+                };
+                record_selection(kernel);
+                let out = match kernel {
+                    HostKernel::Gallop => ops::difference_galloping_slices(&av, &bv),
+                    _ => ops::difference_merge_slices(&av, &bv),
+                };
+                Self::Sorted(SortedVertexArray::from_sorted(out))
             }
         }
     }
@@ -383,5 +624,94 @@ mod tests {
         let d = SetRepr::default();
         assert!(d.is_empty());
         assert_eq!(d.kind(), RepresentationKind::SortedArray);
+    }
+
+    #[test]
+    fn host_kernel_choice_follows_the_size_ratio() {
+        assert_eq!(choose_host_kernel(100, 100), HostKernel::Merge);
+        assert_eq!(choose_host_kernel(100, 1599), HostKernel::Merge);
+        assert_eq!(choose_host_kernel(100, 1600), HostKernel::Gallop);
+        assert_eq!(choose_host_kernel(1600, 100), HostKernel::Gallop);
+        assert_eq!(choose_host_kernel(0, 1_000_000), HostKernel::Merge);
+        assert_eq!(choose_host_kernel(1, GALLOP_RATIO), HostKernel::Gallop);
+    }
+
+    #[test]
+    fn dispatch_policy_tallies_selections() {
+        reset_kernel_selection_counts();
+        set_kernel_policy(KernelPolicy::Optimized);
+        let small = SetRepr::sorted_from(0..4u32);
+        let large = SetRepr::sorted_from((0..256u32).map(|v| v * 2));
+        let even = SetRepr::sorted_from((0..256u32).map(|v| v * 2 + 1));
+        let da = SetRepr::dense_from(64, [1u32, 2, 3]);
+        let db = SetRepr::dense_from(64, [2u32, 3, 4]);
+        assert_eq!(small.intersect(&large).to_sorted_vec(), vec![0, 2]);
+        assert_eq!(large.intersect(&even).len(), 0);
+        assert_eq!(da.intersect(&db).to_sorted_vec(), vec![2, 3]);
+        let counts = kernel_selection_counts();
+        assert_eq!(
+            counts,
+            KernelSelectionCounts {
+                merge: 1,
+                gallop: 1,
+                bitmap: 1,
+            }
+        );
+        assert_eq!(counts.total(), 3);
+        reset_kernel_selection_counts();
+        assert_eq!(kernel_selection_counts().total(), 0);
+    }
+
+    #[test]
+    fn reference_policy_matches_optimized_results() {
+        let universe = 512;
+        let a_members: Vec<Vertex> = (0..512u32).filter(|v| v % 3 == 0).collect();
+        let b_members: Vec<Vertex> = (0..512u32).filter(|v| v % 97 == 0).collect();
+        for a in reprs(&a_members, universe) {
+            for b in reprs(&b_members, universe) {
+                set_kernel_policy(KernelPolicy::Optimized);
+                let opt = (
+                    a.intersect(&b).to_sorted_vec(),
+                    a.union(&b).to_sorted_vec(),
+                    a.difference(&b).to_sorted_vec(),
+                    a.intersect_count(&b),
+                );
+                set_kernel_policy(KernelPolicy::Reference);
+                let reference = (
+                    a.intersect(&b).to_sorted_vec(),
+                    a.union(&b).to_sorted_vec(),
+                    a.difference(&b).to_sorted_vec(),
+                    a.intersect_count(&b),
+                );
+                set_kernel_policy(KernelPolicy::Optimized);
+                assert_eq!(opt, reference, "{:?} vs {:?}", a.kind(), b.kind());
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_difference_gallops_and_agrees_with_merge() {
+        reset_kernel_selection_counts();
+        set_kernel_policy(KernelPolicy::Optimized);
+        let a = SetRepr::sorted_from([5u32, 100, 2000, 3999]);
+        let b = SetRepr::sorted_from((0..4000u32).filter(|v| v % 2 == 0));
+        let diff = a.difference(&b);
+        assert_eq!(diff.to_sorted_vec(), vec![5, 3999]);
+        assert_eq!(kernel_selection_counts().gallop, 1);
+    }
+
+    #[test]
+    fn optimized_staging_reuses_arena_buffers() {
+        set_kernel_policy(KernelPolicy::Optimized);
+        let a = SetRepr::Unsorted(UnsortedVertexArray::from_iterable([9u32, 1, 5]));
+        let b = SetRepr::Unsorted(UnsortedVertexArray::from_iterable([5u32, 9, 12]));
+        let _ = a.intersect(&b); // warm the pool
+        arena::reset_stats();
+        for _ in 0..8 {
+            assert_eq!(a.intersect(&b).to_sorted_vec(), vec![5, 9]);
+        }
+        let stats = arena::stats();
+        assert_eq!(stats.leases, 16, "two staged operands per op");
+        assert_eq!(stats.reuses, 16, "all leases must be pool hits");
     }
 }

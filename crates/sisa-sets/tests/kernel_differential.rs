@@ -1,0 +1,278 @@
+//! Differential tests pinning the host-side fast paths — the word-parallel
+//! `u64` kernels, the true galloping sparse kernels, and the size-ratio
+//! dispatch policy in `SetRepr` — against naive scalar references.
+//!
+//! Inputs deliberately include the adversarial shapes that bit- and
+//! search-kernels historically get wrong: empty operands, disjoint and
+//! identical sets, single-element sets, and universes straddling a 64-bit
+//! word boundary (63 / 64 / 65).
+
+use proptest::prelude::*;
+use sisa_sets::repr::{self, KernelPolicy};
+use sisa_sets::{kernels, ops, DenseBitVector, RepresentationKind, SetRepr, Vertex};
+use std::collections::BTreeSet;
+
+/// Scalar one-word-at-a-time reference for the word-parallel kernels.
+fn scalar_combine(a: &[u64], b: &[u64], f: impl Fn(u64, u64) -> u64) -> (Vec<u64>, u64) {
+    assert_eq!(a.len(), b.len());
+    let mut out = Vec::with_capacity(a.len());
+    let mut ones = 0u64;
+    for (&x, &y) in a.iter().zip(b) {
+        let w = f(x, y);
+        ones += u64::from(w.count_ones());
+        out.push(w);
+    }
+    (out, ones)
+}
+
+type WordOp = (
+    &'static str,
+    fn(u64, u64) -> u64,
+    fn(&[u64], &[u64], &mut Vec<u64>) -> u64,
+    fn(&mut [u64], &[u64]) -> u64,
+    fn(&[u64], &[u64]) -> u64,
+);
+
+fn word_ops() -> [WordOp; 4] {
+    [
+        (
+            "and",
+            |x, y| x & y,
+            kernels::and_into,
+            kernels::and_assign,
+            kernels::and_count,
+        ),
+        (
+            "or",
+            |x, y| x | y,
+            kernels::or_into,
+            kernels::or_assign,
+            kernels::or_count,
+        ),
+        (
+            "and_not",
+            |x, y| x & !y,
+            kernels::and_not_into,
+            kernels::and_not_assign,
+            kernels::and_not_count,
+        ),
+        (
+            "xor",
+            |x, y| x ^ y,
+            kernels::xor_into,
+            kernels::xor_assign,
+            kernels::xor_count,
+        ),
+    ]
+}
+
+fn model_intersect(a: &BTreeSet<Vertex>, b: &BTreeSet<Vertex>) -> Vec<Vertex> {
+    a.intersection(b).copied().collect()
+}
+
+fn model_union(a: &BTreeSet<Vertex>, b: &BTreeSet<Vertex>) -> Vec<Vertex> {
+    a.union(b).copied().collect()
+}
+
+fn model_difference(a: &BTreeSet<Vertex>, b: &BTreeSet<Vertex>) -> Vec<Vertex> {
+    a.difference(b).copied().collect()
+}
+
+/// The same abstract set in each physical representation over `universe`.
+fn all_reprs(members: &BTreeSet<Vertex>, universe: usize) -> [SetRepr; 3] {
+    [
+        SetRepr::sorted_from(members.iter().copied()),
+        SetRepr::sorted_from(members.iter().copied())
+            .converted_to(RepresentationKind::UnsortedArray, universe),
+        SetRepr::dense_from(universe, members.iter().copied()),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn word_parallel_kernels_match_the_scalar_reference(
+        a in proptest::collection::vec(any::<u64>(), 0..40),
+        b in proptest::collection::vec(any::<u64>(), 0..40),
+    ) {
+        // Unequal draws are truncated to a common length; the lengths swept
+        // (0..40) cross every unroll boundary of the 4-word inner loop.
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        for (name, f, into, assign, count) in word_ops() {
+            let (expected, expected_ones) = scalar_combine(a, b, f);
+            let mut out = Vec::new();
+            let ones = into(a, b, &mut out);
+            prop_assert_eq!(&out, &expected, "{}_into words", name);
+            prop_assert_eq!(ones, expected_ones, "{}_into ones", name);
+            let mut dst = a.to_vec();
+            let ones = assign(&mut dst, b);
+            prop_assert_eq!(&dst, &expected, "{}_assign words", name);
+            prop_assert_eq!(ones, expected_ones, "{}_assign ones", name);
+            prop_assert_eq!(count(a, b), expected_ones, "{}_count", name);
+        }
+        prop_assert_eq!(
+            kernels::popcount(a),
+            a.iter().map(|w| u64::from(w.count_ones())).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn dense_ops_match_the_model_across_word_boundary_universes(
+        members_a in proptest::collection::btree_set(0u32..130, 0..80),
+        members_b in proptest::collection::btree_set(0u32..130, 0..80),
+    ) {
+        for universe in [1usize, 63, 64, 65, 127, 128, 130] {
+            let a: BTreeSet<Vertex> =
+                members_a.iter().copied().filter(|&v| (v as usize) < universe).collect();
+            let b: BTreeSet<Vertex> =
+                members_b.iter().copied().filter(|&v| (v as usize) < universe).collect();
+            let da = DenseBitVector::from_members(universe, a.iter().copied());
+            let db = DenseBitVector::from_members(universe, b.iter().copied());
+            prop_assert_eq!(da.and(&db).to_sorted_vec(), model_intersect(&a, &b));
+            prop_assert_eq!(da.or(&db).to_sorted_vec(), model_union(&a, &b));
+            prop_assert_eq!(da.and_not(&db).to_sorted_vec(), model_difference(&a, &b));
+            let sym: Vec<Vertex> =
+                a.symmetric_difference(&b).copied().collect();
+            prop_assert_eq!(da.xor(&db).to_sorted_vec(), sym);
+            prop_assert_eq!(da.and_count(&db), model_intersect(&a, &b).len());
+            prop_assert_eq!(da.or_count(&db), model_union(&a, &b).len());
+            prop_assert_eq!(da.and_not_count(&db), model_difference(&a, &b).len());
+            // The fused in-place counts must agree with a full recount.
+            let mut acc = da.clone();
+            acc.and_assign(&db);
+            prop_assert_eq!(acc.len(), acc.iter().count());
+            let mut acc = da.clone();
+            acc.or_assign(&db);
+            prop_assert_eq!(acc.len(), acc.iter().count());
+            let mut acc = da.clone();
+            acc.and_not_assign(&db);
+            prop_assert_eq!(acc.len(), acc.iter().count());
+        }
+    }
+
+    #[test]
+    fn galloping_matches_merge_on_skewed_draws(
+        small in proptest::collection::btree_set(0u32..4096, 0..8),
+        large in proptest::collection::btree_set(0u32..4096, 0..1024),
+    ) {
+        let sv: Vec<Vertex> = small.iter().copied().collect();
+        let lv: Vec<Vertex> = large.iter().copied().collect();
+        for (a, b) in [(&sv, &lv), (&lv, &sv)] {
+            let merged = ops::intersect_merge_slices(a, b);
+            prop_assert_eq!(ops::intersect_galloping_slices(a, b), merged.clone());
+            prop_assert_eq!(ops::intersect_galloping_slices_reference(a, b), merged.clone());
+            prop_assert_eq!(ops::intersect_galloping_count(a, b), merged.len());
+            let diff = ops::difference_merge_slices(a, b);
+            prop_assert_eq!(ops::difference_galloping_slices(a, b), diff.clone());
+            prop_assert_eq!(ops::difference_galloping_slices_reference(a, b), diff);
+        }
+    }
+
+    #[test]
+    fn dispatch_policy_is_semantically_invisible(
+        members_a in proptest::collection::btree_set(0u32..512, 0..128),
+        members_b in proptest::collection::btree_set(0u32..512, 0..128),
+    ) {
+        // Whatever host kernel the size-ratio policy picks, and whether or
+        // not operand staging goes through the arena, results must match the
+        // Reference policy (the seed's behaviour) and the abstract model.
+        let universe = 512;
+        for ra in all_reprs(&members_a, universe) {
+            for rb in all_reprs(&members_b, universe) {
+                repr::set_kernel_policy(KernelPolicy::Optimized);
+                let opt = (
+                    ra.intersect(&rb).to_sorted_vec(),
+                    ra.union(&rb).to_sorted_vec(),
+                    ra.difference(&rb).to_sorted_vec(),
+                    ra.intersect_count(&rb),
+                    ra.difference_count(&rb),
+                );
+                repr::set_kernel_policy(KernelPolicy::Reference);
+                let reference = (
+                    ra.intersect(&rb).to_sorted_vec(),
+                    ra.union(&rb).to_sorted_vec(),
+                    ra.difference(&rb).to_sorted_vec(),
+                    ra.intersect_count(&rb),
+                    ra.difference_count(&rb),
+                );
+                repr::set_kernel_policy(KernelPolicy::Optimized);
+                prop_assert_eq!(&opt, &reference);
+                prop_assert_eq!(&opt.0, &model_intersect(&members_a, &members_b));
+                prop_assert_eq!(&opt.1, &model_union(&members_a, &members_b));
+                prop_assert_eq!(&opt.2, &model_difference(&members_a, &members_b));
+            }
+        }
+    }
+}
+
+/// Deterministic adversarial shapes for the sparse kernels: empty operands,
+/// identical sets, disjoint sets, single elements, and shared endpoints.
+#[test]
+fn galloping_handles_adversarial_shapes() {
+    let shapes: [(&[Vertex], &[Vertex]); 10] = [
+        (&[], &[]),
+        (&[], &[1, 2, 3]),
+        (&[7], &[]),
+        (&[5], &[5]),
+        (&[5], &[6]),
+        (&[1, 2, 3], &[1, 2, 3]),
+        (&[1, 3, 5], &[0, 2, 4]),
+        (&[0], &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]),
+        (&[9], &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]),
+        (&[0, 9], &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]),
+    ];
+    for (a, b) in shapes {
+        for (x, y) in [(a, b), (b, a)] {
+            let merged = ops::intersect_merge_slices(x, y);
+            assert_eq!(
+                ops::intersect_galloping_slices(x, y),
+                merged,
+                "{x:?} ∩ {y:?}"
+            );
+            assert_eq!(ops::intersect_galloping_count(x, y), merged.len());
+            let diff = ops::difference_merge_slices(x, y);
+            assert_eq!(
+                ops::difference_galloping_slices(x, y),
+                diff,
+                "{x:?} \\ {y:?}"
+            );
+        }
+    }
+}
+
+/// The word-boundary shapes, driven end-to-end through `SetRepr` dispatch.
+#[test]
+fn dispatch_handles_word_boundary_and_degenerate_sets() {
+    repr::set_kernel_policy(KernelPolicy::Optimized);
+    for universe in [63usize, 64, 65] {
+        let last = (universe - 1) as Vertex;
+        let cases: [(Vec<Vertex>, Vec<Vertex>); 5] = [
+            (vec![], vec![]),
+            (vec![last], vec![last]),
+            (vec![0], vec![last]),
+            ((0..universe as Vertex).collect(), vec![last]),
+            (
+                (0..universe as Vertex).step_by(2).collect(),
+                (0..universe as Vertex).skip(1).step_by(2).collect(),
+            ),
+        ];
+        for (ma, mb) in cases {
+            let a: BTreeSet<Vertex> = ma.iter().copied().collect();
+            let b: BTreeSet<Vertex> = mb.iter().copied().collect();
+            for ra in all_reprs(&a, universe) {
+                for rb in all_reprs(&b, universe) {
+                    assert_eq!(
+                        ra.intersect(&rb).to_sorted_vec(),
+                        model_intersect(&a, &b),
+                        "u={universe} {:?} ∩ {:?}",
+                        ra.kind(),
+                        rb.kind()
+                    );
+                    assert_eq!(ra.union(&rb).to_sorted_vec(), model_union(&a, &b));
+                    assert_eq!(ra.difference(&rb).to_sorted_vec(), model_difference(&a, &b));
+                    assert_eq!(ra.intersect_count(&rb), model_intersect(&a, &b).len());
+                }
+            }
+        }
+    }
+}
