@@ -1,0 +1,421 @@
+//! Wall-clock benchmark of the multi-tenant serving layer
+//! ([`sisa_service::SisaService`]): an open-loop arrival sweep against a
+//! pooled, registry-shared service (submit-to-completion latency
+//! percentiles, saturation-knee throughput, shed load), a line-delimited
+//! JSON TCP transport smoke with concurrent client connections, and an
+//! overload probe demonstrating bounded-queue rejections instead of
+//! unbounded growth.
+//!
+//! Emits `results/BENCH_service.json` (schema in
+//! [`sisa_bench::BenchService`], documented in the README's results
+//! appendix) and self-validates the emitted artifact. The run also asserts
+//! the serving layer's exact-attribution identities: per-tenant
+//! [`sisa_core::ExecStats`] records fold bit-exactly to the pool aggregate,
+//! and pool + registry overhead telescopes to the raw engine counters.
+//! Flags: `--smoke` shrinks the sweep for CI; `--check` re-validates an
+//! existing artifact without re-measuring.
+
+use sisa_bench::{
+    emit, format_table, percentile_ns, results_dir, BenchService, HostPlatform, ServiceSweepPoint,
+    BENCH_SERVICE_SCHEMA_VERSION,
+};
+use sisa_core::ExecStats;
+use sisa_graph::generators;
+use sisa_service::{
+    AdmissionConfig, Frame, QueryKind, QuerySpec, Request, ServiceConfig, SisaService, TcpServer,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The benchmark graph's generation seed (and the document's `seed` field).
+const SEED: u64 = 42;
+/// The registered name every query targets.
+const GRAPH: &str = "er-service";
+/// Concurrent tenants in the sweep and TCP phases.
+const CLIENTS: usize = 8;
+/// Queries each TCP client issues (8 × 13 = 104 ≥ the 100-query floor).
+const TCP_QUERIES_PER_CLIENT: usize = 13;
+
+/// The query kinds cycled through every phase, keyed by wire name.
+fn query_mix() -> Vec<(String, QueryKind)> {
+    vec![
+        ("tc".into(), QueryKind::TriangleCount),
+        ("kclique3".into(), QueryKind::KCliqueCount { k: 3 }),
+        ("star2".into(), QueryKind::StarCount { k: 2 }),
+    ]
+}
+
+fn bench_graph(smoke: bool) -> sisa_graph::CsrGraph {
+    if smoke {
+        generators::erdos_renyi(96, 0.10, SEED)
+    } else {
+        generators::erdos_renyi(256, 0.06, SEED)
+    }
+}
+
+/// Asserts the exact-attribution identities on a drained service. Returns
+/// only if they hold (the `stats_identity_checked` field of the document).
+fn assert_stats_identities(service: &SisaService) {
+    let usage = service.tenant_usage();
+    let mut folded = ExecStats::default();
+    for tenant in usage.values() {
+        folded.merge(&tenant.stats);
+    }
+    let pool = service.pool_stats();
+    assert_eq!(folded, pool, "tenant fold != pool aggregate");
+    assert_eq!(
+        folded.energy_nj.to_bits(),
+        pool.energy_nj.to_bits(),
+        "pool energy is not bit-exact against the tenant fold"
+    );
+
+    let mut attributed = pool;
+    attributed.merge(&service.registry_stats());
+    let engines = service.engine_stats();
+    assert_eq!(attributed.scu_cycles, engines.scu_cycles, "scu_cycles leak");
+    assert_eq!(attributed.pum_cycles, engines.pum_cycles, "pum_cycles leak");
+    assert_eq!(attributed.pnm_cycles, engines.pnm_cycles, "pnm_cycles leak");
+    assert_eq!(
+        attributed.host_cycles, engines.host_cycles,
+        "host_cycles leak"
+    );
+    assert_eq!(
+        attributed.link_cycles, engines.link_cycles,
+        "link_cycles leak"
+    );
+    assert_eq!(
+        attributed.instructions, engines.instructions,
+        "instruction-mix leak"
+    );
+    let energy_err = (attributed.energy_nj - engines.energy_nj).abs();
+    assert!(
+        energy_err <= 1e-9 * engines.energy_nj.abs().max(1.0),
+        "energy attribution drifted: {} vs {}",
+        attributed.energy_nj,
+        engines.energy_nj
+    );
+}
+
+/// One open-loop rate point: `arrivals` queries paced at `offered_qps`,
+/// round-robined over tenants and the query mix; every accepted query is
+/// awaited on its own thread so latencies are measured at completion.
+fn sweep_point(service: &SisaService, offered_qps: f64, arrivals: usize) -> ServiceSweepPoint {
+    let mix = query_mix();
+    let completed_before = service.report().completed;
+    let coalesced_before = service.report().coalesced;
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(arrivals));
+    let mut rejected = 0u64;
+    let started = Instant::now();
+    let mut last_done = started;
+
+    std::thread::scope(|scope| {
+        let mut waiters = Vec::new();
+        for i in 0..arrivals {
+            let due = Duration::from_secs_f64(i as f64 / offered_qps);
+            if let Some(sleep) = due.checked_sub(started.elapsed()) {
+                std::thread::sleep(sleep);
+            }
+            let tenant = format!("tenant-{}", i % CLIENTS);
+            let spec = QuerySpec::new(GRAPH, mix[i % mix.len()].1.clone());
+            match service.submit(&tenant, spec) {
+                Err(rejection) => {
+                    assert!(rejection.retry_after_ms >= 1, "rejections carry hints");
+                    rejected += 1;
+                }
+                Ok(handle) => {
+                    let submitted_at = Instant::now();
+                    let latencies = &latencies;
+                    waiters.push(scope.spawn(move || {
+                        handle.wait().expect("accepted queries complete");
+                        let done = Instant::now();
+                        latencies
+                            .lock()
+                            .expect("latency lock")
+                            .push(done.duration_since(submitted_at).as_nanos() as u64);
+                        done
+                    }));
+                }
+            }
+        }
+        for waiter in waiters {
+            last_done = last_done.max(waiter.join().expect("waiter thread"));
+        }
+    });
+
+    let latencies = latencies.into_inner().expect("latency lock");
+    assert!(
+        !latencies.is_empty(),
+        "rate {offered_qps}: nothing completed"
+    );
+    let span = last_done.duration_since(started).as_secs_f64().max(1e-9);
+    let report = service.report();
+    ServiceSweepPoint {
+        offered_qps,
+        submitted: arrivals as u64,
+        completed: report.completed - completed_before,
+        rejected,
+        coalesced: report.coalesced - coalesced_before,
+        p50_latency_ns: percentile_ns(&latencies, 50.0),
+        p95_latency_ns: percentile_ns(&latencies, 95.0),
+        p99_latency_ns: percentile_ns(&latencies, 99.0),
+        achieved_qps: latencies.len() as f64 / span,
+    }
+}
+
+/// The TCP transport smoke: `CLIENTS` concurrent connections against one
+/// registry-shared graph, line-delimited JSON in, streamed frames out.
+/// Returns the number of queries answered with a `result` frame.
+fn tcp_smoke(smoke: bool) -> u64 {
+    let service = SisaService::start(ServiceConfig::smoke());
+    service.register_graph(GRAPH, bench_graph(smoke));
+    let mix = query_mix();
+
+    // In-process oracle per query kind, so every TCP answer is checked.
+    let mut expected = Vec::with_capacity(mix.len());
+    for (_, kind) in &mix {
+        let outcome = service
+            .submit("oracle", QuerySpec::new(GRAPH, kind.clone()))
+            .expect("admitted")
+            .wait()
+            .expect("completes");
+        expected.push(outcome.value);
+    }
+
+    let server = TcpServer::serve(service.client(), "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+    let answered: u64 = std::thread::scope(|scope| {
+        let expected = &expected;
+        let mix = &mix;
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    let mut writer = stream.try_clone().expect("clone stream");
+                    let mut lines = BufReader::new(stream).lines();
+                    let mut answered = 0u64;
+                    for q in 0..TCP_QUERIES_PER_CLIENT {
+                        let kind_idx = (c + q) % mix.len();
+                        let spec = QuerySpec::new(GRAPH, mix[kind_idx].1.clone());
+                        let id = (c * TCP_QUERIES_PER_CLIENT + q) as u64;
+                        let tenant = format!("tcp-{c}");
+                        let request = Request::from_spec(id, &tenant, &spec);
+                        let mut line = serde_json::to_string(&request).expect("request json");
+                        line.push('\n');
+                        writer.write_all(line.as_bytes()).expect("write");
+                        loop {
+                            let line = lines.next().expect("frame").expect("read");
+                            let frame: Frame = serde_json::from_str(&line).expect("frame parses");
+                            assert_eq!(frame.id, id, "frames correlate to their request");
+                            if frame.is_terminal() {
+                                assert_eq!(frame.frame, "result", "{frame:?}");
+                                assert_eq!(
+                                    frame.value,
+                                    Some(expected[kind_idx]),
+                                    "TCP answer disagrees with the in-process oracle"
+                                );
+                                answered += 1;
+                                break;
+                            }
+                        }
+                    }
+                    answered
+                })
+            })
+            .collect();
+        clients
+            .into_iter()
+            .map(|join| join.join().expect("tcp client thread"))
+            .sum()
+    });
+
+    assert_eq!(answered, (CLIENTS * TCP_QUERIES_PER_CLIENT) as u64);
+    assert_eq!(
+        service.report().graph_loads,
+        1,
+        "all TCP clients shared one registry load"
+    );
+    assert_stats_identities(&service);
+    server.stop();
+    service.close();
+    answered
+}
+
+/// The overload probe: a tiny bounded queue under a hard burst must shed
+/// load with retry hints — and keep serving afterwards — rather than grow
+/// without bound or panic. Returns the rejection count (> 0).
+fn overload_probe(smoke: bool) -> u64 {
+    let mut cfg = ServiceConfig::smoke();
+    cfg.workers = 1;
+    cfg.admission = AdmissionConfig {
+        queue_capacity: 4,
+        per_tenant_inflight: 2,
+        retry_after_ms: 5,
+    };
+    let service = SisaService::start(cfg);
+    service.register_graph(GRAPH, bench_graph(smoke));
+
+    let burst = 160;
+    let mut handles = Vec::new();
+    let mut rejected = 0u64;
+    for i in 0..burst {
+        let tenant = format!("burst-{}", i % CLIENTS);
+        match service.submit(&tenant, QuerySpec::new(GRAPH, QueryKind::TriangleCount)) {
+            Ok(handle) => handles.push(handle),
+            Err(rejection) => {
+                assert!(rejection.retry_after_ms >= 1);
+                rejected += 1;
+            }
+        }
+    }
+    assert!(
+        rejected > 0,
+        "a {burst}-query burst must overflow capacity 4"
+    );
+    let accepted = handles.len() as u64;
+    for handle in handles {
+        handle.wait().expect("accepted queries complete");
+    }
+    let report = service.report();
+    assert_eq!(report.completed, accepted, "no accepted query was dropped");
+    assert_eq!(report.in_flight, 0, "every admission slot was released");
+    service
+        .submit("burst-0", QuerySpec::new(GRAPH, QueryKind::TriangleCount))
+        .expect("the service recovered after shedding")
+        .wait()
+        .expect("completes");
+    service.close();
+    rejected
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let path = results_dir().join("BENCH_service.json");
+
+    if args.iter().any(|a| a == "--check") {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let doc = BenchService::from_json(&text)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        doc.validate()
+            .unwrap_or_else(|e| panic!("{} violates the schema: {e}", path.display()));
+        println!(
+            "{} is a valid schema-v{} document (knee {} qps, peak {:.1} qps, {} sweep points).",
+            path.display(),
+            doc.schema_version,
+            doc.knee_offered_qps,
+            doc.peak_achieved_qps,
+            doc.sweep.len()
+        );
+        return;
+    }
+
+    let (rates, arrivals): (&[f64], usize) = if smoke {
+        (&[50.0, 200.0, 800.0], 48)
+    } else {
+        (&[25.0, 50.0, 100.0, 200.0, 400.0, 800.0, 1600.0], 240)
+    };
+
+    // Phase 1: the open-loop arrival sweep on one long-lived service — the
+    // graph is registered (and loaded) once and shared by every rate point.
+    let cfg = if smoke {
+        ServiceConfig::smoke()
+    } else {
+        ServiceConfig::default()
+    };
+    let (workers, shards) = (cfg.workers, cfg.shards);
+    let service = SisaService::start(cfg);
+    service.register_graph(GRAPH, bench_graph(smoke));
+    let sweep: Vec<ServiceSweepPoint> = rates
+        .iter()
+        .map(|&rate| sweep_point(&service, rate, arrivals))
+        .collect();
+    assert_stats_identities(&service);
+    let sweep_rejected: u64 = sweep.iter().map(|p| p.rejected).sum();
+    service.close();
+
+    let knee_offered_qps = sweep
+        .iter()
+        .find(|p| p.achieved_qps < 0.9 * p.offered_qps)
+        .map_or_else(|| rates[rates.len() - 1], |p| p.offered_qps);
+    let peak_achieved_qps = sweep.iter().map(|p| p.achieved_qps).fold(0.0, f64::max);
+
+    // Phase 2: the TCP transport smoke (≥ 8 concurrent connections, shared
+    // registry load, every answer checked against the in-process oracle).
+    let tcp_smoke_queries = tcp_smoke(smoke);
+
+    // Phase 3: the overload probe (bounded queues shed load explicitly).
+    let overload_rejected = overload_probe(smoke);
+
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.0}", p.offered_qps),
+                p.submitted.to_string(),
+                p.rejected.to_string(),
+                p.coalesced.to_string(),
+                format!("{:.3}", p.p50_latency_ns as f64 / 1e6),
+                format!("{:.3}", p.p99_latency_ns as f64 / 1e6),
+                format!("{:.1}", p.achieved_qps),
+            ]
+        })
+        .collect();
+    let table = format_table(
+        &[
+            "offered [qps]",
+            "submitted",
+            "rejected",
+            "coalesced",
+            "p50 [ms]",
+            "p99 [ms]",
+            "achieved [qps]",
+        ],
+        &rows,
+    );
+    emit(
+        "bench_service",
+        &format!(
+            "Service open-loop sweep, seed {SEED} ({} mode): {CLIENTS} tenants over \
+             the registry-shared {GRAPH} graph, {workers} workers x {shards} shards.\n\
+             Saturation knee at {knee_offered_qps} qps offered, peak {peak_achieved_qps:.1} qps \
+             achieved; TCP smoke answered {tcp_smoke_queries} queries over {CLIENTS} \
+             connections; overload probe shed {overload_rejected} of a 160-query burst.\n\
+             Exact-attribution identities held (tenant fold == pool, pool + registry == engines).\
+             \n\n{table}",
+            if smoke { "smoke" } else { "full" },
+        ),
+    );
+
+    let doc = BenchService {
+        schema_version: BENCH_SERVICE_SCHEMA_VERSION,
+        mode: if smoke { "smoke" } else { "full" }.into(),
+        seed: SEED,
+        host: HostPlatform::capture(),
+        graph: GRAPH.into(),
+        workers,
+        shards,
+        clients: CLIENTS,
+        query_mix: query_mix().into_iter().map(|(name, _)| name).collect(),
+        sweep,
+        knee_offered_qps,
+        peak_achieved_qps,
+        total_rejected: sweep_rejected + overload_rejected,
+        tcp_smoke_queries,
+        tcp_smoke_clients: CLIENTS,
+        stats_identity_checked: true,
+    };
+    doc.validate().expect("emitted document is schema-valid");
+
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("results dir");
+    std::fs::write(&path, doc.to_json()).expect("write BENCH_service.json");
+    // Read the artifact back so a serialization regression fails loudly here
+    // rather than in a downstream consumer.
+    let reread = BenchService::from_json(&std::fs::read_to_string(&path).expect("reread"))
+        .expect("emitted artifact parses");
+    assert_eq!(reread, doc, "artifact does not round-trip");
+    println!("Service trajectory recorded in {}", path.display());
+}

@@ -1024,6 +1024,202 @@ pub fn percentile_ns(samples: &[u64], pct: f64) -> u64 {
 }
 
 // ---------------------------------------------------------------------------
+// Service benchmark (`BENCH_service.json`)
+// ---------------------------------------------------------------------------
+
+/// Schema version of `results/BENCH_service.json`; bump when a field is
+/// added, removed or re-interpreted so downstream tooling can dispatch.
+pub const BENCH_SERVICE_SCHEMA_VERSION: u32 = 1;
+
+/// One offered-rate point of the `bench_service` open-loop arrival sweep:
+/// queries arrive on a fixed schedule (`offered_qps`), irrespective of
+/// completions, and the service answers, coalesces or sheds them.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServiceSweepPoint {
+    /// The open-loop arrival rate, queries per second.
+    pub offered_qps: f64,
+    /// Arrivals attempted at this rate.
+    pub submitted: u64,
+    /// Queries that completed with a result.
+    pub completed: u64,
+    /// Arrivals shed by admission control (`Rejected { retry_after }`).
+    pub rejected: u64,
+    /// Completions served from a coalesced execution at zero billed cost.
+    pub coalesced: u64,
+    /// Median submit-to-completion latency of completed queries, ns.
+    pub p50_latency_ns: u64,
+    /// 95th-percentile latency, ns.
+    pub p95_latency_ns: u64,
+    /// 99th-percentile latency, ns.
+    pub p99_latency_ns: u64,
+    /// Completed queries divided by the span from first submission to last
+    /// completion.
+    pub achieved_qps: f64,
+}
+
+/// The full `results/BENCH_service.json` document emitted by the
+/// `bench_service` binary: an open-loop arrival sweep over a multi-tenant
+/// [`sisa_service::SisaService`] pool (latency percentiles, the saturation
+/// knee, shed load), the TCP transport smoke, the overload probe, and host
+/// provenance. Simulated-work attribution is verified, not reported: the run
+/// asserts that per-tenant [`sisa_core::ExecStats`] records fold bit-exactly
+/// to the pool aggregate and telescope to the raw engine counters, and
+/// records the outcome in `stats_identity_checked`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchService {
+    /// [`BENCH_SERVICE_SCHEMA_VERSION`] at emission time.
+    pub schema_version: u32,
+    /// `smoke` (CI-sized sweep) or `full`.
+    pub mode: String,
+    /// The seed behind the benchmark graph and every derived schedule.
+    pub seed: u64,
+    /// Host machine provenance for the nanosecond figures.
+    pub host: HostPlatform,
+    /// The registry-shared graph every query in the sweep targets.
+    pub graph: String,
+    /// Worker threads of the benchmarked service pool.
+    pub workers: usize,
+    /// Shards per worker engine.
+    pub shards: usize,
+    /// Concurrent tenants submitting during the sweep.
+    pub clients: usize,
+    /// The query kinds cycled through the sweep (wire names).
+    pub query_mix: Vec<String>,
+    /// The offered-rate sweep, in increasing-rate order.
+    pub sweep: Vec<ServiceSweepPoint>,
+    /// The lowest offered rate whose achieved throughput fell below 90% of
+    /// offered (the saturation knee), or the highest swept rate if none did.
+    pub knee_offered_qps: f64,
+    /// The best achieved throughput across the sweep.
+    pub peak_achieved_qps: f64,
+    /// Rejections across the whole run (sweep plus the overload probe, which
+    /// must shed load rather than grow without bound).
+    pub total_rejected: u64,
+    /// Queries answered over line-delimited JSON TCP during the transport
+    /// smoke.
+    pub tcp_smoke_queries: u64,
+    /// Concurrent TCP client connections during the transport smoke.
+    pub tcp_smoke_clients: usize,
+    /// Whether the exact-attribution identities were asserted this run
+    /// (tenant fold ≡ pool aggregate bit-exact; pool + registry overhead
+    /// telescopes to raw engine counters). Always `true` in valid documents.
+    pub stats_identity_checked: bool,
+}
+
+impl BenchService {
+    /// Pretty-printed JSON for this document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("bench document serializes")
+    }
+
+    /// Parses a `BENCH_service.json` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error's message when `text` is not a valid document.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("{e:?}"))
+    }
+
+    /// Checks the document's internal invariants (the schema validation CI
+    /// runs on the emitted artifact).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema_version != BENCH_SERVICE_SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version {} != supported {BENCH_SERVICE_SCHEMA_VERSION}",
+                self.schema_version
+            ));
+        }
+        if self.mode != "smoke" && self.mode != "full" {
+            return Err(format!("mode {:?} is not smoke|full", self.mode));
+        }
+        if self.workers == 0 || self.shards == 0 || self.clients == 0 {
+            return Err("pool geometry is degenerate".into());
+        }
+        if self.query_mix.is_empty() {
+            return Err("query mix is empty".into());
+        }
+        if self.sweep.is_empty() {
+            return Err("arrival sweep is empty".into());
+        }
+        let mut last_rate = 0.0f64;
+        let mut swept_rejected = 0u64;
+        for point in &self.sweep {
+            if !(point.offered_qps.is_finite() && point.offered_qps > 0.0) {
+                return Err(format!(
+                    "offered rate {} is not positive",
+                    point.offered_qps
+                ));
+            }
+            if point.offered_qps <= last_rate {
+                return Err("sweep rates are not strictly increasing".into());
+            }
+            last_rate = point.offered_qps;
+            if point.completed + point.rejected != point.submitted {
+                return Err(format!(
+                    "rate {}: completed {} + rejected {} != submitted {}",
+                    point.offered_qps, point.completed, point.rejected, point.submitted
+                ));
+            }
+            if point.coalesced > point.completed {
+                return Err(format!(
+                    "rate {}: coalesced exceeds completed",
+                    point.offered_qps
+                ));
+            }
+            if point.completed == 0 {
+                return Err(format!("rate {}: nothing completed", point.offered_qps));
+            }
+            if point.p50_latency_ns > point.p95_latency_ns
+                || point.p95_latency_ns > point.p99_latency_ns
+            {
+                return Err(format!(
+                    "rate {}: percentiles out of order",
+                    point.offered_qps
+                ));
+            }
+            if !(point.achieved_qps.is_finite() && point.achieved_qps > 0.0) {
+                return Err(format!(
+                    "rate {}: bad achieved throughput",
+                    point.offered_qps
+                ));
+            }
+            swept_rejected += point.rejected;
+        }
+        if self.total_rejected < swept_rejected {
+            return Err("total_rejected undercounts the sweep".into());
+        }
+        if !(self.knee_offered_qps.is_finite() && self.knee_offered_qps > 0.0) {
+            return Err("saturation knee is not a positive finite rate".into());
+        }
+        if !(self.peak_achieved_qps.is_finite() && self.peak_achieved_qps > 0.0) {
+            return Err("peak achieved throughput is not positive".into());
+        }
+        if self.tcp_smoke_clients < 8 {
+            return Err(format!(
+                "TCP smoke used {} clients; the acceptance floor is 8",
+                self.tcp_smoke_clients
+            ));
+        }
+        if self.tcp_smoke_queries < 100 {
+            return Err(format!(
+                "TCP smoke answered {} queries; the acceptance floor is 100",
+                self.tcp_smoke_queries
+            ));
+        }
+        if !self.stats_identity_checked {
+            return Err("run skipped the exact-attribution identity checks".into());
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Summaries and output helpers
 // ---------------------------------------------------------------------------
 
@@ -1309,5 +1505,89 @@ mod tests {
         let (rounds, reached) = run_auxiliary_formulations(&g);
         assert!(rounds > 0);
         assert!(reached > 1);
+    }
+
+    fn sample_service_document() -> BenchService {
+        BenchService {
+            schema_version: BENCH_SERVICE_SCHEMA_VERSION,
+            mode: "smoke".into(),
+            seed: 42,
+            host: HostPlatform::capture(),
+            graph: "er-service".into(),
+            workers: 2,
+            shards: 2,
+            clients: 8,
+            query_mix: vec!["tc".into(), "kclique3".into(), "star2".into()],
+            sweep: vec![
+                ServiceSweepPoint {
+                    offered_qps: 50.0,
+                    submitted: 60,
+                    completed: 60,
+                    rejected: 0,
+                    coalesced: 2,
+                    p50_latency_ns: 100_000,
+                    p95_latency_ns: 300_000,
+                    p99_latency_ns: 500_000,
+                    achieved_qps: 49.7,
+                },
+                ServiceSweepPoint {
+                    offered_qps: 800.0,
+                    submitted: 60,
+                    completed: 51,
+                    rejected: 9,
+                    coalesced: 12,
+                    p50_latency_ns: 900_000,
+                    p95_latency_ns: 2_000_000,
+                    p99_latency_ns: 2_500_000,
+                    achieved_qps: 512.0,
+                },
+            ],
+            knee_offered_qps: 800.0,
+            peak_achieved_qps: 512.0,
+            total_rejected: 29,
+            tcp_smoke_queries: 104,
+            tcp_smoke_clients: 8,
+            stats_identity_checked: true,
+        }
+    }
+
+    #[test]
+    fn service_document_roundtrips_and_validates() {
+        let doc = sample_service_document();
+        doc.validate().expect("sample document is valid");
+        let parsed = BenchService::from_json(&doc.to_json()).expect("roundtrip parses");
+        assert_eq!(parsed, doc);
+        assert!(BenchService::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn service_document_validation_rejects_violations() {
+        let mut doc = sample_service_document();
+        doc.schema_version += 1;
+        assert!(doc.validate().is_err(), "wrong schema version");
+        let mut doc = sample_service_document();
+        doc.sweep.clear();
+        assert!(doc.validate().is_err(), "empty sweep");
+        let mut doc = sample_service_document();
+        doc.sweep[1].offered_qps = doc.sweep[0].offered_qps;
+        assert!(doc.validate().is_err(), "non-increasing rates");
+        let mut doc = sample_service_document();
+        doc.sweep[0].rejected += 1;
+        assert!(doc.validate().is_err(), "submitted != completed + rejected");
+        let mut doc = sample_service_document();
+        doc.sweep[0].p50_latency_ns = doc.sweep[0].p95_latency_ns + 1;
+        assert!(doc.validate().is_err(), "percentiles out of order");
+        let mut doc = sample_service_document();
+        doc.total_rejected = 0;
+        assert!(doc.validate().is_err(), "total undercounts the sweep");
+        let mut doc = sample_service_document();
+        doc.tcp_smoke_clients = 4;
+        assert!(doc.validate().is_err(), "below the 8-client floor");
+        let mut doc = sample_service_document();
+        doc.tcp_smoke_queries = 50;
+        assert!(doc.validate().is_err(), "below the 100-query floor");
+        let mut doc = sample_service_document();
+        doc.stats_identity_checked = false;
+        assert!(doc.validate().is_err(), "identity check skipped");
     }
 }

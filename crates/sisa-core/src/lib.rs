@@ -78,7 +78,7 @@ pub use scu::{ExecutionChoice, ExecutionTarget, Scu};
 pub use set_graph::SetGraph;
 pub use shard::PartitionStrategy;
 pub use sharded::{BatchOp, BatchResult, LinkTraffic, ShardReport, ShardedEngine};
-pub use stats::{ExecStats, StatsCheckpoint};
+pub use stats::{ExecStats, StatsCheckpoint, StatsScope};
 pub use trace::{TraceEvent, TraceOp, TraceSink};
 
 /// A logical SISA set identifier (re-exported from `sisa-isa`).

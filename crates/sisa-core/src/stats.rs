@@ -269,6 +269,83 @@ impl ExecStats {
     }
 }
 
+/// An attribution scope over a live statistics record: everything an engine
+/// accrues between [`StatsScope::begin`] and [`StatsScope::finish`] is carved
+/// out as a standalone [`ExecStats`] delta.
+///
+/// This is the public face of the [`ExecStats::checkpoint`] /
+/// [`ExecStats::merge_since`] mechanism that composite engines use
+/// internally, packaged for *per-query attribution*: a long-lived engine
+/// (e.g. one worker of a service pool) opens a scope around each piece of
+/// work and bills the resulting delta to whoever asked for it.
+///
+/// ## Exactness guarantees
+///
+/// * Every `u64` counter (cycles, bytes, instruction counts, stalls, …)
+///   telescopes **exactly**: for any partition of an execution into
+///   consecutive scopes, the per-scope deltas sum to precisely the engine's
+///   aggregate, because each delta is an integer subtraction of running
+///   totals.
+/// * `energy_nj` deltas are exact differences of the engine's running `f64`
+///   energy total. Recomposing sibling scopes of comparable magnitude is
+///   bit-exact (the subtraction is exact by the Sterbenz lemma whenever the
+///   running total at most doubles across a scope); wildly unbalanced
+///   partitions recompose to within 1 ulp per scope boundary.
+/// * `makespan_cycles` is **not** a delta: the scope reports the engine's
+///   overlapped-clock position at `finish`, mirroring
+///   [`ExecStats::merge_since`].
+///
+/// ## Example
+///
+/// ```
+/// use sisa_core::{SetEngine, SisaConfig, SisaRuntime, StatsScope};
+///
+/// let mut rt = SisaRuntime::new(SisaConfig::default());
+/// let a = rt.create_sorted([1, 2, 3]);
+/// let b = rt.create_sorted([2, 3, 4]);
+///
+/// let scope = StatsScope::begin(rt.stats());
+/// rt.intersect_count(a, b);
+/// let per_query = scope.finish(rt.stats());
+/// assert!(per_query.total_cycles() > 0);
+/// assert_eq!(per_query.total_instructions(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StatsScope {
+    at: StatsCheckpoint,
+}
+
+impl StatsScope {
+    /// Opens a scope at the record's current counters. The snapshot is
+    /// allocation-free, so scoping every query of a busy service is cheap.
+    #[must_use]
+    pub fn begin(stats: &ExecStats) -> Self {
+        StatsScope {
+            at: stats.checkpoint(),
+        }
+    }
+
+    /// Returns the delta accrued since the scope opened (or since the last
+    /// `split`) and re-anchors the scope at the record's current counters —
+    /// carving one execution into consecutive, exactly-telescoping slices.
+    #[must_use]
+    pub fn split(&mut self, stats: &ExecStats) -> ExecStats {
+        let mut delta = ExecStats::default();
+        delta.merge_since(stats, &self.at);
+        self.at = stats.checkpoint();
+        delta
+    }
+
+    /// Closes the scope, returning everything accrued since it opened (or
+    /// since the last [`StatsScope::split`]).
+    #[must_use]
+    pub fn finish(self, stats: &ExecStats) -> ExecStats {
+        let mut delta = ExecStats::default();
+        delta.merge_since(stats, &self.at);
+        delta
+    }
+}
+
 /// A snapshot of [`ExecStats`] counters taken by [`ExecStats::checkpoint`],
 /// used by composite engines (e.g. [`crate::ShardedEngine`]) to attribute the
 /// cost of each forwarded operation to an aggregate record.

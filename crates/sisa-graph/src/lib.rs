@@ -37,10 +37,12 @@ pub mod io;
 pub mod labels;
 pub mod orientation;
 pub mod properties;
+pub mod registry;
 
 pub use csr::{CsrGraph, GraphBuilder};
 pub use labels::{EdgeLabels, LabeledGraph};
 pub use orientation::{approximate_degeneracy_order, degeneracy_order, DegeneracyOrdering};
+pub use registry::GraphRegistry;
 
 /// A vertex identifier (re-exported from `sisa-sets`).
 pub type Vertex = sisa_sets::Vertex;

@@ -1,0 +1,209 @@
+//! A thread-safe registry of **named** graphs with load-once/share-many
+//! semantics.
+//!
+//! A long-lived process (e.g. the `sisa-service` query front-end) refers to
+//! graphs by name. Materialising a stand-in from [`crate::datasets`] — or
+//! re-reading one from disk — is expensive, so the registry guarantees that
+//! each name is materialised **once**: the first [`GraphRegistry::acquire`]
+//! generates (or finds a registered) graph and every later acquire of the
+//! same name returns the *same* shared [`Arc`] handle at zero additional
+//! cost. [`GraphRegistry::generations`] counts actual materialisations, so
+//! callers can regression-test the dedup guarantee.
+
+use crate::datasets;
+use crate::CsrGraph;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// A named-graph cache shared by every worker of a process.
+///
+/// ```
+/// use sisa_graph::registry::GraphRegistry;
+///
+/// let reg = GraphRegistry::new(42);
+/// let first = reg.acquire("bn-mouse").expect("known dataset");
+/// let second = reg.acquire("bn-mouse").expect("known dataset");
+/// assert!(std::sync::Arc::ptr_eq(&first, &second), "shared handle");
+/// assert_eq!(reg.generations(), 1, "materialised exactly once");
+/// ```
+#[derive(Debug)]
+pub struct GraphRegistry {
+    seed: u64,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    graphs: BTreeMap<String, Arc<CsrGraph>>,
+    generations: u64,
+}
+
+impl GraphRegistry {
+    /// Creates an empty registry. `seed` drives every dataset stand-in this
+    /// registry materialises, so two registries with the same seed serve
+    /// identical graphs.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        GraphRegistry {
+            seed,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The seed dataset stand-ins are generated from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Returns the shared handle for `name`, materialising it on first use.
+    ///
+    /// Resolution order: a graph previously [`GraphRegistry::register`]ed
+    /// under `name`, else the dataset stand-in of that name
+    /// ([`datasets::by_name`]). Returns `None` for unknown names.
+    pub fn acquire(&self, name: &str) -> Option<Arc<CsrGraph>> {
+        let mut inner = self.inner.lock().expect("registry lock");
+        if let Some(existing) = inner.graphs.get(name) {
+            return Some(Arc::clone(existing));
+        }
+        let spec = datasets::by_name(name)?;
+        let graph = Arc::new(spec.generate(self.seed));
+        inner.generations += 1;
+        inner.graphs.insert(name.to_string(), Arc::clone(&graph));
+        Some(graph)
+    }
+
+    /// Registers a caller-supplied graph under `name`, replacing any previous
+    /// entry, and returns its shared handle. Counts as one materialisation.
+    pub fn register(&self, name: &str, graph: CsrGraph) -> Arc<CsrGraph> {
+        let mut inner = self.inner.lock().expect("registry lock");
+        let graph = Arc::new(graph);
+        inner.generations += 1;
+        inner.graphs.insert(name.to_string(), Arc::clone(&graph));
+        graph
+    }
+
+    /// Drops the registry's handle for `name`. Outstanding [`Arc`] clones
+    /// stay valid (the graph is freed when the last lease drops); a later
+    /// [`GraphRegistry::acquire`] materialises the name afresh. Returns
+    /// whether an entry existed.
+    pub fn evict(&self, name: &str) -> bool {
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.graphs.remove(name).is_some()
+    }
+
+    /// How many graphs were actually materialised (generated or registered)
+    /// over the registry's lifetime — the dedup regression counter.
+    #[must_use]
+    pub fn generations(&self) -> u64 {
+        self.inner.lock().expect("registry lock").generations
+    }
+
+    /// Whether `name` is currently resident.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.inner
+            .lock()
+            .expect("registry lock")
+            .graphs
+            .contains_key(name)
+    }
+
+    /// The currently resident names, sorted.
+    #[must_use]
+    pub fn resident(&self) -> Vec<String> {
+        self.inner
+            .lock()
+            .expect("registry lock")
+            .graphs
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of resident graphs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("registry lock").graphs.len()
+    }
+
+    /// Whether the registry holds no graphs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn acquiring_the_same_name_twice_returns_the_shared_handle() {
+        let reg = GraphRegistry::new(7);
+        let a = reg.acquire("bn-mouse").expect("known dataset");
+        let b = reg.acquire("bn-mouse").expect("known dataset");
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "second acquire must share, not rebuild"
+        );
+        assert_eq!(reg.generations(), 1, "one materialisation, not two");
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_materialise_independently() {
+        let reg = GraphRegistry::new(7);
+        let a = reg.acquire("bn-mouse").expect("known dataset");
+        let b = reg.acquire("bio-SC-GT").expect("known dataset");
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(reg.generations(), 2);
+        assert_eq!(reg.resident(), vec!["bio-SC-GT", "bn-mouse"]);
+    }
+
+    #[test]
+    fn unknown_names_are_rejected_without_a_generation() {
+        let reg = GraphRegistry::new(7);
+        assert!(reg.acquire("no-such-graph").is_none());
+        assert_eq!(reg.generations(), 0);
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn registered_graphs_shadow_datasets_and_share() {
+        let reg = GraphRegistry::new(7);
+        let custom = generators::erdos_renyi(40, 0.2, 3);
+        let a = reg.register("bn-mouse", custom);
+        let b = reg.acquire("bn-mouse").expect("registered");
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "acquire must return the registered graph"
+        );
+        assert_eq!(a.num_vertices(), 40, "not the dataset stand-in");
+        assert_eq!(reg.generations(), 1);
+    }
+
+    #[test]
+    fn eviction_releases_the_name_and_a_reacquire_regenerates() {
+        let reg = GraphRegistry::new(7);
+        let a = reg.acquire("bn-mouse").expect("known dataset");
+        assert!(reg.evict("bn-mouse"));
+        assert!(!reg.evict("bn-mouse"), "already evicted");
+        assert!(!reg.contains("bn-mouse"));
+        let b = reg.acquire("bn-mouse").expect("known dataset");
+        assert!(!Arc::ptr_eq(&a, &b), "fresh materialisation after eviction");
+        assert_eq!(reg.generations(), 2);
+        // Determinism: the regenerated graph is identical content-wise.
+        assert_eq!(a.num_vertices(), b.num_vertices());
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+
+    #[test]
+    fn same_seed_registries_serve_identical_graphs() {
+        let a = GraphRegistry::new(11).acquire("bn-flyMedulla").unwrap();
+        let b = GraphRegistry::new(11).acquire("bn-flyMedulla").unwrap();
+        assert_eq!(a.num_vertices(), b.num_vertices());
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+}

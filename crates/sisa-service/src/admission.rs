@@ -1,0 +1,176 @@
+//! Admission control: bounded in-flight queues and per-tenant quotas.
+//!
+//! Every query passes through [`Admission::try_admit`] before it may enter
+//! the dispatch queue. The controller enforces two limits — a global
+//! in-flight cap (the bounded queue that keeps overload from growing memory
+//! without bound) and a per-tenant in-flight quota (isolation between
+//! tenants) — and answers refusals with an explicit
+//! [`Rejection`]`{ retry_after_ms }` instead of blocking.
+
+use crate::query::Rejection;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Limits enforced by the admission controller.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Maximum queries in flight (queued + executing) across all tenants.
+    pub queue_capacity: usize,
+    /// Maximum queries in flight per tenant.
+    pub per_tenant_inflight: usize,
+    /// Base retry hint returned with rejections, scaled up with load, in
+    /// milliseconds.
+    pub retry_after_ms: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            queue_capacity: 256,
+            per_tenant_inflight: 16,
+            retry_after_ms: 20,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct AdmState {
+    in_flight: usize,
+    per_tenant: BTreeMap<String, usize>,
+    rejected: u64,
+}
+
+/// The shared admission controller (one per service).
+#[derive(Debug)]
+pub struct Admission {
+    cfg: AdmissionConfig,
+    state: Mutex<AdmState>,
+}
+
+impl Admission {
+    /// Creates a controller with the given limits.
+    #[must_use]
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        Admission {
+            cfg,
+            state: Mutex::new(AdmState::default()),
+        }
+    }
+
+    /// Reserves one in-flight slot for `tenant`, or rejects with a back-off
+    /// hint. Every successful admit must be paired with exactly one
+    /// [`Admission::complete`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Rejection`] when the global queue or the tenant's quota
+    /// is full.
+    pub fn try_admit(&self, tenant: &str) -> Result<(), Rejection> {
+        let mut state = self.state.lock().expect("admission lock");
+        if state.in_flight >= self.cfg.queue_capacity {
+            state.rejected += 1;
+            // Scale the hint with the overload factor so heavier congestion
+            // backs clients off harder.
+            let retry = self.cfg.retry_after_ms.max(1) * 2;
+            return Err(Rejection {
+                retry_after_ms: retry,
+                reason: format!(
+                    "service saturated: {} queries in flight (capacity {})",
+                    state.in_flight, self.cfg.queue_capacity
+                ),
+            });
+        }
+        let tenant_inflight = state.per_tenant.get(tenant).copied().unwrap_or(0);
+        if tenant_inflight >= self.cfg.per_tenant_inflight {
+            state.rejected += 1;
+            return Err(Rejection {
+                retry_after_ms: self.cfg.retry_after_ms.max(1),
+                reason: format!(
+                    "tenant {tenant:?} quota exceeded: {tenant_inflight} in flight (quota {})",
+                    self.cfg.per_tenant_inflight
+                ),
+            });
+        }
+        state.in_flight += 1;
+        *state.per_tenant.entry(tenant.to_string()).or_insert(0) += 1;
+        Ok(())
+    }
+
+    /// Releases the slot reserved by a successful [`Admission::try_admit`].
+    pub fn complete(&self, tenant: &str) {
+        let mut state = self.state.lock().expect("admission lock");
+        state.in_flight = state.in_flight.saturating_sub(1);
+        if let Some(n) = state.per_tenant.get_mut(tenant) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                state.per_tenant.remove(tenant);
+            }
+        }
+    }
+
+    /// Queries currently in flight (queued + executing).
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.state.lock().expect("admission lock").in_flight
+    }
+
+    /// Total queries rejected over the controller's lifetime.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.state.lock().expect("admission lock").rejected
+    }
+
+    /// The configured limits.
+    #[must_use]
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_capacity_bounds_in_flight_queries() {
+        let adm = Admission::new(AdmissionConfig {
+            queue_capacity: 2,
+            per_tenant_inflight: 8,
+            retry_after_ms: 5,
+        });
+        assert!(adm.try_admit("a").is_ok());
+        assert!(adm.try_admit("b").is_ok());
+        let rej = adm.try_admit("c").unwrap_err();
+        assert!(rej.retry_after_ms >= 5, "{rej:?}");
+        assert!(rej.reason.contains("saturated"));
+        assert_eq!(adm.rejected(), 1);
+        adm.complete("a");
+        assert!(adm.try_admit("c").is_ok());
+        assert_eq!(adm.in_flight(), 2);
+    }
+
+    #[test]
+    fn per_tenant_quota_isolates_tenants() {
+        let adm = Admission::new(AdmissionConfig {
+            queue_capacity: 100,
+            per_tenant_inflight: 1,
+            retry_after_ms: 7,
+        });
+        assert!(adm.try_admit("noisy").is_ok());
+        let rej = adm.try_admit("noisy").unwrap_err();
+        assert_eq!(rej.retry_after_ms, 7);
+        assert!(rej.reason.contains("quota"));
+        assert!(adm.try_admit("quiet").is_ok(), "other tenants unaffected");
+        adm.complete("noisy");
+        assert!(adm.try_admit("noisy").is_ok());
+    }
+
+    #[test]
+    fn completion_is_idempotent_per_slot() {
+        let adm = Admission::new(AdmissionConfig::default());
+        adm.try_admit("t").unwrap();
+        adm.complete("t");
+        adm.complete("t"); // stray completes must not underflow
+        assert_eq!(adm.in_flight(), 0);
+    }
+}

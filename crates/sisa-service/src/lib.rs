@@ -1,0 +1,85 @@
+//! # sisa-service
+//!
+//! A long-lived, multi-tenant **graph-mining query service** over pooled
+//! sharded SISA engines — the framework layer that multiplexes many
+//! concurrent mining workloads onto the simulated PIM platform (the
+//! "graph-mining-as-a-service" item of the roadmap).
+//!
+//! The service is built from four pieces:
+//!
+//! * **Graph registry** ([`sisa_graph::registry::GraphRegistry`]) —
+//!   load-once/share-many: named graphs are materialised once, loaded into
+//!   shard-resident sets on exactly one affinity worker, leased immutably to
+//!   queries (an [`std::sync::Arc`] ref-count) and evictable on demand.
+//! * **Admission controller + batcher** ([`Admission`], the dispatcher) —
+//!   bounded in-flight queues and per-tenant quotas answer overload with
+//!   explicit [`Rejection`]`{ retry_after_ms }` responses instead of
+//!   unbounded growth, and a coalescing window executes identical concurrent
+//!   queries once.
+//! * **Worker pool** — `std::thread` workers (no async runtime; the
+//!   workspace is offline/vendored-shims only), each owning one
+//!   [`sisa_core::ShardedEngine`]. Every query's exact simulated-cycle /
+//!   energy / wall-clock cost is carved out with a
+//!   [`sisa_core::StatsScope`] and billed to its tenant; graph loads and
+//!   evictions are billed to the registry ledger. Integer counters telescope
+//!   exactly: per-tenant totals + registry overhead = raw engine aggregates.
+//! * **Transport** — the in-process [`ServiceClient`] plus a line-delimited
+//!   JSON protocol over `std::net::TcpListener` ([`TcpServer`]) with
+//!   streamed progress frames for long batched queries.
+//!
+//! ## Quickstart (in-process)
+//!
+//! ```
+//! use sisa_service::{QueryKind, QuerySpec, ServiceConfig, SisaService};
+//!
+//! let service = SisaService::start(ServiceConfig::smoke());
+//! // Tiny custom graph (any dataset name from `sisa_graph::datasets` works
+//! // out of the box): a triangle plus a pendant vertex.
+//! let mut b = sisa_graph::GraphBuilder::new(4);
+//! for (u, v) in [(0, 1), (1, 2), (0, 2), (2, 3)] {
+//!     b.add_edge(u, v);
+//! }
+//! service.register_graph("demo", b.build());
+//!
+//! let handle = service
+//!     .submit("alice", QuerySpec::new("demo", QueryKind::TriangleCount))
+//!     .expect("admitted");
+//! let outcome = handle.wait().expect("completes");
+//! assert_eq!(outcome.value, 1);
+//! assert!(outcome.stats.simulated_cycles > 0);
+//!
+//! let usage = service.tenant_usage();
+//! assert_eq!(usage["alice"].queries, 1);
+//! service.close();
+//! ```
+//!
+//! ## Quickstart (TCP)
+//!
+//! ```no_run
+//! use sisa_service::{ServiceConfig, SisaService, TcpServer};
+//!
+//! let service = SisaService::start(ServiceConfig::default());
+//! let server = TcpServer::serve(service.client(), "127.0.0.1:7463").unwrap();
+//! println!("serving on {}", server.addr());
+//! // Clients: one JSON request per line, e.g.
+//! //   {"id":1,"tenant":"alice","graph":"bn-mouse","query":"tc"}
+//! // Responses stream back as JSON frames ending in result|rejected|error.
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod protocol;
+pub mod query;
+pub mod service;
+pub mod tcp;
+mod worker;
+
+pub use admission::{Admission, AdmissionConfig};
+pub use protocol::{Frame, Request};
+pub use query::{QueryEvent, QueryKind, QueryOutcome, QuerySpec, QueryStats, Rejection};
+pub use service::{
+    QueryHandle, ServiceClient, ServiceConfig, ServiceReport, SisaService, TenantUsage,
+};
+pub use tcp::TcpServer;

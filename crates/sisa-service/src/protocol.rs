@@ -1,0 +1,278 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! One request per line; the server answers each request with zero or more
+//! `progress` frames followed by exactly one terminal frame (`result`,
+//! `rejected` or `error`), each on its own line. Frames carry the request's
+//! `id` so clients can correlate.
+//!
+//! Request example (field order free; `k`, `budget` optional):
+//!
+//! ```json
+//! {"id": 1, "tenant": "alice", "graph": "bn-mouse", "query": "kclique", "k": 4}
+//! ```
+//!
+//! Frame examples:
+//!
+//! ```json
+//! {"id": 1, "frame": "progress", "done_ops": 2048, "total_ops": 90800, "partial": 1034, ...}
+//! {"id": 1, "frame": "result", "value": 412116, "truncated": false, "simulated_cycles": 73
+//!     1188, "instructions": 90800, "energy_nj": 5120.4, "wall_ns": 1893411, "coalesced": false, ...}
+//! {"id": 2, "frame": "rejected", "retry_after_ms": 40, "error": "service saturated: ...", ...}
+//! ```
+
+use crate::query::{QueryKind, QueryOutcome, QuerySpec, Rejection};
+use serde::{Content, Deserialize, Serialize};
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed on every frame.
+    pub id: u64,
+    /// The tenant the query is billed to.
+    pub tenant: String,
+    /// The registered graph name.
+    pub graph: String,
+    /// The query kind: `tc`, `kclique` or `star`.
+    pub query: String,
+    /// Size parameter for `kclique` / `star`.
+    pub k: Option<u64>,
+    /// Optional pattern budget.
+    pub budget: Option<u64>,
+}
+
+impl Request {
+    /// Builds a request for `spec`.
+    #[must_use]
+    pub fn from_spec(id: u64, tenant: &str, spec: &QuerySpec) -> Self {
+        Request {
+            id,
+            tenant: tenant.to_string(),
+            graph: spec.graph.clone(),
+            query: spec.kind.wire_name().to_string(),
+            k: spec.kind.k().map(|k| k as u64),
+            budget: spec.budget,
+        }
+    }
+
+    /// Validates the request into an executable [`QuerySpec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a protocol-level message for unknown kinds or bad parameters.
+    pub fn spec(&self) -> Result<QuerySpec, String> {
+        let kind = QueryKind::from_wire(&self.query, self.k)?;
+        Ok(QuerySpec {
+            graph: self.graph.clone(),
+            kind,
+            budget: self.budget,
+        })
+    }
+
+    /// Parses one request line *leniently*: `k` and `budget` may be absent
+    /// entirely (the derived deserializer, used for round-trips of frames the
+    /// service itself emitted, requires every field to be present).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the malformed line.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let value: Content = serde_json::from_str(line).map_err(|e| format!("{e:?}"))?;
+        let get_u64 = |key: &str| -> Result<Option<u64>, String> {
+            match value.get(key) {
+                None | Some(Content::Null) => Ok(None),
+                Some(Content::U64(n)) => Ok(Some(*n)),
+                Some(Content::I64(n)) if *n >= 0 => Ok(Some(*n as u64)),
+                Some(other) => Err(format!(
+                    "field `{key}` is not an unsigned integer: {other:?}"
+                )),
+            }
+        };
+        let get_str = |key: &str| -> Result<String, String> {
+            match value.get(key) {
+                Some(Content::Str(s)) => Ok(s.clone()),
+                _ => Err(format!("missing or non-string field `{key}`")),
+            }
+        };
+        Ok(Request {
+            id: get_u64("id")?.ok_or("missing field `id`")?,
+            tenant: get_str("tenant")?,
+            graph: get_str("graph")?,
+            query: get_str("query")?,
+            k: get_u64("k")?,
+            budget: get_u64("budget")?,
+        })
+    }
+}
+
+/// One response line. `frame` selects which optional fields are populated:
+/// `progress` (`done_ops`, `total_ops`, `partial`), `result` (`value`,
+/// `truncated` and the stats fields), `rejected` (`retry_after_ms`, `error`)
+/// or `error` (`error`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    /// The request's correlation id (0 when the line was unparseable).
+    pub id: u64,
+    /// `progress`, `result`, `rejected` or `error`.
+    pub frame: String,
+    /// Batch operations completed so far (progress).
+    pub done_ops: Option<u64>,
+    /// Total batch operations of the query (progress).
+    pub total_ops: Option<u64>,
+    /// Running partial result (progress).
+    pub partial: Option<u64>,
+    /// The mined count (result).
+    pub value: Option<u64>,
+    /// Whether the pattern budget truncated the search (result).
+    pub truncated: Option<bool>,
+    /// Simulated cycles billed to the tenant (result).
+    pub simulated_cycles: Option<u64>,
+    /// SISA instructions billed to the tenant (result).
+    pub instructions: Option<u64>,
+    /// Simulated energy billed to the tenant, nanojoules (result).
+    pub energy_nj: Option<f64>,
+    /// Host wall-clock of the execution, nanoseconds (result).
+    pub wall_ns: Option<u64>,
+    /// Whether the response was coalesced onto an identical query (result).
+    pub coalesced: Option<bool>,
+    /// Client back-off hint, milliseconds (rejected).
+    pub retry_after_ms: Option<u64>,
+    /// Failure or rejection detail (rejected, error).
+    pub error: Option<String>,
+}
+
+impl Frame {
+    fn base(id: u64, frame: &str) -> Self {
+        Frame {
+            id,
+            frame: frame.to_string(),
+            done_ops: None,
+            total_ops: None,
+            partial: None,
+            value: None,
+            truncated: None,
+            simulated_cycles: None,
+            instructions: None,
+            energy_nj: None,
+            wall_ns: None,
+            coalesced: None,
+            retry_after_ms: None,
+            error: None,
+        }
+    }
+
+    /// A streaming progress frame.
+    #[must_use]
+    pub fn progress(id: u64, done_ops: u64, total_ops: u64, partial: u64) -> Self {
+        Frame {
+            done_ops: Some(done_ops),
+            total_ops: Some(total_ops),
+            partial: Some(partial),
+            ..Frame::base(id, "progress")
+        }
+    }
+
+    /// The terminal frame of a completed query.
+    #[must_use]
+    pub fn result(id: u64, outcome: &QueryOutcome) -> Self {
+        Frame {
+            value: Some(outcome.value),
+            truncated: Some(outcome.truncated),
+            simulated_cycles: Some(outcome.stats.simulated_cycles),
+            instructions: Some(outcome.stats.instructions),
+            energy_nj: Some(outcome.stats.energy_nj),
+            wall_ns: Some(outcome.stats.wall_ns),
+            coalesced: Some(outcome.stats.coalesced),
+            ..Frame::base(id, "result")
+        }
+    }
+
+    /// The terminal frame of a backpressure rejection.
+    #[must_use]
+    pub fn rejected(id: u64, rejection: &Rejection) -> Self {
+        Frame {
+            retry_after_ms: Some(rejection.retry_after_ms),
+            error: Some(rejection.reason.clone()),
+            ..Frame::base(id, "rejected")
+        }
+    }
+
+    /// The terminal frame of a failed or malformed request.
+    #[must_use]
+    pub fn error(id: u64, message: &str) -> Self {
+        Frame {
+            error: Some(message.to_string()),
+            ..Frame::base(id, "error")
+        }
+    }
+
+    /// Whether this frame terminates its request.
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        self.frame != "progress"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryStats;
+
+    #[test]
+    fn lenient_request_parsing_accepts_missing_optionals() {
+        let req = Request::parse(r#"{"id": 3, "tenant": "t", "graph": "g", "query": "tc"}"#)
+            .expect("parses");
+        assert_eq!(req.k, None);
+        assert_eq!(req.budget, None);
+        assert_eq!(req.spec().unwrap().kind, QueryKind::TriangleCount);
+    }
+
+    #[test]
+    fn requests_round_trip_through_the_derived_codec() {
+        let spec = QuerySpec::new("bn-mouse", QueryKind::KCliqueCount { k: 4 }).with_budget(100);
+        let req = Request::from_spec(9, "alice", &spec);
+        let json = serde_json::to_string(&req).unwrap();
+        let back = Request::parse(&json).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(back.spec().unwrap(), spec);
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_not_panicked() {
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse(r#"{"id": 1}"#).is_err());
+        assert!(Request::parse(
+            r#"{"id": 1, "tenant": "t", "graph": "g", "query": "tc", "k": -4}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_and_flag_terminality() {
+        let outcome = QueryOutcome {
+            value: 17,
+            truncated: false,
+            stats: QueryStats {
+                simulated_cycles: 100,
+                instructions: 4,
+                energy_nj: 2.5,
+                wall_ns: 900,
+                coalesced: false,
+            },
+        };
+        let frame = Frame::result(5, &outcome);
+        let json = serde_json::to_string(&frame).unwrap();
+        let back: Frame = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, frame);
+        assert!(back.is_terminal());
+        assert!(!Frame::progress(5, 10, 100, 3).is_terminal());
+        assert!(Frame::rejected(
+            5,
+            &Rejection {
+                retry_after_ms: 7,
+                reason: "full".into()
+            }
+        )
+        .is_terminal());
+        assert!(Frame::error(0, "bad line").is_terminal());
+    }
+}

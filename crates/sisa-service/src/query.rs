@@ -1,0 +1,254 @@
+//! Query model of the service: what tenants ask for, what they get back,
+//! and the per-query accounting carved out of the engine pool.
+
+use sisa_core::ExecStats;
+
+/// A mining query the service knows how to execute.
+///
+/// Every kind maps onto one of the set-centric kernels from
+/// `sisa-algorithms`, run against the shard-resident [`sisa_core::SetGraph`]
+/// the worker pool keeps per named graph.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QueryKind {
+    /// Triangle count on the degeneracy-oriented graph. Unbudgeted triangle
+    /// counts execute through the batched `ShardedEngine::execute` path and
+    /// stream progress frames.
+    TriangleCount,
+    /// k-clique count on the degeneracy-oriented graph (`k >= 2`).
+    KCliqueCount {
+        /// Clique size.
+        k: usize,
+    },
+    /// Embedding count of the k-star pattern (one hub, `k` leaves) via the
+    /// subgraph-isomorphism kernel — the service's "subgraph check".
+    StarCount {
+        /// Number of leaves of the star pattern (`k >= 1`).
+        k: usize,
+    },
+}
+
+impl QueryKind {
+    /// The wire name used by the line-delimited JSON protocol.
+    #[must_use]
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            QueryKind::TriangleCount => "tc",
+            QueryKind::KCliqueCount { .. } => "kclique",
+            QueryKind::StarCount { .. } => "star",
+        }
+    }
+
+    /// The kind's size parameter, if it has one.
+    #[must_use]
+    pub fn k(&self) -> Option<usize> {
+        match self {
+            QueryKind::TriangleCount => None,
+            QueryKind::KCliqueCount { k } | QueryKind::StarCount { k } => Some(*k),
+        }
+    }
+
+    /// Parses a wire-level (`query`, `k`) pair, validating parameter bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns a protocol-level message for unknown query names, missing or
+    /// out-of-range `k`.
+    pub fn from_wire(query: &str, k: Option<u64>) -> Result<Self, String> {
+        match query {
+            "tc" => Ok(QueryKind::TriangleCount),
+            "kclique" => {
+                let k = k.ok_or("kclique requires field `k`")? as usize;
+                if k < 2 {
+                    return Err(format!("kclique requires k >= 2, got {k}"));
+                }
+                Ok(QueryKind::KCliqueCount { k })
+            }
+            "star" => {
+                let k = k.ok_or("star requires field `k`")? as usize;
+                if k < 1 {
+                    return Err(format!("star requires k >= 1, got {k}"));
+                }
+                Ok(QueryKind::StarCount { k })
+            }
+            other => Err(format!("unknown query kind {other:?} (tc|kclique|star)")),
+        }
+    }
+}
+
+impl std::fmt::Display for QueryKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.k() {
+            Some(k) => write!(f, "{}{k}", self.wire_name()),
+            None => f.write_str(self.wire_name()),
+        }
+    }
+}
+
+/// A fully-specified query: a kind over a named graph, optionally truncated
+/// by a pattern budget (the paper's simulation-time cutoff).
+///
+/// Two specs that compare equal are *coalescible*: the batcher executes them
+/// once and fans the result out to every requester.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QuerySpec {
+    /// The registered graph name (see `sisa_graph::registry`).
+    pub graph: String,
+    /// What to mine.
+    pub kind: QueryKind,
+    /// Optional pattern budget (`SearchLimits::patterns`); `None` is
+    /// unlimited.
+    pub budget: Option<u64>,
+}
+
+impl QuerySpec {
+    /// An unbudgeted query of `kind` over `graph`.
+    #[must_use]
+    pub fn new(graph: impl Into<String>, kind: QueryKind) -> Self {
+        QuerySpec {
+            graph: graph.into(),
+            kind,
+            budget: None,
+        }
+    }
+
+    /// Caps the query at `n` found patterns.
+    #[must_use]
+    pub fn with_budget(mut self, n: u64) -> Self {
+        self.budget = Some(n);
+        self
+    }
+}
+
+/// Per-query resource accounting, carved out of the executing worker's
+/// engine with a [`sisa_core::StatsScope`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QueryStats {
+    /// Simulated cycles this query added across all platform units.
+    pub simulated_cycles: u64,
+    /// Dynamic SISA instructions this query issued.
+    pub instructions: u64,
+    /// Simulated energy this query added, in nanojoules.
+    pub energy_nj: f64,
+    /// Host wall-clock time of the execution, in nanoseconds.
+    pub wall_ns: u64,
+    /// Whether this response was coalesced onto an identical in-flight
+    /// query: the value is shared and the execution cost was billed to the
+    /// query that actually ran, so all counters above are zero.
+    pub coalesced: bool,
+}
+
+impl QueryStats {
+    /// Builds the billing record from a scope delta and a wall-clock sample.
+    #[must_use]
+    pub fn from_delta(delta: &ExecStats, wall_ns: u64) -> Self {
+        QueryStats {
+            simulated_cycles: delta.total_cycles(),
+            instructions: delta.total_instructions(),
+            energy_nj: delta.energy_nj,
+            wall_ns,
+            coalesced: false,
+        }
+    }
+
+    /// The zero-cost record attached to a coalesced response.
+    #[must_use]
+    pub fn coalesced() -> Self {
+        QueryStats {
+            coalesced: true,
+            ..QueryStats::default()
+        }
+    }
+}
+
+/// A completed query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryOutcome {
+    /// The mined count.
+    pub value: u64,
+    /// Whether the pattern budget stopped the search early.
+    pub truncated: bool,
+    /// What the query cost, attributed to its tenant.
+    pub stats: QueryStats,
+}
+
+/// An admission-control refusal: the service is saturated (or shutting
+/// down) and the client should retry after the hinted delay. This is the
+/// *backpressure* path — queues are bounded, so overload produces explicit
+/// rejections instead of unbounded memory growth.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Rejection {
+    /// Suggested client back-off before resubmitting, in milliseconds.
+    pub retry_after_ms: u64,
+    /// Which limit was hit.
+    pub reason: String,
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (retry after {} ms)",
+            self.reason, self.retry_after_ms
+        )
+    }
+}
+
+/// One streamed event of an accepted query, in delivery order: zero or more
+/// `Progress` frames, then exactly one `Done` or `Failed`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryEvent {
+    /// A long batched query finished another window of batch operations.
+    Progress {
+        /// Batch operations completed so far.
+        done_ops: u64,
+        /// Total batch operations the query decomposed into.
+        total_ops: u64,
+        /// The running partial result.
+        partial: u64,
+    },
+    /// The query completed.
+    Done(QueryOutcome),
+    /// The query could not be executed (e.g. unknown graph name).
+    Failed(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_parsing_validates_bounds() {
+        assert_eq!(
+            QueryKind::from_wire("tc", None).unwrap(),
+            QueryKind::TriangleCount
+        );
+        assert_eq!(
+            QueryKind::from_wire("kclique", Some(4)).unwrap(),
+            QueryKind::KCliqueCount { k: 4 }
+        );
+        assert_eq!(
+            QueryKind::from_wire("star", Some(2)).unwrap(),
+            QueryKind::StarCount { k: 2 }
+        );
+        assert!(QueryKind::from_wire("kclique", Some(1)).is_err());
+        assert!(QueryKind::from_wire("kclique", None).is_err());
+        assert!(QueryKind::from_wire("star", Some(0)).is_err());
+        assert!(QueryKind::from_wire("rank", None).is_err());
+    }
+
+    #[test]
+    fn specs_coalesce_by_equality() {
+        let a = QuerySpec::new("g", QueryKind::KCliqueCount { k: 3 });
+        let b = QuerySpec::new("g", QueryKind::KCliqueCount { k: 3 });
+        assert_eq!(a, b);
+        assert_ne!(a, b.clone().with_budget(10));
+        assert_ne!(a, QuerySpec::new("h", QueryKind::KCliqueCount { k: 3 }));
+    }
+
+    #[test]
+    fn display_names_are_compact() {
+        assert_eq!(QueryKind::TriangleCount.to_string(), "tc");
+        assert_eq!(QueryKind::KCliqueCount { k: 5 }.to_string(), "kclique5");
+        assert_eq!(QueryKind::StarCount { k: 3 }.to_string(), "star3");
+    }
+}

@@ -1,0 +1,607 @@
+//! The service itself: configuration, the dispatcher/batcher, the tenant
+//! ledger and the in-process client API.
+
+use crate::admission::{Admission, AdmissionConfig};
+use crate::query::{QueryEvent, QueryOutcome, QuerySpec, Rejection};
+use crate::worker::{Worker, WorkerMsg};
+use sisa_core::{ExecStats, PartitionStrategy, SetGraphConfig, ShardedEngine, SisaConfig};
+use sisa_graph::{CsrGraph, GraphRegistry};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Everything that shapes a [`SisaService`] instance.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads, each owning one [`ShardedEngine`]. Queries are routed
+    /// to workers by graph affinity, so a graph's shard-resident sets are
+    /// loaded on exactly one worker.
+    pub workers: usize,
+    /// Shards (simulated memory cubes) per worker engine.
+    pub shards: usize,
+    /// How the set universe is partitioned across shards.
+    pub strategy: PartitionStrategy,
+    /// The simulated-platform configuration of every worker engine.
+    pub sisa: SisaConfig,
+    /// How graphs are loaded into sets (dense-bitvector fraction, budget).
+    pub graph: SetGraphConfig,
+    /// Admission-control limits (bounded queues, per-tenant quotas).
+    pub admission: AdmissionConfig,
+    /// Maximum queued queries the dispatcher drains into one coalescing
+    /// round; identical specs inside a round execute once.
+    pub coalesce_window: usize,
+    /// Batch operations per `execute` window of a batched (unbudgeted)
+    /// triangle count; one streamed progress frame is emitted per window.
+    pub progress_window_ops: usize,
+    /// Seed for every dataset stand-in this service materialises.
+    pub seed: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            shards: 4,
+            strategy: PartitionStrategy::Modulo,
+            sisa: SisaConfig::default(),
+            graph: SetGraphConfig::default(),
+            admission: AdmissionConfig::default(),
+            coalesce_window: 16,
+            progress_window_ops: 2048,
+            seed: 42,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A small deterministic configuration for tests and CI smoke runs.
+    #[must_use]
+    pub fn smoke() -> Self {
+        ServiceConfig {
+            workers: 2,
+            shards: 2,
+            ..ServiceConfig::default()
+        }
+    }
+}
+
+/// One accepted query travelling from a client to a worker.
+pub(crate) struct Job {
+    pub(crate) tenant: String,
+    pub(crate) spec: QuerySpec,
+    pub(crate) events: Sender<QueryEvent>,
+}
+
+/// A coalesced batch of identical queries: executed once, fanned out to
+/// every entry.
+pub(crate) struct JobGroup {
+    pub(crate) spec: QuerySpec,
+    pub(crate) entries: Vec<Job>,
+}
+
+/// Groups a drained window of jobs by spec equality, preserving arrival
+/// order of the first occurrence — the batcher's coalescing rule.
+pub(crate) fn group_jobs(jobs: Vec<Job>) -> Vec<JobGroup> {
+    let mut groups: Vec<JobGroup> = Vec::new();
+    for job in jobs {
+        match groups.iter_mut().find(|g| g.spec == job.spec) {
+            Some(group) => group.entries.push(job),
+            None => groups.push(JobGroup {
+                spec: job.spec.clone(),
+                entries: vec![job],
+            }),
+        }
+    }
+    groups
+}
+
+/// Per-tenant accounting, maintained by the workers under the service
+/// ledger lock.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TenantUsage {
+    /// Queries executed (billed) for this tenant.
+    pub queries: u64,
+    /// Responses served from a coalesced execution at zero cost.
+    pub coalesced: u64,
+    /// Queries that failed (e.g. unknown graph).
+    pub failed: u64,
+    /// Total host wall-clock nanoseconds of billed executions.
+    pub wall_ns: u64,
+    /// Exact simulated-work attribution, carved per query with
+    /// [`sisa_core::StatsScope`].
+    pub stats: ExecStats,
+}
+
+/// The service-wide ledger: per-tenant usage plus the registry overheads
+/// (graph loads, evictions) that are deliberately billed to no tenant.
+#[derive(Debug, Default)]
+pub(crate) struct LedgerInner {
+    pub(crate) tenants: BTreeMap<String, TenantUsage>,
+    pub(crate) registry_stats: ExecStats,
+    pub(crate) graph_loads: u64,
+    pub(crate) evictions: u64,
+    pub(crate) completed: u64,
+    pub(crate) coalesced_total: u64,
+    pub(crate) failed_total: u64,
+}
+
+impl LedgerInner {
+    fn tenant(&mut self, tenant: &str) -> &mut TenantUsage {
+        self.tenants.entry(tenant.to_string()).or_default()
+    }
+
+    pub(crate) fn record_query(&mut self, tenant: &str, delta: &ExecStats, wall_ns: u64) {
+        let usage = self.tenant(tenant);
+        usage.queries += 1;
+        usage.wall_ns += wall_ns;
+        usage.stats.merge(delta);
+        self.completed += 1;
+    }
+
+    pub(crate) fn record_coalesced(&mut self, tenant: &str) {
+        let usage = self.tenant(tenant);
+        usage.queries += 1;
+        usage.coalesced += 1;
+        self.completed += 1;
+        self.coalesced_total += 1;
+    }
+
+    pub(crate) fn record_failed(&mut self, tenant: &str) {
+        self.tenant(tenant).failed += 1;
+        self.failed_total += 1;
+    }
+}
+
+/// A snapshot of the service's aggregate counters.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServiceReport {
+    /// Queries completed (billed + coalesced).
+    pub completed: u64,
+    /// Responses served by coalescing.
+    pub coalesced: u64,
+    /// Failed queries.
+    pub failed: u64,
+    /// Admission rejections (backpressure).
+    pub rejected: u64,
+    /// Queries currently in flight.
+    pub in_flight: usize,
+    /// Graph loads performed across all workers.
+    pub graph_loads: u64,
+    /// Graph evictions performed across all workers.
+    pub evictions: u64,
+}
+
+/// A handle to one accepted query: a stream of [`QueryEvent`]s ending in
+/// `Done` or `Failed`.
+pub struct QueryHandle {
+    rx: Receiver<QueryEvent>,
+}
+
+impl QueryHandle {
+    /// Blocks for the next event; `None` once the stream is exhausted (or
+    /// the service dropped the query during shutdown).
+    pub fn next_event(&self) -> Option<QueryEvent> {
+        self.rx.recv().ok()
+    }
+
+    /// Drains the stream to completion, discarding progress frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns the failure message for failed queries, or a shutdown notice
+    /// when the service dropped the query.
+    pub fn wait(self) -> Result<QueryOutcome, String> {
+        loop {
+            match self.rx.recv() {
+                Ok(QueryEvent::Progress { .. }) => {}
+                Ok(QueryEvent::Done(outcome)) => return Ok(outcome),
+                Ok(QueryEvent::Failed(error)) => return Err(error),
+                Err(_) => return Err("service shut down before the query completed".to_string()),
+            }
+        }
+    }
+}
+
+/// A cheap, cloneable submission handle — give one to every client thread
+/// (and to the TCP transport).
+#[derive(Clone)]
+pub struct ServiceClient {
+    job_tx: Sender<Job>,
+    admission: Arc<Admission>,
+}
+
+impl ServiceClient {
+    /// Submits a query for `tenant`, subject to admission control.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Rejection`] (with a retry hint) when the service is
+    /// saturated, the tenant's quota is exhausted, or the service is
+    /// shutting down.
+    pub fn submit(&self, tenant: &str, spec: QuerySpec) -> Result<QueryHandle, Rejection> {
+        self.admission.try_admit(tenant)?;
+        let (events, rx) = channel();
+        let job = Job {
+            tenant: tenant.to_string(),
+            spec,
+            events,
+        };
+        if self.job_tx.send(job).is_err() {
+            self.admission.complete(tenant);
+            return Err(Rejection {
+                retry_after_ms: self.admission.config().retry_after_ms.max(1),
+                reason: "service is shutting down".to_string(),
+            });
+        }
+        Ok(QueryHandle { rx })
+    }
+}
+
+struct WorkerHandle {
+    tx: Sender<WorkerMsg>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// The multi-tenant graph-mining service: a graph registry, an admission
+/// controller, a coalescing dispatcher and a pool of sharded-engine
+/// workers.
+///
+/// See the crate docs for a quickstart.
+pub struct SisaService {
+    cfg: ServiceConfig,
+    registry: Arc<GraphRegistry>,
+    admission: Arc<Admission>,
+    ledger: Arc<Mutex<LedgerInner>>,
+    job_tx: Option<Sender<Job>>,
+    stop: Arc<AtomicBool>,
+    dispatcher: Option<JoinHandle<()>>,
+    workers: Vec<WorkerHandle>,
+}
+
+impl SisaService {
+    /// Starts the worker pool and dispatcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg.workers` or `cfg.shards` is zero.
+    #[must_use]
+    pub fn start(cfg: ServiceConfig) -> Self {
+        assert!(cfg.workers > 0, "a service needs at least one worker");
+        assert!(cfg.shards > 0, "worker engines need at least one shard");
+        let registry = Arc::new(GraphRegistry::new(cfg.seed));
+        let admission = Arc::new(Admission::new(cfg.admission.clone()));
+        let ledger = Arc::new(Mutex::new(LedgerInner::default()));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let mut workers = Vec::with_capacity(cfg.workers);
+        let mut worker_txs = Vec::with_capacity(cfg.workers);
+        for i in 0..cfg.workers {
+            let (tx, rx) = channel::<WorkerMsg>();
+            let registry = Arc::clone(&registry);
+            let ledger = Arc::clone(&ledger);
+            let admission = Arc::clone(&admission);
+            let shards = cfg.shards;
+            let strategy = cfg.strategy;
+            let sisa = cfg.sisa;
+            let graph_cfg = cfg.graph;
+            let window = cfg.progress_window_ops;
+            let join = std::thread::Builder::new()
+                .name(format!("sisa-service-worker-{i}"))
+                .spawn(move || {
+                    let engine = ShardedEngine::sisa(shards, strategy, sisa);
+                    Worker::new(engine, registry, ledger, admission, graph_cfg, window).run(&rx);
+                })
+                .expect("spawn worker thread");
+            worker_txs.push(tx.clone());
+            workers.push(WorkerHandle {
+                tx,
+                join: Some(join),
+            });
+        }
+
+        let (job_tx, job_rx) = channel::<Job>();
+        let dispatcher = {
+            let stop = Arc::clone(&stop);
+            let admission = Arc::clone(&admission);
+            let window = cfg.coalesce_window.max(1);
+            let worker_count = cfg.workers;
+            std::thread::Builder::new()
+                .name("sisa-service-dispatcher".to_string())
+                .spawn(move || {
+                    dispatch_loop(
+                        &job_rx,
+                        &worker_txs,
+                        window,
+                        worker_count,
+                        &stop,
+                        &admission,
+                    );
+                })
+                .expect("spawn dispatcher thread")
+        };
+
+        SisaService {
+            cfg,
+            registry,
+            admission,
+            ledger,
+            job_tx: Some(job_tx),
+            stop,
+            dispatcher: Some(dispatcher),
+            workers,
+        }
+    }
+
+    /// A cloneable submission handle for client threads and transports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`SisaService::close`].
+    #[must_use]
+    pub fn client(&self) -> ServiceClient {
+        ServiceClient {
+            job_tx: self.job_tx.as_ref().expect("service is running").clone(),
+            admission: Arc::clone(&self.admission),
+        }
+    }
+
+    /// Submits a query for `tenant` (convenience over [`SisaService::client`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Rejection`] when admission control refuses the query.
+    pub fn submit(&self, tenant: &str, spec: QuerySpec) -> Result<QueryHandle, Rejection> {
+        self.client().submit(tenant, spec)
+    }
+
+    /// The shared named-graph registry.
+    #[must_use]
+    pub fn registry(&self) -> &GraphRegistry {
+        &self.registry
+    }
+
+    /// Registers a caller-supplied graph under `name` (evicting any resident
+    /// load of a previous graph of that name first), making it queryable.
+    pub fn register_graph(&self, name: &str, graph: CsrGraph) {
+        for worker in &self.workers {
+            let _ = worker.tx.send(WorkerMsg::Evict(name.to_string()));
+        }
+        let _ = self.registry.register(name, graph);
+    }
+
+    /// Evicts `name` everywhere: drops the registry handle and the
+    /// shard-resident sets on every worker. In-flight queries already past
+    /// admission finish normally (eviction is processed in queue order
+    /// behind them). Returns whether the registry held the name.
+    pub fn evict_graph(&self, name: &str) -> bool {
+        let existed = self.registry.evict(name);
+        for worker in &self.workers {
+            let _ = worker.tx.send(WorkerMsg::Evict(name.to_string()));
+        }
+        existed
+    }
+
+    /// Per-tenant usage, exactly attributing the pool's simulated work.
+    #[must_use]
+    pub fn tenant_usage(&self) -> BTreeMap<String, TenantUsage> {
+        self.ledger.lock().expect("ledger lock").tenants.clone()
+    }
+
+    /// The pool aggregate: the fold of every tenant's attributed stats, in
+    /// tenant order. By construction the per-tenant records sum exactly
+    /// (bit-exact energy included) to this aggregate; together with
+    /// [`SisaService::registry_stats`] it telescopes integer-exactly to the
+    /// raw engine counters ([`SisaService::engine_stats`]).
+    #[must_use]
+    pub fn pool_stats(&self) -> ExecStats {
+        let ledger = self.ledger.lock().expect("ledger lock");
+        let mut total = ExecStats::default();
+        for usage in ledger.tenants.values() {
+            total.merge(&usage.stats);
+        }
+        total
+    }
+
+    /// Registry overheads (graph loads and evictions) billed to no tenant.
+    #[must_use]
+    pub fn registry_stats(&self) -> ExecStats {
+        self.ledger
+            .lock()
+            .expect("ledger lock")
+            .registry_stats
+            .clone()
+    }
+
+    /// The raw aggregate statistics of every worker engine, folded in worker
+    /// order. Acts as a barrier: each worker replies only after finishing
+    /// all previously queued work.
+    #[must_use]
+    pub fn engine_stats(&self) -> ExecStats {
+        let mut total = ExecStats::default();
+        for stats in self.worker_engine_stats() {
+            total.merge(&stats);
+        }
+        total
+    }
+
+    /// Per-worker engine aggregates, in worker order (see
+    /// [`SisaService::engine_stats`]).
+    #[must_use]
+    pub fn worker_engine_stats(&self) -> Vec<ExecStats> {
+        let mut replies = Vec::with_capacity(self.workers.len());
+        for worker in &self.workers {
+            let (tx, rx) = channel();
+            if worker.tx.send(WorkerMsg::Report(tx)).is_ok() {
+                if let Ok(stats) = rx.recv() {
+                    replies.push(stats);
+                }
+            }
+        }
+        replies
+    }
+
+    /// Aggregate service counters.
+    #[must_use]
+    pub fn report(&self) -> ServiceReport {
+        let ledger = self.ledger.lock().expect("ledger lock");
+        ServiceReport {
+            completed: ledger.completed,
+            coalesced: ledger.coalesced_total,
+            failed: ledger.failed_total,
+            rejected: self.admission.rejected(),
+            in_flight: self.admission.in_flight(),
+            graph_loads: ledger.graph_loads,
+            evictions: ledger.evictions,
+        }
+    }
+
+    /// The configuration the service was started with.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Stops accepting queries, drains the pipeline and joins every thread.
+    /// Queries still queued when `close` is called receive `Failed` events.
+    pub fn close(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.job_tx = None;
+        if let Some(dispatcher) = self.dispatcher.take() {
+            let _ = dispatcher.join();
+        }
+        for worker in &self.workers {
+            let _ = worker.tx.send(WorkerMsg::Shutdown);
+        }
+        for worker in &mut self.workers {
+            if let Some(join) = worker.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+impl Drop for SisaService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Routes a graph name to its affinity worker (FNV-1a over the name), so
+/// each graph is loaded into shard-resident sets on exactly one worker.
+pub(crate) fn worker_for(graph: &str, workers: usize) -> usize {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in graph.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (hash % workers as u64) as usize
+}
+
+/// The dispatcher/batcher loop: drain up to `window` queued jobs, coalesce
+/// identical specs, route each group to its graph-affinity worker.
+fn dispatch_loop(
+    job_rx: &Receiver<Job>,
+    worker_txs: &[Sender<WorkerMsg>],
+    window: usize,
+    worker_count: usize,
+    stop: &AtomicBool,
+    admission: &Admission,
+) {
+    loop {
+        let first = match job_rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(job) => Some(job),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        if stop.load(Ordering::SeqCst) {
+            // Drain whatever is left and fail it: the queues are bounded and
+            // nothing may linger after shutdown.
+            let mut leftovers: Vec<Job> = first.into_iter().collect();
+            while let Ok(job) = job_rx.try_recv() {
+                leftovers.push(job);
+            }
+            for job in leftovers {
+                let _ = job
+                    .events
+                    .send(QueryEvent::Failed("service shut down".to_string()));
+                admission.complete(&job.tenant);
+            }
+            break;
+        }
+        let Some(first) = first else { continue };
+        let mut batch = vec![first];
+        while batch.len() < window {
+            match job_rx.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+        }
+        for group in group_jobs(batch) {
+            let target = worker_for(&group.spec.graph, worker_count);
+            if worker_txs[target].send(WorkerMsg::Run(group)).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryKind;
+    use std::sync::mpsc::channel;
+
+    fn job(tenant: &str, spec: QuerySpec) -> Job {
+        let (events, _rx) = channel();
+        // The receiver is dropped: these jobs only exercise grouping.
+        Job {
+            tenant: tenant.to_string(),
+            spec,
+            events,
+        }
+    }
+
+    #[test]
+    fn grouping_coalesces_identical_specs_in_arrival_order() {
+        let tc = QuerySpec::new("g", QueryKind::TriangleCount);
+        let kc = QuerySpec::new("g", QueryKind::KCliqueCount { k: 3 });
+        let other = QuerySpec::new("h", QueryKind::TriangleCount);
+        let groups = group_jobs(vec![
+            job("a", tc.clone()),
+            job("b", kc.clone()),
+            job("c", tc.clone()),
+            job("d", other.clone()),
+            job("e", tc.clone()),
+        ]);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].spec, tc);
+        assert_eq!(groups[0].entries.len(), 3);
+        assert_eq!(groups[0].entries[0].tenant, "a");
+        assert_eq!(groups[1].spec, kc);
+        assert_eq!(groups[2].spec, other);
+    }
+
+    #[test]
+    fn budgets_do_not_coalesce_with_unbudgeted_queries() {
+        let unbudgeted = QuerySpec::new("g", QueryKind::TriangleCount);
+        let budgeted = unbudgeted.clone().with_budget(5);
+        let groups = group_jobs(vec![job("a", unbudgeted), job("b", budgeted)]);
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn graph_affinity_is_stable_and_in_range() {
+        for workers in 1..5 {
+            let w = worker_for("soc-fbMsg", workers);
+            assert!(w < workers);
+            assert_eq!(w, worker_for("soc-fbMsg", workers), "deterministic");
+        }
+    }
+}

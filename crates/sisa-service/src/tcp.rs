@@ -1,0 +1,163 @@
+//! The TCP transport: line-delimited JSON over `std::net::TcpListener`.
+//!
+//! Each connection is served by its own thread and handles requests
+//! sequentially: a request's frames — streamed `progress` frames for long
+//! batched queries, then one terminal frame — are written before the next
+//! line is read. Backpressure appears on the wire as `rejected` frames with
+//! a `retry_after_ms` hint; malformed lines get `error` frames instead of a
+//! dropped connection.
+
+use crate::protocol::{Frame, Request};
+use crate::query::QueryEvent;
+use crate::service::ServiceClient;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running TCP front-end for a service.
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `bind_addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts accepting connections, serving queries through `client`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the address cannot be bound.
+    pub fn serve(client: ServiceClient, bind_addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(bind_addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("sisa-service-accept".to_string())
+                .spawn(move || accept_loop(&listener, &client, &stop))
+                .expect("spawn accept thread")
+        };
+        Ok(TcpServer {
+            addr,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting new connections and joins the accept thread.
+    /// Established connections keep draining on their own threads.
+    pub fn stop(mut self) {
+        self.stop_impl();
+    }
+
+    fn stop_impl(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(join) = self.accept.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.stop_impl();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, client: &ServiceClient, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let client = client.clone();
+                let _ = std::thread::Builder::new()
+                    .name("sisa-service-conn".to_string())
+                    .spawn(move || {
+                        let _ = handle_connection(stream, &client);
+                    });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn write_frame(stream: &mut TcpStream, frame: &Frame) -> std::io::Result<()> {
+    let mut line = serde_json::to_string(frame)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{e:?}")))?;
+    line.push('\n');
+    stream.write_all(line.as_bytes())?;
+    stream.flush()
+}
+
+fn handle_connection(stream: TcpStream, client: &ServiceClient) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match Request::parse(&line) {
+            Ok(request) => request,
+            Err(error) => {
+                write_frame(&mut writer, &Frame::error(0, &error))?;
+                continue;
+            }
+        };
+        let spec = match request.spec() {
+            Ok(spec) => spec,
+            Err(error) => {
+                write_frame(&mut writer, &Frame::error(request.id, &error))?;
+                continue;
+            }
+        };
+        match client.submit(&request.tenant, spec) {
+            Err(rejection) => {
+                write_frame(&mut writer, &Frame::rejected(request.id, &rejection))?;
+            }
+            Ok(handle) => loop {
+                match handle.next_event() {
+                    Some(QueryEvent::Progress {
+                        done_ops,
+                        total_ops,
+                        partial,
+                    }) => write_frame(
+                        &mut writer,
+                        &Frame::progress(request.id, done_ops, total_ops, partial),
+                    )?,
+                    Some(QueryEvent::Done(outcome)) => {
+                        write_frame(&mut writer, &Frame::result(request.id, &outcome))?;
+                        break;
+                    }
+                    Some(QueryEvent::Failed(error)) => {
+                        write_frame(&mut writer, &Frame::error(request.id, &error))?;
+                        break;
+                    }
+                    None => {
+                        write_frame(
+                            &mut writer,
+                            &Frame::error(request.id, "service shut down mid-query"),
+                        )?;
+                        break;
+                    }
+                }
+            },
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,285 @@
+//! The worker pool: each worker owns one [`ShardedEngine`] and a map of
+//! shard-resident graphs, and serially executes the job groups the
+//! dispatcher routes to it.
+//!
+//! Workers are plain `std::thread`s fed by an `mpsc` channel — the workspace
+//! is offline/vendored-shims only, so there is no async runtime. All engine
+//! work happens inside a [`StatsScope`]: graph loads and evictions are
+//! billed to the service's registry ledger, query execution to the
+//! requesting tenant. Because every engine cycle is accrued inside exactly
+//! one scope, the per-tenant ledgers plus the registry ledger telescope
+//! exactly (integer counters) to the raw engine aggregates.
+
+use crate::admission::Admission;
+use crate::query::{QueryEvent, QueryKind, QueryOutcome, QueryStats};
+use crate::service::{Job, JobGroup, LedgerInner};
+use sisa_algorithms::setcentric::{
+    k_clique_count, orient_by_degeneracy, star_pattern, subgraph_isomorphism_count, triangle_count,
+};
+use sisa_algorithms::SearchLimits;
+use sisa_core::{
+    BatchOp, ExecStats, SetEngine, SetGraph, SetGraphConfig, ShardedEngine, SisaRuntime,
+    StatsScope, Vertex,
+};
+use sisa_graph::{CsrGraph, GraphRegistry};
+use std::collections::BTreeMap;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Control messages a worker accepts, processed strictly in order.
+pub(crate) enum WorkerMsg {
+    /// Execute one coalesced group of identical queries.
+    Run(JobGroup),
+    /// Drop the shard-resident sets of the named graph (the lease-release
+    /// half of the registry's load-once/share-many contract).
+    Evict(String),
+    /// Reply with a clone of the engine's aggregate statistics. Serves as a
+    /// barrier: the reply is sent only after all previously queued groups
+    /// finished.
+    Report(Sender<ExecStats>),
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// A graph resident in one worker's engine: the degeneracy-oriented load
+/// (clique kernels), the plain load (subgraph checks) and the registry lease
+/// that keeps the CSR alive while resident.
+struct ResidentGraph {
+    /// The shared registry handle (the ref-counted lease).
+    _lease: Arc<CsrGraph>,
+    oriented: SetGraph,
+    plain: SetGraph,
+    queries_served: u64,
+}
+
+pub(crate) struct Worker {
+    pub(crate) engine: ShardedEngine<SisaRuntime>,
+    pub(crate) registry: Arc<GraphRegistry>,
+    pub(crate) ledger: Arc<Mutex<LedgerInner>>,
+    pub(crate) admission: Arc<Admission>,
+    pub(crate) graph_cfg: SetGraphConfig,
+    pub(crate) progress_window_ops: usize,
+    graphs: BTreeMap<String, ResidentGraph>,
+}
+
+impl Worker {
+    pub(crate) fn new(
+        engine: ShardedEngine<SisaRuntime>,
+        registry: Arc<GraphRegistry>,
+        ledger: Arc<Mutex<LedgerInner>>,
+        admission: Arc<Admission>,
+        graph_cfg: SetGraphConfig,
+        progress_window_ops: usize,
+    ) -> Self {
+        Worker {
+            engine,
+            registry,
+            ledger,
+            admission,
+            graph_cfg,
+            progress_window_ops: progress_window_ops.max(1),
+            graphs: BTreeMap::new(),
+        }
+    }
+
+    /// The worker thread's main loop.
+    pub(crate) fn run(mut self, rx: &Receiver<WorkerMsg>) {
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                WorkerMsg::Run(group) => self.run_group(group),
+                WorkerMsg::Evict(name) => self.evict(&name),
+                WorkerMsg::Report(reply) => {
+                    let _ = reply.send(self.engine.stats().clone());
+                }
+                WorkerMsg::Shutdown => break,
+            }
+        }
+    }
+
+    /// Loads `name` into shard-resident sets if it is not already resident.
+    /// The load cost is billed to the registry ledger (not to any tenant),
+    /// which is what makes the second query on a graph charge zero
+    /// additional load cycles.
+    fn ensure_resident(&mut self, name: &str) -> Result<(), String> {
+        if self.graphs.contains_key(name) {
+            return Ok(());
+        }
+        let lease = self
+            .registry
+            .acquire(name)
+            .ok_or_else(|| format!("unknown graph {name:?}"))?;
+        let scope = StatsScope::begin(self.engine.stats());
+        let (oriented, _ordering) = orient_by_degeneracy(&mut self.engine, &lease, &self.graph_cfg);
+        let plain = SetGraph::load(&mut self.engine, &lease, &self.graph_cfg);
+        let delta = scope.finish(self.engine.stats());
+        {
+            let mut ledger = self.ledger.lock().expect("ledger lock");
+            ledger.registry_stats.merge(&delta);
+            ledger.graph_loads += 1;
+        }
+        self.graphs.insert(
+            name.to_string(),
+            ResidentGraph {
+                _lease: lease,
+                oriented,
+                plain,
+                queries_served: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// Deletes the shard-resident sets of `name`; the deletion cost is
+    /// billed to the registry ledger.
+    fn evict(&mut self, name: &str) {
+        let Some(resident) = self.graphs.remove(name) else {
+            return;
+        };
+        let scope = StatsScope::begin(self.engine.stats());
+        for v in 0..resident.oriented.num_vertices() as Vertex {
+            self.engine.delete(resident.oriented.neighborhood(v));
+        }
+        for v in 0..resident.plain.num_vertices() as Vertex {
+            self.engine.delete(resident.plain.neighborhood(v));
+        }
+        let delta = scope.finish(self.engine.stats());
+        let mut ledger = self.ledger.lock().expect("ledger lock");
+        ledger.registry_stats.merge(&delta);
+        ledger.evictions += 1;
+    }
+
+    fn fail_group(&self, group: &JobGroup, error: &str) {
+        let mut ledger = self.ledger.lock().expect("ledger lock");
+        for job in &group.entries {
+            ledger.record_failed(&job.tenant);
+            let _ = job.events.send(QueryEvent::Failed(error.to_string()));
+            self.admission.complete(&job.tenant);
+        }
+    }
+
+    /// Executes one coalesced group: the query runs once, the first entry is
+    /// billed for it, and every other entry receives the shared value with a
+    /// zero-cost `coalesced` record.
+    fn run_group(&mut self, group: JobGroup) {
+        if let Err(error) = self.ensure_resident(&group.spec.graph) {
+            self.fail_group(&group, &error);
+            return;
+        }
+
+        let limits = match group.spec.budget {
+            Some(n) => SearchLimits::patterns(n),
+            None => SearchLimits::unlimited(),
+        };
+        let window = self.progress_window_ops;
+
+        let scope = StatsScope::begin(self.engine.stats());
+        let started = Instant::now();
+        let resident = self.graphs.get_mut(&group.spec.graph).expect("resident");
+        let (value, truncated) = match group.spec.kind {
+            QueryKind::TriangleCount if group.spec.budget.is_none() => {
+                let value = batched_triangle_count(
+                    &mut self.engine,
+                    &resident.oriented,
+                    window,
+                    &group.entries,
+                );
+                (value, false)
+            }
+            QueryKind::TriangleCount => {
+                let run = triangle_count(&mut self.engine, &resident.oriented, &limits);
+                (run.result, run.truncated)
+            }
+            QueryKind::KCliqueCount { k } => {
+                let run = k_clique_count(&mut self.engine, &resident.oriented, k, &limits);
+                (run.result, run.truncated)
+            }
+            QueryKind::StarCount { k } => {
+                let pattern = star_pattern(k);
+                let run = subgraph_isomorphism_count(
+                    &mut self.engine,
+                    &resident.plain,
+                    &pattern,
+                    &limits,
+                );
+                (run.result, run.truncated)
+            }
+        };
+        let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let delta = scope.finish(self.engine.stats());
+        resident.queries_served += group.entries.len() as u64;
+
+        let mut ledger = self.ledger.lock().expect("ledger lock");
+        for (i, job) in group.entries.iter().enumerate() {
+            let stats = if i == 0 {
+                ledger.record_query(&job.tenant, &delta, wall_ns);
+                QueryStats::from_delta(&delta, wall_ns)
+            } else {
+                ledger.record_coalesced(&job.tenant);
+                QueryStats::coalesced()
+            };
+            let _ = job.events.send(QueryEvent::Done(QueryOutcome {
+                value,
+                truncated,
+                stats,
+            }));
+            // Release the admission slot only after the terminal event: the
+            // in-flight count covers queued *and* executing queries.
+            self.admission.complete(&job.tenant);
+        }
+    }
+}
+
+/// Unbudgeted triangle counting through the threaded
+/// [`ShardedEngine::execute`] batch path: one `IntersectCount` per oriented
+/// edge, flushed in windows, with a streamed progress frame per window.
+///
+/// Produces exactly the same count as the serial
+/// [`sisa_algorithms::setcentric::triangle_count`] kernel (both sum
+/// `|N⁺(v) ∩ N⁺(w)|` over every oriented edge `(v, w)`), and the same
+/// per-edge `host_ops(2)` loop-control pricing.
+fn batched_triangle_count(
+    engine: &mut ShardedEngine<SisaRuntime>,
+    oriented: &SetGraph,
+    window: usize,
+    entries: &[Job],
+) -> u64 {
+    let total_ops: u64 = oriented
+        .vertices()
+        .map(|v| oriented.neighbors(v).len() as u64)
+        .sum();
+    let mut ops: Vec<BatchOp> = Vec::with_capacity(window.min(total_ops as usize + 1));
+    let mut done: u64 = 0;
+    let mut partial: u64 = 0;
+    let flush = |engine: &mut ShardedEngine<SisaRuntime>,
+                 ops: &mut Vec<BatchOp>,
+                 done: &mut u64,
+                 partial: &mut u64| {
+        if ops.is_empty() {
+            return;
+        }
+        let results = engine.execute(ops);
+        *done += ops.len() as u64;
+        *partial += results.into_iter().map(|r| r.count() as u64).sum::<u64>();
+        ops.clear();
+        for job in entries {
+            let _ = job.events.send(QueryEvent::Progress {
+                done_ops: *done,
+                total_ops,
+                partial: *partial,
+            });
+        }
+    };
+    for v in oriented.vertices() {
+        let nv = oriented.neighborhood(v);
+        for &w in oriented.neighbors(v) {
+            engine.host_ops(2);
+            ops.push(BatchOp::IntersectCount(nv, oriented.neighborhood(w)));
+            if ops.len() >= window {
+                flush(engine, &mut ops, &mut done, &mut partial);
+            }
+        }
+    }
+    flush(engine, &mut ops, &mut done, &mut partial);
+    partial
+}

@@ -1,0 +1,247 @@
+//! Property-based tests of the service's two core contracts, at any worker
+//! count and under genuinely concurrent multi-threaded submission:
+//!
+//! 1. **Oracle equivalence** — every query answered by the pooled,
+//!    coalescing, batching service returns exactly the value a single-tenant
+//!    serial run of the same kernel on a flat [`SisaRuntime`] produces.
+//! 2. **Exact attribution** — the per-tenant [`ExecStats`] records fold
+//!    bit-exactly to the pool aggregate, and pool + registry overhead
+//!    telescopes integer-exactly to the raw engine counters: no simulated
+//!    cycle is lost, double-billed, or invented by the serving layer.
+
+use proptest::prelude::*;
+use sisa_algorithms::setcentric::{
+    k_clique_count, orient_by_degeneracy, star_pattern, subgraph_isomorphism_count, triangle_count,
+};
+use sisa_algorithms::SearchLimits;
+use sisa_core::{ExecStats, SetGraph, SetGraphConfig, SisaConfig, SisaRuntime};
+use sisa_graph::{generators, CsrGraph};
+use sisa_service::{QueryKind, QuerySpec, ServiceConfig, SisaService};
+use std::collections::BTreeMap;
+
+/// One randomly drawn query (single-draw decoding; the vendored proptest
+/// shim has no `prop_oneof`).
+#[derive(Clone, Debug)]
+struct DrawnQuery {
+    tenant: usize,
+    graph: usize,
+    spec_kind: QueryKind,
+    budget: Option<u64>,
+}
+
+fn drawn_query() -> impl Strategy<Value = DrawnQuery> {
+    (0u64..1_000_000).prop_map(|raw| {
+        let spec_kind = match raw % 5 {
+            0 | 1 => QueryKind::TriangleCount,
+            2 => QueryKind::KCliqueCount { k: 3 },
+            3 => QueryKind::KCliqueCount { k: 4 },
+            _ => QueryKind::StarCount { k: 2 },
+        };
+        DrawnQuery {
+            tenant: ((raw / 5) % 4) as usize,
+            graph: ((raw / 20) % 2) as usize,
+            spec_kind,
+            budget: match (raw / 40) % 3 {
+                0 => Some(1 + (raw / 120) % 40),
+                _ => None,
+            },
+        }
+    })
+}
+
+fn spec_of(q: &DrawnQuery, names: &[&str; 2]) -> QuerySpec {
+    let mut spec = QuerySpec::new(names[q.graph], q.spec_kind.clone());
+    spec.budget = q.budget;
+    spec
+}
+
+/// The single-tenant serial reference: the same kernel on a flat runtime.
+fn oracle(graph: &CsrGraph, spec: &QuerySpec) -> (u64, bool) {
+    let mut rt = SisaRuntime::new(SisaConfig::default());
+    let cfg = SetGraphConfig::default();
+    let limits = match spec.budget {
+        Some(n) => SearchLimits::patterns(n),
+        None => SearchLimits::unlimited(),
+    };
+    match spec.kind {
+        QueryKind::TriangleCount => {
+            let (oriented, _) = orient_by_degeneracy(&mut rt, graph, &cfg);
+            let run = triangle_count(&mut rt, &oriented, &limits);
+            (run.result, run.truncated)
+        }
+        QueryKind::KCliqueCount { k } => {
+            let (oriented, _) = orient_by_degeneracy(&mut rt, graph, &cfg);
+            let run = k_clique_count(&mut rt, &oriented, k, &limits);
+            (run.result, run.truncated)
+        }
+        QueryKind::StarCount { k } => {
+            let plain = SetGraph::load(&mut rt, graph, &cfg);
+            let pattern = star_pattern(k);
+            let run = subgraph_isomorphism_count(&mut rt, &plain, &pattern, &limits);
+            (run.result, run.truncated)
+        }
+    }
+}
+
+/// Summable-counter conservation (makespan folds via `max` and is excluded;
+/// energy is f64, held to a tight relative tolerance).
+fn assert_conserved(whole: &ExecStats, parts: &ExecStats) {
+    assert_eq!(whole.scu_cycles, parts.scu_cycles, "scu_cycles");
+    assert_eq!(whole.pum_cycles, parts.pum_cycles, "pum_cycles");
+    assert_eq!(whole.pnm_cycles, parts.pnm_cycles, "pnm_cycles");
+    assert_eq!(whole.host_cycles, parts.host_cycles, "host_cycles");
+    assert_eq!(whole.link_cycles, parts.link_cycles, "link_cycles");
+    assert_eq!(whole.link_bytes, parts.link_bytes, "link_bytes");
+    assert_eq!(whole.dep_stall_cycles, parts.dep_stall_cycles, "dep_stalls");
+    assert_eq!(whole.pum_ops, parts.pum_ops, "pum_ops");
+    assert_eq!(whole.pnm_ops, parts.pnm_ops, "pnm_ops");
+    assert_eq!(whole.smb_hits, parts.smb_hits, "smb_hits");
+    assert_eq!(whole.smb_misses, parts.smb_misses, "smb_misses");
+    assert_eq!(whole.instructions, parts.instructions, "instruction mix");
+    let energy_err = (whole.energy_nj - parts.energy_nj).abs();
+    assert!(
+        energy_err <= 1e-9 * whole.energy_nj.abs().max(1.0),
+        "energy drifted: {} vs {}",
+        whole.energy_nj,
+        parts.energy_nj
+    );
+}
+
+const GRAPH_NAMES: [&str; 2] = ["prop-a", "prop-b"];
+
+proptest! {
+    #[test]
+    fn concurrent_tenants_match_the_serial_oracle_and_attribution_is_exact(
+        n_a in 6usize..22,
+        n_b in 6usize..22,
+        graph_seed in 0u64..1_000,
+        workers in 1usize..4,
+        queries in proptest::collection::vec(drawn_query(), 1..8),
+    ) {
+        let graphs = [
+            generators::erdos_renyi(n_a, 0.25, graph_seed),
+            generators::erdos_renyi(n_b, 0.30, graph_seed ^ 0x5a5a),
+        ];
+        // Serial oracle, computed up front on flat runtimes.
+        let mut expected: BTreeMap<String, (u64, bool)> = BTreeMap::new();
+        for q in &queries {
+            let spec = spec_of(q, &GRAPH_NAMES);
+            expected
+                .entry(format!("{spec:?}"))
+                .or_insert_with(|| oracle(&graphs[q.graph], &spec));
+        }
+
+        let mut cfg = ServiceConfig::smoke();
+        cfg.workers = workers;
+        let service = SisaService::start(cfg);
+        for (name, graph) in GRAPH_NAMES.iter().zip(graphs.iter()) {
+            service.register_graph(name, graph.clone());
+        }
+
+        // One genuinely concurrent client thread per tenant, each submitting
+        // its slice of the mix and waiting on all of its handles.
+        let mut per_tenant: BTreeMap<usize, Vec<QuerySpec>> = BTreeMap::new();
+        for q in &queries {
+            per_tenant.entry(q.tenant).or_default().push(spec_of(q, &GRAPH_NAMES));
+        }
+        let outcomes = std::thread::scope(|scope| {
+            let mut joins = Vec::new();
+            for (tenant, specs) in &per_tenant {
+                let client = service.client();
+                let tenant_name = format!("tenant-{tenant}");
+                joins.push(scope.spawn(move || {
+                    let handles: Vec<_> = specs
+                        .iter()
+                        .map(|spec| {
+                            let handle = client
+                                .submit(&tenant_name, spec.clone())
+                                .expect("mix is far below admission limits");
+                            (spec.clone(), handle)
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|(spec, handle)| (spec, handle.wait().expect("completes")))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            joins
+                .into_iter()
+                .flat_map(|join| join.join().expect("client thread"))
+                .collect::<Vec<_>>()
+        });
+
+        // 1. Every answer equals the serial single-tenant oracle.
+        prop_assert_eq!(outcomes.len(), queries.len());
+        for (spec, outcome) in &outcomes {
+            let (value, truncated) = expected[&format!("{spec:?}")];
+            prop_assert_eq!(outcome.value, value, "spec {:?}", spec);
+            prop_assert_eq!(outcome.truncated, truncated, "spec {:?}", spec);
+        }
+
+        // 2. Tenant records fold bit-exactly to the pool aggregate...
+        let usage = service.tenant_usage();
+        let billed: u64 = usage.values().map(|u| u.queries).sum();
+        prop_assert_eq!(billed, queries.len() as u64);
+        let mut folded = ExecStats::default();
+        for tenant in usage.values() {
+            folded.merge(&tenant.stats);
+        }
+        let pool = service.pool_stats();
+        prop_assert_eq!(&folded, &pool);
+        prop_assert_eq!(folded.energy_nj.to_bits(), pool.energy_nj.to_bits());
+
+        // ...and pool + registry overhead telescopes to the raw engines.
+        let mut attributed = pool;
+        attributed.merge(&service.registry_stats());
+        assert_conserved(&service.engine_stats(), &attributed);
+        service.close();
+    }
+
+    #[test]
+    fn identical_concurrent_queries_coalesce_without_changing_answers(
+        n in 8usize..26,
+        graph_seed in 0u64..1_000,
+        clients in 2usize..9,
+    ) {
+        let graph = generators::erdos_renyi(n, 0.3, graph_seed);
+        let spec = QuerySpec::new("shared", QueryKind::TriangleCount);
+        let (expected, _) = oracle(&graph, &spec);
+
+        let service = SisaService::start(ServiceConfig::smoke());
+        service.register_graph("shared", graph);
+        let values = std::thread::scope(|scope| {
+            let joins: Vec<_> = (0..clients)
+                .map(|i| {
+                    let client = service.client();
+                    let spec = spec.clone();
+                    scope.spawn(move || {
+                        client
+                            .submit(&format!("client-{i}"), spec)
+                            .expect("admitted")
+                            .wait()
+                            .expect("completes")
+                            .value
+                    })
+                })
+                .collect();
+            joins
+                .into_iter()
+                .map(|join| join.join().expect("client thread"))
+                .collect::<Vec<_>>()
+        });
+        for value in values {
+            prop_assert_eq!(value, expected);
+        }
+        let report = service.report();
+        prop_assert_eq!(report.completed, clients as u64);
+        // However the dispatch windows fell, billed + coalesced covers every
+        // client and nothing was double-executed beyond the window count.
+        let usage = service.tenant_usage();
+        let billed: u64 = usage.values().map(|u| u.queries - u.coalesced).sum();
+        prop_assert!(billed >= 1 && billed <= clients as u64);
+        prop_assert_eq!(billed + report.coalesced, clients as u64);
+        prop_assert_eq!(report.in_flight, 0);
+        service.close();
+    }
+}

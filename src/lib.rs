@@ -13,6 +13,8 @@
 //!   virtual-thread scheduling.
 //! * [`algorithms`] — set-centric mining algorithms, software baselines and
 //!   paradigm baselines.
+//! * [`service`] — the multi-tenant graph-mining query service over pooled
+//!   sharded engines (in-process client + TCP transport).
 //!
 //! ## Quickstart
 //!
@@ -38,6 +40,7 @@ pub use sisa_core as core;
 pub use sisa_graph as graph;
 pub use sisa_isa as isa;
 pub use sisa_pim as pim;
+pub use sisa_service as service;
 pub use sisa_sets as sets;
 
 /// A vertex identifier.
