@@ -236,6 +236,38 @@ fn tcp_smoke(smoke: bool) -> u64 {
         1,
         "all TCP clients shared one registry load"
     );
+
+    // Metrics round-trip over the same wire: the snapshot's query counter
+    // must equal the oracle-checked count (TCP answers + in-process oracles).
+    let stream = TcpStream::connect(addr).expect("connect for metrics");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut lines = BufReader::new(stream).lines();
+    writer
+        .write_all(b"{\"id\": 9000, \"query\": \"metrics\"}\n")
+        .expect("write metrics request");
+    let line = lines.next().expect("metrics frame").expect("read");
+    let frame: Frame = serde_json::from_str(&line).expect("metrics frame parses");
+    assert_eq!(frame.frame, "metrics");
+    assert_eq!(frame.id, 9000, "metrics frames echo the request id");
+    let snapshot = frame.metrics.expect("snapshot payload");
+    let oracle_checked = answered + expected.len() as u64;
+    assert_eq!(
+        snapshot.counters["sisa_queries_completed_total"], oracle_checked,
+        "the TCP metrics snapshot disagrees with the oracle-checked query count"
+    );
+    assert_eq!(
+        snapshot.counters["sisa_queries_completed_total"],
+        service.report().completed,
+        "metrics counter disagrees with the service ledger"
+    );
+    assert!(
+        frame
+            .metrics_text
+            .expect("prometheus text")
+            .contains("sisa_queries_completed_total"),
+        "the Prometheus exposition names the query counter"
+    );
+
     assert_stats_identities(&service);
     server.stop();
     service.close();

@@ -19,6 +19,7 @@ fn main() {
         "multi_cube",
         "pipeline_overlap",
         "rename_ooo",
+        "trace_timeline",
     ];
     for bin in bins {
         println!("\n================ {bin} ================");

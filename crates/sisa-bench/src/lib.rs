@@ -708,6 +708,174 @@ pub fn rename_ooo_sweep(
 }
 
 // ---------------------------------------------------------------------------
+// Lane-timeline capture (the `trace_timeline` figure)
+// ---------------------------------------------------------------------------
+
+/// Schema version of `results/trace_timeline.json`; bump when a field is
+/// added, removed or re-interpreted so downstream tooling can dispatch.
+pub const TRACE_TIMELINE_SCHEMA_VERSION: u32 = 1;
+
+/// One captured workload of the `trace_timeline` figure: a kernel run on a
+/// flat [`SisaRuntime`] with a
+/// [`sisa_core::telemetry::ChromeTraceCollector`] attached at the
+/// load/measure boundary, so the recorded lane timeline covers exactly the
+/// measured kernel.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TimelineSpan {
+    /// The workload label (`tc`, `kcc-4`).
+    pub workload: String,
+    /// The pattern count the traced run produced (tracing never changes
+    /// answers).
+    pub result: u64,
+    /// `ExecStats::makespan_cycles` of the traced run.
+    pub makespan_cycles: u64,
+    /// The maximum retire cycle over every recorded instruction event —
+    /// must equal `makespan_cycles` exactly (the figure's headline claim).
+    pub recorded_makespan: u64,
+    /// Instruction events recorded on this workload's track group.
+    pub instruction_events: usize,
+    /// Distinct vault lanes that appear among the recorded events.
+    pub lanes_observed: usize,
+}
+
+/// The sharded capture of the `trace_timeline` figure: the same collector
+/// attached to a [`ShardedEngine`], whose timeline adds one track per
+/// `(src, dst)` shard link carrying every priced transfer.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TimelineLinks {
+    /// Shard count of the traced engine.
+    pub shards: usize,
+    /// The traced workload's label.
+    pub workload: String,
+    /// The pattern count the sharded traced run produced.
+    pub result: u64,
+    /// Aggregate `ExecStats::makespan_cycles` (per-shard makespans merged as
+    /// a max).
+    pub makespan_cycles: u64,
+    /// Maximum retire cycle over every shard's recorded events — must equal
+    /// `makespan_cycles` exactly.
+    pub recorded_makespan: u64,
+    /// Link-transfer events recorded.
+    pub transfer_events: usize,
+    /// Total bytes across the recorded transfer events.
+    pub transfer_bytes: u64,
+    /// `ExecStats::link_bytes` of the traced run — must equal
+    /// `transfer_bytes` (every priced crossing is on the timeline).
+    pub link_bytes: u64,
+}
+
+/// The `results/trace_timeline.json` document the `trace_timeline` binary
+/// emits next to its Perfetto-loadable `.trace.json` files.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceTimeline {
+    /// [`TRACE_TIMELINE_SCHEMA_VERSION`] at emission time.
+    pub schema_version: u32,
+    /// The input graph's registered name.
+    pub graph: String,
+    /// Number of virtual vault lanes of every traced engine.
+    pub lanes: usize,
+    /// Reorder-window capacity of the renamed out-of-order configuration.
+    pub window: usize,
+    /// Physical-tag pool size of the renamed configuration.
+    pub tags: usize,
+    /// Flat-runtime captures, one per workload.
+    pub spans: Vec<TimelineSpan>,
+    /// The sharded capture with link tracks.
+    pub links: TimelineLinks,
+    /// Chrome trace-event files written next to this document, relative to
+    /// the results directory.
+    pub trace_files: Vec<String>,
+}
+
+impl TraceTimeline {
+    /// Pretty-printed JSON for this document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("timeline document serializes")
+    }
+
+    /// Parses a `trace_timeline.json` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error's message when `text` is not a valid document.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("{e:?}"))
+    }
+
+    /// Checks the document's internal invariants (the schema validation CI
+    /// runs on the emitted artifact). The makespan-fidelity identity —
+    /// recorded event span ≡ `makespan_cycles` — is re-checked here, not
+    /// only at capture time.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema_version != TRACE_TIMELINE_SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version {} != supported {TRACE_TIMELINE_SCHEMA_VERSION}",
+                self.schema_version
+            ));
+        }
+        if self.lanes == 0 || self.window == 0 || self.tags == 0 {
+            return Err("traced configuration is degenerate".into());
+        }
+        if self.spans.is_empty() {
+            return Err("no workload spans were captured".into());
+        }
+        for span in &self.spans {
+            if span.makespan_cycles == 0 || span.instruction_events == 0 {
+                return Err(format!("{}: empty capture", span.workload));
+            }
+            if span.recorded_makespan != span.makespan_cycles {
+                return Err(format!(
+                    "{}: recorded span {} != makespan {}",
+                    span.workload, span.recorded_makespan, span.makespan_cycles
+                ));
+            }
+            if span.lanes_observed == 0 || span.lanes_observed > self.lanes {
+                return Err(format!(
+                    "{}: {} lanes observed with {} configured",
+                    span.workload, span.lanes_observed, self.lanes
+                ));
+            }
+        }
+        let links = &self.links;
+        if links.shards < 2 {
+            return Err("the link capture needs at least 2 shards".into());
+        }
+        if links.recorded_makespan != links.makespan_cycles {
+            return Err(format!(
+                "sharded: recorded span {} != makespan {}",
+                links.recorded_makespan, links.makespan_cycles
+            ));
+        }
+        if links.transfer_bytes != links.link_bytes {
+            return Err(format!(
+                "sharded: {} traced transfer bytes != {} priced link bytes",
+                links.transfer_bytes, links.link_bytes
+            ));
+        }
+        if links.transfer_events == 0 {
+            return Err("sharded: no link transfers were recorded".into());
+        }
+        if let Some(span) = self.spans.iter().find(|s| s.workload == links.workload) {
+            if span.result != links.result {
+                return Err(format!(
+                    "{}: flat result {} != sharded result {}",
+                    links.workload, span.result, links.result
+                ));
+            }
+        }
+        if self.trace_files.is_empty() {
+            return Err("no Chrome trace files were recorded".into());
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Multi-cube sharding sweep (the `multi_cube` figure)
 // ---------------------------------------------------------------------------
 

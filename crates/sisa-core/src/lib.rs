@@ -60,6 +60,7 @@ pub mod shard;
 pub mod sharded;
 pub(crate) mod slots;
 pub mod stats;
+pub mod telemetry;
 pub mod trace;
 
 pub use config::{SetGraphConfig, SisaConfig, VariantSelection};
@@ -79,6 +80,10 @@ pub use set_graph::SetGraph;
 pub use shard::PartitionStrategy;
 pub use sharded::{BatchOp, BatchResult, LinkTraffic, ShardReport, ShardedEngine};
 pub use stats::{ExecStats, StatsCheckpoint, StatsScope};
+pub use telemetry::{
+    ChromeTraceCollector, Collector, InstructionEvent, MetricsRegistry, MetricsSnapshot,
+    NoopCollector, SharedCollector, TransferEvent,
+};
 pub use trace::{TraceEvent, TraceOp, TraceSink};
 
 /// A logical SISA set identifier (re-exported from `sisa-isa`).

@@ -114,6 +114,10 @@ pub struct IssueOutcome {
     pub bypassed: bool,
     /// The vault lane the item executed on (`None` for host items).
     pub lane: Option<usize>,
+    /// The physical tag renaming bound to the item's first written set
+    /// (`None` when renaming is off, for read-only items, and for releases —
+    /// a delete consumes a version, it does not produce one).
+    pub phys_tag: Option<SetId>,
 }
 
 /// One instruction in flight in the reorder window.
@@ -467,6 +471,28 @@ impl IssueQueue {
             .map_or(0, RenameMap::spills)
     }
 
+    /// Items currently occupying the active issue window (the reorder window
+    /// when the out-of-order scheduler is armed, the in-order window
+    /// otherwise) — the queue-depth sample telemetry collectors record.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.ooo
+            .as_ref()
+            .map_or(self.window.len(), |o| o.inflight.len())
+    }
+
+    /// Physical tags still allocatable from the renaming pool (`None` when
+    /// renaming is off) — the free-tag-pool sample telemetry collectors
+    /// record. Versions still draining towards a pending reclaim are not
+    /// counted.
+    #[must_use]
+    pub fn free_tags(&self) -> Option<usize> {
+        self.ooo
+            .as_ref()
+            .and_then(|o| o.rename.as_ref())
+            .map(RenameMap::available)
+    }
+
     /// Number of operand IDs (or physical tags) currently carrying hazard
     /// state, across the active and shadow scoreboards (capacity telemetry;
     /// pruning keeps this bounded by the in-flight footprint).
@@ -542,6 +568,11 @@ impl IssueQueue {
             }
             let (start, finish, lane, bypassed, exposed_dep) =
                 ooo.issue(kind, cycles, reads, writes, intent);
+            // The scratch write buffer still holds the physical tags the
+            // issue just bound (it is cleared only on the next issue).
+            let phys_tag = (renaming && intent == WriteIntent::Produce)
+                .then(|| ooo.writes_buf.first().copied())
+                .flatten();
             IssueOutcome {
                 start,
                 finish,
@@ -553,6 +584,7 @@ impl IssueQueue {
                 false_dep_removed: s_false,
                 bypassed,
                 lane,
+                phys_tag,
             }
         } else {
             shadow
@@ -617,6 +649,7 @@ impl IssueQueue {
             false_dep_removed: 0,
             bypassed: false,
             lane,
+            phys_tag: None,
         }
     }
 
@@ -997,6 +1030,27 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(build(0), build(200), "pruning must be schedule-invariant");
+    }
+
+    #[test]
+    fn telemetry_getters_expose_tags_and_occupancy() {
+        let mut q = IssueQueue::new(4, 2);
+        assert_eq!(q.in_flight(), 0);
+        assert_eq!(q.free_tags(), None);
+        let out = q.issue(LaneKind::Vault, 5, &[], &ids(&[1]));
+        assert_eq!(out.phys_tag, None, "no renaming, no tag");
+        assert_eq!(q.in_flight(), 1);
+
+        let mut rq = IssueQueue::with_ooo(4, 2, 4, 8);
+        assert_eq!(rq.free_tags(), Some(8));
+        let w = rq.issue(LaneKind::Vault, 5, &[], &ids(&[1]));
+        assert_eq!(w.phys_tag, Some(SetId(0)), "the bound tag is reported");
+        assert_eq!(rq.free_tags(), Some(7));
+        assert_eq!(rq.in_flight(), 1);
+        let r = rq.issue(LaneKind::Vault, 5, &ids(&[1]), &[]);
+        assert_eq!(r.phys_tag, None, "read-only items bind no tag");
+        let d = rq.issue_op(LaneKind::Vault, 1, &[], &ids(&[1]), WriteIntent::Release);
+        assert_eq!(d.phys_tag, None, "a release consumes, it does not produce");
     }
 
     #[test]

@@ -95,6 +95,15 @@ impl RenameMap {
         self.current.len()
     }
 
+    /// Tags allocatable right now without waiting: the freed tags plus the
+    /// never-used remainder of the configured pool. Versions still draining
+    /// towards a pending reclaim are not counted — they cost a structural
+    /// wait. This is the free-tag-pool sample telemetry collectors record.
+    #[must_use]
+    pub fn available(&self) -> usize {
+        self.free.len() + self.capacity.saturating_sub(self.next_tag as usize)
+    }
+
     /// The tag a *read* of `logical` consumes: the current binding, or a
     /// fresh binding for a set that predates the rename map (e.g. created
     /// before a statistics reset re-armed the timeline — architecturally,
@@ -270,6 +279,22 @@ mod tests {
         assert_ne!(a.tag, b.tag);
         assert_eq!(b.available_at, 0);
         assert_eq!(rm.spills(), 1);
+    }
+
+    #[test]
+    fn available_counts_free_and_unused_tags_only() {
+        let mut rm = RenameMap::new(4);
+        assert_eq!(rm.available(), 4);
+        let a = rm.write_tag(SetId(0));
+        assert_eq!(rm.available(), 3, "one tag live");
+        let t = rm.release(SetId(0)).unwrap();
+        rm.reclaim(t, 0);
+        assert_eq!(rm.available(), 4, "an immediate reclaim is available");
+        let b = rm.write_tag(SetId(1));
+        assert_eq!(b.tag, a.tag, "the freed tag is reused");
+        let t = rm.release(SetId(1)).unwrap();
+        rm.reclaim(t, 500);
+        assert_eq!(rm.available(), 3, "a draining reclaim is not available");
     }
 
     #[test]

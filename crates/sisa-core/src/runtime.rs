@@ -33,6 +33,7 @@ use crate::parallel::TaskRecord;
 use crate::pipeline::{IssueQueue, LaneKind, WriteIntent};
 use crate::scu::{BinarySetOp, DispatchOutcome, ExecutionTarget, Scu};
 use crate::stats::ExecStats;
+use crate::telemetry::{InstructionEvent, SharedCollector};
 use crate::trace::{TraceOp, TraceSink};
 use crate::Vertex;
 use sisa_isa::{SetId, SisaInstruction, SisaOpcode};
@@ -53,6 +54,8 @@ pub struct SisaRuntime {
     regs: RegisterFile,
     trace: Option<TraceSink>,
     pipeline: IssueQueue,
+    collector: Option<SharedCollector>,
+    telemetry_group: u32,
 }
 
 impl SisaRuntime {
@@ -74,6 +77,8 @@ impl SisaRuntime {
             regs: RegisterFile::new(),
             trace: None,
             pipeline: Self::build_pipeline(&config),
+            collector: None,
+            telemetry_group: 0,
         }
     }
 
@@ -149,6 +154,34 @@ impl SisaRuntime {
     /// Detaches and returns the trace, stopping further recording.
     pub fn take_trace(&mut self) -> Option<TraceSink> {
         self.trace.take()
+    }
+
+    // -----------------------------------------------------------------------
+    // Telemetry
+    // -----------------------------------------------------------------------
+
+    /// Attaches a telemetry collector; every subsequent timed work item is
+    /// reported as an [`InstructionEvent`] tagged with `group` (the track
+    /// group — shard index for sharded engines, 0 for a flat runtime).
+    ///
+    /// Collectors are strictly observers: attaching one never changes
+    /// results, work counters, makespan or energy (pinned by proptest).
+    /// Statistics resets restart the pipeline clock but keep the collector
+    /// attached, so events recorded after a reset start again at cycle 0.
+    pub fn attach_collector(&mut self, collector: SharedCollector, group: u32) {
+        self.collector = Some(collector);
+        self.telemetry_group = group;
+    }
+
+    /// Detaches the telemetry collector, if any.
+    pub fn detach_collector(&mut self) -> Option<SharedCollector> {
+        self.collector.take()
+    }
+
+    /// The attached telemetry collector, if any.
+    #[must_use]
+    pub fn collector(&self) -> Option<&SharedCollector> {
+        self.collector.as_ref()
     }
 
     // -----------------------------------------------------------------------
@@ -232,6 +265,23 @@ impl SisaRuntime {
             if let Some(op) = opcode {
                 *self.stats.bypass_by_opcode.entry(op).or_insert(0) += 1;
             }
+        }
+        if let Some(collector) = &self.collector {
+            collector.instruction(&InstructionEvent {
+                group: self.telemetry_group,
+                opcode,
+                kind,
+                lane: landed.lane,
+                start: landed.start,
+                finish: landed.finish,
+                cycles,
+                dep_stall: landed.dep_stall,
+                false_dep_removed: landed.false_dep_removed,
+                bypassed: landed.bypassed,
+                phys_tag: landed.phys_tag,
+                in_flight: self.pipeline.in_flight(),
+                free_tags: self.pipeline.free_tags(),
+            });
         }
     }
 

@@ -241,6 +241,10 @@ pub struct ShardedEngine<E: SetEngine> {
     task_mark: u64,
     /// Worker threads for [`Self::execute`]; 0 = available parallelism.
     host_threads: usize,
+    /// Telemetry sink for link-transfer events (observer-only).
+    collector: Option<crate::telemetry::SharedCollector>,
+    /// Track-group base reported with transfer events.
+    telemetry_group: u32,
 }
 
 impl<E: SetEngine> ShardedEngine<E> {
@@ -274,6 +278,8 @@ impl<E: SetEngine> ShardedEngine<E> {
             shard_energy_sum: 0.0,
             task_mark: 0,
             host_threads: 0,
+            collector: None,
+            telemetry_group: 0,
         }
     }
 
@@ -477,6 +483,17 @@ impl<E: SetEngine> ShardedEngine<E> {
         // batch the shard fold may be stale — the batch's closing
         // `refresh_energy` recomputes it before anyone can observe it.)
         self.stats.energy_nj = self.shard_energy_sum + self.traffic.energy_nj;
+        // Both transfer paths (forwarding and batch staging) funnel through
+        // here, so one hook covers every priced link crossing.
+        if let Some(collector) = &self.collector {
+            collector.transfer(&crate::telemetry::TransferEvent {
+                group: self.telemetry_group,
+                src,
+                dst,
+                bytes,
+                cycles,
+            });
+        }
         cycles
     }
 
@@ -827,6 +844,33 @@ impl ShardedEngine<SisaRuntime> {
         let mut engine = Self::from_shards(engines, strategy, link);
         engine.set_host_threads(config.host_threads);
         engine
+    }
+
+    /// Attaches a telemetry collector to the wrapper and every shard:
+    /// shard `i` reports instruction events under track group
+    /// `group_base + i`, and the wrapper reports link-transfer events under
+    /// `group_base`. Collectors are strictly observers (results, work
+    /// counters and energy are bit-exact with or without one); the shared
+    /// handle is `Sync`, so the threaded [`Self::execute`] batch path keeps
+    /// working with a collector attached.
+    pub fn attach_collector(
+        &mut self,
+        collector: crate::telemetry::SharedCollector,
+        group_base: u32,
+    ) {
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            shard.attach_collector(collector.clone(), group_base + i as u32);
+        }
+        self.collector = Some(collector);
+        self.telemetry_group = group_base;
+    }
+
+    /// Detaches the collector from the wrapper and every shard.
+    pub fn detach_collector(&mut self) {
+        for shard in &mut self.shards {
+            let _ = shard.detach_collector();
+        }
+        self.collector = None;
     }
 }
 

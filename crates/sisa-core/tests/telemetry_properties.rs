@@ -1,0 +1,230 @@
+//! Property-based tests pinning telemetry's observer-only contract:
+//!
+//! 1. **Invariance** — a run with no collector, with [`NoopCollector`] and
+//!    with [`ChromeTraceCollector`] attached produces identical observable
+//!    results and bit-identical [`ExecStats`] (exact `f64` energy included),
+//!    on the flat runtime and on a sharded engine, across the in-order,
+//!    pipelined and renamed out-of-order configurations.
+//! 2. **Makespan fidelity** — the Chrome trace's recorded event span (the
+//!    maximum retire cycle over every instruction event) equals
+//!    `ExecStats::makespan_cycles` exactly, per engine, which is the claim
+//!    the `trace_timeline` figure asserts on a real dataset.
+
+use proptest::prelude::*;
+use sisa_core::telemetry::{ChromeTraceCollector, NoopCollector, SharedCollector};
+use sisa_core::{ExecStats, PartitionStrategy, SetEngine, ShardedEngine, SisaConfig, SisaRuntime};
+use sisa_sets::Vertex;
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
+
+const UNIVERSE: usize = 128;
+
+fn vertex_set() -> impl Strategy<Value = BTreeSet<Vertex>> {
+    proptest::collection::btree_set(0u32..UNIVERSE as u32, 0..32)
+}
+
+/// One step of a random engine workload (single-draw decoding; the vendored
+/// proptest shim has no `prop_oneof`).
+#[derive(Clone, Debug)]
+enum Step {
+    Intersect,
+    Union,
+    Difference,
+    IntersectCount,
+    UnionAssign,
+    Insert(Vertex),
+    Remove(Vertex),
+    CloneAndDelete,
+    CreateAndKeep(Vertex),
+    HostOps(u64),
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    (0u64..1_000_000).prop_map(|raw| {
+        let v = ((raw / 10) % UNIVERSE as u64) as Vertex;
+        match raw % 10 {
+            0 => Step::Intersect,
+            1 => Step::Union,
+            2 => Step::Difference,
+            3 => Step::IntersectCount,
+            4 => Step::UnionAssign,
+            5 => Step::Insert(v),
+            6 => Step::Remove(v),
+            7 => Step::CloneAndDelete,
+            8 => Step::CreateAndKeep(v),
+            _ => Step::HostOps(raw % 17 + 1),
+        }
+    })
+}
+
+fn run_steps<E: SetEngine>(
+    engine: &mut E,
+    a_members: &BTreeSet<Vertex>,
+    b_members: &BTreeSet<Vertex>,
+    steps: &[Step],
+) -> Vec<Vec<Vertex>> {
+    engine.set_universe(UNIVERSE);
+    let a = engine.create_sorted(a_members.iter().copied());
+    let b = engine.create_dense(b_members.iter().copied());
+    let mut observed = Vec::new();
+    let scalar = |x: usize| vec![x as Vertex];
+    for s in steps {
+        match s {
+            Step::Intersect => {
+                let c = engine.intersect(a, b);
+                observed.push(engine.members(c));
+                engine.delete(c);
+            }
+            Step::Union => {
+                let c = engine.union(a, b);
+                observed.push(engine.members(c));
+                engine.delete(c);
+            }
+            Step::Difference => {
+                let c = engine.difference(b, a);
+                observed.push(engine.members(c));
+                engine.delete(c);
+            }
+            Step::IntersectCount => observed.push(scalar(engine.intersect_count(a, b))),
+            Step::UnionAssign => {
+                engine.union_assign(a, b);
+                observed.push(engine.members(a));
+            }
+            Step::Insert(v) => observed.push(scalar(usize::from(engine.insert(a, *v)))),
+            Step::Remove(v) => observed.push(scalar(usize::from(engine.remove(b, *v)))),
+            Step::CloneAndDelete => {
+                let c = engine.clone_set(b);
+                observed.push(engine.members(c));
+                engine.delete(c);
+            }
+            Step::CreateAndKeep(v) => {
+                let c = engine.create_sorted([*v, v.wrapping_add(1) % UNIVERSE as u32]);
+                observed.push(engine.members(c));
+            }
+            Step::HostOps(n) => engine.host_ops(*n),
+        }
+    }
+    observed
+}
+
+/// Which sink (if any) a run attaches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Sink {
+    None,
+    Noop,
+    Chrome,
+}
+
+/// Runs the workload on a flat runtime with the given sink; returns the
+/// observations, the final stats and (for the Chrome sink) the recorded
+/// event span.
+fn run_flat(
+    config: SisaConfig,
+    sink: Sink,
+    a: &BTreeSet<Vertex>,
+    b: &BTreeSet<Vertex>,
+    steps: &[Step],
+) -> (Vec<Vec<Vertex>>, ExecStats, Option<u64>) {
+    let mut engine = SisaRuntime::new(config);
+    let trace = attach(sink, |collector| engine.attach_collector(collector, 0));
+    let observed = run_steps(&mut engine, a, b, steps);
+    let span = trace.map(|t| t.lock().unwrap().recorded_makespan());
+    (observed, engine.stats().clone(), span)
+}
+
+/// Runs the workload on a 2-shard engine with the given sink.
+fn run_sharded(
+    config: SisaConfig,
+    sink: Sink,
+    a: &BTreeSet<Vertex>,
+    b: &BTreeSet<Vertex>,
+    steps: &[Step],
+) -> (Vec<Vec<Vertex>>, ExecStats, Option<u64>) {
+    let mut engine = ShardedEngine::sisa(2, PartitionStrategy::Modulo, config);
+    let trace = attach(sink, |collector| engine.attach_collector(collector, 0));
+    let observed = run_steps(&mut engine, a, b, steps);
+    let span = trace.map(|t| t.lock().unwrap().recorded_makespan());
+    (observed, engine.stats().clone(), span)
+}
+
+fn attach(
+    sink: Sink,
+    hook: impl FnOnce(SharedCollector),
+) -> Option<Arc<Mutex<ChromeTraceCollector>>> {
+    match sink {
+        Sink::None => None,
+        Sink::Noop => {
+            hook(SharedCollector::new(NoopCollector));
+            None
+        }
+        Sink::Chrome => {
+            let trace = Arc::new(Mutex::new(ChromeTraceCollector::new()));
+            hook(SharedCollector::from_arc(trace.clone()));
+            Some(trace)
+        }
+    }
+}
+
+fn configs() -> [SisaConfig; 3] {
+    [
+        SisaConfig::default(),
+        SisaConfig::pipelined(8),
+        SisaConfig::renamed(16),
+    ]
+}
+
+proptest! {
+    /// (1) + (2) on the flat runtime: collectors never perturb results or
+    /// stats, and the Chrome trace's event span is exactly the makespan.
+    #[test]
+    fn collectors_are_invisible_on_the_flat_runtime(
+        a in vertex_set(),
+        b in vertex_set(),
+        steps in proptest::collection::vec(step(), 1..24),
+    ) {
+        for config in configs() {
+            let (base_obs, base_stats, _) = run_flat(config, Sink::None, &a, &b, &steps);
+            for sink in [Sink::Noop, Sink::Chrome] {
+                let (obs, stats, span) = run_flat(config, sink, &a, &b, &steps);
+                prop_assert_eq!(&base_obs, &obs, "{:?}", sink);
+                prop_assert_eq!(&base_stats, &stats, "{:?}", sink);
+                prop_assert_eq!(
+                    base_stats.energy_nj.to_bits(),
+                    stats.energy_nj.to_bits(),
+                    "energy must be bit-exact under {:?}", sink
+                );
+                if let Some(span) = span {
+                    prop_assert_eq!(span, stats.makespan_cycles, "event span == makespan");
+                }
+            }
+        }
+    }
+
+    /// (1) + (2) on a sharded engine: the conservation identities and the
+    /// threaded batch path stay bit-exact with a collector attached, and the
+    /// recorded event span over every shard track equals the aggregate
+    /// makespan (which merges per-shard makespans as a max).
+    #[test]
+    fn collectors_are_invisible_on_sharded_engines(
+        a in vertex_set(),
+        b in vertex_set(),
+        steps in proptest::collection::vec(step(), 1..16),
+    ) {
+        for config in configs() {
+            let (base_obs, base_stats, _) = run_sharded(config, Sink::None, &a, &b, &steps);
+            for sink in [Sink::Noop, Sink::Chrome] {
+                let (obs, stats, span) = run_sharded(config, sink, &a, &b, &steps);
+                prop_assert_eq!(&base_obs, &obs, "{:?}", sink);
+                prop_assert_eq!(&base_stats, &stats, "{:?}", sink);
+                prop_assert_eq!(
+                    base_stats.energy_nj.to_bits(),
+                    stats.energy_nj.to_bits(),
+                    "energy must be bit-exact under {:?}", sink
+                );
+                if let Some(span) = span {
+                    prop_assert_eq!(span, stats.makespan_cycles, "event span == makespan");
+                }
+            }
+        }
+    }
+}

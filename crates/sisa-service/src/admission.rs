@@ -8,8 +8,9 @@
 //! [`Rejection`]`{ retry_after_ms }` instead of blocking.
 
 use crate::query::Rejection;
+use sisa_core::MetricsRegistry;
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Limits enforced by the admission controller.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -45,6 +46,7 @@ struct AdmState {
 pub struct Admission {
     cfg: AdmissionConfig,
     state: Mutex<AdmState>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Admission {
@@ -54,6 +56,30 @@ impl Admission {
         Admission {
             cfg,
             state: Mutex::new(AdmState::default()),
+            metrics: None,
+        }
+    }
+
+    /// Creates a controller that publishes its in-flight gauges (global and
+    /// per tenant) and its rejection counter to a metrics registry.
+    #[must_use]
+    pub fn with_metrics(cfg: AdmissionConfig, metrics: Arc<MetricsRegistry>) -> Self {
+        Admission {
+            cfg,
+            state: Mutex::new(AdmState::default()),
+            metrics: Some(metrics),
+        }
+    }
+
+    /// Publishes the in-flight gauges after a state change touching `tenant`.
+    fn publish(&self, state: &AdmState, tenant: &str) {
+        if let Some(metrics) = &self.metrics {
+            metrics.gauge_set("sisa_admission_in_flight", state.in_flight as i64);
+            let tenant_inflight = state.per_tenant.get(tenant).copied().unwrap_or(0);
+            metrics.gauge_set(
+                &format!("sisa_admission_tenant_in_flight{{tenant=\"{tenant}\"}}"),
+                tenant_inflight as i64,
+            );
         }
     }
 
@@ -69,6 +95,9 @@ impl Admission {
         let mut state = self.state.lock().expect("admission lock");
         if state.in_flight >= self.cfg.queue_capacity {
             state.rejected += 1;
+            if let Some(metrics) = &self.metrics {
+                metrics.counter_add("sisa_admission_rejected_total", 1);
+            }
             // Scale the hint with the overload factor so heavier congestion
             // backs clients off harder.
             let retry = self.cfg.retry_after_ms.max(1) * 2;
@@ -83,6 +112,9 @@ impl Admission {
         let tenant_inflight = state.per_tenant.get(tenant).copied().unwrap_or(0);
         if tenant_inflight >= self.cfg.per_tenant_inflight {
             state.rejected += 1;
+            if let Some(metrics) = &self.metrics {
+                metrics.counter_add("sisa_admission_rejected_total", 1);
+            }
             return Err(Rejection {
                 retry_after_ms: self.cfg.retry_after_ms.max(1),
                 reason: format!(
@@ -93,6 +125,7 @@ impl Admission {
         }
         state.in_flight += 1;
         *state.per_tenant.entry(tenant.to_string()).or_insert(0) += 1;
+        self.publish(&state, tenant);
         Ok(())
     }
 
@@ -106,6 +139,7 @@ impl Admission {
                 state.per_tenant.remove(tenant);
             }
         }
+        self.publish(&state, tenant);
     }
 
     /// Queries currently in flight (queued + executing).
@@ -163,6 +197,35 @@ mod tests {
         assert!(adm.try_admit("quiet").is_ok(), "other tenants unaffected");
         adm.complete("noisy");
         assert!(adm.try_admit("noisy").is_ok());
+    }
+
+    #[test]
+    fn metrics_track_in_flight_and_rejections() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let adm = Admission::with_metrics(
+            AdmissionConfig {
+                queue_capacity: 1,
+                per_tenant_inflight: 1,
+                retry_after_ms: 5,
+            },
+            Arc::clone(&metrics),
+        );
+        adm.try_admit("t").unwrap();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.gauges["sisa_admission_in_flight"], 1);
+        assert_eq!(
+            snap.gauges["sisa_admission_tenant_in_flight{tenant=\"t\"}"],
+            1
+        );
+        assert!(adm.try_admit("t").is_err());
+        assert_eq!(metrics.counter("sisa_admission_rejected_total"), 1);
+        adm.complete("t");
+        let snap = metrics.snapshot();
+        assert_eq!(snap.gauges["sisa_admission_in_flight"], 0);
+        assert_eq!(
+            snap.gauges["sisa_admission_tenant_in_flight{tenant=\"t\"}"],
+            0
+        );
     }
 
     #[test]

@@ -25,7 +25,17 @@
 //!   exactly: per-tenant totals + registry overhead = raw engine aggregates.
 //! * **Transport** — the in-process [`ServiceClient`] plus a line-delimited
 //!   JSON protocol over `std::net::TcpListener` ([`TcpServer`]) with
-//!   streamed progress frames for long batched queries.
+//!   streamed progress frames for long batched queries. Connections are
+//!   pipelined: queries submitted on one connection execute concurrently,
+//!   with every frame correlated by the request `id`.
+//! * **Observability** — a service-wide [`sisa_core::MetricsRegistry`]
+//!   (admission gauges, dispatcher/worker counters, latency histograms)
+//!   exposed over TCP by the `{"id": N, "query": "metrics"}` request, an
+//!   optional [`sisa_core::SharedCollector`] in [`ServiceConfig`] that
+//!   records every worker engine's lane timeline, and per-query span
+//!   summaries (`queue_ns`, `execute_ns`, `span_ns`) on terminal result
+//!   frames. All of it is observer-only: enabling telemetry never changes
+//!   results or [`sisa_core::ExecStats`].
 //!
 //! ## Quickstart (in-process)
 //!
@@ -83,3 +93,6 @@ pub use service::{
     QueryHandle, ServiceClient, ServiceConfig, ServiceReport, SisaService, TenantUsage,
 };
 pub use tcp::TcpServer;
+
+// Observability types service embedders need alongside the service API.
+pub use sisa_core::{MetricsRegistry, MetricsSnapshot, SharedCollector};

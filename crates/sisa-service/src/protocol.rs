@@ -22,6 +22,7 @@
 
 use crate::query::{QueryKind, QueryOutcome, QuerySpec, Rejection};
 use serde::{Content, Deserialize, Serialize};
+use sisa_core::MetricsSnapshot;
 
 /// A parsed request line.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -70,7 +71,10 @@ impl Request {
 
     /// Parses one request line *leniently*: `k` and `budget` may be absent
     /// entirely (the derived deserializer, used for round-trips of frames the
-    /// service itself emitted, requires every field to be present).
+    /// service itself emitted, requires every field to be present). The
+    /// introspection request `{"id": N, "query": "metrics"}` needs no
+    /// `tenant` or `graph` — it is answered by the transport itself with a
+    /// `metrics` frame and never reaches admission control.
     ///
     /// # Errors
     ///
@@ -93,11 +97,20 @@ impl Request {
                 _ => Err(format!("missing or non-string field `{key}`")),
             }
         };
+        let query = get_str("query")?;
+        let (tenant, graph) = if query == "metrics" {
+            (
+                get_str("tenant").unwrap_or_default(),
+                get_str("graph").unwrap_or_default(),
+            )
+        } else {
+            (get_str("tenant")?, get_str("graph")?)
+        };
         Ok(Request {
             id: get_u64("id")?.ok_or("missing field `id`")?,
-            tenant: get_str("tenant")?,
-            graph: get_str("graph")?,
-            query: get_str("query")?,
+            tenant,
+            graph,
+            query,
             k: get_u64("k")?,
             budget: get_u64("budget")?,
         })
@@ -106,8 +119,9 @@ impl Request {
 
 /// One response line. `frame` selects which optional fields are populated:
 /// `progress` (`done_ops`, `total_ops`, `partial`), `result` (`value`,
-/// `truncated` and the stats fields), `rejected` (`retry_after_ms`, `error`)
-/// or `error` (`error`).
+/// `truncated`, the stats fields and the per-query span summary),
+/// `metrics` (`metrics`, `metrics_text`), `rejected` (`retry_after_ms`,
+/// `error`) or `error` (`error`).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Frame {
     /// The request's correlation id (0 when the line was unparseable).
@@ -132,12 +146,23 @@ pub struct Frame {
     pub energy_nj: Option<f64>,
     /// Host wall-clock of the execution, nanoseconds (result).
     pub wall_ns: Option<u64>,
+    /// Span: admission to worker pickup, nanoseconds (result).
+    pub queue_ns: Option<u64>,
+    /// Span: kernel execution on the worker, nanoseconds (result).
+    pub execute_ns: Option<u64>,
+    /// Span: admission to this terminal response, nanoseconds (result).
+    pub span_ns: Option<u64>,
     /// Whether the response was coalesced onto an identical query (result).
     pub coalesced: Option<bool>,
     /// Client back-off hint, milliseconds (rejected).
     pub retry_after_ms: Option<u64>,
     /// Failure or rejection detail (rejected, error).
     pub error: Option<String>,
+    /// The service's metrics registry snapshot (metrics).
+    pub metrics: Option<MetricsSnapshot>,
+    /// The same snapshot rendered in Prometheus text exposition format
+    /// (metrics).
+    pub metrics_text: Option<String>,
 }
 
 impl Frame {
@@ -154,9 +179,14 @@ impl Frame {
             instructions: None,
             energy_nj: None,
             wall_ns: None,
+            queue_ns: None,
+            execute_ns: None,
+            span_ns: None,
             coalesced: None,
             retry_after_ms: None,
             error: None,
+            metrics: None,
+            metrics_text: None,
         }
     }
 
@@ -181,8 +211,22 @@ impl Frame {
             instructions: Some(outcome.stats.instructions),
             energy_nj: Some(outcome.stats.energy_nj),
             wall_ns: Some(outcome.stats.wall_ns),
+            queue_ns: Some(outcome.stats.queue_ns),
+            execute_ns: Some(outcome.stats.execute_ns),
+            span_ns: Some(outcome.stats.span_ns),
             coalesced: Some(outcome.stats.coalesced),
             ..Frame::base(id, "result")
+        }
+    }
+
+    /// The reply to a `metrics` introspection request: the registry snapshot
+    /// both as structured JSON and in Prometheus text exposition format.
+    #[must_use]
+    pub fn metrics(id: u64, snapshot: &MetricsSnapshot) -> Self {
+        Frame {
+            metrics_text: Some(snapshot.to_prometheus()),
+            metrics: Some(snapshot.clone()),
+            ..Frame::base(id, "metrics")
         }
     }
 
@@ -256,6 +300,9 @@ mod tests {
                 instructions: 4,
                 energy_nj: 2.5,
                 wall_ns: 900,
+                queue_ns: 120,
+                execute_ns: 900,
+                span_ns: 1500,
                 coalesced: false,
             },
         };
@@ -264,6 +311,9 @@ mod tests {
         let back: Frame = serde_json::from_str(&json).unwrap();
         assert_eq!(back, frame);
         assert!(back.is_terminal());
+        assert_eq!(back.queue_ns, Some(120));
+        assert_eq!(back.execute_ns, Some(900));
+        assert_eq!(back.span_ns, Some(1500));
         assert!(!Frame::progress(5, 10, 100, 3).is_terminal());
         assert!(Frame::rejected(
             5,
@@ -274,5 +324,40 @@ mod tests {
         )
         .is_terminal());
         assert!(Frame::error(0, "bad line").is_terminal());
+    }
+
+    #[test]
+    fn metrics_requests_need_no_tenant_or_graph() {
+        let req = Request::parse(r#"{"id": 8, "query": "metrics"}"#).expect("parses");
+        assert_eq!(req.id, 8);
+        assert_eq!(req.query, "metrics");
+        assert_eq!(req.tenant, "");
+        assert_eq!(req.graph, "");
+        // Non-introspection queries still require both fields.
+        assert!(Request::parse(r#"{"id": 8, "query": "tc"}"#).is_err());
+    }
+
+    #[test]
+    fn metrics_frames_round_trip_snapshot_and_text() {
+        let mut snapshot = MetricsSnapshot::default();
+        snapshot
+            .counters
+            .insert("sisa_queries_completed_total".to_string(), 104);
+        snapshot
+            .gauges
+            .insert("sisa_admission_in_flight".to_string(), 3);
+        let frame = Frame::metrics(11, &snapshot);
+        assert!(frame.is_terminal());
+        let json = serde_json::to_string(&frame).unwrap();
+        let back: Frame = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, frame);
+        let snap = back.metrics.expect("snapshot travels");
+        assert_eq!(snap.counters["sisa_queries_completed_total"], 104);
+        let text = back.metrics_text.expect("prometheus text travels");
+        assert!(text.contains("sisa_queries_completed_total 104"), "{text}");
+        assert!(
+            text.contains("# TYPE sisa_admission_in_flight gauge"),
+            "{text}"
+        );
     }
 }

@@ -131,9 +131,16 @@ pub struct QueryStats {
     pub energy_nj: f64,
     /// Host wall-clock time of the execution, in nanoseconds.
     pub wall_ns: u64,
+    /// Span: admission to worker pickup (queueing + dispatch), nanoseconds.
+    pub queue_ns: u64,
+    /// Span: kernel execution on the worker, nanoseconds.
+    pub execute_ns: u64,
+    /// Span: admission to terminal response, nanoseconds.
+    pub span_ns: u64,
     /// Whether this response was coalesced onto an identical in-flight
     /// query: the value is shared and the execution cost was billed to the
-    /// query that actually ran, so all counters above are zero.
+    /// query that actually ran, so the cost counters above are zero (the
+    /// span durations are still this response's own real timings).
     pub coalesced: bool,
 }
 
@@ -147,6 +154,7 @@ impl QueryStats {
             energy_nj: delta.energy_nj,
             wall_ns,
             coalesced: false,
+            ..QueryStats::default()
         }
     }
 
@@ -157,6 +165,16 @@ impl QueryStats {
             coalesced: true,
             ..QueryStats::default()
         }
+    }
+
+    /// Attaches the per-query span durations (admit→pickup, kernel
+    /// execution, admit→response).
+    #[must_use]
+    pub fn with_spans(mut self, queue_ns: u64, execute_ns: u64, span_ns: u64) -> Self {
+        self.queue_ns = queue_ns;
+        self.execute_ns = execute_ns;
+        self.span_ns = span_ns;
+        self
     }
 }
 

@@ -4,14 +4,17 @@
 use crate::admission::{Admission, AdmissionConfig};
 use crate::query::{QueryEvent, QueryOutcome, QuerySpec, Rejection};
 use crate::worker::{Worker, WorkerMsg};
-use sisa_core::{ExecStats, PartitionStrategy, SetGraphConfig, ShardedEngine, SisaConfig};
+use sisa_core::{
+    ExecStats, MetricsRegistry, MetricsSnapshot, PartitionStrategy, SetGraphConfig, ShardedEngine,
+    SharedCollector, SisaConfig,
+};
 use sisa_graph::{CsrGraph, GraphRegistry};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Everything that shapes a [`SisaService`] instance.
 #[derive(Clone, Debug)]
@@ -38,6 +41,11 @@ pub struct ServiceConfig {
     pub progress_window_ops: usize,
     /// Seed for every dataset stand-in this service materialises.
     pub seed: u64,
+    /// An optional telemetry sink shared by every worker engine. Worker `i`
+    /// records its shards under trace groups `i * shards ..`, so one
+    /// collector receives the whole pool's lane timeline. Observer-only:
+    /// attaching a collector never changes results or [`ExecStats`].
+    pub collector: Option<SharedCollector>,
 }
 
 impl Default for ServiceConfig {
@@ -52,6 +60,7 @@ impl Default for ServiceConfig {
             coalesce_window: 16,
             progress_window_ops: 2048,
             seed: 42,
+            collector: None,
         }
     }
 }
@@ -73,6 +82,8 @@ pub(crate) struct Job {
     pub(crate) tenant: String,
     pub(crate) spec: QuerySpec,
     pub(crate) events: Sender<QueryEvent>,
+    /// When admission accepted the query — the origin of its span timeline.
+    pub(crate) submitted: Instant,
 }
 
 /// A coalesced batch of identical queries: executed once, fanned out to
@@ -153,6 +164,19 @@ impl LedgerInner {
         self.tenant(tenant).failed += 1;
         self.failed_total += 1;
     }
+
+    /// Bills the partial work of a *panicked* execution to its tenant. The
+    /// engine cycles were really spent, so dropping the delta would break the
+    /// pool + registry ≡ engines conservation identity; instead the partial
+    /// stats fold into the tenant's ledger exactly like a completed query's,
+    /// while the query itself counts as failed (not completed).
+    pub(crate) fn record_panicked(&mut self, tenant: &str, delta: &ExecStats, wall_ns: u64) {
+        let usage = self.tenant(tenant);
+        usage.failed += 1;
+        usage.wall_ns += wall_ns;
+        usage.stats.merge(delta);
+        self.failed_total += 1;
+    }
 }
 
 /// A snapshot of the service's aggregate counters.
@@ -211,6 +235,7 @@ impl QueryHandle {
 pub struct ServiceClient {
     job_tx: Sender<Job>,
     admission: Arc<Admission>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl ServiceClient {
@@ -223,11 +248,13 @@ impl ServiceClient {
     /// shutting down.
     pub fn submit(&self, tenant: &str, spec: QuerySpec) -> Result<QueryHandle, Rejection> {
         self.admission.try_admit(tenant)?;
+        self.metrics.counter_add("sisa_queries_submitted_total", 1);
         let (events, rx) = channel();
         let job = Job {
             tenant: tenant.to_string(),
             spec,
             events,
+            submitted: Instant::now(),
         };
         if self.job_tx.send(job).is_err() {
             self.admission.complete(tenant);
@@ -237,6 +264,13 @@ impl ServiceClient {
             });
         }
         Ok(QueryHandle { rx })
+    }
+
+    /// A consistent snapshot of the service's metrics registry — what the
+    /// TCP transport returns for a `metrics` request.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 }
 
@@ -255,6 +289,7 @@ pub struct SisaService {
     registry: Arc<GraphRegistry>,
     admission: Arc<Admission>,
     ledger: Arc<Mutex<LedgerInner>>,
+    metrics: Arc<MetricsRegistry>,
     job_tx: Option<Sender<Job>>,
     stop: Arc<AtomicBool>,
     dispatcher: Option<JoinHandle<()>>,
@@ -272,7 +307,11 @@ impl SisaService {
         assert!(cfg.workers > 0, "a service needs at least one worker");
         assert!(cfg.shards > 0, "worker engines need at least one shard");
         let registry = Arc::new(GraphRegistry::new(cfg.seed));
-        let admission = Arc::new(Admission::new(cfg.admission.clone()));
+        let metrics = Arc::new(MetricsRegistry::new());
+        let admission = Arc::new(Admission::with_metrics(
+            cfg.admission.clone(),
+            Arc::clone(&metrics),
+        ));
         let ledger = Arc::new(Mutex::new(LedgerInner::default()));
         let stop = Arc::new(AtomicBool::new(false));
 
@@ -283,6 +322,8 @@ impl SisaService {
             let registry = Arc::clone(&registry);
             let ledger = Arc::clone(&ledger);
             let admission = Arc::clone(&admission);
+            let worker_metrics = Arc::clone(&metrics);
+            let collector = cfg.collector.clone();
             let shards = cfg.shards;
             let strategy = cfg.strategy;
             let sisa = cfg.sisa;
@@ -291,8 +332,22 @@ impl SisaService {
             let join = std::thread::Builder::new()
                 .name(format!("sisa-service-worker-{i}"))
                 .spawn(move || {
-                    let engine = ShardedEngine::sisa(shards, strategy, sisa);
-                    Worker::new(engine, registry, ledger, admission, graph_cfg, window).run(&rx);
+                    let mut engine = ShardedEngine::sisa(shards, strategy, sisa);
+                    if let Some(collector) = collector {
+                        // Worker i's shards land on trace groups i*shards ..,
+                        // so the pool shares one collector without clashes.
+                        engine.attach_collector(collector, (i * shards) as u32);
+                    }
+                    Worker::new(
+                        engine,
+                        registry,
+                        ledger,
+                        admission,
+                        worker_metrics,
+                        graph_cfg,
+                        window,
+                    )
+                    .run(&rx);
                 })
                 .expect("spawn worker thread");
             worker_txs.push(tx.clone());
@@ -306,6 +361,7 @@ impl SisaService {
         let dispatcher = {
             let stop = Arc::clone(&stop);
             let admission = Arc::clone(&admission);
+            let dispatch_metrics = Arc::clone(&metrics);
             let window = cfg.coalesce_window.max(1);
             let worker_count = cfg.workers;
             std::thread::Builder::new()
@@ -318,6 +374,7 @@ impl SisaService {
                         worker_count,
                         &stop,
                         &admission,
+                        &dispatch_metrics,
                     );
                 })
                 .expect("spawn dispatcher thread")
@@ -328,6 +385,7 @@ impl SisaService {
             registry,
             admission,
             ledger,
+            metrics,
             job_tx: Some(job_tx),
             stop,
             dispatcher: Some(dispatcher),
@@ -345,6 +403,7 @@ impl SisaService {
         ServiceClient {
             job_tx: self.job_tx.as_ref().expect("service is running").clone(),
             admission: Arc::clone(&self.admission),
+            metrics: Arc::clone(&self.metrics),
         }
     }
 
@@ -443,6 +502,20 @@ impl SisaService {
         replies
     }
 
+    /// The service-wide metrics registry (counters, gauges, latency
+    /// histograms) fed by the admission controller, dispatcher, registry
+    /// bookkeeping and worker pool.
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// A consistent snapshot of [`SisaService::metrics`].
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
     /// Aggregate service counters.
     #[must_use]
     pub fn report(&self) -> ServiceReport {
@@ -513,6 +586,7 @@ fn dispatch_loop(
     worker_count: usize,
     stop: &AtomicBool,
     admission: &Admission,
+    metrics: &MetricsRegistry,
 ) {
     loop {
         let first = match job_rx.recv_timeout(Duration::from_millis(20)) {
@@ -543,7 +617,12 @@ fn dispatch_loop(
                 Err(_) => break,
             }
         }
-        for group in group_jobs(batch) {
+        metrics.counter_add("sisa_dispatch_batches_total", 1);
+        metrics.counter_add("sisa_dispatch_jobs_total", batch.len() as u64);
+        metrics.gauge_set("sisa_dispatch_last_batch_jobs", batch.len() as i64);
+        let groups = group_jobs(batch);
+        metrics.counter_add("sisa_dispatch_groups_total", groups.len() as u64);
+        for group in groups {
             let target = worker_for(&group.spec.graph, worker_count);
             if worker_txs[target].send(WorkerMsg::Run(group)).is_err() {
                 return;
@@ -565,6 +644,7 @@ mod tests {
             tenant: tenant.to_string(),
             spec,
             events,
+            submitted: Instant::now(),
         }
     }
 
@@ -594,6 +674,25 @@ mod tests {
         let budgeted = unbudgeted.clone().with_budget(5);
         let groups = group_jobs(vec![job("a", unbudgeted), job("b", budgeted)]);
         assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn panicked_deltas_fold_into_the_tenant_ledger() {
+        let mut ledger = LedgerInner::default();
+        let delta = ExecStats {
+            energy_nj: 2.5,
+            host_cycles: 7,
+            ..ExecStats::default()
+        };
+        ledger.record_panicked("t", &delta, 900);
+        let usage = &ledger.tenants["t"];
+        assert_eq!(usage.failed, 1);
+        assert_eq!(usage.queries, 0, "a panicked query is not a completion");
+        assert_eq!(usage.wall_ns, 900);
+        assert_eq!(usage.stats.host_cycles, 7);
+        assert_eq!(usage.stats.energy_nj.to_bits(), 2.5f64.to_bits());
+        assert_eq!(ledger.failed_total, 1);
+        assert_eq!(ledger.completed, 0);
     }
 
     #[test]

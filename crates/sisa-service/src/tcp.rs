@@ -1,19 +1,23 @@
 //! The TCP transport: line-delimited JSON over `std::net::TcpListener`.
 //!
-//! Each connection is served by its own thread and handles requests
-//! sequentially: a request's frames — streamed `progress` frames for long
-//! batched queries, then one terminal frame — are written before the next
-//! line is read. Backpressure appears on the wire as `rejected` frames with
+//! Each connection is served by its own thread and is *pipelined*: the
+//! reader keeps accepting request lines while accepted queries drain on
+//! scoped helper threads, so several queries submitted on one connection
+//! execute concurrently. Every frame carries its request's `id` for
+//! correlation, each frame is written atomically (one line under the shared
+//! writer lock), and frames of different in-flight requests may interleave
+//! on the wire in any order. Backpressure appears as `rejected` frames with
 //! a `retry_after_ms` hint; malformed lines get `error` frames instead of a
-//! dropped connection.
+//! dropped connection; `{"id": N, "query": "metrics"}` is answered inline
+//! with a `metrics` snapshot frame without entering admission control.
 
 use crate::protocol::{Frame, Request};
 use crate::query::QueryEvent;
-use crate::service::ServiceClient;
+use crate::service::{QueryHandle, ServiceClient};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -103,61 +107,77 @@ fn write_frame(stream: &mut TcpStream, frame: &Frame) -> std::io::Result<()> {
     stream.flush()
 }
 
+fn write_locked(writer: &Mutex<TcpStream>, frame: &Frame) -> std::io::Result<()> {
+    let mut stream = writer.lock().expect("connection writer lock");
+    write_frame(&mut stream, frame)
+}
+
 fn handle_connection(stream: TcpStream, client: &ServiceClient) -> std::io::Result<()> {
     stream.set_nonblocking(false)?;
     let reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let request = match Request::parse(&line) {
-            Ok(request) => request,
-            Err(error) => {
-                write_frame(&mut writer, &Frame::error(0, &error))?;
+    let writer = Arc::new(Mutex::new(stream));
+    // The scope keeps reading new request lines while accepted queries drain
+    // on their own threads; it joins every drain before the connection
+    // closes, so no frame is ever lost to a disconnect race on our side.
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
                 continue;
             }
-        };
-        let spec = match request.spec() {
-            Ok(spec) => spec,
-            Err(error) => {
-                write_frame(&mut writer, &Frame::error(request.id, &error))?;
-                continue;
-            }
-        };
-        match client.submit(&request.tenant, spec) {
-            Err(rejection) => {
-                write_frame(&mut writer, &Frame::rejected(request.id, &rejection))?;
-            }
-            Ok(handle) => loop {
-                match handle.next_event() {
-                    Some(QueryEvent::Progress {
-                        done_ops,
-                        total_ops,
-                        partial,
-                    }) => write_frame(
-                        &mut writer,
-                        &Frame::progress(request.id, done_ops, total_ops, partial),
-                    )?,
-                    Some(QueryEvent::Done(outcome)) => {
-                        write_frame(&mut writer, &Frame::result(request.id, &outcome))?;
-                        break;
-                    }
-                    Some(QueryEvent::Failed(error)) => {
-                        write_frame(&mut writer, &Frame::error(request.id, &error))?;
-                        break;
-                    }
-                    None => {
-                        write_frame(
-                            &mut writer,
-                            &Frame::error(request.id, "service shut down mid-query"),
-                        )?;
-                        break;
-                    }
+            let request = match Request::parse(&line) {
+                Ok(request) => request,
+                Err(error) => {
+                    write_locked(&writer, &Frame::error(0, &error))?;
+                    continue;
                 }
-            },
+            };
+            if request.query == "metrics" {
+                write_locked(
+                    &writer,
+                    &Frame::metrics(request.id, &client.metrics_snapshot()),
+                )?;
+                continue;
+            }
+            let spec = match request.spec() {
+                Ok(spec) => spec,
+                Err(error) => {
+                    write_locked(&writer, &Frame::error(request.id, &error))?;
+                    continue;
+                }
+            };
+            match client.submit(&request.tenant, spec) {
+                Err(rejection) => {
+                    write_locked(&writer, &Frame::rejected(request.id, &rejection))?;
+                }
+                Ok(handle) => {
+                    let writer = Arc::clone(&writer);
+                    let id = request.id;
+                    scope.spawn(move || drain_query(id, &handle, &writer));
+                }
+            }
+        }
+        Ok(())
+    })
+}
+
+/// Streams one accepted query's frames until its terminal frame (or until
+/// the peer goes away — write errors just end the drain).
+fn drain_query(id: u64, handle: &QueryHandle, writer: &Mutex<TcpStream>) {
+    loop {
+        let frame = match handle.next_event() {
+            Some(QueryEvent::Progress {
+                done_ops,
+                total_ops,
+                partial,
+            }) => Frame::progress(id, done_ops, total_ops, partial),
+            Some(QueryEvent::Done(outcome)) => Frame::result(id, &outcome),
+            Some(QueryEvent::Failed(error)) => Frame::error(id, &error),
+            None => Frame::error(id, "service shut down mid-query"),
+        };
+        let terminal = frame.is_terminal();
+        if write_locked(writer, &frame).is_err() || terminal {
+            break;
         }
     }
-    Ok(())
 }

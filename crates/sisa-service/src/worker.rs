@@ -18,14 +18,14 @@ use sisa_algorithms::setcentric::{
 };
 use sisa_algorithms::SearchLimits;
 use sisa_core::{
-    BatchOp, ExecStats, SetEngine, SetGraph, SetGraphConfig, ShardedEngine, SisaRuntime,
-    StatsScope, Vertex,
+    BatchOp, ExecStats, MetricsRegistry, SetEngine, SetGraph, SetGraphConfig, ShardedEngine,
+    SisaRuntime, StatsScope, Vertex,
 };
 use sisa_graph::{CsrGraph, GraphRegistry};
 use std::collections::BTreeMap;
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Control messages a worker accepts, processed strictly in order.
 pub(crate) enum WorkerMsg {
@@ -58,9 +58,15 @@ pub(crate) struct Worker {
     pub(crate) registry: Arc<GraphRegistry>,
     pub(crate) ledger: Arc<Mutex<LedgerInner>>,
     pub(crate) admission: Arc<Admission>,
+    pub(crate) metrics: Arc<MetricsRegistry>,
     pub(crate) graph_cfg: SetGraphConfig,
     pub(crate) progress_window_ops: usize,
     graphs: BTreeMap<String, ResidentGraph>,
+}
+
+/// Saturating nanoseconds of a host duration.
+fn ns(duration: Duration) -> u64 {
+    u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX)
 }
 
 impl Worker {
@@ -69,6 +75,7 @@ impl Worker {
         registry: Arc<GraphRegistry>,
         ledger: Arc<Mutex<LedgerInner>>,
         admission: Arc<Admission>,
+        metrics: Arc<MetricsRegistry>,
         graph_cfg: SetGraphConfig,
         progress_window_ops: usize,
     ) -> Self {
@@ -77,6 +84,7 @@ impl Worker {
             registry,
             ledger,
             admission,
+            metrics,
             graph_cfg,
             progress_window_ops: progress_window_ops.max(1),
             graphs: BTreeMap::new(),
@@ -118,6 +126,7 @@ impl Worker {
             ledger.registry_stats.merge(&delta);
             ledger.graph_loads += 1;
         }
+        self.metrics.counter_add("sisa_graph_loads_total", 1);
         self.graphs.insert(
             name.to_string(),
             ResidentGraph {
@@ -144,15 +153,39 @@ impl Worker {
             self.engine.delete(resident.plain.neighborhood(v));
         }
         let delta = scope.finish(self.engine.stats());
-        let mut ledger = self.ledger.lock().expect("ledger lock");
-        ledger.registry_stats.merge(&delta);
-        ledger.evictions += 1;
+        {
+            let mut ledger = self.ledger.lock().expect("ledger lock");
+            ledger.registry_stats.merge(&delta);
+            ledger.evictions += 1;
+        }
+        self.metrics.counter_add("sisa_graph_evictions_total", 1);
     }
 
     fn fail_group(&self, group: &JobGroup, error: &str) {
         let mut ledger = self.ledger.lock().expect("ledger lock");
         for job in &group.entries {
             ledger.record_failed(&job.tenant);
+            self.metrics.counter_add("sisa_queries_failed_total", 1);
+            let _ = job.events.send(QueryEvent::Failed(error.to_string()));
+            self.admission.complete(&job.tenant);
+        }
+    }
+
+    /// Settles a *panicked* execution: the first entry's tenant absorbs the
+    /// partial delta (the cycles were really spent — discarding them would
+    /// break the pool + registry ≡ engines conservation identity), every
+    /// entry receives a `Failed` event, and every admission slot is
+    /// released. The worker itself survives to serve the next group.
+    fn attribute_panic(&self, group: &JobGroup, delta: &ExecStats, wall_ns: u64, error: &str) {
+        self.metrics.counter_add("sisa_queries_panicked_total", 1);
+        let mut ledger = self.ledger.lock().expect("ledger lock");
+        for (i, job) in group.entries.iter().enumerate() {
+            if i == 0 {
+                ledger.record_panicked(&job.tenant, delta, wall_ns);
+            } else {
+                ledger.record_failed(&job.tenant);
+            }
+            self.metrics.counter_add("sisa_queries_failed_total", 1);
             let _ = job.events.send(QueryEvent::Failed(error.to_string()));
             self.admission.complete(&job.tenant);
         }
@@ -175,49 +208,62 @@ impl Worker {
 
         let scope = StatsScope::begin(self.engine.stats());
         let started = Instant::now();
+        let engine = &mut self.engine;
         let resident = self.graphs.get_mut(&group.spec.graph).expect("resident");
-        let (value, truncated) = match group.spec.kind {
-            QueryKind::TriangleCount if group.spec.budget.is_none() => {
-                let value = batched_triangle_count(
-                    &mut self.engine,
-                    &resident.oriented,
-                    window,
-                    &group.entries,
-                );
+        let spec = &group.spec;
+        let entries = &group.entries;
+        // Kernels may assert on parameters a direct (non-wire) QuerySpec can
+        // carry; a panic must not take the worker thread (and its resident
+        // graphs) down, and the partial work must still be billed.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match spec.kind {
+            QueryKind::TriangleCount if spec.budget.is_none() => {
+                let value = batched_triangle_count(engine, &resident.oriented, window, entries);
                 (value, false)
             }
             QueryKind::TriangleCount => {
-                let run = triangle_count(&mut self.engine, &resident.oriented, &limits);
+                let run = triangle_count(engine, &resident.oriented, &limits);
                 (run.result, run.truncated)
             }
             QueryKind::KCliqueCount { k } => {
-                let run = k_clique_count(&mut self.engine, &resident.oriented, k, &limits);
+                let run = k_clique_count(engine, &resident.oriented, k, &limits);
                 (run.result, run.truncated)
             }
             QueryKind::StarCount { k } => {
                 let pattern = star_pattern(k);
-                let run = subgraph_isomorphism_count(
-                    &mut self.engine,
-                    &resident.plain,
-                    &pattern,
-                    &limits,
-                );
+                let run = subgraph_isomorphism_count(engine, &resident.plain, &pattern, &limits);
                 (run.result, run.truncated)
             }
-        };
-        let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        }));
+        let wall_ns = ns(started.elapsed());
         let delta = scope.finish(self.engine.stats());
+
+        let (value, truncated) = match outcome {
+            Ok(result) => result,
+            Err(payload) => {
+                let error = format!("query panicked: {}", panic_message(payload.as_ref()));
+                self.attribute_panic(&group, &delta, wall_ns, &error);
+                return;
+            }
+        };
         resident.queries_served += group.entries.len() as u64;
 
         let mut ledger = self.ledger.lock().expect("ledger lock");
         for (i, job) in group.entries.iter().enumerate() {
+            let queue_ns = ns(started.saturating_duration_since(job.submitted));
+            let span_ns = ns(job.submitted.elapsed());
             let stats = if i == 0 {
                 ledger.record_query(&job.tenant, &delta, wall_ns);
+                self.metrics.counter_add("sisa_queries_completed_total", 1);
                 QueryStats::from_delta(&delta, wall_ns)
             } else {
                 ledger.record_coalesced(&job.tenant);
+                self.metrics.counter_add("sisa_queries_completed_total", 1);
+                self.metrics.counter_add("sisa_queries_coalesced_total", 1);
                 QueryStats::coalesced()
-            };
+            }
+            .with_spans(queue_ns, wall_ns, span_ns);
+            self.metrics.observe("sisa_query_queue_ns", queue_ns);
+            self.metrics.observe("sisa_query_latency_ns", span_ns);
             let _ = job.events.send(QueryEvent::Done(QueryOutcome {
                 value,
                 truncated,
@@ -228,6 +274,15 @@ impl Worker {
             self.admission.complete(&job.tenant);
         }
     }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
 }
 
 /// Unbudgeted triangle counting through the threaded
@@ -282,4 +337,80 @@ fn batched_triangle_count(
     }
     flush(engine, &mut ops, &mut done, &mut partial);
     partial
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::AdmissionConfig;
+    use crate::query::QuerySpec;
+    use sisa_core::{PartitionStrategy, SisaConfig};
+    use std::sync::mpsc::channel;
+
+    fn worker() -> Worker {
+        Worker::new(
+            ShardedEngine::sisa(2, PartitionStrategy::Modulo, SisaConfig::default()),
+            Arc::new(GraphRegistry::new(1)),
+            Arc::new(Mutex::new(LedgerInner::default())),
+            Arc::new(Admission::new(AdmissionConfig::default())),
+            Arc::new(MetricsRegistry::new()),
+            SetGraphConfig::default(),
+            64,
+        )
+    }
+
+    #[test]
+    fn panic_attribution_folds_partial_work_and_releases_admission() {
+        let mut w = worker();
+        w.engine.set_universe(16);
+        // Real partial engine work, carved out exactly like run_group's scope
+        // around a kernel that panics midway would carve it.
+        let scope = StatsScope::begin(w.engine.stats());
+        let s = w.engine.create_sorted([1, 2, 3]);
+        w.engine.host_ops(10);
+        w.engine.delete(s);
+        let delta = scope.finish(w.engine.stats());
+        assert!(delta.total_cycles() > 0, "the partial delta is non-trivial");
+
+        w.admission.try_admit("t").unwrap();
+        let (events, rx) = channel();
+        let spec = QuerySpec::new("g", QueryKind::KCliqueCount { k: 0 });
+        let group = JobGroup {
+            spec: spec.clone(),
+            entries: vec![Job {
+                tenant: "t".to_string(),
+                spec,
+                events,
+                submitted: Instant::now(),
+            }],
+        };
+        w.attribute_panic(&group, &delta, 5, "query panicked: boom");
+
+        assert_eq!(
+            rx.recv().unwrap(),
+            QueryEvent::Failed("query panicked: boom".to_string())
+        );
+        assert_eq!(w.admission.in_flight(), 0, "the slot is released");
+        let ledger = w.ledger.lock().unwrap();
+        let usage = &ledger.tenants["t"];
+        assert_eq!(usage.failed, 1);
+        assert_eq!(usage.queries, 0);
+        // The fold is exact (bit-exact energy included): nothing the engine
+        // spent is dropped, preserving pool + registry ≡ engines.
+        assert_eq!(usage.stats, delta);
+        assert_eq!(usage.stats.energy_nj.to_bits(), delta.energy_nj.to_bits());
+        assert_eq!(w.metrics.counter("sisa_queries_panicked_total"), 1);
+        assert_eq!(w.metrics.counter("sisa_queries_failed_total"), 1);
+        assert_eq!(w.metrics.counter("sisa_queries_completed_total"), 0);
+    }
+
+    #[test]
+    fn panic_messages_unwrap_static_and_owned_payloads() {
+        let boxed: Box<dyn std::any::Any + Send> = Box::new("static message");
+        assert_eq!(panic_message(boxed.as_ref()), "static message");
+        let boxed: Box<dyn std::any::Any + Send> = Box::new(format!("owned {}", 7));
+        assert_eq!(panic_message(boxed.as_ref()), "owned 7");
+        let boxed: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(boxed.as_ref()), "non-string panic payload");
+    }
 }

@@ -1,0 +1,212 @@
+//! End-to-end observability contracts of the service:
+//!
+//! 1. **Panic attribution** — a kernel panic (reachable by constructing a
+//!    `QuerySpec` directly, bypassing wire validation) fails the query,
+//!    keeps the worker and its resident graphs alive, releases the
+//!    admission slot, and folds the partial stats into the tenant ledger so
+//!    the pool + registry ≡ engines conservation identity still holds.
+//! 2. **Observer-only telemetry** — running the same query sequence with a
+//!    lane-timeline collector attached produces identical values and
+//!    bit-identical `ExecStats` (exact f64 energy) at 1–3 workers.
+//! 3. **Metrics ≡ ledger** — the metrics registry's query counters agree
+//!    exactly with the service report and the latency histogram's count.
+
+use sisa_core::{ChromeTraceCollector, ExecStats, SharedCollector};
+use sisa_graph::generators;
+use sisa_service::{QueryKind, QuerySpec, ServiceConfig, SisaService};
+use std::sync::{Arc, Mutex};
+
+fn test_graph() -> sisa_graph::CsrGraph {
+    generators::erdos_renyi(48, 0.18, 7)
+}
+
+/// Asserts that every *summable* counter of `parts`' fold equals `whole`
+/// (makespan folds via `max`, not `+`, so it is excluded; energy is f64 and
+/// checked to a tight relative tolerance).
+fn assert_conserved(whole: &ExecStats, parts: &ExecStats) {
+    assert_eq!(whole.scu_cycles, parts.scu_cycles, "scu_cycles");
+    assert_eq!(whole.pum_cycles, parts.pum_cycles, "pum_cycles");
+    assert_eq!(whole.pnm_cycles, parts.pnm_cycles, "pnm_cycles");
+    assert_eq!(whole.host_cycles, parts.host_cycles, "host_cycles");
+    assert_eq!(whole.link_cycles, parts.link_cycles, "link_cycles");
+    assert_eq!(whole.link_bytes, parts.link_bytes, "link_bytes");
+    assert_eq!(whole.instructions, parts.instructions, "instruction mix");
+    let energy_err = (whole.energy_nj - parts.energy_nj).abs();
+    assert!(
+        energy_err <= 1e-9 * whole.energy_nj.abs().max(1.0),
+        "energy drifted: {} vs {}",
+        whole.energy_nj,
+        parts.energy_nj
+    );
+}
+
+#[test]
+fn kernel_panics_fail_the_query_but_spare_the_worker_and_the_ledger() {
+    let service = SisaService::start(ServiceConfig::smoke());
+    service.register_graph("g", test_graph());
+    let tc = QuerySpec::new("g", QueryKind::TriangleCount);
+
+    let before = service
+        .submit("t", tc.clone())
+        .expect("admitted")
+        .wait()
+        .expect("completes");
+
+    // `k_clique_count` asserts k >= 2. The wire protocol validates this, but
+    // a directly-constructed spec bypasses it — the worker must contain the
+    // panic instead of dying with its resident graphs.
+    let err = service
+        .submit("t", QuerySpec::new("g", QueryKind::KCliqueCount { k: 1 }))
+        .expect("admission does not inspect k")
+        .wait()
+        .expect_err("the kernel panics");
+    assert!(err.contains("query panicked"), "{err}");
+    assert!(err.contains("k-cliques need k >= 2"), "{err}");
+
+    // The worker survived: the same graph answers again, without reloading.
+    let after = service
+        .submit("t", tc)
+        .expect("admitted")
+        .wait()
+        .expect("worker is still alive");
+    assert_eq!(before.value, after.value);
+    let report = service.report();
+    assert_eq!(report.failed, 1);
+    assert_eq!(report.completed, 2);
+    assert_eq!(report.in_flight, 0, "the panicked slot was released");
+    assert_eq!(report.graph_loads, 1, "resident graphs survived the panic");
+    assert_eq!(service.tenant_usage()["t"].failed, 1);
+
+    // Conservation: everything the engines spent — including whatever the
+    // panicked execution touched — is attributed to exactly one ledger.
+    let mut attributed = service.pool_stats();
+    attributed.merge(&service.registry_stats());
+    assert_conserved(&service.engine_stats(), &attributed);
+
+    let snapshot = service.metrics_snapshot();
+    assert_eq!(snapshot.counters["sisa_queries_panicked_total"], 1);
+    assert_eq!(snapshot.counters["sisa_queries_failed_total"], 1);
+    service.close();
+}
+
+/// What one `run_sequence` pass observed: the query values, the pool /
+/// registry / engine stat aggregates, and the trace when a collector was
+/// attached.
+struct SequenceRun {
+    values: Vec<u64>,
+    pool: ExecStats,
+    registry: ExecStats,
+    engines: ExecStats,
+    trace: Option<Arc<Mutex<ChromeTraceCollector>>>,
+}
+
+/// Runs a fixed sequential query mix, with or without a lane collector.
+fn run_sequence(workers: usize, with_collector: bool) -> SequenceRun {
+    let mut cfg = ServiceConfig::smoke();
+    cfg.workers = workers;
+    let trace = with_collector.then(|| Arc::new(Mutex::new(ChromeTraceCollector::new())));
+    if let Some(trace) = &trace {
+        cfg.collector = Some(SharedCollector::from_arc(trace.clone()));
+    }
+    let service = SisaService::start(cfg);
+    service.register_graph("a", test_graph());
+    service.register_graph("b", generators::erdos_renyi(40, 0.2, 11));
+    let mix = [
+        QuerySpec::new("a", QueryKind::TriangleCount),
+        QuerySpec::new("a", QueryKind::KCliqueCount { k: 3 }),
+        QuerySpec::new("b", QueryKind::StarCount { k: 2 }),
+        QuerySpec::new("b", QueryKind::TriangleCount).with_budget(10),
+        QuerySpec::new("a", QueryKind::TriangleCount),
+    ];
+    // Sequential submission: deterministic execution order per worker.
+    let values = mix
+        .into_iter()
+        .map(|spec| {
+            service
+                .submit("t", spec)
+                .expect("admitted")
+                .wait()
+                .expect("completes")
+                .value
+        })
+        .collect();
+    let pool = service.pool_stats();
+    let registry = service.registry_stats();
+    let engines = service.engine_stats();
+    service.close();
+    SequenceRun {
+        values,
+        pool,
+        registry,
+        engines,
+        trace,
+    }
+}
+
+#[test]
+fn attaching_a_collector_is_invisible_to_results_and_stats_at_any_pool_size() {
+    for workers in 1..=3 {
+        let base = run_sequence(workers, false);
+        let traced = run_sequence(workers, true);
+        assert_eq!(
+            base.values, traced.values,
+            "{workers} workers: same answers"
+        );
+        assert_eq!(
+            base.pool, traced.pool,
+            "{workers} workers: pool stats bit-exact"
+        );
+        assert_eq!(
+            base.pool.energy_nj.to_bits(),
+            traced.pool.energy_nj.to_bits(),
+            "energy is bit-exact, not merely close"
+        );
+        assert_eq!(
+            base.registry, traced.registry,
+            "{workers} workers: registry"
+        );
+        assert_eq!(base.engines, traced.engines, "{workers} workers: engines");
+
+        // And the collector really observed the pool working.
+        let trace = traced.trace.expect("collector run");
+        let trace = trace.lock().unwrap();
+        assert!(
+            !trace.instruction_events().is_empty(),
+            "the pool's lane timeline was recorded"
+        );
+        let render = trace.render();
+        assert!(render.contains("\"traceEvents\""), "Perfetto-loadable JSON");
+    }
+}
+
+#[test]
+fn metrics_counters_agree_with_the_service_ledger() {
+    let service = SisaService::start(ServiceConfig::smoke());
+    service.register_graph("g", test_graph());
+    for _ in 0..3 {
+        service
+            .submit("t", QuerySpec::new("g", QueryKind::TriangleCount))
+            .expect("admitted")
+            .wait()
+            .expect("completes");
+    }
+    let report = service.report();
+    let snapshot = service.metrics_snapshot();
+    assert_eq!(
+        snapshot.counters["sisa_queries_completed_total"],
+        report.completed
+    );
+    assert_eq!(snapshot.counters["sisa_queries_submitted_total"], 3);
+    assert_eq!(
+        snapshot.counters["sisa_graph_loads_total"],
+        report.graph_loads
+    );
+    let latency = &snapshot.histograms["sisa_query_latency_ns"];
+    assert_eq!(latency.count, report.completed, "one span per completion");
+    assert!(latency.p50 > 0 && latency.p99 >= latency.p50);
+    assert_eq!(snapshot.gauges["sisa_admission_in_flight"], 0);
+    let text = snapshot.to_prometheus();
+    assert!(text.contains("sisa_queries_completed_total 3"), "{text}");
+    assert!(text.contains("sisa_query_latency_ns_bucket"), "{text}");
+    service.close();
+}
