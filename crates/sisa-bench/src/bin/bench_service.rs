@@ -2,9 +2,13 @@
 //! ([`sisa_service::SisaService`]): an open-loop arrival sweep against a
 //! pooled, registry-shared service (submit-to-completion latency
 //! percentiles, saturation-knee throughput, shed load), a line-delimited
-//! JSON TCP transport smoke with concurrent client connections, and an
-//! overload probe demonstrating bounded-queue rejections instead of
-//! unbounded growth.
+//! JSON TCP transport smoke with concurrent client connections, an overload
+//! probe demonstrating bounded-queue rejections instead of unbounded growth,
+//! and — schema v2 — a repeated-spec result-cache scenario (hit p50 must
+//! undercut miss p50 by >= 10x at zero billed engine cycles) plus a
+//! two-tenant heavy/light WFQ fairness scenario (light p95 within 3x of its
+//! solo p95 under 10x contention). The sweep and overload probe run with the
+//! cache disabled so their latencies keep measuring executions.
 //!
 //! Emits `results/BENCH_service.json` (schema in
 //! [`sisa_bench::BenchService`], documented in the README's results
@@ -16,8 +20,8 @@
 //! existing artifact without re-measuring.
 
 use sisa_bench::{
-    emit, format_table, percentile_ns, results_dir, BenchService, HostPlatform, ServiceSweepPoint,
-    BENCH_SERVICE_SCHEMA_VERSION,
+    emit, format_table, percentile_ns, results_dir, BenchService, CacheScenario, FairnessScenario,
+    HostPlatform, ServiceSweepPoint, BENCH_SERVICE_SCHEMA_VERSION,
 };
 use sisa_core::ExecStats;
 use sisa_graph::generators;
@@ -274,12 +278,205 @@ fn tcp_smoke(smoke: bool) -> u64 {
     answered
 }
 
+/// The repeated-spec cache scenario: execute a working set of unique specs
+/// once (the miss phase), then re-submit the identical set `HIT_ROUNDS`
+/// times (the hit phase). Asserts — in-binary — that every repeat is a
+/// cache hit, that engine aggregates are frozen across the whole hit phase
+/// (zero billed cycles, bit-exact energy), and that the hit p50 undercuts
+/// the miss p50 by at least 10x.
+fn cache_scenario(smoke: bool) -> CacheScenario {
+    const DISTINCT_SPECS: u64 = 6;
+    const HIT_ROUNDS: u64 = 4;
+    let service = SisaService::start(ServiceConfig::smoke());
+    service.register_graph(GRAPH, bench_graph(smoke));
+    // Unique, never-truncating budgets keep the specs distinct, so the miss
+    // phase really executes each one; k=4 cliques make each execution
+    // comfortably heavier than a cache lookup round-trip.
+    let specs: Vec<QuerySpec> = (0..DISTINCT_SPECS)
+        .map(|i| {
+            QuerySpec::new(GRAPH, QueryKind::KCliqueCount { k: 4 }).with_budget(1_000_000_000 + i)
+        })
+        .collect();
+    let timed = |spec: &QuerySpec| {
+        let started = Instant::now();
+        let outcome = service
+            .submit("cache-tenant", spec.clone())
+            .expect("admitted")
+            .wait()
+            .expect("completes");
+        (started.elapsed().as_nanos() as u64, outcome)
+    };
+
+    let mut miss_latencies = Vec::new();
+    for spec in &specs {
+        let (latency, outcome) = timed(spec);
+        assert!(!outcome.stats.cache_hit, "first executions are misses");
+        miss_latencies.push(latency);
+    }
+
+    let engines_before = service.engine_stats();
+    let mut hit_latencies = Vec::new();
+    for _ in 0..HIT_ROUNDS {
+        for spec in &specs {
+            let (latency, outcome) = timed(spec);
+            assert!(outcome.stats.cache_hit, "repeats are served by the cache");
+            assert_eq!(outcome.stats.execute_ns, 0, "hits spend no worker time");
+            hit_latencies.push(latency);
+        }
+    }
+    let engines_after = service.engine_stats();
+    assert_eq!(
+        engines_before, engines_after,
+        "the hit phase billed engine cycles"
+    );
+    assert_eq!(
+        engines_before.energy_nj.to_bits(),
+        engines_after.energy_nj.to_bits(),
+        "the hit phase drifted engine energy"
+    );
+    assert_stats_identities(&service);
+
+    let report = service.report();
+    assert_eq!(report.cache_hits, DISTINCT_SPECS * HIT_ROUNDS);
+    let counters = service.cache_counters();
+    assert!(counters.hit_ratio_permille() > 0, "hit ratio must be > 0");
+    service.close();
+
+    let miss_p50_latency_ns = percentile_ns(&miss_latencies, 50.0);
+    let hit_p50_latency_ns = percentile_ns(&hit_latencies, 50.0).max(1);
+    assert!(
+        hit_p50_latency_ns.saturating_mul(10) <= miss_p50_latency_ns,
+        "cache hit p50 {hit_p50_latency_ns} ns is not >= 10x below the miss p50 \
+         {miss_p50_latency_ns} ns"
+    );
+    CacheScenario {
+        distinct_specs: DISTINCT_SPECS,
+        hit_rounds: HIT_ROUNDS,
+        miss_p50_latency_ns,
+        hit_p50_latency_ns,
+        hit_speedup_p50: miss_p50_latency_ns as f64 / hit_p50_latency_ns as f64,
+        cache_hits: counters.hits,
+        cache_misses: counters.misses,
+        hit_ratio_permille: counters.hit_ratio_permille(),
+        zero_engine_cost_checked: true,
+    }
+}
+
+/// The two-tenant WFQ fairness scenario: a single worker, equal weights, a
+/// heavy tenant holding ~10x the light tenant's load in flight. Unique
+/// budgets defeat the cache and coalescing so every query executes. Asserts
+/// — in-binary — that the light tenant's contended p95 stays within 3x of
+/// its solo p95.
+fn fairness_scenario(smoke: bool) -> FairnessScenario {
+    // Enough light samples that the nearest-rank p95 sits below the top two
+    // outliers — the bound is about typical isolation, not the single worst
+    // arrival race.
+    const LIGHT_QUERIES: u64 = 40;
+    const HEAVY_FACTOR: u64 = 10;
+    const P95_BOUND: f64 = 3.0;
+    let graph = bench_graph(smoke);
+    let spec = |i: u64| {
+        QuerySpec::new(GRAPH, QueryKind::KCliqueCount { k: 3 }).with_budget(2_000_000_000 + i)
+    };
+    let start = || {
+        let mut cfg = ServiceConfig::smoke();
+        cfg.workers = 1;
+        cfg.admission.queue_capacity = 2048;
+        cfg.admission.per_tenant_inflight = 1024;
+        let service = SisaService::start(cfg);
+        service.register_graph(GRAPH, graph.clone());
+        // Warm the one-time shard-resident load out of the measurements.
+        service
+            .submit("warmup", spec(0))
+            .expect("admitted")
+            .wait()
+            .expect("completes");
+        service
+    };
+    let light_p95 = |service: &SisaService, base: u64| {
+        let spans: Vec<u64> = (0..LIGHT_QUERIES)
+            .map(|i| {
+                service
+                    .submit("light", spec(base + i))
+                    .expect("admitted")
+                    .wait()
+                    .expect("completes")
+                    .stats
+                    .span_ns
+            })
+            .collect();
+        percentile_ns(&spans, 95.0)
+    };
+
+    let service = start();
+    let solo_p95_latency_ns = light_p95(&service, 10_000).max(1);
+    service.close();
+
+    let service = start();
+    let contended_p95_latency_ns = std::thread::scope(|scope| {
+        let heavy = {
+            let client = service.client();
+            scope.spawn(move || {
+                let mut outstanding = std::collections::VecDeque::new();
+                for i in 0..LIGHT_QUERIES * HEAVY_FACTOR {
+                    loop {
+                        match client.submit("heavy", spec(20_000 + i)) {
+                            Ok(handle) => {
+                                outstanding.push_back(handle);
+                                break;
+                            }
+                            Err(_) => {
+                                if let Some(handle) = outstanding.pop_front() {
+                                    let _ = handle.wait();
+                                }
+                            }
+                        }
+                    }
+                    if outstanding.len() >= HEAVY_FACTOR as usize {
+                        let _ = outstanding.pop_front().expect("non-empty").wait();
+                    }
+                }
+                for handle in outstanding {
+                    let _ = handle.wait();
+                }
+            })
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        let p95 = light_p95(&service, 30_000);
+        heavy.join().expect("heavy client thread");
+        p95
+    });
+    let report = service.report();
+    assert_eq!(report.cache_hits, 0, "unique budgets defeat the cache");
+    assert_eq!(report.coalesced, 0, "unique budgets defeat coalescing");
+    assert_stats_identities(&service);
+    service.close();
+
+    let p95_ratio = contended_p95_latency_ns as f64 / solo_p95_latency_ns as f64;
+    assert!(
+        p95_ratio <= P95_BOUND,
+        "light-tenant p95 under {HEAVY_FACTOR}x contention ({contended_p95_latency_ns} ns) \
+         exceeded {P95_BOUND}x its solo p95 ({solo_p95_latency_ns} ns)"
+    );
+    FairnessScenario {
+        light_queries: LIGHT_QUERIES,
+        heavy_factor: HEAVY_FACTOR,
+        solo_p95_latency_ns,
+        contended_p95_latency_ns,
+        p95_ratio,
+        p95_ratio_bound: P95_BOUND,
+    }
+}
+
 /// The overload probe: a tiny bounded queue under a hard burst must shed
 /// load with retry hints — and keep serving afterwards — rather than grow
 /// without bound or panic. Returns the rejection count (> 0).
 fn overload_probe(smoke: bool) -> u64 {
     let mut cfg = ServiceConfig::smoke();
     cfg.workers = 1;
+    // Cache off: the burst repeats one spec, and the probe is about shedding
+    // *work*, not about how fast hits drain.
+    cfg.cache_entries = 0;
     cfg.admission = AdmissionConfig {
         queue_capacity: 4,
         per_tenant_inflight: 2,
@@ -334,12 +531,17 @@ fn main() {
         doc.validate()
             .unwrap_or_else(|e| panic!("{} violates the schema: {e}", path.display()));
         println!(
-            "{} is a valid schema-v{} document (knee {} qps, peak {:.1} qps, {} sweep points).",
+            "{} is a valid schema-v{} document (knee {} qps, peak {:.1} qps, {} sweep points; \
+             cache hit speedup {:.1}x at {} permille, fairness p95 ratio {:.2} <= {:.1}).",
             path.display(),
             doc.schema_version,
             doc.knee_offered_qps,
             doc.peak_achieved_qps,
-            doc.sweep.len()
+            doc.sweep.len(),
+            doc.cache.hit_speedup_p50,
+            doc.cache.hit_ratio_permille,
+            doc.fairness.p95_ratio,
+            doc.fairness.p95_ratio_bound,
         );
         return;
     }
@@ -352,11 +554,15 @@ fn main() {
 
     // Phase 1: the open-loop arrival sweep on one long-lived service — the
     // graph is registered (and loaded) once and shared by every rate point.
-    let cfg = if smoke {
+    // The result cache is disabled here so the sweep keeps measuring
+    // *executions* (comparable with schema-v1 sweeps); the cache gets its
+    // own scenario below.
+    let mut cfg = if smoke {
         ServiceConfig::smoke()
     } else {
         ServiceConfig::default()
     };
+    cfg.cache_entries = 0;
     let (workers, shards) = (cfg.workers, cfg.shards);
     let service = SisaService::start(cfg);
     service.register_graph(GRAPH, bench_graph(smoke));
@@ -380,6 +586,14 @@ fn main() {
 
     // Phase 3: the overload probe (bounded queues shed load explicitly).
     let overload_rejected = overload_probe(smoke);
+
+    // Phase 4 (schema v2): repeated-spec cache effectiveness — hits must be
+    // >= 10x cheaper than executions and bill zero engine cycles.
+    let cache = cache_scenario(smoke);
+
+    // Phase 5 (schema v2): two-tenant WFQ fairness — a 10x-heavy tenant must
+    // not push the light tenant's p95 beyond 3x its solo baseline.
+    let fairness = fairness_scenario(smoke);
 
     let rows: Vec<Vec<String>> = sweep
         .iter()
@@ -415,9 +629,19 @@ fn main() {
              Saturation knee at {knee_offered_qps} qps offered, peak {peak_achieved_qps:.1} qps \
              achieved; TCP smoke answered {tcp_smoke_queries} queries over {CLIENTS} \
              connections; overload probe shed {overload_rejected} of a 160-query burst.\n\
+             Cache scenario: hit p50 {:.3} ms vs miss p50 {:.3} ms ({:.1}x, {} permille hit \
+             ratio, zero engine cycles billed). Fairness: light-tenant p95 ratio {:.2} under \
+             {}x heavy load (bound {:.1}).\n\
              Exact-attribution identities held (tenant fold == pool, pool + registry == engines).\
              \n\n{table}",
             if smoke { "smoke" } else { "full" },
+            cache.hit_p50_latency_ns as f64 / 1e6,
+            cache.miss_p50_latency_ns as f64 / 1e6,
+            cache.hit_speedup_p50,
+            cache.hit_ratio_permille,
+            fairness.p95_ratio,
+            fairness.heavy_factor,
+            fairness.p95_ratio_bound,
         ),
     );
 
@@ -438,6 +662,8 @@ fn main() {
         tcp_smoke_queries,
         tcp_smoke_clients: CLIENTS,
         stats_identity_checked: true,
+        cache,
+        fairness,
     };
     doc.validate().expect("emitted document is schema-valid");
 

@@ -1197,7 +1197,65 @@ pub fn percentile_ns(samples: &[u64], pct: f64) -> u64 {
 
 /// Schema version of `results/BENCH_service.json`; bump when a field is
 /// added, removed or re-interpreted so downstream tooling can dispatch.
-pub const BENCH_SERVICE_SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added the `cache` (repeated-spec result-cache effectiveness) and
+/// `fairness` (two-tenant heavy/light WFQ isolation) scenarios; the arrival
+/// sweep and overload probe now run with the result cache disabled so their
+/// latencies keep measuring *executions*, comparable with v1 documents.
+pub const BENCH_SERVICE_SCHEMA_VERSION: u32 = 2;
+
+/// The repeated-spec cache scenario of schema v2: a miss phase executes
+/// `distinct_specs` unique queries once each, then a hit phase re-submits the
+/// same specs `hit_rounds` more times. Engine aggregates are read before and
+/// after the hit phase; the run asserts they are frozen (hits bill zero
+/// engine cycles, recorded in `zero_engine_cost_checked`) and that the hit
+/// p50 undercuts the miss p50 by at least 10x.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CacheScenario {
+    /// Unique query specs in the working set (each executed exactly once).
+    pub distinct_specs: u64,
+    /// Times the whole working set was re-submitted after the miss phase.
+    pub hit_rounds: u64,
+    /// Median submit-to-completion latency of the miss (execution) phase, ns.
+    pub miss_p50_latency_ns: u64,
+    /// Median submit-to-completion latency of the hit phase, ns.
+    pub hit_p50_latency_ns: u64,
+    /// `miss_p50_latency_ns / hit_p50_latency_ns` (>= 10 in valid documents).
+    pub hit_speedup_p50: f64,
+    /// Cache hits counted by the service ledger over the scenario.
+    pub cache_hits: u64,
+    /// Cache misses counted over the scenario.
+    pub cache_misses: u64,
+    /// End-of-scenario hit ratio, permille.
+    pub hit_ratio_permille: u64,
+    /// Whether engine aggregates were asserted frozen across the hit phase
+    /// (integer counters and bit-exact energy). Always `true` in valid
+    /// documents.
+    pub zero_engine_cost_checked: bool,
+}
+
+/// The two-tenant fairness scenario of schema v2: on a single-worker service
+/// at equal weights, a heavy tenant keeps `heavy_factor` times the light
+/// tenant's load queued while the light tenant submits sequentially. Every
+/// submission carries a unique never-truncating budget, so neither the
+/// result cache nor coalescing can mask scheduling. The run asserts the
+/// light tenant's contended p95 stays within `p95_ratio_bound` of its solo
+/// p95 — the weighted-fair-queueing no-starvation bound.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FairnessScenario {
+    /// Sequential queries the light tenant submitted (per run).
+    pub light_queries: u64,
+    /// The heavy tenant's offered-load multiple of the light tenant's.
+    pub heavy_factor: u64,
+    /// The light tenant's p95 latency alone on the service, ns.
+    pub solo_p95_latency_ns: u64,
+    /// The light tenant's p95 latency under heavy contention, ns.
+    pub contended_p95_latency_ns: u64,
+    /// `contended_p95_latency_ns / solo_p95_latency_ns`.
+    pub p95_ratio: f64,
+    /// The asserted ceiling on `p95_ratio` (3.0: the acceptance bound).
+    pub p95_ratio_bound: f64,
+}
 
 /// One offered-rate point of the `bench_service` open-loop arrival sweep:
 /// queries arrive on a fixed schedule (`offered_qps`), irrespective of
@@ -1272,6 +1330,10 @@ pub struct BenchService {
     /// (tenant fold ≡ pool aggregate bit-exact; pool + registry overhead
     /// telescopes to raw engine counters). Always `true` in valid documents.
     pub stats_identity_checked: bool,
+    /// The repeated-spec result-cache scenario (schema v2).
+    pub cache: CacheScenario,
+    /// The two-tenant WFQ fairness scenario (schema v2).
+    pub fairness: FairnessScenario,
 }
 
 impl BenchService {
@@ -1382,6 +1444,89 @@ impl BenchService {
         }
         if !self.stats_identity_checked {
             return Err("run skipped the exact-attribution identity checks".into());
+        }
+        self.cache.validate()?;
+        self.fairness.validate()?;
+        Ok(())
+    }
+}
+
+impl CacheScenario {
+    /// Checks the cache scenario's invariants, including the 10x hit-speedup
+    /// acceptance bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.distinct_specs == 0 || self.hit_rounds == 0 {
+            return Err("cache scenario ran no specs or no hit rounds".into());
+        }
+        if self.miss_p50_latency_ns == 0 || self.hit_p50_latency_ns == 0 {
+            return Err("cache scenario latencies are degenerate".into());
+        }
+        if self.hit_p50_latency_ns.saturating_mul(10) > self.miss_p50_latency_ns {
+            return Err(format!(
+                "cache hit p50 {} ns is not >= 10x below the miss p50 {} ns",
+                self.hit_p50_latency_ns, self.miss_p50_latency_ns
+            ));
+        }
+        if !(self.hit_speedup_p50.is_finite() && self.hit_speedup_p50 >= 10.0) {
+            return Err(format!(
+                "cache hit speedup {} is below the 10x acceptance bound",
+                self.hit_speedup_p50
+            ));
+        }
+        if self.cache_hits < self.distinct_specs * self.hit_rounds {
+            return Err("cache scenario undercounts its own hit phase".into());
+        }
+        if self.cache_misses < self.distinct_specs {
+            return Err("cache scenario undercounts its own miss phase".into());
+        }
+        if !(1..=1000).contains(&self.hit_ratio_permille) {
+            return Err(format!(
+                "hit ratio {} permille is not in (0, 1000]",
+                self.hit_ratio_permille
+            ));
+        }
+        if !self.zero_engine_cost_checked {
+            return Err("run skipped the frozen-engine-aggregates check".into());
+        }
+        Ok(())
+    }
+}
+
+impl FairnessScenario {
+    /// Checks the fairness scenario's invariants, including the p95
+    /// isolation bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.light_queries == 0 {
+            return Err("fairness scenario ran no light-tenant queries".into());
+        }
+        if self.heavy_factor < 10 {
+            return Err(format!(
+                "heavy factor {} is below the 10x acceptance load",
+                self.heavy_factor
+            ));
+        }
+        if self.solo_p95_latency_ns == 0 || self.contended_p95_latency_ns == 0 {
+            return Err("fairness scenario latencies are degenerate".into());
+        }
+        if !(self.p95_ratio.is_finite() && self.p95_ratio > 0.0) {
+            return Err("fairness p95 ratio is not positive finite".into());
+        }
+        if !(self.p95_ratio_bound.is_finite() && self.p95_ratio_bound >= 1.0) {
+            return Err("fairness p95 bound is not a sane ceiling".into());
+        }
+        if self.p95_ratio > self.p95_ratio_bound {
+            return Err(format!(
+                "light-tenant p95 ratio {:.3} exceeds the {:.1}x isolation bound",
+                self.p95_ratio, self.p95_ratio_bound
+            ));
         }
         Ok(())
     }
@@ -1716,6 +1861,25 @@ mod tests {
             tcp_smoke_queries: 104,
             tcp_smoke_clients: 8,
             stats_identity_checked: true,
+            cache: CacheScenario {
+                distinct_specs: 6,
+                hit_rounds: 4,
+                miss_p50_latency_ns: 400_000,
+                hit_p50_latency_ns: 20_000,
+                hit_speedup_p50: 20.0,
+                cache_hits: 24,
+                cache_misses: 6,
+                hit_ratio_permille: 800,
+                zero_engine_cost_checked: true,
+            },
+            fairness: FairnessScenario {
+                light_queries: 12,
+                heavy_factor: 10,
+                solo_p95_latency_ns: 300_000,
+                contended_p95_latency_ns: 600_000,
+                p95_ratio: 2.0,
+                p95_ratio_bound: 3.0,
+            },
         }
     }
 
@@ -1757,5 +1921,26 @@ mod tests {
         let mut doc = sample_service_document();
         doc.stats_identity_checked = false;
         assert!(doc.validate().is_err(), "identity check skipped");
+        let mut doc = sample_service_document();
+        doc.cache.hit_p50_latency_ns = doc.cache.miss_p50_latency_ns / 5;
+        assert!(doc.validate().is_err(), "hit p50 within 10x of miss p50");
+        let mut doc = sample_service_document();
+        doc.cache.hit_speedup_p50 = 9.9;
+        assert!(doc.validate().is_err(), "speedup below the 10x bound");
+        let mut doc = sample_service_document();
+        doc.cache.cache_hits = 3;
+        assert!(doc.validate().is_err(), "hits undercount the hit phase");
+        let mut doc = sample_service_document();
+        doc.cache.zero_engine_cost_checked = false;
+        assert!(doc.validate().is_err(), "frozen-engines check skipped");
+        let mut doc = sample_service_document();
+        doc.fairness.p95_ratio = doc.fairness.p95_ratio_bound + 0.1;
+        assert!(doc.validate().is_err(), "p95 ratio over the bound");
+        let mut doc = sample_service_document();
+        doc.fairness.heavy_factor = 2;
+        assert!(doc.validate().is_err(), "heavy load below 10x");
+        let mut doc = sample_service_document();
+        doc.fairness.contended_p95_latency_ns = 0;
+        assert!(doc.validate().is_err(), "degenerate fairness latencies");
     }
 }

@@ -42,7 +42,7 @@ pub mod registry;
 pub use csr::{CsrGraph, GraphBuilder};
 pub use labels::{EdgeLabels, LabeledGraph};
 pub use orientation::{approximate_degeneracy_order, degeneracy_order, DegeneracyOrdering};
-pub use registry::GraphRegistry;
+pub use registry::{GraphLease, GraphRegistry, RegistryConfig};
 
 /// A vertex identifier (re-exported from `sisa-sets`).
 pub type Vertex = sisa_sets::Vertex;

@@ -1,5 +1,6 @@
 //! A thread-safe registry of **named** graphs with load-once/share-many
-//! semantics.
+//! semantics, per-name **generation counters** and an optional residency
+//! capacity with LRU eviction.
 //!
 //! A long-lived process (e.g. the `sisa-service` query front-end) refers to
 //! graphs by name. Materialising a stand-in from [`crate::datasets`] — or
@@ -9,11 +10,54 @@
 //! same name returns the *same* shared [`Arc`] handle at zero additional
 //! cost. [`GraphRegistry::generations`] counts actual materialisations, so
 //! callers can regression-test the dedup guarantee.
+//!
+//! ## Generations
+//!
+//! Every name additionally carries a monotone **per-name generation**
+//! ([`GraphRegistry::generation_of`], also exposed on
+//! [`GraphLease::generation`]). It ticks on every event that changes what
+//! the name maps to — materialisation, re-registration, and eviction
+//! (explicit or capacity-driven) — and *never* on a dedup acquire. Anything
+//! keyed by `(name, generation)` (e.g. a query-result cache) is therefore
+//! automatically invalidated when the graph behind the name changes: the old
+//! generation can never be observed again. Because evictions tick the
+//! counter too, a generation sampled while a name is *not* resident is never
+//! a valid lease generation, so lookups between an evict and the reload
+//! cannot alias either side.
+//!
+//! ## Capacity
+//!
+//! [`RegistryConfig::max_resident`] bounds how many graphs stay resident at
+//! once; inserting beyond the bound evicts the least-recently-acquired
+//! name (ticking its generation). Outstanding [`Arc`] leases stay valid —
+//! eviction only drops the registry's own handle.
 
 use crate::datasets;
 use crate::CsrGraph;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
+
+/// Limits and policies of a [`GraphRegistry`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RegistryConfig {
+    /// Maximum graphs resident at once; `0` (the default) means unbounded.
+    /// When an insert (acquire-miss or register) exceeds the bound, the
+    /// least-recently-used resident name is evicted and its generation
+    /// ticks.
+    pub max_resident: usize,
+}
+
+/// One acquisition of a named graph: the shared handle plus the per-name
+/// generation it belongs to. Two leases of the same name compare equal on
+/// `generation` iff nothing evicted or replaced the graph in between.
+#[derive(Clone, Debug)]
+pub struct GraphLease {
+    /// The shared, immutable graph (an [`Arc`] ref-count keeps it alive).
+    pub graph: Arc<CsrGraph>,
+    /// The per-name generation this lease was cut from (see
+    /// [`GraphRegistry::generation_of`]).
+    pub generation: u64,
+}
 
 /// A named-graph cache shared by every worker of a process.
 ///
@@ -29,23 +73,74 @@ use std::sync::{Arc, Mutex};
 #[derive(Debug)]
 pub struct GraphRegistry {
     seed: u64,
+    cfg: RegistryConfig,
     inner: Mutex<Inner>,
+}
+
+#[derive(Debug)]
+struct Entry {
+    graph: Arc<CsrGraph>,
+    generation: u64,
+    last_used: u64,
 }
 
 #[derive(Debug, Default)]
 struct Inner {
-    graphs: BTreeMap<String, Arc<CsrGraph>>,
+    graphs: BTreeMap<String, Entry>,
+    /// Monotone per-name counters; entries persist across evictions so a
+    /// name's generation never repeats.
+    name_generations: BTreeMap<String, u64>,
     generations: u64,
+    evictions: u64,
+    touch: u64,
+}
+
+impl Inner {
+    fn tick(&mut self, name: &str) -> u64 {
+        let counter = self.name_generations.entry(name.to_string()).or_insert(0);
+        *counter += 1;
+        *counter
+    }
+
+    fn touch(&mut self) -> u64 {
+        self.touch += 1;
+        self.touch
+    }
+
+    /// Evicts least-recently-used residents until the capacity bound holds.
+    fn enforce_capacity(&mut self, max_resident: usize) {
+        if max_resident == 0 {
+            return;
+        }
+        while self.graphs.len() > max_resident {
+            let victim = self
+                .graphs
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(name, _)| name.clone())
+                .expect("non-empty over-capacity registry");
+            self.graphs.remove(&victim);
+            self.tick(&victim);
+            self.evictions += 1;
+        }
+    }
 }
 
 impl GraphRegistry {
-    /// Creates an empty registry. `seed` drives every dataset stand-in this
-    /// registry materialises, so two registries with the same seed serve
-    /// identical graphs.
+    /// Creates an empty, unbounded registry. `seed` drives every dataset
+    /// stand-in this registry materialises, so two registries with the same
+    /// seed serve identical graphs.
     #[must_use]
     pub fn new(seed: u64) -> Self {
+        GraphRegistry::with_config(seed, RegistryConfig::default())
+    }
+
+    /// Creates an empty registry with explicit limits.
+    #[must_use]
+    pub fn with_config(seed: u64, cfg: RegistryConfig) -> Self {
         GraphRegistry {
             seed,
+            cfg,
             inner: Mutex::new(Inner::default()),
         }
     }
@@ -56,40 +151,108 @@ impl GraphRegistry {
         self.seed
     }
 
+    /// The configured limits.
+    #[must_use]
+    pub fn config(&self) -> &RegistryConfig {
+        &self.cfg
+    }
+
     /// Returns the shared handle for `name`, materialising it on first use.
     ///
     /// Resolution order: a graph previously [`GraphRegistry::register`]ed
     /// under `name`, else the dataset stand-in of that name
     /// ([`datasets::by_name`]). Returns `None` for unknown names.
     pub fn acquire(&self, name: &str) -> Option<Arc<CsrGraph>> {
+        self.acquire_lease(name).map(|lease| lease.graph)
+    }
+
+    /// Like [`GraphRegistry::acquire`], but the lease also carries the
+    /// per-name generation the handle was cut from — the key a
+    /// generation-keyed cache must use for anything derived from the graph.
+    pub fn acquire_lease(&self, name: &str) -> Option<GraphLease> {
         let mut inner = self.inner.lock().expect("registry lock");
-        if let Some(existing) = inner.graphs.get(name) {
-            return Some(Arc::clone(existing));
+        if let Some(entry) = inner.graphs.get(name) {
+            let lease = GraphLease {
+                graph: Arc::clone(&entry.graph),
+                generation: entry.generation,
+            };
+            let stamp = inner.touch();
+            inner
+                .graphs
+                .get_mut(name)
+                .expect("entry still present")
+                .last_used = stamp;
+            return Some(lease);
         }
         let spec = datasets::by_name(name)?;
         let graph = Arc::new(spec.generate(self.seed));
         inner.generations += 1;
-        inner.graphs.insert(name.to_string(), Arc::clone(&graph));
-        Some(graph)
+        let generation = inner.tick(name);
+        let last_used = inner.touch();
+        inner.graphs.insert(
+            name.to_string(),
+            Entry {
+                graph: Arc::clone(&graph),
+                generation,
+                last_used,
+            },
+        );
+        inner.enforce_capacity(self.cfg.max_resident);
+        Some(GraphLease { graph, generation })
     }
 
     /// Registers a caller-supplied graph under `name`, replacing any previous
-    /// entry, and returns its shared handle. Counts as one materialisation.
+    /// entry (and ticking the name's generation), and returns its shared
+    /// handle. Counts as one materialisation.
     pub fn register(&self, name: &str, graph: CsrGraph) -> Arc<CsrGraph> {
         let mut inner = self.inner.lock().expect("registry lock");
         let graph = Arc::new(graph);
         inner.generations += 1;
-        inner.graphs.insert(name.to_string(), Arc::clone(&graph));
+        let generation = inner.tick(name);
+        let last_used = inner.touch();
+        inner.graphs.insert(
+            name.to_string(),
+            Entry {
+                graph: Arc::clone(&graph),
+                generation,
+                last_used,
+            },
+        );
+        inner.enforce_capacity(self.cfg.max_resident);
         graph
     }
 
-    /// Drops the registry's handle for `name`. Outstanding [`Arc`] clones
-    /// stay valid (the graph is freed when the last lease drops); a later
-    /// [`GraphRegistry::acquire`] materialises the name afresh. Returns
+    /// Drops the registry's handle for `name`, ticking the name's
+    /// generation. Outstanding [`Arc`] clones stay valid (the graph is freed
+    /// when the last lease drops); a later [`GraphRegistry::acquire`]
+    /// materialises the name afresh under a newer generation. Returns
     /// whether an entry existed.
     pub fn evict(&self, name: &str) -> bool {
         let mut inner = self.inner.lock().expect("registry lock");
-        inner.graphs.remove(name).is_some()
+        let existed = inner.graphs.remove(name).is_some();
+        if existed {
+            inner.tick(name);
+            inner.evictions += 1;
+        }
+        existed
+    }
+
+    /// The current per-name generation of `name` (`0` if the registry has
+    /// never materialised or evicted it). Monotone: every materialisation,
+    /// re-registration and eviction of the name ticks it, and a dedup
+    /// acquire never does. While `name` is *not* resident the counter sits
+    /// on a value no lease was ever cut from, so `(name, generation)` keys
+    /// sampled then can never collide with cached state from either side of
+    /// the gap.
+    #[must_use]
+    pub fn generation_of(&self, name: &str) -> u64 {
+        self.inner
+            .lock()
+            .expect("registry lock")
+            .name_generations
+            .get(name)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// How many graphs were actually materialised (generated or registered)
@@ -97,6 +260,13 @@ impl GraphRegistry {
     #[must_use]
     pub fn generations(&self) -> u64 {
         self.inner.lock().expect("registry lock").generations
+    }
+
+    /// How many residents were evicted (explicitly or by the capacity
+    /// bound) over the registry's lifetime.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.inner.lock().expect("registry lock").evictions
     }
 
     /// Whether `name` is currently resident.
@@ -167,6 +337,7 @@ mod tests {
         let reg = GraphRegistry::new(7);
         assert!(reg.acquire("no-such-graph").is_none());
         assert_eq!(reg.generations(), 0);
+        assert_eq!(reg.generation_of("no-such-graph"), 0);
         assert!(reg.is_empty());
     }
 
@@ -205,5 +376,79 @@ mod tests {
         let b = GraphRegistry::new(11).acquire("bn-flyMedulla").unwrap();
         assert_eq!(a.num_vertices(), b.num_vertices());
         assert_eq!(a.num_edges(), b.num_edges());
+    }
+
+    #[test]
+    fn dedup_acquires_share_one_generation_and_never_tick_it() {
+        let reg = GraphRegistry::new(7);
+        let first = reg.acquire_lease("bn-mouse").expect("known dataset");
+        assert_eq!(first.generation, 1, "first materialisation is gen 1");
+        let second = reg.acquire_lease("bn-mouse").expect("known dataset");
+        assert_eq!(second.generation, first.generation, "dedup: same gen");
+        assert!(Arc::ptr_eq(&first.graph, &second.graph));
+        assert_eq!(reg.generation_of("bn-mouse"), first.generation);
+        assert_eq!(reg.generations(), 1);
+    }
+
+    #[test]
+    fn evict_and_reload_tick_the_per_name_generation() {
+        let reg = GraphRegistry::new(7);
+        let before = reg.acquire_lease("bn-mouse").expect("known dataset");
+        assert!(reg.evict("bn-mouse"));
+        // Between eviction and reload the counter sits on a value no lease
+        // was cut from: lookups in the gap can never alias either side.
+        let gap = reg.generation_of("bn-mouse");
+        assert!(gap > before.generation, "eviction ticks the generation");
+        let after = reg.acquire_lease("bn-mouse").expect("known dataset");
+        assert!(after.generation > gap, "reload ticks it again");
+        assert_ne!(after.generation, before.generation);
+    }
+
+    #[test]
+    fn re_registration_ticks_the_generation() {
+        let reg = GraphRegistry::new(7);
+        let first = reg.acquire_lease("bn-mouse").expect("known dataset");
+        reg.register("bn-mouse", generators::erdos_renyi(12, 0.5, 1));
+        let second = reg.acquire_lease("bn-mouse").expect("registered");
+        assert!(second.generation > first.generation);
+        assert_eq!(second.graph.num_vertices(), 12);
+    }
+
+    #[test]
+    fn capacity_evicts_the_least_recently_used_and_ticks_its_generation() {
+        let reg = GraphRegistry::with_config(7, RegistryConfig { max_resident: 2 });
+        reg.register("a", generators::erdos_renyi(8, 0.5, 1));
+        reg.register("b", generators::erdos_renyi(9, 0.5, 2));
+        let gen_a = reg.generation_of("a");
+        // Touch `a` so `b` becomes the least recently used.
+        reg.acquire("a").expect("resident");
+        reg.register("c", generators::erdos_renyi(10, 0.5, 3));
+        assert_eq!(reg.len(), 2, "capacity bound holds");
+        assert!(reg.contains("a") && reg.contains("c"));
+        assert!(!reg.contains("b"), "LRU victim was b");
+        assert!(reg.generation_of("b") > 1, "capacity eviction ticks gen");
+        assert_eq!(reg.generation_of("a"), gen_a, "survivors keep their gen");
+        assert_eq!(reg.evictions(), 1);
+    }
+
+    #[test]
+    fn capacity_eviction_leaves_outstanding_leases_valid() {
+        let reg = GraphRegistry::with_config(7, RegistryConfig { max_resident: 1 });
+        let lease = reg
+            .register("keep", generators::erdos_renyi(16, 0.4, 5))
+            .clone();
+        reg.register("next", generators::erdos_renyi(8, 0.4, 6));
+        assert!(!reg.contains("keep"), "evicted by capacity");
+        assert_eq!(lease.num_vertices(), 16, "the lease still works");
+    }
+
+    #[test]
+    fn unbounded_registries_never_capacity_evict() {
+        let reg = GraphRegistry::new(7);
+        for i in 0..6 {
+            reg.register(&format!("g{i}"), generators::erdos_renyi(6, 0.5, i));
+        }
+        assert_eq!(reg.len(), 6);
+        assert_eq!(reg.evictions(), 0);
     }
 }

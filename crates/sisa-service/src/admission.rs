@@ -41,6 +41,18 @@ struct AdmState {
     rejected: u64,
 }
 
+/// The back-off hint for a rejection issued while `occupancy` of `capacity`
+/// global queue slots are taken: the configured base at an empty queue,
+/// growing linearly to 5× base at a full queue. Monotone in `occupancy`, so
+/// clients back off proportionally harder the deeper the congestion.
+fn retry_hint(base_ms: u64, occupancy: usize, capacity: usize) -> u64 {
+    let base = base_ms.max(1);
+    if capacity == 0 {
+        return base.saturating_mul(5);
+    }
+    base.saturating_add(base.saturating_mul(4).saturating_mul(occupancy as u64) / capacity as u64)
+}
+
 /// The shared admission controller (one per service).
 #[derive(Debug)]
 pub struct Admission {
@@ -98,9 +110,13 @@ impl Admission {
             if let Some(metrics) = &self.metrics {
                 metrics.counter_add("sisa_admission_rejected_total", 1);
             }
-            // Scale the hint with the overload factor so heavier congestion
-            // backs clients off harder.
-            let retry = self.cfg.retry_after_ms.max(1) * 2;
+            // Scale the hint with actual queue occupancy so heavier
+            // congestion backs clients off proportionally harder.
+            let retry = retry_hint(
+                self.cfg.retry_after_ms,
+                state.in_flight,
+                self.cfg.queue_capacity,
+            );
             return Err(Rejection {
                 retry_after_ms: retry,
                 reason: format!(
@@ -116,7 +132,11 @@ impl Admission {
                 metrics.counter_add("sisa_admission_rejected_total", 1);
             }
             return Err(Rejection {
-                retry_after_ms: self.cfg.retry_after_ms.max(1),
+                retry_after_ms: retry_hint(
+                    self.cfg.retry_after_ms,
+                    state.in_flight,
+                    self.cfg.queue_capacity,
+                ),
                 reason: format!(
                     "tenant {tenant:?} quota exceeded: {tenant_inflight} in flight (quota {})",
                     self.cfg.per_tenant_inflight
@@ -225,6 +245,52 @@ mod tests {
         assert_eq!(
             snap.gauges["sisa_admission_tenant_in_flight{tenant=\"t\"}"],
             0
+        );
+    }
+
+    #[test]
+    fn retry_hints_scale_monotonically_with_queue_occupancy() {
+        let base = 20;
+        let capacity = 256;
+        let mut previous = 0;
+        for occupancy in 0..=capacity {
+            let hint = retry_hint(base, occupancy, capacity);
+            assert!(
+                hint >= previous,
+                "occupancy {occupancy}: hint {hint} < previous {previous}"
+            );
+            previous = hint;
+        }
+        assert_eq!(retry_hint(base, 0, capacity), base, "empty queue: base");
+        assert_eq!(
+            retry_hint(base, capacity, capacity),
+            5 * base,
+            "full queue: 5x base"
+        );
+        // A saturated rejection must back off at least as hard as the old
+        // flat 2x hint did.
+        assert!(retry_hint(base, capacity, capacity) >= 2 * base);
+        // Degenerate configs stay sane.
+        assert_eq!(retry_hint(0, 10, 0), 5, "zero base clamps to 1ms, 5x");
+        assert!(retry_hint(u64::MAX, 1, 1) > 0, "no overflow panic");
+    }
+
+    #[test]
+    fn deeper_congestion_produces_larger_hints_end_to_end() {
+        let adm = Admission::new(AdmissionConfig {
+            queue_capacity: 4,
+            per_tenant_inflight: 1,
+            retry_after_ms: 10,
+        });
+        adm.try_admit("a").unwrap();
+        let shallow = adm.try_admit("a").unwrap_err().retry_after_ms;
+        adm.try_admit("b").unwrap();
+        adm.try_admit("c").unwrap();
+        adm.try_admit("d").unwrap();
+        let deep = adm.try_admit("a").unwrap_err().retry_after_ms;
+        assert!(
+            deep > shallow,
+            "4/4 occupancy ({deep} ms) must hint harder than 1/4 ({shallow} ms)"
         );
     }
 

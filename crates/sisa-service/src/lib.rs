@@ -5,17 +5,31 @@
 //! concurrent mining workloads onto the simulated PIM platform (the
 //! "graph-mining-as-a-service" item of the roadmap).
 //!
-//! The service is built from four pieces:
+//! The service is built from six pieces:
 //!
 //! * **Graph registry** ([`sisa_graph::registry::GraphRegistry`]) —
 //!   load-once/share-many: named graphs are materialised once, loaded into
 //!   shard-resident sets on exactly one affinity worker, leased immutably to
 //!   queries (an [`std::sync::Arc`] ref-count) and evictable on demand.
+//!   Every lease carries a per-name **generation** that ticks on each
+//!   materialise, evict and replace, and [`RegistryConfig::max_resident`]
+//!   bounds residency with LRU eviction.
 //! * **Admission controller + batcher** ([`Admission`], the dispatcher) —
 //!   bounded in-flight queues and per-tenant quotas answer overload with
-//!   explicit [`Rejection`]`{ retry_after_ms }` responses instead of
-//!   unbounded growth, and a coalescing window executes identical concurrent
-//!   queries once.
+//!   explicit [`Rejection`]`{ retry_after_ms }` responses (the hint scales
+//!   with actual queue occupancy) instead of unbounded growth, and a
+//!   coalescing window executes identical concurrent queries once.
+//! * **Result cache** ([`ResultCache`]) — a bounded LRU keyed by
+//!   *(graph generation, query spec)* consulted by the dispatcher before
+//!   scheduling: a hit answers immediately with the stored value, bills
+//!   zero engine cycles (the conservation identity stays exact; hits land
+//!   in their own ledger column) and is invalidated structurally by the
+//!   registry's generation ticks. Sized by
+//!   [`ServiceConfig::cache_entries`] / [`ServiceConfig::cache_bytes`].
+//! * **Weighted-fair scheduler** ([`WfqScheduler`]) — per-tenant FIFOs
+//!   drained by weighted deficit round-robin
+//!   ([`ServiceConfig::tenant_weights`], absent = weight 1), so a flooding
+//!   tenant can delay but not starve the others.
 //! * **Worker pool** — `std::thread` workers (no async runtime; the
 //!   workspace is offline/vendored-shims only), each owning one
 //!   [`sisa_core::ShardedEngine`]. Every query's exact simulated-cycle /
@@ -29,7 +43,9 @@
 //!   pipelined: queries submitted on one connection execute concurrently,
 //!   with every frame correlated by the request `id`.
 //! * **Observability** — a service-wide [`sisa_core::MetricsRegistry`]
-//!   (admission gauges, dispatcher/worker counters, latency histograms)
+//!   (admission gauges, dispatcher/worker counters, cache
+//!   hit/miss/eviction counters and the hit-ratio gauge, per-tenant
+//!   scheduler-depth gauges, latency histograms)
 //!   exposed over TCP by the `{"id": N, "query": "metrics"}` request, an
 //!   optional [`sisa_core::SharedCollector`] in [`ServiceConfig`] that
 //!   records every worker engine's lane timeline, and per-query span
@@ -80,19 +96,26 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod cache;
 pub mod protocol;
 pub mod query;
 pub mod service;
 pub mod tcp;
+pub mod wfq;
 mod worker;
 
 pub use admission::{Admission, AdmissionConfig};
+pub use cache::{CacheCounters, CachedResult, ResultCache};
 pub use protocol::{Frame, Request};
 pub use query::{QueryEvent, QueryKind, QueryOutcome, QuerySpec, QueryStats, Rejection};
 pub use service::{
     QueryHandle, ServiceClient, ServiceConfig, ServiceReport, SisaService, TenantUsage,
 };
 pub use tcp::TcpServer;
+pub use wfq::WfqScheduler;
 
 // Observability types service embedders need alongside the service API.
 pub use sisa_core::{MetricsRegistry, MetricsSnapshot, SharedCollector};
+
+// Registry types surfaced through `ServiceConfig`.
+pub use sisa_graph::{GraphLease, RegistryConfig};

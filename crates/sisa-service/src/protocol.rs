@@ -154,6 +154,9 @@ pub struct Frame {
     pub span_ns: Option<u64>,
     /// Whether the response was coalesced onto an identical query (result).
     pub coalesced: Option<bool>,
+    /// Whether the response was served from the generation-keyed result
+    /// cache at zero engine cost (result).
+    pub cache_hit: Option<bool>,
     /// Client back-off hint, milliseconds (rejected).
     pub retry_after_ms: Option<u64>,
     /// Failure or rejection detail (rejected, error).
@@ -183,6 +186,7 @@ impl Frame {
             execute_ns: None,
             span_ns: None,
             coalesced: None,
+            cache_hit: None,
             retry_after_ms: None,
             error: None,
             metrics: None,
@@ -215,6 +219,7 @@ impl Frame {
             execute_ns: Some(outcome.stats.execute_ns),
             span_ns: Some(outcome.stats.span_ns),
             coalesced: Some(outcome.stats.coalesced),
+            cache_hit: Some(outcome.stats.cache_hit),
             ..Frame::base(id, "result")
         }
     }
@@ -304,6 +309,7 @@ mod tests {
                 execute_ns: 900,
                 span_ns: 1500,
                 coalesced: false,
+                cache_hit: false,
             },
         };
         let frame = Frame::result(5, &outcome);

@@ -142,6 +142,13 @@ pub struct QueryStats {
     /// query that actually ran, so the cost counters above are zero (the
     /// span durations are still this response's own real timings).
     pub coalesced: bool,
+    /// Whether this response was served from the generation-keyed result
+    /// cache. The cost counters above then describe what the *original*
+    /// execution cost (informational); the hit itself billed **zero**
+    /// engine cycles to anyone — it is accounted in the ledger's
+    /// `cache_hits` column instead. `execute_ns` is zero; `queue_ns` and
+    /// `span_ns` are this response's own real (dispatcher-side) timings.
+    pub cache_hit: bool,
 }
 
 impl QueryStats {
@@ -163,6 +170,22 @@ impl QueryStats {
     pub fn coalesced() -> Self {
         QueryStats {
             coalesced: true,
+            ..QueryStats::default()
+        }
+    }
+
+    /// The record attached to a cache-hit response: the original execution's
+    /// cost counters, marked `cache_hit` (the hit itself bills nothing —
+    /// span fields are reset and should be re-attached with
+    /// [`QueryStats::with_spans`] using the hit's own timings).
+    #[must_use]
+    pub fn from_cached(original: &QueryStats) -> Self {
+        QueryStats {
+            simulated_cycles: original.simulated_cycles,
+            instructions: original.instructions,
+            energy_nj: original.energy_nj,
+            wall_ns: original.wall_ns,
+            cache_hit: true,
             ..QueryStats::default()
         }
     }

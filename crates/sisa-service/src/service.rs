@@ -2,13 +2,15 @@
 //! ledger and the in-process client API.
 
 use crate::admission::{Admission, AdmissionConfig};
-use crate::query::{QueryEvent, QueryOutcome, QuerySpec, Rejection};
+use crate::cache::{CacheCounters, CachedResult, ResultCache};
+use crate::query::{QueryEvent, QueryOutcome, QuerySpec, QueryStats, Rejection};
+use crate::wfq::WfqScheduler;
 use crate::worker::{Worker, WorkerMsg};
 use sisa_core::{
     ExecStats, MetricsRegistry, MetricsSnapshot, PartitionStrategy, SetGraphConfig, ShardedEngine,
     SharedCollector, SisaConfig,
 };
-use sisa_graph::{CsrGraph, GraphRegistry};
+use sisa_graph::{CsrGraph, GraphRegistry, RegistryConfig};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
@@ -33,9 +35,20 @@ pub struct ServiceConfig {
     pub graph: SetGraphConfig,
     /// Admission-control limits (bounded queues, per-tenant quotas).
     pub admission: AdmissionConfig,
-    /// Maximum queued queries the dispatcher drains into one coalescing
-    /// round; identical specs inside a round execute once.
+    /// Graph-registry limits (residency capacity with LRU eviction).
+    pub registry: RegistryConfig,
+    /// Maximum identical queries one worker dispatch coalesces into a
+    /// single execution (the group-size cap of the coalescing drain).
     pub coalesce_window: usize,
+    /// Maximum entries of the generation-keyed query result cache; `0`
+    /// disables caching entirely.
+    pub cache_entries: usize,
+    /// Approximate byte bound of the result cache (second LRU axis).
+    pub cache_bytes: usize,
+    /// Weighted-fair-queueing weights per tenant; absent tenants weigh 1.
+    /// With equal weights every backlogged tenant gets an equal share of
+    /// each worker's throughput regardless of offered load.
+    pub tenant_weights: BTreeMap<String, u64>,
     /// Batch operations per `execute` window of a batched (unbudgeted)
     /// triangle count; one streamed progress frame is emitted per window.
     pub progress_window_ops: usize,
@@ -57,7 +70,11 @@ impl Default for ServiceConfig {
             sisa: SisaConfig::default(),
             graph: SetGraphConfig::default(),
             admission: AdmissionConfig::default(),
+            registry: RegistryConfig::default(),
             coalesce_window: 16,
+            cache_entries: 1024,
+            cache_bytes: 16 << 20,
+            tenant_weights: BTreeMap::new(),
             progress_window_ops: 2048,
             seed: 42,
             collector: None,
@@ -93,20 +110,18 @@ pub(crate) struct JobGroup {
     pub(crate) entries: Vec<Job>,
 }
 
-/// Groups a drained window of jobs by spec equality, preserving arrival
-/// order of the first occurrence — the batcher's coalescing rule.
-pub(crate) fn group_jobs(jobs: Vec<Job>) -> Vec<JobGroup> {
-    let mut groups: Vec<JobGroup> = Vec::new();
-    for job in jobs {
-        match groups.iter_mut().find(|g| g.spec == job.spec) {
-            Some(group) => group.entries.push(job),
-            None => groups.push(JobGroup {
-                spec: job.spec.clone(),
-                entries: vec![job],
-            }),
-        }
-    }
-    groups
+/// What flows into the dispatcher: accepted jobs from clients, and
+/// completion signals from workers (the flow control that keeps at most one
+/// group outstanding per worker, so scheduling order is decided in the
+/// dispatcher's WFQ queues — not in unbounded worker channels).
+pub(crate) enum DispatchMsg {
+    /// An admitted query.
+    Job(Job),
+    /// Worker `0..workers` finished its outstanding group and is idle.
+    Done {
+        /// The worker's pool index.
+        worker: usize,
+    },
 }
 
 /// Per-tenant accounting, maintained by the workers under the service
@@ -117,6 +132,11 @@ pub struct TenantUsage {
     pub queries: u64,
     /// Responses served from a coalesced execution at zero cost.
     pub coalesced: u64,
+    /// Responses served from the result cache at zero engine cost. Like
+    /// coalesced responses these also count in `queries` (the tenant got an
+    /// answer) while merging nothing into `stats` — which is what keeps the
+    /// pool + registry ≡ engines conservation identity exact.
+    pub cache_hits: u64,
     /// Queries that failed (e.g. unknown graph).
     pub failed: u64,
     /// Total host wall-clock nanoseconds of billed executions.
@@ -136,6 +156,7 @@ pub(crate) struct LedgerInner {
     pub(crate) evictions: u64,
     pub(crate) completed: u64,
     pub(crate) coalesced_total: u64,
+    pub(crate) cache_hits_total: u64,
     pub(crate) failed_total: u64,
 }
 
@@ -160,6 +181,18 @@ impl LedgerInner {
         self.coalesced_total += 1;
     }
 
+    /// Accounts a response served from the result cache: the tenant got an
+    /// answer (`queries`, `completed`) in a dedicated `cache_hits` column,
+    /// with **zero** execution stats merged — no engine cycle was spent, so
+    /// nothing may enter the conservation identity.
+    pub(crate) fn record_cache_hit(&mut self, tenant: &str) {
+        let usage = self.tenant(tenant);
+        usage.queries += 1;
+        usage.cache_hits += 1;
+        self.completed += 1;
+        self.cache_hits_total += 1;
+    }
+
     pub(crate) fn record_failed(&mut self, tenant: &str) {
         self.tenant(tenant).failed += 1;
         self.failed_total += 1;
@@ -182,10 +215,12 @@ impl LedgerInner {
 /// A snapshot of the service's aggregate counters.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ServiceReport {
-    /// Queries completed (billed + coalesced).
+    /// Queries completed (executed + coalesced + cache hits).
     pub completed: u64,
     /// Responses served by coalescing.
     pub coalesced: u64,
+    /// Responses served from the result cache at zero engine cost.
+    pub cache_hits: u64,
     /// Failed queries.
     pub failed: u64,
     /// Admission rejections (backpressure).
@@ -233,7 +268,7 @@ impl QueryHandle {
 /// (and to the TCP transport).
 #[derive(Clone)]
 pub struct ServiceClient {
-    job_tx: Sender<Job>,
+    job_tx: Sender<DispatchMsg>,
     admission: Arc<Admission>,
     metrics: Arc<MetricsRegistry>,
 }
@@ -256,7 +291,7 @@ impl ServiceClient {
             events,
             submitted: Instant::now(),
         };
-        if self.job_tx.send(job).is_err() {
+        if self.job_tx.send(DispatchMsg::Job(job)).is_err() {
             self.admission.complete(tenant);
             return Err(Rejection {
                 retry_after_ms: self.admission.config().retry_after_ms.max(1),
@@ -290,7 +325,8 @@ pub struct SisaService {
     admission: Arc<Admission>,
     ledger: Arc<Mutex<LedgerInner>>,
     metrics: Arc<MetricsRegistry>,
-    job_tx: Option<Sender<Job>>,
+    cache: Arc<ResultCache>,
+    job_tx: Option<Sender<DispatchMsg>>,
     stop: Arc<AtomicBool>,
     dispatcher: Option<JoinHandle<()>>,
     workers: Vec<WorkerHandle>,
@@ -306,14 +342,16 @@ impl SisaService {
     pub fn start(cfg: ServiceConfig) -> Self {
         assert!(cfg.workers > 0, "a service needs at least one worker");
         assert!(cfg.shards > 0, "worker engines need at least one shard");
-        let registry = Arc::new(GraphRegistry::new(cfg.seed));
+        let registry = Arc::new(GraphRegistry::with_config(cfg.seed, cfg.registry.clone()));
         let metrics = Arc::new(MetricsRegistry::new());
         let admission = Arc::new(Admission::with_metrics(
             cfg.admission.clone(),
             Arc::clone(&metrics),
         ));
         let ledger = Arc::new(Mutex::new(LedgerInner::default()));
+        let cache = Arc::new(ResultCache::new(cfg.cache_entries, cfg.cache_bytes));
         let stop = Arc::new(AtomicBool::new(false));
+        let (job_tx, job_rx) = channel::<DispatchMsg>();
 
         let mut workers = Vec::with_capacity(cfg.workers);
         let mut worker_txs = Vec::with_capacity(cfg.workers);
@@ -323,6 +361,8 @@ impl SisaService {
             let ledger = Arc::clone(&ledger);
             let admission = Arc::clone(&admission);
             let worker_metrics = Arc::clone(&metrics);
+            let worker_cache = Arc::clone(&cache);
+            let done = job_tx.clone();
             let collector = cfg.collector.clone();
             let shards = cfg.shards;
             let strategy = cfg.strategy;
@@ -344,8 +384,11 @@ impl SisaService {
                         ledger,
                         admission,
                         worker_metrics,
+                        worker_cache,
                         graph_cfg,
                         window,
+                        i,
+                        done,
                     )
                     .run(&rx);
                 })
@@ -357,26 +400,24 @@ impl SisaService {
             });
         }
 
-        let (job_tx, job_rx) = channel::<Job>();
         let dispatcher = {
             let stop = Arc::clone(&stop);
-            let admission = Arc::clone(&admission);
-            let dispatch_metrics = Arc::clone(&metrics);
-            let window = cfg.coalesce_window.max(1);
-            let worker_count = cfg.workers;
+            let mut state = Dispatcher {
+                worker_txs,
+                schedulers: (0..cfg.workers)
+                    .map(|_| WfqScheduler::new(cfg.tenant_weights.clone()))
+                    .collect(),
+                busy: vec![false; cfg.workers],
+                cache: Arc::clone(&cache),
+                registry: Arc::clone(&registry),
+                ledger: Arc::clone(&ledger),
+                admission: Arc::clone(&admission),
+                metrics: Arc::clone(&metrics),
+                window: cfg.coalesce_window.max(1),
+            };
             std::thread::Builder::new()
                 .name("sisa-service-dispatcher".to_string())
-                .spawn(move || {
-                    dispatch_loop(
-                        &job_rx,
-                        &worker_txs,
-                        window,
-                        worker_count,
-                        &stop,
-                        &admission,
-                        &dispatch_metrics,
-                    );
-                })
+                .spawn(move || state.run(&job_rx, &stop))
                 .expect("spawn dispatcher thread")
         };
 
@@ -386,6 +427,7 @@ impl SisaService {
             admission,
             ledger,
             metrics,
+            cache,
             job_tx: Some(job_tx),
             stop,
             dispatcher: Some(dispatcher),
@@ -523,6 +565,7 @@ impl SisaService {
         ServiceReport {
             completed: ledger.completed,
             coalesced: ledger.coalesced_total,
+            cache_hits: ledger.cache_hits_total,
             failed: ledger.failed_total,
             rejected: self.admission.rejected(),
             in_flight: self.admission.in_flight(),
@@ -535,6 +578,13 @@ impl SisaService {
     #[must_use]
     pub fn config(&self) -> &ServiceConfig {
         &self.cfg
+    }
+
+    /// An atomic sample of the result cache's counters (hits, misses,
+    /// evictions, residency).
+    #[must_use]
+    pub fn cache_counters(&self) -> CacheCounters {
+        self.cache.counters()
     }
 
     /// Stops accepting queries, drains the pipeline and joins every thread.
@@ -577,57 +627,186 @@ pub(crate) fn worker_for(graph: &str, workers: usize) -> usize {
     (hash % workers as u64) as usize
 }
 
-/// The dispatcher/batcher loop: drain up to `window` queued jobs, coalesce
-/// identical specs, route each group to its graph-affinity worker.
-fn dispatch_loop(
-    job_rx: &Receiver<Job>,
-    worker_txs: &[Sender<WorkerMsg>],
+/// Saturating nanoseconds of a host duration.
+fn ns(duration: Duration) -> u64 {
+    u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// The dispatcher: cache lookups at intake, per-worker WFQ backlogs, and
+/// flow-controlled assignment (at most one group outstanding per worker, so
+/// service order is decided here — by weighted deficit round-robin — rather
+/// than in unbounded worker channels).
+struct Dispatcher {
+    worker_txs: Vec<Sender<WorkerMsg>>,
+    /// One WFQ backlog per worker: affinity routing happens at enqueue, so
+    /// fairness is enforced where it matters — on each worker's serial
+    /// execution capacity.
+    schedulers: Vec<WfqScheduler<Job>>,
+    busy: Vec<bool>,
+    cache: Arc<ResultCache>,
+    registry: Arc<GraphRegistry>,
+    ledger: Arc<Mutex<LedgerInner>>,
+    admission: Arc<Admission>,
+    metrics: Arc<MetricsRegistry>,
     window: usize,
-    worker_count: usize,
-    stop: &AtomicBool,
-    admission: &Admission,
-    metrics: &MetricsRegistry,
-) {
-    loop {
-        let first = match job_rx.recv_timeout(Duration::from_millis(20)) {
-            Ok(job) => Some(job),
-            Err(RecvTimeoutError::Timeout) => None,
-            Err(RecvTimeoutError::Disconnected) => break,
-        };
-        if stop.load(Ordering::SeqCst) {
-            // Drain whatever is left and fail it: the queues are bounded and
-            // nothing may linger after shutdown.
-            let mut leftovers: Vec<Job> = first.into_iter().collect();
-            while let Ok(job) = job_rx.try_recv() {
-                leftovers.push(job);
+}
+
+impl Dispatcher {
+    fn run(&mut self, job_rx: &Receiver<DispatchMsg>, stop: &AtomicBool) {
+        loop {
+            let first = match job_rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(msg) => Some(msg),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => break,
+            };
+            if stop.load(Ordering::SeqCst) {
+                // Fail everything still queued (channel + WFQ backlogs):
+                // the queues are bounded and nothing may linger.
+                let mut leftovers: Vec<Job> = Vec::new();
+                if let Some(DispatchMsg::Job(job)) = first {
+                    leftovers.push(job);
+                }
+                while let Ok(msg) = job_rx.try_recv() {
+                    if let DispatchMsg::Job(job) = msg {
+                        leftovers.push(job);
+                    }
+                }
+                for scheduler in &mut self.schedulers {
+                    leftovers.extend(scheduler.drain_all().into_iter().map(|(_, job)| job));
+                }
+                for job in leftovers {
+                    let _ = job
+                        .events
+                        .send(QueryEvent::Failed("service shut down".to_string()));
+                    self.admission.complete(&job.tenant);
+                }
+                break;
             }
-            for job in leftovers {
-                let _ = job
-                    .events
-                    .send(QueryEvent::Failed("service shut down".to_string()));
-                admission.complete(&job.tenant);
+            let Some(first) = first else { continue };
+            let mut batch_jobs: u64 = 0;
+            let mut msg = Some(first);
+            loop {
+                match msg {
+                    Some(DispatchMsg::Job(job)) => {
+                        batch_jobs += 1;
+                        self.intake(job);
+                    }
+                    Some(DispatchMsg::Done { worker }) => self.busy[worker] = false,
+                    None => break,
+                }
+                msg = job_rx.try_recv().ok();
             }
-            break;
+            if batch_jobs > 0 {
+                self.metrics.counter_add("sisa_dispatch_batches_total", 1);
+                self.metrics
+                    .counter_add("sisa_dispatch_jobs_total", batch_jobs);
+                self.metrics
+                    .gauge_set("sisa_dispatch_last_batch_jobs", batch_jobs as i64);
+            }
+            self.assign_idle();
         }
-        let Some(first) = first else { continue };
-        let mut batch = vec![first];
-        while batch.len() < window {
-            match job_rx.try_recv() {
-                Ok(job) => batch.push(job),
-                Err(_) => break,
+    }
+
+    /// Accepts one admitted job: answered from the cache right here when the
+    /// current graph generation holds the result (a hit never occupies more
+    /// of its admission slot than a map lookup), queued under its tenant on
+    /// its affinity worker otherwise.
+    fn intake(&mut self, job: Job) {
+        let generation = self.registry.generation_of(&job.spec.graph);
+        if let Some(hit) = self.cache.get(generation, &job.spec) {
+            self.serve_hit(job, &hit);
+            return;
+        }
+        self.metrics.counter_add("sisa_cache_misses_total", 1);
+        self.publish_hit_ratio();
+        let target = worker_for(&job.spec.graph, self.schedulers.len());
+        let tenant = job.tenant.clone();
+        self.schedulers[target].enqueue(&tenant, job);
+        self.publish_depth(&tenant);
+    }
+
+    /// Serves a cache hit: the stored value and the original execution's
+    /// stats, marked `cache_hit`, with this response's own real timings and
+    /// zero engine cycles billed (ledger `cache_hits` column).
+    fn serve_hit(&self, job: Job, hit: &CachedResult) {
+        let queue_ns = ns(job.submitted.elapsed());
+        self.ledger
+            .lock()
+            .expect("ledger lock")
+            .record_cache_hit(&job.tenant);
+        self.metrics.counter_add("sisa_cache_hits_total", 1);
+        self.metrics.counter_add("sisa_queries_completed_total", 1);
+        self.publish_hit_ratio();
+        let span_ns = ns(job.submitted.elapsed());
+        let stats = QueryStats::from_cached(&hit.stats).with_spans(queue_ns, 0, span_ns);
+        self.metrics.observe("sisa_query_queue_ns", queue_ns);
+        self.metrics.observe("sisa_query_latency_ns", span_ns);
+        // Release the slot *before* the terminal event: a hit was never
+        // queued or executing, and a client observing its completion must
+        // already see the slot free.
+        self.admission.complete(&job.tenant);
+        let _ = job.events.send(QueryEvent::Done(QueryOutcome {
+            value: hit.value,
+            truncated: hit.truncated,
+            stats,
+        }));
+    }
+
+    /// Hands every idle worker its next WDRR-ordered group. A job whose
+    /// result landed in the cache while it was queued (an identical query
+    /// executed ahead of it) is served as a hit here instead of re-executing.
+    fn assign_idle(&mut self) {
+        for worker in 0..self.worker_txs.len() {
+            while !self.busy[worker] && !self.schedulers[worker].is_empty() {
+                let Some((tenant, job)) = self.schedulers[worker].pop() else {
+                    break;
+                };
+                let generation = self.registry.generation_of(&job.spec.graph);
+                if let Some(hit) = self.cache.recheck(generation, &job.spec) {
+                    self.serve_hit(job, &hit);
+                    self.publish_depth(&tenant);
+                    continue;
+                }
+                let spec = job.spec.clone();
+                let mut entries = vec![job];
+                let mut touched = vec![tenant];
+                for (sibling_tenant, sibling) in
+                    self.schedulers[worker].drain_matching(self.window - 1, |j| j.spec == spec)
+                {
+                    entries.push(sibling);
+                    touched.push(sibling_tenant);
+                }
+                touched.sort();
+                touched.dedup();
+                for tenant in &touched {
+                    self.publish_depth(tenant);
+                }
+                self.metrics.counter_add("sisa_dispatch_groups_total", 1);
+                let group = JobGroup { spec, entries };
+                if self.worker_txs[worker].send(WorkerMsg::Run(group)).is_err() {
+                    return;
+                }
+                self.busy[worker] = true;
             }
         }
-        metrics.counter_add("sisa_dispatch_batches_total", 1);
-        metrics.counter_add("sisa_dispatch_jobs_total", batch.len() as u64);
-        metrics.gauge_set("sisa_dispatch_last_batch_jobs", batch.len() as i64);
-        let groups = group_jobs(batch);
-        metrics.counter_add("sisa_dispatch_groups_total", groups.len() as u64);
-        for group in groups {
-            let target = worker_for(&group.spec.graph, worker_count);
-            if worker_txs[target].send(WorkerMsg::Run(group)).is_err() {
-                return;
-            }
-        }
+    }
+
+    /// Publishes one tenant's total WFQ backlog (summed across workers).
+    fn publish_depth(&self, tenant: &str) {
+        let depth: usize = self.schedulers.iter().map(|s| s.depth(tenant)).sum();
+        self.metrics.gauge_set(
+            &format!("sisa_wfq_queue_depth{{tenant=\"{tenant}\"}}"),
+            depth as i64,
+        );
+    }
+
+    /// Publishes the cache hit-ratio gauge (permille of all lookups).
+    fn publish_hit_ratio(&self) {
+        let counters = self.cache.counters();
+        self.metrics.gauge_set(
+            "sisa_cache_hit_ratio_permille",
+            counters.hit_ratio_permille() as i64,
+        );
     }
 }
 
@@ -639,7 +818,7 @@ mod tests {
 
     fn job(tenant: &str, spec: QuerySpec) -> Job {
         let (events, _rx) = channel();
-        // The receiver is dropped: these jobs only exercise grouping.
+        // The receiver is dropped: these jobs only exercise scheduling.
         Job {
             tenant: tenant.to_string(),
             spec,
@@ -649,31 +828,37 @@ mod tests {
     }
 
     #[test]
-    fn grouping_coalesces_identical_specs_in_arrival_order() {
+    fn wfq_coalescing_drains_identical_specs_but_not_budget_variants() {
         let tc = QuerySpec::new("g", QueryKind::TriangleCount);
-        let kc = QuerySpec::new("g", QueryKind::KCliqueCount { k: 3 });
-        let other = QuerySpec::new("h", QueryKind::TriangleCount);
-        let groups = group_jobs(vec![
-            job("a", tc.clone()),
-            job("b", kc.clone()),
-            job("c", tc.clone()),
-            job("d", other.clone()),
-            job("e", tc.clone()),
-        ]);
-        assert_eq!(groups.len(), 3);
-        assert_eq!(groups[0].spec, tc);
-        assert_eq!(groups[0].entries.len(), 3);
-        assert_eq!(groups[0].entries[0].tenant, "a");
-        assert_eq!(groups[1].spec, kc);
-        assert_eq!(groups[2].spec, other);
+        let budgeted = tc.clone().with_budget(5);
+        let mut scheduler: WfqScheduler<Job> = WfqScheduler::new(BTreeMap::new());
+        scheduler.enqueue("a", job("a", tc.clone()));
+        scheduler.enqueue("b", job("b", budgeted.clone()));
+        scheduler.enqueue("c", job("c", tc.clone()));
+        let (_, first) = scheduler.pop().expect("something queued");
+        let spec = first.spec.clone();
+        let siblings = scheduler.drain_matching(15, |j| j.spec == spec);
+        assert_eq!(siblings.len(), 1, "only the identical spec coalesces");
+        assert_ne!(siblings[0].1.spec, budgeted);
+        assert_eq!(scheduler.len(), 1, "the budget variant stays queued");
     }
 
     #[test]
-    fn budgets_do_not_coalesce_with_unbudgeted_queries() {
-        let unbudgeted = QuerySpec::new("g", QueryKind::TriangleCount);
-        let budgeted = unbudgeted.clone().with_budget(5);
-        let groups = group_jobs(vec![job("a", unbudgeted), job("b", budgeted)]);
-        assert_eq!(groups.len(), 2);
+    fn cache_hits_are_completions_with_zero_attributed_stats() {
+        let mut ledger = LedgerInner::default();
+        ledger.record_cache_hit("t");
+        ledger.record_cache_hit("t");
+        let usage = &ledger.tenants["t"];
+        assert_eq!(usage.queries, 2, "the tenant got answers");
+        assert_eq!(usage.cache_hits, 2);
+        assert_eq!(usage.coalesced, 0);
+        assert_eq!(
+            usage.stats,
+            ExecStats::default(),
+            "zero engine cycles billed: conservation stays exact"
+        );
+        assert_eq!(ledger.completed, 2);
+        assert_eq!(ledger.cache_hits_total, 2);
     }
 
     #[test]

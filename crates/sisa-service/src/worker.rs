@@ -11,8 +11,9 @@
 //! exactly (integer counters) to the raw engine aggregates.
 
 use crate::admission::Admission;
+use crate::cache::{CachedResult, ResultCache};
 use crate::query::{QueryEvent, QueryKind, QueryOutcome, QueryStats};
-use crate::service::{Job, JobGroup, LedgerInner};
+use crate::service::{DispatchMsg, Job, JobGroup, LedgerInner};
 use sisa_algorithms::setcentric::{
     k_clique_count, orient_by_degeneracy, star_pattern, subgraph_isomorphism_count, triangle_count,
 };
@@ -48,6 +49,10 @@ pub(crate) enum WorkerMsg {
 struct ResidentGraph {
     /// The shared registry handle (the ref-counted lease).
     _lease: Arc<CsrGraph>,
+    /// The per-name generation the lease was cut from: the key under which
+    /// results computed against this load enter the result cache, and the
+    /// staleness check against the registry's current generation.
+    generation: u64,
     oriented: SetGraph,
     plain: SetGraph,
     queries_served: u64,
@@ -59,8 +64,15 @@ pub(crate) struct Worker {
     pub(crate) ledger: Arc<Mutex<LedgerInner>>,
     pub(crate) admission: Arc<Admission>,
     pub(crate) metrics: Arc<MetricsRegistry>,
+    pub(crate) cache: Arc<ResultCache>,
     pub(crate) graph_cfg: SetGraphConfig,
     pub(crate) progress_window_ops: usize,
+    /// This worker's pool index, echoed on `DispatchMsg::Done`.
+    index: usize,
+    /// Back-channel to the dispatcher: one `Done` per executed group is the
+    /// flow control that keeps scheduling order in the dispatcher's WFQ
+    /// queues.
+    done: Sender<DispatchMsg>,
     graphs: BTreeMap<String, ResidentGraph>,
 }
 
@@ -70,14 +82,18 @@ fn ns(duration: Duration) -> u64 {
 }
 
 impl Worker {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         engine: ShardedEngine<SisaRuntime>,
         registry: Arc<GraphRegistry>,
         ledger: Arc<Mutex<LedgerInner>>,
         admission: Arc<Admission>,
         metrics: Arc<MetricsRegistry>,
+        cache: Arc<ResultCache>,
         graph_cfg: SetGraphConfig,
         progress_window_ops: usize,
+        index: usize,
+        done: Sender<DispatchMsg>,
     ) -> Self {
         Worker {
             engine,
@@ -85,8 +101,11 @@ impl Worker {
             ledger,
             admission,
             metrics,
+            cache,
             graph_cfg,
             progress_window_ops: progress_window_ops.max(1),
+            index,
+            done,
             graphs: BTreeMap::new(),
         }
     }
@@ -95,7 +114,10 @@ impl Worker {
     pub(crate) fn run(mut self, rx: &Receiver<WorkerMsg>) {
         while let Ok(msg) = rx.recv() {
             match msg {
-                WorkerMsg::Run(group) => self.run_group(group),
+                WorkerMsg::Run(group) => {
+                    self.run_group(group);
+                    let _ = self.done.send(DispatchMsg::Done { worker: self.index });
+                }
                 WorkerMsg::Evict(name) => self.evict(&name),
                 WorkerMsg::Report(reply) => {
                     let _ = reply.send(self.engine.stats().clone());
@@ -105,21 +127,29 @@ impl Worker {
         }
     }
 
-    /// Loads `name` into shard-resident sets if it is not already resident.
-    /// The load cost is billed to the registry ledger (not to any tenant),
-    /// which is what makes the second query on a graph charge zero
-    /// additional load cycles.
+    /// Loads `name` into shard-resident sets if it is not already resident
+    /// *at the registry's current generation*. A resident load whose
+    /// generation no longer matches (the registry evicted or replaced the
+    /// name behind this worker's back, e.g. by capacity LRU) is evicted and
+    /// reloaded fresh, so a worker can never serve a stale graph. The load
+    /// cost is billed to the registry ledger (not to any tenant), which is
+    /// what makes the second query on a graph charge zero additional load
+    /// cycles.
     fn ensure_resident(&mut self, name: &str) -> Result<(), String> {
-        if self.graphs.contains_key(name) {
-            return Ok(());
+        if let Some(resident) = self.graphs.get(name) {
+            if resident.generation == self.registry.generation_of(name) {
+                return Ok(());
+            }
+            self.evict(name);
         }
         let lease = self
             .registry
-            .acquire(name)
+            .acquire_lease(name)
             .ok_or_else(|| format!("unknown graph {name:?}"))?;
         let scope = StatsScope::begin(self.engine.stats());
-        let (oriented, _ordering) = orient_by_degeneracy(&mut self.engine, &lease, &self.graph_cfg);
-        let plain = SetGraph::load(&mut self.engine, &lease, &self.graph_cfg);
+        let (oriented, _ordering) =
+            orient_by_degeneracy(&mut self.engine, &lease.graph, &self.graph_cfg);
+        let plain = SetGraph::load(&mut self.engine, &lease.graph, &self.graph_cfg);
         let delta = scope.finish(self.engine.stats());
         {
             let mut ledger = self.ledger.lock().expect("ledger lock");
@@ -130,7 +160,8 @@ impl Worker {
         self.graphs.insert(
             name.to_string(),
             ResidentGraph {
-                _lease: lease,
+                _lease: lease.graph,
+                generation: lease.generation,
                 oriented,
                 plain,
                 queries_served: 0,
@@ -247,6 +278,24 @@ impl Worker {
         };
         resident.queries_served += group.entries.len() as u64;
 
+        // Publish the result under the generation of the lease it was
+        // computed against: if the registry has since evicted or replaced
+        // the name, its per-name generation already moved on and this entry
+        // is stillborn — a stale hit is structurally impossible.
+        let evicted = self.cache.insert(
+            resident.generation,
+            &group.spec,
+            CachedResult {
+                value,
+                truncated,
+                stats: QueryStats::from_delta(&delta, wall_ns),
+            },
+        );
+        if evicted > 0 {
+            self.metrics
+                .counter_add("sisa_cache_evictions_total", evicted);
+        }
+
         let mut ledger = self.ledger.lock().expect("ledger lock");
         for (i, job) in group.entries.iter().enumerate() {
             let queue_ns = ns(started.saturating_duration_since(job.submitted));
@@ -348,14 +397,18 @@ mod tests {
     use std::sync::mpsc::channel;
 
     fn worker() -> Worker {
+        let (done, _done_rx) = channel();
         Worker::new(
             ShardedEngine::sisa(2, PartitionStrategy::Modulo, SisaConfig::default()),
             Arc::new(GraphRegistry::new(1)),
             Arc::new(Mutex::new(LedgerInner::default())),
             Arc::new(Admission::new(AdmissionConfig::default())),
             Arc::new(MetricsRegistry::new()),
+            Arc::new(ResultCache::new(16, 1 << 20)),
             SetGraphConfig::default(),
             64,
+            0,
+            done,
         )
     }
 

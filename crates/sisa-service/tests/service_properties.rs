@@ -235,7 +235,7 @@ proptest! {
         }
         let report = service.report();
         prop_assert_eq!(report.completed, clients as u64);
-        // However the dispatch windows fell, billed + coalesced covers every
+        // However the scheduling fell, billed + coalesced covers every
         // client and nothing was double-executed beyond the window count.
         let usage = service.tenant_usage();
         let billed: u64 = usage.values().map(|u| u.queries - u.coalesced).sum();
@@ -243,5 +243,107 @@ proptest! {
         prop_assert_eq!(billed + report.coalesced, clients as u64);
         prop_assert_eq!(report.in_flight, 0);
         service.close();
+    }
+
+    /// The result cache is *semantically invisible*: a cache-enabled service
+    /// answers every query bit-exactly like a cache-disabled one, under
+    /// concurrent mixed-tenant submission at 1–3 workers — including across
+    /// a mid-stream evict + reload that swaps a *different* graph in under
+    /// the same name. A stale hit (a generation-keying bug) would surface
+    /// here as a phase-2 answer from the pre-reload graph.
+    #[test]
+    fn cache_on_equals_cache_off_bit_exactly_across_evict_and_reload(
+        n_a in 6usize..18,
+        n_b in 6usize..18,
+        graph_seed in 0u64..1_000,
+        workers in 1usize..4,
+        queries in proptest::collection::vec(drawn_query(), 1..7),
+    ) {
+        let graphs = [
+            generators::erdos_renyi(n_a, 0.25, graph_seed),
+            generators::erdos_renyi(n_b, 0.30, graph_seed ^ 0x5a5a),
+        ];
+        // The mid-stream replacement for graph 0: different size and seed,
+        // so stale answers are (near-certainly) distinguishable.
+        let replacement = generators::erdos_renyi(n_a + 3, 0.35, graph_seed ^ 0xbeef);
+
+        let mut per_tenant: BTreeMap<usize, Vec<QuerySpec>> = BTreeMap::new();
+        for q in &queries {
+            per_tenant.entry(q.tenant).or_default().push(spec_of(q, &GRAPH_NAMES));
+        }
+        // Runs the two-phase workload (mix; evict+reload graph 0; mix again)
+        // and returns every outcome keyed by (phase, tenant, submission
+        // index) — a deterministic shape both runs share.
+        let run = |cache_entries: usize| {
+            let mut cfg = ServiceConfig::smoke();
+            cfg.workers = workers;
+            cfg.cache_entries = cache_entries;
+            let service = SisaService::start(cfg);
+            for (name, graph) in GRAPH_NAMES.iter().zip(graphs.iter()) {
+                service.register_graph(name, graph.clone());
+            }
+            let mut answers: BTreeMap<(usize, usize, usize), (u64, bool)> = BTreeMap::new();
+            for phase in 0..2 {
+                if phase == 1 {
+                    // Evict, then reload a *different* graph under the name:
+                    // every cache entry keyed to the old generation must die.
+                    service.evict_graph(GRAPH_NAMES[0]);
+                    service.register_graph(GRAPH_NAMES[0], replacement.clone());
+                }
+                let phase_answers = std::thread::scope(|scope| {
+                    let joins: Vec<_> = per_tenant
+                        .iter()
+                        .map(|(tenant, specs)| {
+                            let client = service.client();
+                            let tenant_name = format!("tenant-{tenant}");
+                            let tenant = *tenant;
+                            scope.spawn(move || {
+                                let handles: Vec<_> = specs
+                                    .iter()
+                                    .map(|spec| {
+                                        client
+                                            .submit(&tenant_name, spec.clone())
+                                            .expect("mix is far below admission limits")
+                                    })
+                                    .collect();
+                                handles
+                                    .into_iter()
+                                    .enumerate()
+                                    .map(|(i, handle)| {
+                                        let outcome =
+                                            handle.wait().expect("completes");
+                                        ((tenant, i), (outcome.value, outcome.truncated))
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    joins
+                        .into_iter()
+                        .flat_map(|join| join.join().expect("client thread"))
+                        .collect::<Vec<_>>()
+                });
+                for ((tenant, i), answer) in phase_answers {
+                    answers.insert((phase, tenant, i), answer);
+                }
+            }
+            // The serving layer's books must balance in both modes: hits
+            // bill zero engine work, so pool + registry ≡ engines holds.
+            let mut attributed = service.pool_stats();
+            attributed.merge(&service.registry_stats());
+            assert_conserved(&service.engine_stats(), &attributed);
+            let report = service.report();
+            let hits = service.cache_counters().hits;
+            service.close();
+            (answers, report, hits)
+        };
+
+        let (with_cache, report_on, hits_on) = run(1024);
+        let (without_cache, report_off, hits_off) = run(0);
+        prop_assert_eq!(&with_cache, &without_cache, "cache-on ≡ cache-off");
+        prop_assert_eq!(hits_off, 0, "disabled cache never hits");
+        prop_assert_eq!(report_on.cache_hits, hits_on, "ledger ≡ cache counters");
+        prop_assert_eq!(report_off.cache_hits, 0);
+        prop_assert_eq!(report_on.completed, report_off.completed);
     }
 }

@@ -42,6 +42,9 @@ fn collect_terminals(
 fn interleaved_queries_on_one_connection_keep_ids_and_sequences_straight() {
     let mut cfg = ServiceConfig::smoke();
     cfg.progress_window_ops = 16; // long tc => many interleavable progress frames
+    cfg.cache_entries = 0; // cache off: the in-process oracles below would
+                           // otherwise turn the wire queries into hits, and
+                           // this test is about *execution* frame sequences
     let service = SisaService::start(cfg);
     service.register_graph("g", test_graph());
     service.register_graph("h", generators::erdos_renyi(40, 0.2, 11));
