@@ -1,0 +1,379 @@
+//! Incremental clique mining over an edge stream (dynamic-graph SISA path).
+//!
+//! A [`StreamingMiner`] keeps a [`DynamicSetGraph`] plus exact k-clique
+//! counts for a tracked set of `k ≥ 3`, and maintains them **incrementally**
+//! as [`GraphDelta`] batches arrive — each edge flip costs set-engine work
+//! proportional to the local neighbourhood, not a from-scratch recount.
+//!
+//! The identity: for an edge `{u, v}` with common neighbourhood
+//! `C = N(u) ∩ N(v)`, the number of k-cliques containing `{u, v}` equals the
+//! number of (k−2)-cliques in the subgraph induced on `C` (for triangles,
+//! just `|C|`). Since graphs are simple, `u, v ∉ C` and no neighbourhood in
+//! `C` is affected by the presence of `{u, v}` itself — so the same quantity
+//! is added on insert and subtracted on delete, and the counts stay exact
+//! under arbitrary interleavings, including delete-then-reinsert.
+//!
+//! All of it is priced on the SISA cost model: `C` via `intersect`, the
+//! induced-subgraph walk via `intersect`/`intersect_count`, the edge flips
+//! via element `insert`/`remove` on the endpoint adjacency sets.
+
+use crate::Vertex;
+use sisa_core::{DynamicSetGraph, SetEngine, SetId};
+use sisa_graph::{CsrGraph, GraphDelta};
+use std::collections::BTreeMap;
+
+/// What a [`StreamingMiner::apply`] call actually did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ApplyReport {
+    /// Edge intents that changed the graph (and the counts).
+    pub applied: usize,
+    /// Intents that were no-ops: deleting an absent edge, inserting a
+    /// present one, or naming an out-of-range endpoint on delete.
+    pub skipped: usize,
+}
+
+/// A dynamic graph with incrementally-maintained k-clique counts.
+#[derive(Clone, Debug)]
+pub struct StreamingMiner {
+    graph: DynamicSetGraph,
+    counts: BTreeMap<usize, u64>,
+}
+
+impl StreamingMiner {
+    /// Loads `g` with exact counts for every `k` in `ks` (each `k ≥ 3`).
+    ///
+    /// The initial counts are themselves produced by the incremental path —
+    /// the graph is built edge by edge from empty — so a freshly loaded
+    /// miner is consistent with the update rule by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any tracked `k` is below 3.
+    #[must_use]
+    pub fn load<E: SetEngine>(rt: &mut E, g: &CsrGraph, ks: &[usize]) -> Self {
+        StreamingMiner::load_with_capacity(rt, g, ks, g.num_vertices())
+    }
+
+    /// Like [`StreamingMiner::load`], but reserving room for `capacity`
+    /// vertices (clamped up to `g.num_vertices()`) so deltas that name new
+    /// vertices can still be applied incrementally.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any tracked `k` is below 3.
+    #[must_use]
+    pub fn load_with_capacity<E: SetEngine>(
+        rt: &mut E,
+        g: &CsrGraph,
+        ks: &[usize],
+        capacity: usize,
+    ) -> Self {
+        let mut counts = BTreeMap::new();
+        for &k in ks {
+            assert!(k >= 3, "streaming clique counts need k >= 3, got {k}");
+            counts.insert(k, 0u64);
+        }
+        let mut miner = StreamingMiner {
+            graph: DynamicSetGraph::empty(rt, capacity.max(g.num_vertices())),
+            counts,
+        };
+        for (u, v) in g.edges() {
+            miner.adjust(rt, u, v, true);
+            miner.graph.insert_edge(rt, u, v);
+        }
+        miner
+    }
+
+    /// Applies a delta — deletes first, then inserts, no-ops filtered — and
+    /// updates every tracked count. Returns what changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an *insert* names a vertex at or beyond the capacity:
+    /// growth means a rebuild, which is the caller's call (gate with
+    /// [`StreamingMiner::fits`]). Out-of-range deletes are plain no-ops —
+    /// the named edge cannot exist here.
+    pub fn apply<E: SetEngine>(&mut self, rt: &mut E, delta: &GraphDelta) -> ApplyReport {
+        let mut report = ApplyReport::default();
+        for (u, v) in delta.normalized_deletes() {
+            if self.graph.in_range(u, v) && self.graph.has_edge(u, v) {
+                self.adjust(rt, u, v, false);
+                self.graph.remove_edge(rt, u, v);
+                report.applied += 1;
+            } else {
+                report.skipped += 1;
+            }
+        }
+        for (u, v) in delta.normalized_inserts() {
+            assert!(
+                self.graph.in_range(u, v),
+                "insert ({u}, {v}) exceeds capacity {}; rebuild the miner",
+                self.capacity()
+            );
+            if self.graph.has_edge(u, v) {
+                report.skipped += 1;
+            } else {
+                self.adjust(rt, u, v, true);
+                self.graph.insert_edge(rt, u, v);
+                report.applied += 1;
+            }
+        }
+        report
+    }
+
+    /// Whether `delta` can be applied without growing the vertex capacity.
+    #[must_use]
+    pub fn fits(&self, delta: &GraphDelta) -> bool {
+        delta
+            .max_vertex()
+            .is_none_or(|m| (m as usize) < self.capacity())
+    }
+
+    /// The maintained count for `k`, if tracked.
+    #[must_use]
+    pub fn count(&self, k: usize) -> Option<u64> {
+        self.counts.get(&k).copied()
+    }
+
+    /// The tracked clique sizes, ascending.
+    #[must_use]
+    pub fn tracked(&self) -> Vec<usize> {
+        self.counts.keys().copied().collect()
+    }
+
+    /// Vertex capacity (fixed at load).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Current undirected edge count.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// Whether the undirected edge `{u, v}` currently exists (in-range only).
+    #[must_use]
+    pub fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        self.graph.in_range(u, v) && self.graph.has_edge(u, v)
+    }
+
+    /// Snapshot of the current edge set as a CSR (host-side; for reference
+    /// recomputations and tests).
+    #[must_use]
+    pub fn to_csr(&self) -> CsrGraph {
+        self.graph.to_csr()
+    }
+
+    /// Deletes every engine set the miner holds.
+    pub fn unload<E: SetEngine>(self, rt: &mut E) {
+        self.graph.unload(rt);
+    }
+
+    /// Adds (`add`) or subtracts the per-edge clique contribution of
+    /// `{u, v}` to every tracked count. Must be called while the edge is
+    /// *absent* on insert and *present* on delete — either way the value is
+    /// identical because `u, v ∉ C` and the induced subgraph on `C` never
+    /// sees the edge `{u, v}`.
+    fn adjust<E: SetEngine>(&mut self, rt: &mut E, u: Vertex, v: Vertex, add: bool) {
+        if self.counts.is_empty() {
+            return;
+        }
+        let common = rt.intersect(self.graph.neighborhood(u), self.graph.neighborhood(v));
+        let ks: Vec<usize> = self.counts.keys().copied().collect();
+        for k in ks {
+            let delta = cliques_within(rt, &self.graph, common, k - 2);
+            let entry = self.counts.get_mut(&k).expect("tracked k");
+            if add {
+                *entry += delta;
+            } else {
+                *entry = entry.checked_sub(delta).expect("count underflow");
+            }
+        }
+        rt.delete(common);
+    }
+}
+
+/// Counts the j-cliques of the subgraph induced on the set `c`, as set ops.
+///
+/// Ascending elimination: clone `c` into `W`, then for each member `w` remove
+/// it from `W` first, so every clique is discovered exactly once from its
+/// iteration-least member. `j = 2` bottoms out in `intersect_count`
+/// (edges within `c`), `j = 1` is `|c|`, `j = 0` is the empty clique.
+fn cliques_within<E: SetEngine>(rt: &mut E, dg: &DynamicSetGraph, c: SetId, j: usize) -> u64 {
+    match j {
+        0 => 1,
+        1 => rt.cardinality(c) as u64,
+        _ => {
+            let mut total = 0u64;
+            let rest = rt.clone_set(c);
+            for w in rt.members(c) {
+                rt.remove(rest, w);
+                rt.host_ops(1);
+                if j == 2 {
+                    total += rt.intersect_count(rest, dg.neighborhood(w)) as u64;
+                } else {
+                    let next = rt.intersect(rest, dg.neighborhood(w));
+                    total += cliques_within(rt, dg, next, j - 1);
+                    rt.delete(next);
+                }
+            }
+            rt.delete(rest);
+            total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::limits::SearchLimits;
+    use crate::setcentric::{k_clique_count, orient_by_degeneracy, triangle_count};
+    use proptest::prelude::*;
+    use sisa_core::{SetGraphConfig, SisaConfig, SisaRuntime};
+    use sisa_graph::generators;
+
+    /// Reference: from-scratch static counts on a snapshot of the graph.
+    fn recount(g: &CsrGraph, ks: &[usize]) -> BTreeMap<usize, u64> {
+        let mut rt = SisaRuntime::new(SisaConfig::default());
+        let (oriented, _) = orient_by_degeneracy(&mut rt, g, &SetGraphConfig::default());
+        ks.iter()
+            .map(|&k| {
+                let n = if k == 3 {
+                    triangle_count(&mut rt, &oriented, &SearchLimits::unlimited()).result
+                } else {
+                    k_clique_count(&mut rt, &oriented, k, &SearchLimits::unlimited()).result
+                };
+                (k, n)
+            })
+            .collect()
+    }
+
+    fn assert_matches_recount(miner: &StreamingMiner, ks: &[usize]) {
+        let reference = recount(&miner.to_csr(), ks);
+        for &k in ks {
+            assert_eq!(
+                miner.count(k),
+                Some(reference[&k]),
+                "incremental {k}-clique count diverged from recount"
+            );
+        }
+    }
+
+    #[test]
+    fn loading_reproduces_static_counts() {
+        let ks = [3, 4, 5];
+        for seed in 0..4 {
+            let g = generators::erdos_renyi(28, 0.25, seed);
+            let mut rt = SisaRuntime::new(SisaConfig::default());
+            let miner = StreamingMiner::load(&mut rt, &g, &ks);
+            assert_matches_recount(&miner, &ks);
+            miner.unload(&mut rt);
+            assert_eq!(rt.live_sets(), 0, "unload frees everything");
+        }
+    }
+
+    #[test]
+    fn inserts_and_deletes_track_the_recount() {
+        let ks = [3, 4];
+        let g = generators::erdos_renyi(24, 0.2, 9);
+        let mut rt = SisaRuntime::new(SisaConfig::default());
+        let mut miner = StreamingMiner::load(&mut rt, &g, &ks);
+
+        // Densify a corner, then tear part of it down again.
+        let grow = GraphDelta::new()
+            .insert(0, 1)
+            .insert(0, 2)
+            .insert(1, 2)
+            .insert(2, 3)
+            .insert(1, 3)
+            .insert(0, 3);
+        miner.apply(&mut rt, &grow);
+        assert_matches_recount(&miner, &ks);
+
+        let shrink = GraphDelta::new().delete(1, 2).delete(0, 3).delete(22, 23);
+        miner.apply(&mut rt, &shrink);
+        assert_matches_recount(&miner, &ks);
+    }
+
+    #[test]
+    fn delete_then_reinsert_in_one_delta_is_count_neutral() {
+        let ks = [3, 4];
+        let g = generators::complete(6);
+        let mut rt = SisaRuntime::new(SisaConfig::default());
+        let mut miner = StreamingMiner::load(&mut rt, &g, &ks);
+        let before: Vec<_> = ks.iter().map(|&k| miner.count(k)).collect();
+
+        let delta = GraphDelta::new().delete(2, 4).insert(2, 4);
+        let report = miner.apply(&mut rt, &delta);
+        assert_eq!(report.applied, 2, "delete then reinsert both take effect");
+        let after: Vec<_> = ks.iter().map(|&k| miner.count(k)).collect();
+        assert_eq!(before, after);
+        assert_matches_recount(&miner, &ks);
+    }
+
+    #[test]
+    fn no_op_intents_are_skipped_and_counts_hold() {
+        let g = generators::path(5);
+        let mut rt = SisaRuntime::new(SisaConfig::default());
+        let mut miner = StreamingMiner::load(&mut rt, &g, &[3]);
+        let delta = GraphDelta::new()
+            .delete(0, 4) // absent edge
+            .delete(0, 90) // out of range: cannot exist
+            .insert(0, 1) // already present
+            .insert(3, 3); // self-loop, normalised away
+        let report = miner.apply(&mut rt, &delta);
+        assert_eq!(
+            report,
+            ApplyReport {
+                applied: 0,
+                skipped: 3
+            }
+        );
+        assert_eq!(miner.count(3), Some(0));
+        assert!(!miner.fits(&GraphDelta::new().insert(0, 5)));
+        assert!(miner.fits(&GraphDelta::new().insert(0, 4)));
+    }
+
+    proptest! {
+        /// Differential pin: after an arbitrary interleaving of inserts and
+        /// deletes (including delete-then-reinsert within one delta), the
+        /// incremental counts equal a from-scratch recount on the snapshot.
+        #[test]
+        fn incremental_counts_match_recount_after_random_stream(seed in 0u64..1_000_000) {
+            let n: usize = 12;
+            let ks = [3, 4];
+            let g = generators::erdos_renyi(n, 0.3, seed);
+            let mut rt = SisaRuntime::new(SisaConfig::default());
+            let mut miner = StreamingMiner::load(&mut rt, &g, &ks);
+
+            // Deterministic splitmix-style stream derived from the seed.
+            let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state >> 33
+            };
+            for _round in 0..6 {
+                let mut delta = GraphDelta::new();
+                for _ in 0..(1 + next() as usize % 5) {
+                    let u = (next() as usize % n) as u32;
+                    let v = (next() as usize % n) as u32;
+                    if next() % 2 == 0 {
+                        delta = delta.insert(u, v);
+                    } else {
+                        delta = delta.delete(u, v);
+                    }
+                }
+                // Occasionally delete and re-insert the same edge.
+                if next() % 3 == 0 {
+                    let u = (next() as usize % n) as u32;
+                    let v = (next() as usize % n) as u32;
+                    delta = delta.delete(u, v).insert(u, v);
+                }
+                miner.apply(&mut rt, &delta);
+                assert_matches_recount(&miner, &ks);
+            }
+        }
+    }
+}

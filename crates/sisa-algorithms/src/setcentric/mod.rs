@@ -10,6 +10,7 @@
 
 pub mod bron_kerbosch;
 pub mod cliques;
+pub mod incremental;
 pub mod learning;
 pub mod subgraph_iso;
 pub mod traversal;
@@ -19,6 +20,7 @@ pub use cliques::{
     four_clique_count, k_clique_count, k_clique_list, k_clique_star_count, k_clique_star_join,
     orient_by_degeneracy, triangle_count,
 };
+pub use incremental::{ApplyReport, StreamingMiner};
 pub use learning::{
     jarvis_patrick_clustering, link_prediction_accuracy, pairwise_similarity, SimilarityMeasure,
 };

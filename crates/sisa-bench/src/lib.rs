@@ -1202,7 +1202,95 @@ pub fn percentile_ns(samples: &[u64], pct: f64) -> u64 {
 /// `fairness` (two-tenant heavy/light WFQ isolation) scenarios; the arrival
 /// sweep and overload probe now run with the result cache disabled so their
 /// latencies keep measuring *executions*, comparable with v1 documents.
-pub const BENCH_SERVICE_SCHEMA_VERSION: u32 = 2;
+///
+/// v3 added the `stream` scenario: a rate-controlled update/query mix over
+/// the `mutate` request family, with every streamed answer differentially
+/// checked against a host-side recount and the incremental
+/// (mutate + streamed read) p50 required to undercut the register-replace +
+/// cold-query recompute p50 by at least 2x.
+pub const BENCH_SERVICE_SCHEMA_VERSION: u32 = 3;
+
+/// The streaming-update scenario of schema v3: an open-loop paced stream of
+/// `mutate` batches (each a few inserts and deletes) interleaved with read
+/// queries on the same graph. Reads after the first mutation are served from
+/// the worker's incrementally-maintained counters; every value is checked
+/// against a host-side recount of the reference successor graph. The
+/// recompute baseline replaces the graph wholesale (register + cold query)
+/// per update; the incremental path must undercut its p50 by
+/// `speedup_floor`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StreamScenario {
+    /// Mutation batches applied through the `mutate` request family.
+    pub mutations: u64,
+    /// Edge intents (inserts + deletes) carried by those batches.
+    pub edge_intents: u64,
+    /// Read queries interleaved with the mutation stream.
+    pub queries: u64,
+    /// Reads served from the incrementally-maintained stream counters
+    /// (`sisa_stream_serves_total`).
+    pub stream_serves: u64,
+    /// The paced open-loop update rate, updates per second.
+    pub offered_ups: f64,
+    /// Median wall-clock of one incremental update cycle (mutate + read), ns.
+    pub incremental_p50_latency_ns: u64,
+    /// 95th-percentile wall-clock of an incremental update cycle, ns.
+    pub incremental_p95_latency_ns: u64,
+    /// Median wall-clock of the recompute baseline (register-replace + cold
+    /// query) per update, ns.
+    pub recompute_p50_latency_ns: u64,
+    /// `recompute_p50_latency_ns / incremental_p50_latency_ns`.
+    pub incremental_speedup_p50: f64,
+    /// The asserted floor on `incremental_speedup_p50` (2.0: the acceptance
+    /// bound).
+    pub speedup_floor: f64,
+    /// Whether every streamed read was checked against a from-scratch
+    /// recount of the reference graph. Always `true` in valid documents.
+    pub differential_checked: bool,
+}
+
+impl StreamScenario {
+    /// Checks the stream scenario's invariants, including the incremental
+    /// speedup floor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mutations == 0 || self.queries == 0 {
+            return Err("stream scenario applied no mutations or ran no reads".into());
+        }
+        if self.edge_intents < self.mutations {
+            return Err("stream scenario batches averaged below one edge intent".into());
+        }
+        if self.stream_serves == 0 {
+            return Err("no read was served from the maintained stream counters".into());
+        }
+        if !(self.offered_ups.is_finite() && self.offered_ups > 0.0) {
+            return Err("offered update rate is not positive finite".into());
+        }
+        if self.incremental_p50_latency_ns == 0 || self.recompute_p50_latency_ns == 0 {
+            return Err("stream scenario latencies are degenerate".into());
+        }
+        if self.incremental_p50_latency_ns > self.incremental_p95_latency_ns {
+            return Err("stream percentiles out of order".into());
+        }
+        if !(self.speedup_floor.is_finite() && self.speedup_floor >= 1.0) {
+            return Err("stream speedup floor is not a sane bound".into());
+        }
+        if !(self.incremental_speedup_p50.is_finite()
+            && self.incremental_speedup_p50 >= self.speedup_floor)
+        {
+            return Err(format!(
+                "incremental speedup {:.2}x is below the {:.1}x acceptance floor",
+                self.incremental_speedup_p50, self.speedup_floor
+            ));
+        }
+        if !self.differential_checked {
+            return Err("run skipped the differential stream checks".into());
+        }
+        Ok(())
+    }
+}
 
 /// The repeated-spec cache scenario of schema v2: a miss phase executes
 /// `distinct_specs` unique queries once each, then a hit phase re-submits the
@@ -1334,6 +1422,8 @@ pub struct BenchService {
     pub cache: CacheScenario,
     /// The two-tenant WFQ fairness scenario (schema v2).
     pub fairness: FairnessScenario,
+    /// The streaming update/query-mix scenario (schema v3).
+    pub stream: StreamScenario,
 }
 
 impl BenchService {
@@ -1447,6 +1537,7 @@ impl BenchService {
         }
         self.cache.validate()?;
         self.fairness.validate()?;
+        self.stream.validate()?;
         Ok(())
     }
 }
@@ -1880,6 +1971,19 @@ mod tests {
                 p95_ratio: 2.0,
                 p95_ratio_bound: 3.0,
             },
+            stream: StreamScenario {
+                mutations: 24,
+                edge_intents: 72,
+                queries: 48,
+                stream_serves: 46,
+                offered_ups: 200.0,
+                incremental_p50_latency_ns: 150_000,
+                incremental_p95_latency_ns: 400_000,
+                recompute_p50_latency_ns: 900_000,
+                incremental_speedup_p50: 6.0,
+                speedup_floor: 2.0,
+                differential_checked: true,
+            },
         }
     }
 
@@ -1942,5 +2046,20 @@ mod tests {
         let mut doc = sample_service_document();
         doc.fairness.contended_p95_latency_ns = 0;
         assert!(doc.validate().is_err(), "degenerate fairness latencies");
+        let mut doc = sample_service_document();
+        doc.stream.mutations = 0;
+        assert!(doc.validate().is_err(), "stream ran no mutations");
+        let mut doc = sample_service_document();
+        doc.stream.stream_serves = 0;
+        assert!(doc.validate().is_err(), "no streamed serves");
+        let mut doc = sample_service_document();
+        doc.stream.incremental_speedup_p50 = doc.stream.speedup_floor - 0.5;
+        assert!(doc.validate().is_err(), "speedup below the 2x floor");
+        let mut doc = sample_service_document();
+        doc.stream.edge_intents = doc.stream.mutations - 1;
+        assert!(doc.validate().is_err(), "intents undercount batches");
+        let mut doc = sample_service_document();
+        doc.stream.differential_checked = false;
+        assert!(doc.validate().is_err(), "differential check skipped");
     }
 }

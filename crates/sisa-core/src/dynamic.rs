@@ -1,0 +1,234 @@
+//! A mutable set-graph for the streaming/dynamic-graph path.
+//!
+//! [`crate::SetGraph`] is a one-shot load of an immutable CSR: perfect for
+//! static mining, useless for edge streams. [`DynamicSetGraph`] keeps one
+//! **sparse-array** SISA set per vertex neighbourhood and supports in-place
+//! edge insertion and removal through the engine's priced element updates
+//! ([`SetEngine::insert`] / [`SetEngine::remove`]) — exactly the operation
+//! class the paper motivates for dynamic graphs: an edge flip is two element
+//! updates on the endpoint adjacency sets, not a reload.
+//!
+//! A host-side sorted adjacency mirror backs loop control (`neighbors`,
+//! `has_edge`) without engine round-trips, mirroring how [`crate::SetGraph`]
+//! exposes its CSR. The vertex capacity is fixed at load time; callers that
+//! outgrow it rebuild (the registry's replace path hands them the successor
+//! graph to rebuild from).
+
+use crate::engine::SetEngine;
+use crate::{SetId, Vertex};
+use sisa_graph::CsrGraph;
+
+/// A graph whose neighbourhoods are mutable SISA sparse-array sets.
+#[derive(Clone, Debug)]
+pub struct DynamicSetGraph {
+    neighborhoods: Vec<SetId>,
+    /// Host-side sorted adjacency mirror (loop control only; the priced
+    /// state of record lives in the engine's sets).
+    adjacency: Vec<Vec<Vertex>>,
+    edges: usize,
+}
+
+impl DynamicSetGraph {
+    /// Creates an edgeless dynamic graph of `capacity` vertices, registering
+    /// one empty sparse set per vertex.
+    #[must_use]
+    pub fn empty<E: SetEngine>(rt: &mut E, capacity: usize) -> Self {
+        rt.set_universe(capacity);
+        let neighborhoods = (0..capacity).map(|_| rt.create_empty_sorted()).collect();
+        DynamicSetGraph {
+            neighborhoods,
+            adjacency: vec![Vec::new(); capacity],
+            edges: 0,
+        }
+    }
+
+    /// Loads `g` into mutable sets, with room for `capacity` vertices
+    /// (`capacity` is clamped up to `g.num_vertices()`).
+    #[must_use]
+    pub fn load<E: SetEngine>(rt: &mut E, g: &CsrGraph, capacity: usize) -> Self {
+        let capacity = capacity.max(g.num_vertices());
+        rt.set_universe(capacity);
+        let mut adjacency = vec![Vec::new(); capacity];
+        let neighborhoods = (0..capacity as Vertex)
+            .map(|v| {
+                if (v as usize) < g.num_vertices() {
+                    adjacency[v as usize] = g.neighbors(v).to_vec();
+                    rt.create_sorted(g.neighbors(v).iter().copied())
+                } else {
+                    rt.create_empty_sorted()
+                }
+            })
+            .collect();
+        let edges = g.num_edges();
+        DynamicSetGraph {
+            neighborhoods,
+            adjacency,
+            edges,
+        }
+    }
+
+    /// Vertex capacity (fixed at construction).
+    #[must_use]
+    pub fn num_vertices(&self) -> usize {
+        self.neighborhoods.len()
+    }
+
+    /// Current undirected edge count.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.edges
+    }
+
+    /// The SISA set holding `N(v)`.
+    #[must_use]
+    pub fn neighborhood(&self, v: Vertex) -> SetId {
+        self.neighborhoods[v as usize]
+    }
+
+    /// The current neighbourhood of `v` as a sorted slice (host-side mirror
+    /// for loop control).
+    #[must_use]
+    pub fn neighbors(&self, v: Vertex) -> &[Vertex] {
+        &self.adjacency[v as usize]
+    }
+
+    /// Whether the undirected edge `{u, v}` currently exists.
+    #[must_use]
+    pub fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        self.adjacency[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Whether both endpoints fall inside the vertex capacity.
+    #[must_use]
+    pub fn in_range(&self, u: Vertex, v: Vertex) -> bool {
+        (u as usize) < self.num_vertices() && (v as usize) < self.num_vertices()
+    }
+
+    /// Inserts the undirected edge `{u, v}`: one priced element insert per
+    /// endpoint set, plus host work for the mirror. Returns whether the
+    /// graph changed (self-loops and present edges are no-ops).
+    ///
+    /// # Panics
+    ///
+    /// Panics when an endpoint is outside the vertex capacity (callers gate
+    /// with [`DynamicSetGraph::in_range`] and rebuild on overflow).
+    pub fn insert_edge<E: SetEngine>(&mut self, rt: &mut E, u: Vertex, v: Vertex) -> bool {
+        assert!(self.in_range(u, v), "edge ({u}, {v}) outside capacity");
+        if u == v || self.has_edge(u, v) {
+            return false;
+        }
+        rt.insert(self.neighborhoods[u as usize], v);
+        rt.insert(self.neighborhoods[v as usize], u);
+        rt.host_ops(2);
+        let pos = self.adjacency[u as usize].binary_search(&v).unwrap_err();
+        self.adjacency[u as usize].insert(pos, v);
+        let pos = self.adjacency[v as usize].binary_search(&u).unwrap_err();
+        self.adjacency[v as usize].insert(pos, u);
+        self.edges += 1;
+        true
+    }
+
+    /// Removes the undirected edge `{u, v}`: one priced element removal per
+    /// endpoint set, plus host work for the mirror. Returns whether the
+    /// graph changed (absent edges are no-ops).
+    ///
+    /// # Panics
+    ///
+    /// Panics when an endpoint is outside the vertex capacity.
+    pub fn remove_edge<E: SetEngine>(&mut self, rt: &mut E, u: Vertex, v: Vertex) -> bool {
+        assert!(self.in_range(u, v), "edge ({u}, {v}) outside capacity");
+        if u == v || !self.has_edge(u, v) {
+            return false;
+        }
+        rt.remove(self.neighborhoods[u as usize], v);
+        rt.remove(self.neighborhoods[v as usize], u);
+        rt.host_ops(2);
+        let pos = self.adjacency[u as usize]
+            .binary_search(&v)
+            .expect("mirror desync");
+        self.adjacency[u as usize].remove(pos);
+        let pos = self.adjacency[v as usize]
+            .binary_search(&u)
+            .expect("mirror desync");
+        self.adjacency[v as usize].remove(pos);
+        self.edges -= 1;
+        true
+    }
+
+    /// Deletes every neighbourhood set from the engine (priced). The graph
+    /// is unusable afterwards; callers drop it.
+    pub fn unload<E: SetEngine>(self, rt: &mut E) {
+        for id in self.neighborhoods {
+            rt.delete(id);
+        }
+    }
+
+    /// The current edge set as a plain CSR snapshot (host-side; used by
+    /// tests to compare against from-scratch reference runs).
+    #[must_use]
+    pub fn to_csr(&self) -> CsrGraph {
+        CsrGraph::from_adjacency(self.adjacency.clone(), false, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SisaConfig;
+    use crate::runtime::SisaRuntime;
+    use sisa_graph::generators;
+
+    #[test]
+    fn edge_updates_keep_engine_sets_and_mirror_in_sync() {
+        let mut rt = SisaRuntime::new(SisaConfig::default());
+        let g = generators::erdos_renyi(24, 0.15, 5);
+        let mut dg = DynamicSetGraph::load(&mut rt, &g, 24);
+        assert_eq!(dg.num_edges(), g.num_edges());
+
+        // Insert a fresh edge and delete an existing one.
+        let (u, v) = (0, 23);
+        let existed = dg.has_edge(u, v);
+        if !existed {
+            assert!(dg.insert_edge(&mut rt, u, v));
+        }
+        assert!(!dg.insert_edge(&mut rt, u, v), "double insert is a no-op");
+        assert!(dg.has_edge(u, v) && dg.has_edge(v, u));
+        assert!(dg.remove_edge(&mut rt, u, v));
+        assert!(!dg.remove_edge(&mut rt, u, v), "double remove is a no-op");
+        assert!(!dg.insert_edge(&mut rt, 3, 3), "self-loops are no-ops");
+
+        // Engine set and host mirror agree on every vertex.
+        for w in 0..24u32 {
+            assert_eq!(rt.members(dg.neighborhood(w)), dg.neighbors(w).to_vec());
+        }
+        let snapshot = dg.to_csr();
+        assert_eq!(snapshot.num_edges(), dg.num_edges());
+    }
+
+    #[test]
+    fn capacity_reserves_room_for_isolated_vertices() {
+        let mut rt = SisaRuntime::new(SisaConfig::default());
+        let g = generators::path(4);
+        let mut dg = DynamicSetGraph::load(&mut rt, &g, 8);
+        assert_eq!(dg.num_vertices(), 8);
+        assert!(dg.in_range(3, 7));
+        assert!(!dg.in_range(3, 8));
+        assert!(dg.insert_edge(&mut rt, 3, 7));
+        assert_eq!(dg.neighbors(7), &[3]);
+        let live_before = rt.live_sets();
+        dg.unload(&mut rt);
+        assert_eq!(rt.live_sets(), live_before - 8, "unload frees every set");
+    }
+
+    #[test]
+    fn empty_graphs_grow_edge_by_edge() {
+        let mut rt = SisaRuntime::new(SisaConfig::default());
+        let mut dg = DynamicSetGraph::empty(&mut rt, 5);
+        assert_eq!(dg.num_edges(), 0);
+        for (u, v) in [(0, 1), (1, 2), (0, 2)] {
+            assert!(dg.insert_edge(&mut rt, u, v));
+        }
+        assert_eq!(dg.num_edges(), 3);
+        assert_eq!(rt.members(dg.neighborhood(1)), vec![0, 2]);
+    }
+}

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod dynamic;
 pub mod engine;
 pub mod functional;
 pub mod host_engine;
@@ -64,6 +65,7 @@ pub mod telemetry;
 pub mod trace;
 
 pub use config::{SetGraphConfig, SisaConfig, VariantSelection};
+pub use dynamic::DynamicSetGraph;
 pub use engine::SetEngine;
 pub use functional::FunctionalEngine;
 pub use host_engine::HostEngine;

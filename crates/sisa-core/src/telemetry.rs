@@ -590,6 +590,17 @@ impl MetricsRegistry {
         *inner.gauges.entry(name.to_string()).or_insert(0) += delta;
     }
 
+    /// Removes the named gauge entirely (it disappears from snapshots and
+    /// the Prometheus exposition). Writers with per-entity labels — e.g. the
+    /// service's `{tenant="..."}` gauges — call this when the entity's state
+    /// is pruned, so label cardinality stays bounded by *active* entities
+    /// instead of growing with every entity ever seen. Returns whether the
+    /// gauge existed.
+    pub fn gauge_remove(&self, name: &str) -> bool {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        inner.gauges.remove(name).is_some()
+    }
+
     /// Records one observation into the named latency histogram (created
     /// with [`Histogram::latency_ns`] bounds on first touch).
     pub fn observe(&self, name: &str, value: u64) {
@@ -711,6 +722,24 @@ mod tests {
         assert!(text.contains("# TYPE sisa_query_latency_ns histogram"));
         assert!(text.contains("sisa_query_latency_ns_bucket{le=\"+Inf\"} 2\n"));
         assert!(text.contains("sisa_query_latency_ns_count 2\n"));
+    }
+
+    #[test]
+    fn removed_gauges_disappear_from_snapshots() {
+        let reg = MetricsRegistry::new();
+        reg.gauge_set("sisa_tenant_in_flight{tenant=\"gone\"}", 3);
+        reg.gauge_set("sisa_tenant_in_flight{tenant=\"kept\"}", 1);
+        assert!(reg.gauge_remove("sisa_tenant_in_flight{tenant=\"gone\"}"));
+        assert!(
+            !reg.gauge_remove("sisa_tenant_in_flight{tenant=\"gone\"}"),
+            "second removal reports absence"
+        );
+        let snap = reg.snapshot();
+        assert!(!snap
+            .gauges
+            .contains_key("sisa_tenant_in_flight{tenant=\"gone\"}"));
+        assert_eq!(snap.gauges["sisa_tenant_in_flight{tenant=\"kept\"}"], 1);
+        assert!(!snap.to_prometheus().contains("gone"));
     }
 
     #[test]

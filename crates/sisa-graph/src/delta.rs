@@ -1,0 +1,214 @@
+//! Batched edge-stream mutations of an undirected graph.
+//!
+//! A [`GraphDelta`] is the unit of change of the streaming/dynamic-graph
+//! path: a batch of edge deletions followed by a batch of edge insertions,
+//! applied atomically to an immutable [`CsrGraph`] to produce its successor.
+//! Deltas are *sets of intents*, not logs: self-loops are dropped, endpoint
+//! order is irrelevant (`{u, v}` ≡ `{v, u}`), deleting an absent edge or
+//! inserting a present one is a no-op, and within one delta deletes apply
+//! **before** inserts — so a delta that deletes and re-inserts the same edge
+//! leaves it present.
+//!
+//! The registry applies deltas through its replace path
+//! ([`crate::GraphRegistry::mutate`]), ticking the per-name generation so
+//! anything keyed by `(name, generation)` — result caches, shard-resident
+//! loads — is invalidated structurally rather than by best-effort signals.
+
+use crate::{CsrGraph, Vertex};
+
+/// A batch of edge deletions and insertions against an undirected graph.
+///
+/// See the module docs for the exact semantics (deletes before inserts,
+/// unordered endpoints, no-op filtering).
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GraphDelta {
+    /// Edges to insert (applied after `deletes`).
+    pub inserts: Vec<(Vertex, Vertex)>,
+    /// Edges to delete (applied first).
+    pub deletes: Vec<(Vertex, Vertex)>,
+}
+
+impl GraphDelta {
+    /// An empty delta.
+    #[must_use]
+    pub fn new() -> Self {
+        GraphDelta::default()
+    }
+
+    /// Adds an edge insertion (builder form).
+    #[must_use]
+    pub fn insert(mut self, u: Vertex, v: Vertex) -> Self {
+        self.inserts.push((u, v));
+        self
+    }
+
+    /// Adds an edge deletion (builder form).
+    #[must_use]
+    pub fn delete(mut self, u: Vertex, v: Vertex) -> Self {
+        self.deletes.push((u, v));
+        self
+    }
+
+    /// Whether the delta carries no intents at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// Total intents (inserts + deletes), before no-op filtering.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+
+    /// The largest vertex id named by any intent, if any.
+    #[must_use]
+    pub fn max_vertex(&self) -> Option<Vertex> {
+        self.deletes
+            .iter()
+            .chain(self.inserts.iter())
+            .map(|&(u, v)| u.max(v))
+            .max()
+    }
+
+    /// The deletions in application order, as normalised `(min, max)` pairs
+    /// with self-loops dropped and duplicates removed.
+    #[must_use]
+    pub fn normalized_deletes(&self) -> Vec<(Vertex, Vertex)> {
+        normalize(&self.deletes)
+    }
+
+    /// The insertions in application order, as normalised `(min, max)` pairs
+    /// with self-loops dropped and duplicates removed.
+    #[must_use]
+    pub fn normalized_inserts(&self) -> Vec<(Vertex, Vertex)> {
+        normalize(&self.inserts)
+    }
+
+    /// Applies the delta to `g`, returning the successor graph: deletes
+    /// first, then inserts, each filtered to effective changes. The vertex
+    /// set grows to cover any inserted endpoint beyond `g`'s range (isolated
+    /// vertices are representable in CSR form).
+    #[must_use]
+    pub fn apply_to(&self, g: &CsrGraph) -> CsrGraph {
+        let n = g
+            .num_vertices()
+            .max(self.max_vertex().map_or(0, |v| v as usize + 1));
+        let mut adj: Vec<Vec<Vertex>> = (0..n)
+            .map(|v| {
+                if v < g.num_vertices() {
+                    g.neighbors(v as Vertex).to_vec()
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        for (u, v) in self.normalized_deletes() {
+            adj[u as usize].retain(|&w| w != v);
+            adj[v as usize].retain(|&w| w != u);
+        }
+        for (u, v) in self.normalized_inserts() {
+            if !adj[u as usize].contains(&v) {
+                adj[u as usize].push(v);
+                adj[v as usize].push(u);
+            }
+        }
+        CsrGraph::from_adjacency(adj, false, None)
+    }
+}
+
+/// Normalises an intent list: `(min, max)` endpoint order, self-loops
+/// dropped, duplicates removed with first-occurrence order preserved.
+fn normalize(edges: &[(Vertex, Vertex)]) -> Vec<(Vertex, Vertex)> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out = Vec::with_capacity(edges.len());
+    for &(u, v) in edges {
+        if u == v {
+            continue;
+        }
+        let edge = (u.min(v), u.max(v));
+        if seen.insert(edge) {
+            out.push(edge);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn normalisation_drops_self_loops_and_duplicates() {
+        let delta = GraphDelta::new()
+            .insert(3, 1)
+            .insert(1, 3)
+            .insert(2, 2)
+            .insert(0, 4);
+        assert_eq!(delta.normalized_inserts(), vec![(1, 3), (0, 4)]);
+        assert_eq!(delta.len(), 4, "len counts raw intents");
+        assert_eq!(delta.max_vertex(), Some(4));
+        assert!(GraphDelta::new().is_empty());
+    }
+
+    #[test]
+    fn apply_inserts_and_deletes_edges() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let next = GraphDelta::new().delete(1, 2).insert(0, 3).apply_to(&g);
+        assert_eq!(next.num_edges(), 3);
+        assert!(!next.has_edge(1, 2));
+        assert!(next.has_edge(0, 3));
+        assert!(next.has_edge(0, 1), "untouched edges survive");
+    }
+
+    #[test]
+    fn deletes_apply_before_inserts_so_reinsertion_wins() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]);
+        let next = GraphDelta::new().delete(0, 1).insert(0, 1).apply_to(&g);
+        assert!(next.has_edge(0, 1), "delete-then-reinsert leaves the edge");
+        assert_eq!(next.num_edges(), 1);
+    }
+
+    #[test]
+    fn no_op_intents_leave_the_graph_unchanged() {
+        let g = generators::erdos_renyi(20, 0.2, 7);
+        let next = GraphDelta::new()
+            .delete(0, 19) // harmless whether or not the edge exists
+            .insert(5, 5) // self-loop: dropped
+            .apply_to(&g);
+        assert_eq!(next.num_vertices(), g.num_vertices());
+        let baseline = if g.has_edge(0, 19) {
+            g.num_edges() - 1
+        } else {
+            g.num_edges()
+        };
+        assert_eq!(next.num_edges(), baseline);
+    }
+
+    #[test]
+    fn inserting_beyond_the_vertex_range_grows_the_graph() {
+        let g = CsrGraph::from_edges(2, &[(0, 1)]);
+        let next = GraphDelta::new().insert(1, 5).apply_to(&g);
+        assert_eq!(next.num_vertices(), 6);
+        assert!(next.has_edge(1, 5));
+        assert_eq!(next.degree(4), 0, "intermediate vertices are isolated");
+    }
+
+    #[test]
+    fn roundtrip_delta_restores_the_original_edge_set() {
+        let g = generators::erdos_renyi(30, 0.15, 11);
+        let removed: Vec<(Vertex, Vertex)> = g.edges().take(5).collect();
+        let mut forward = GraphDelta::new();
+        forward.deletes = removed.clone();
+        let mut backward = GraphDelta::new();
+        backward.inserts = removed;
+        let shrunk = forward.apply_to(&g);
+        assert_eq!(shrunk.num_edges(), g.num_edges() - 5);
+        let restored = backward.apply_to(&shrunk);
+        assert_eq!(restored.num_edges(), g.num_edges());
+        for (u, v) in g.edges() {
+            assert!(restored.has_edge(u, v));
+        }
+    }
+}

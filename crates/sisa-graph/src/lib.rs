@@ -9,6 +9,8 @@
 //!   the baseline storage format both the paper's hand-tuned algorithms and
 //!   SISA's hybrid set-graph are built on.
 //! * [`GraphBuilder`] — incremental edge-list construction with deduplication.
+//! * [`GraphDelta`] — batched edge insertions/deletions, applied through the
+//!   registry's generation-ticking replace path (streaming graph updates).
 //! * [`orientation`] — exact and approximate degeneracy orderings (§5.1.5,
 //!   Algorithm 6), k-core extraction and degeneracy-ordered orientation, the
 //!   optimisation used by the k-clique and Bron–Kerbosch formulations.
@@ -32,6 +34,7 @@
 pub mod csr;
 pub mod datasets;
 pub mod degree;
+pub mod delta;
 pub mod generators;
 pub mod io;
 pub mod labels;
@@ -40,6 +43,7 @@ pub mod properties;
 pub mod registry;
 
 pub use csr::{CsrGraph, GraphBuilder};
+pub use delta::GraphDelta;
 pub use labels::{EdgeLabels, LabeledGraph};
 pub use orientation::{approximate_degeneracy_order, degeneracy_order, DegeneracyOrdering};
 pub use registry::{GraphLease, GraphRegistry, RegistryConfig};

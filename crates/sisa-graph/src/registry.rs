@@ -33,6 +33,7 @@
 //! eviction only drops the registry's own handle.
 
 use crate::datasets;
+use crate::delta::GraphDelta;
 use crate::CsrGraph;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
@@ -92,6 +93,7 @@ struct Inner {
     name_generations: BTreeMap<String, u64>,
     generations: u64,
     evictions: u64,
+    mutations: u64,
     touch: u64,
 }
 
@@ -220,6 +222,50 @@ impl GraphRegistry {
         );
         inner.enforce_capacity(self.cfg.max_resident);
         graph
+    }
+
+    /// Applies an edge-stream [`GraphDelta`] to `name` through the replace
+    /// path: the current graph (resident, or materialised afresh from the
+    /// dataset stand-in) is succeeded by `delta.apply_to(current)` under a
+    /// **ticked** per-name generation, and the new lease is returned.
+    ///
+    /// Because mutation goes through the same generation discipline as
+    /// register/evict, every consumer keyed by `(name, generation)` — the
+    /// service's result cache, each worker's shard-resident load — is
+    /// invalidated *structurally*: a pre-mutation key can never match a
+    /// post-mutation lookup. Returns `None` (without ticking anything) when
+    /// `name` is neither registered nor a known dataset.
+    pub fn mutate(&self, name: &str, delta: &GraphDelta) -> Option<GraphLease> {
+        let mut inner = self.inner.lock().expect("registry lock");
+        let current: Arc<CsrGraph> = match inner.graphs.get(name) {
+            Some(entry) => Arc::clone(&entry.graph),
+            None => Arc::new(datasets::by_name(name)?.generate(self.seed)),
+        };
+        let next = Arc::new(delta.apply_to(&current));
+        inner.generations += 1;
+        inner.mutations += 1;
+        let generation = inner.tick(name);
+        let last_used = inner.touch();
+        inner.graphs.insert(
+            name.to_string(),
+            Entry {
+                graph: Arc::clone(&next),
+                generation,
+                last_used,
+            },
+        );
+        inner.enforce_capacity(self.cfg.max_resident);
+        Some(GraphLease {
+            graph: next,
+            generation,
+        })
+    }
+
+    /// How many deltas were applied through [`GraphRegistry::mutate`] over
+    /// the registry's lifetime.
+    #[must_use]
+    pub fn mutations(&self) -> u64 {
+        self.inner.lock().expect("registry lock").mutations
     }
 
     /// Drops the registry's handle for `name`, ticking the name's
@@ -440,6 +486,48 @@ mod tests {
         reg.register("next", generators::erdos_renyi(8, 0.4, 6));
         assert!(!reg.contains("keep"), "evicted by capacity");
         assert_eq!(lease.num_vertices(), 16, "the lease still works");
+    }
+
+    #[test]
+    fn mutation_replaces_the_graph_and_ticks_the_generation() {
+        let reg = GraphRegistry::new(7);
+        reg.register("g", CsrGraph::from_edges(4, &[(0, 1), (1, 2)]));
+        let before = reg.acquire_lease("g").expect("registered");
+        let delta = GraphDelta::new().insert(2, 3).delete(0, 1);
+        let after = reg.mutate("g", &delta).expect("mutable");
+        assert!(
+            after.generation > before.generation,
+            "mutation ticks the per-name generation"
+        );
+        assert!(after.graph.has_edge(2, 3));
+        assert!(!after.graph.has_edge(0, 1));
+        assert!(before.graph.has_edge(0, 1), "old leases stay immutable");
+        assert_eq!(reg.mutations(), 1);
+        // The resident entry now serves the mutated graph.
+        let lease = reg.acquire_lease("g").expect("resident");
+        assert!(Arc::ptr_eq(&lease.graph, &after.graph));
+        assert_eq!(lease.generation, after.generation);
+    }
+
+    #[test]
+    fn mutating_a_non_resident_dataset_materialises_it_first() {
+        let reg = GraphRegistry::new(7);
+        let baseline = GraphRegistry::new(7).acquire("bn-mouse").unwrap();
+        let delta = GraphDelta::new().insert(0, 1).insert(0, 2);
+        let lease = reg.mutate("bn-mouse", &delta).expect("known dataset");
+        assert!(lease.graph.has_edge(0, 1));
+        assert!(lease.graph.has_edge(0, 2));
+        let added = [!baseline.has_edge(0, 1), !baseline.has_edge(0, 2)]
+            .iter()
+            .filter(|&&b| b)
+            .count();
+        assert_eq!(lease.graph.num_edges(), baseline.num_edges() + added);
+        assert!(reg.mutate("no-such-graph", &delta).is_none());
+        assert_eq!(
+            reg.generation_of("no-such-graph"),
+            0,
+            "failed mutate is free"
+        );
     }
 
     #[test]

@@ -84,14 +84,21 @@ impl Admission {
     }
 
     /// Publishes the in-flight gauges after a state change touching `tenant`.
+    /// A tenant that drops to zero in flight has its labelled gauge
+    /// *removed* rather than set to zero — otherwise every tenant name ever
+    /// seen would stay resident in the metrics registry (and in every
+    /// scrape) forever, the same leak the in-flight map itself avoids by
+    /// pruning zero entries.
     fn publish(&self, state: &AdmState, tenant: &str) {
         if let Some(metrics) = &self.metrics {
             metrics.gauge_set("sisa_admission_in_flight", state.in_flight as i64);
-            let tenant_inflight = state.per_tenant.get(tenant).copied().unwrap_or(0);
-            metrics.gauge_set(
-                &format!("sisa_admission_tenant_in_flight{{tenant=\"{tenant}\"}}"),
-                tenant_inflight as i64,
-            );
+            let name = format!("sisa_admission_tenant_in_flight{{tenant=\"{tenant}\"}}");
+            match state.per_tenant.get(tenant) {
+                Some(&n) => metrics.gauge_set(&name, n as i64),
+                None => {
+                    metrics.gauge_remove(&name);
+                }
+            }
         }
     }
 
@@ -179,6 +186,21 @@ impl Admission {
     pub fn config(&self) -> &AdmissionConfig {
         &self.cfg
     }
+
+    /// The tenants for which the controller currently holds per-tenant
+    /// state. Entries are pruned the moment a tenant's in-flight count hits
+    /// zero, so this is bounded by the *concurrently active* tenants, not by
+    /// every tenant name ever admitted; exposed so tests can pin that.
+    #[must_use]
+    pub fn tracked_tenants(&self) -> Vec<String> {
+        self.state
+            .lock()
+            .expect("admission lock")
+            .per_tenant
+            .keys()
+            .cloned()
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -242,10 +264,36 @@ mod tests {
         adm.complete("t");
         let snap = metrics.snapshot();
         assert_eq!(snap.gauges["sisa_admission_in_flight"], 0);
-        assert_eq!(
-            snap.gauges["sisa_admission_tenant_in_flight{tenant=\"t\"}"],
-            0
+        assert!(
+            !snap
+                .gauges
+                .contains_key("sisa_admission_tenant_in_flight{tenant=\"t\"}"),
+            "a tenant with nothing in flight has no labelled gauge at all"
         );
+    }
+
+    #[test]
+    fn tenant_state_and_gauges_are_pruned_when_in_flight_drops_to_zero() {
+        // Regression: per-tenant residue must be bounded by *concurrently
+        // active* tenants. The in-flight map already pruned zero entries;
+        // the labelled gauge used to stay at 0 forever.
+        let metrics = Arc::new(MetricsRegistry::new());
+        let adm = Admission::with_metrics(AdmissionConfig::default(), Arc::clone(&metrics));
+        for i in 0..100 {
+            let tenant = format!("one-shot-{i}");
+            adm.try_admit(&tenant).unwrap();
+            assert_eq!(adm.tracked_tenants(), vec![tenant.clone()]);
+            adm.complete(&tenant);
+            assert!(adm.tracked_tenants().is_empty());
+        }
+        let snap = metrics.snapshot();
+        let labelled = snap
+            .gauges
+            .keys()
+            .filter(|name| name.starts_with("sisa_admission_tenant_in_flight"))
+            .count();
+        assert_eq!(labelled, 0, "no per-tenant gauge survives completion");
+        assert_eq!(snap.gauges["sisa_admission_in_flight"], 0);
     }
 
     #[test]

@@ -26,6 +26,18 @@
 //!   in their own ledger column) and is invalidated structurally by the
 //!   registry's generation ticks. Sized by
 //!   [`ServiceConfig::cache_entries`] / [`ServiceConfig::cache_bytes`].
+//! * **Streaming mutations** — the `mutate` request family
+//!   ([`QueryKind::Mutate`]) applies batched edge inserts and deletes
+//!   ([`GraphDelta`]) through the registry's replace path, ticking the
+//!   per-name generation so every cached result for the graph dies
+//!   structurally. The affinity worker maintains triangle / k-clique counts
+//!   **incrementally** ([`ServiceConfig::stream_ks`]): per changed edge it
+//!   intersects the endpoints' adjacency sets on the set engine — priced on
+//!   the PIM cost model and billed to the mutating tenant — instead of
+//!   recomputing from scratch, and serves subsequent unbudgeted counts
+//!   straight from the maintained counters. Mutations are never coalesced
+//!   and never answered from the cache, and worker affinity orders them
+//!   against queries on the same graph.
 //! * **Weighted-fair scheduler** ([`WfqScheduler`]) — per-tenant FIFOs
 //!   drained by weighted deficit round-robin
 //!   ([`ServiceConfig::tenant_weights`], absent = weight 1), so a flooding
@@ -74,8 +86,29 @@
 //! assert_eq!(outcome.value, 1);
 //! assert!(outcome.stats.simulated_cycles > 0);
 //!
+//! // Stream an update: one effective edge change, the cached triangle
+//! // count dies with the generation tick, and the new count is maintained
+//! // incrementally rather than recomputed.
+//! let mutation = service
+//!     .submit(
+//!         "alice",
+//!         QuerySpec::new(
+//!             "demo",
+//!             QueryKind::Mutate(sisa_service::GraphDelta::new().insert(1, 3)),
+//!         ),
+//!     )
+//!     .expect("admitted");
+//! assert_eq!(mutation.wait().expect("applies").value, 1);
+//! let after = service
+//!     .submit("alice", QuerySpec::new("demo", QueryKind::TriangleCount))
+//!     .expect("admitted")
+//!     .wait()
+//!     .expect("completes");
+//! assert_eq!(after.value, 2);
+//!
 //! let usage = service.tenant_usage();
-//! assert_eq!(usage["alice"].queries, 1);
+//! assert_eq!(usage["alice"].queries, 2);
+//! assert_eq!(usage["alice"].mutations, 1);
 //! service.close();
 //! ```
 //!
@@ -118,4 +151,4 @@ pub use wfq::WfqScheduler;
 pub use sisa_core::{MetricsRegistry, MetricsSnapshot, SharedCollector};
 
 // Registry types surfaced through `ServiceConfig`.
-pub use sisa_graph::{GraphLease, RegistryConfig};
+pub use sisa_graph::{GraphDelta, GraphLease, RegistryConfig};

@@ -23,6 +23,7 @@
 use crate::query::{QueryKind, QueryOutcome, QuerySpec, Rejection};
 use serde::{Content, Deserialize, Serialize};
 use sisa_core::MetricsSnapshot;
+use sisa_graph::{GraphDelta, Vertex};
 
 /// A parsed request line.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -39,12 +40,24 @@ pub struct Request {
     pub k: Option<u64>,
     /// Optional pattern budget.
     pub budget: Option<u64>,
+    /// Edges to insert, as `[u, v]` pairs (`mutate` only; applied after
+    /// `deletes`).
+    pub inserts: Option<Vec<(u64, u64)>>,
+    /// Edges to delete, as `[u, v]` pairs (`mutate` only; applied first).
+    pub deletes: Option<Vec<(u64, u64)>>,
 }
 
 impl Request {
     /// Builds a request for `spec`.
     #[must_use]
     pub fn from_spec(id: u64, tenant: &str, spec: &QuerySpec) -> Self {
+        let (inserts, deletes) = match &spec.kind {
+            QueryKind::Mutate(delta) => (
+                Some(wire_edges(&delta.inserts)),
+                Some(wire_edges(&delta.deletes)),
+            ),
+            _ => (None, None),
+        };
         Request {
             id,
             tenant: tenant.to_string(),
@@ -52,6 +65,8 @@ impl Request {
             query: spec.kind.wire_name().to_string(),
             k: spec.kind.k().map(|k| k as u64),
             budget: spec.budget,
+            inserts,
+            deletes,
         }
     }
 
@@ -59,8 +74,24 @@ impl Request {
     ///
     /// # Errors
     ///
-    /// Returns a protocol-level message for unknown kinds or bad parameters.
+    /// Returns a protocol-level message for unknown kinds or bad parameters
+    /// (for `mutate`: absent/empty edge lists, or vertex ids beyond the
+    /// 32-bit vertex range).
     pub fn spec(&self) -> Result<QuerySpec, String> {
+        if self.query == "mutate" {
+            let delta = GraphDelta {
+                inserts: parse_edges("inserts", self.inserts.as_deref())?,
+                deletes: parse_edges("deletes", self.deletes.as_deref())?,
+            };
+            if delta.is_empty() {
+                return Err("mutate requires a non-empty `inserts` or `deletes`".to_string());
+            }
+            return Ok(QuerySpec {
+                graph: self.graph.clone(),
+                kind: QueryKind::Mutate(delta),
+                budget: None,
+            });
+        }
         let kind = QueryKind::from_wire(&self.query, self.k)?;
         Ok(QuerySpec {
             graph: self.graph.clone(),
@@ -97,6 +128,38 @@ impl Request {
                 _ => Err(format!("missing or non-string field `{key}`")),
             }
         };
+        let get_edges = |key: &str| -> Result<Option<Vec<(u64, u64)>>, String> {
+            let endpoint = |c: &Content| -> Result<u64, String> {
+                match c {
+                    Content::U64(n) => Ok(*n),
+                    Content::I64(n) if *n >= 0 => Ok(*n as u64),
+                    other => Err(format!(
+                        "edge endpoint is not an unsigned integer: {other:?}"
+                    )),
+                }
+            };
+            match value.get(key) {
+                None | Some(Content::Null) => Ok(None),
+                Some(Content::Seq(items)) => {
+                    let mut out = Vec::with_capacity(items.len());
+                    for item in items {
+                        match item {
+                            Content::Seq(pair) if pair.len() == 2 => {
+                                out.push((endpoint(&pair[0])?, endpoint(&pair[1])?));
+                            }
+                            other => {
+                                return Err(format!(
+                                    "field `{key}` entries must be `[u, v]` pairs, \
+                                     found {other:?}"
+                                ))
+                            }
+                        }
+                    }
+                    Ok(Some(out))
+                }
+                Some(other) => Err(format!("field `{key}` is not an array: {other:?}")),
+            }
+        };
         let query = get_str("query")?;
         let (tenant, graph) = if query == "metrics" {
             (
@@ -113,8 +176,30 @@ impl Request {
             query,
             k: get_u64("k")?,
             budget: get_u64("budget")?,
+            inserts: get_edges("inserts")?,
+            deletes: get_edges("deletes")?,
         })
     }
+}
+
+/// Renders vertex-typed edges as wire (`u64`) pairs.
+fn wire_edges(edges: &[(Vertex, Vertex)]) -> Vec<(u64, u64)> {
+    edges
+        .iter()
+        .map(|&(u, v)| (u64::from(u), u64::from(v)))
+        .collect()
+}
+
+/// Validates wire edge pairs into vertex-typed edges.
+fn parse_edges(key: &str, edges: Option<&[(u64, u64)]>) -> Result<Vec<(Vertex, Vertex)>, String> {
+    let mut out = Vec::with_capacity(edges.map_or(0, <[_]>::len));
+    for &(u, v) in edges.unwrap_or_default() {
+        let narrow = |n: u64| {
+            Vertex::try_from(n).map_err(|_| format!("`{key}` vertex id {n} exceeds vertex range"))
+        };
+        out.push((narrow(u)?, narrow(v)?));
+    }
+    Ok(out)
 }
 
 /// One response line. `frame` selects which optional fields are populated:
@@ -330,6 +415,56 @@ mod tests {
         )
         .is_terminal());
         assert!(Frame::error(0, "bad line").is_terminal());
+    }
+
+    #[test]
+    fn mutate_requests_carry_edge_lists_and_round_trip() {
+        let req = Request::parse(
+            r#"{"id": 4, "tenant": "t", "graph": "g", "query": "mutate",
+                "inserts": [[0, 1], [2, 3]], "deletes": [[5, 6]]}"#,
+        )
+        .expect("parses");
+        let spec = req.spec().expect("valid mutate");
+        let QueryKind::Mutate(delta) = &spec.kind else {
+            panic!("expected a mutation, got {:?}", spec.kind);
+        };
+        assert_eq!(delta.inserts, vec![(0, 1), (2, 3)]);
+        assert_eq!(delta.deletes, vec![(5, 6)]);
+        assert_eq!(spec.budget, None);
+
+        // from_spec ↔ parse round-trips through the JSON codec.
+        let rebuilt = Request::from_spec(4, "t", &spec);
+        let json = serde_json::to_string(&rebuilt).unwrap();
+        let back = Request::parse(&json).unwrap();
+        assert_eq!(back.spec().unwrap(), spec);
+    }
+
+    #[test]
+    fn malformed_mutations_are_rejected_with_messages() {
+        // Empty delta.
+        let req =
+            Request::parse(r#"{"id": 1, "tenant": "t", "graph": "g", "query": "mutate"}"#).unwrap();
+        assert!(req.spec().unwrap_err().contains("non-empty"));
+        // Vertex id beyond the 32-bit range.
+        let req = Request::parse(
+            r#"{"id": 1, "tenant": "t", "graph": "g", "query": "mutate",
+                "inserts": [[0, 5000000000]]}"#,
+        )
+        .unwrap();
+        assert!(req.spec().unwrap_err().contains("vertex range"));
+        // Non-pair entries fail at parse time.
+        assert!(Request::parse(
+            r#"{"id": 1, "tenant": "t", "graph": "g", "query": "mutate", "inserts": [[1]]}"#
+        )
+        .is_err());
+        assert!(Request::parse(
+            r#"{"id": 1, "tenant": "t", "graph": "g", "query": "mutate", "inserts": 3}"#
+        )
+        .is_err());
+        assert!(Request::parse(
+            r#"{"id": 1, "tenant": "t", "graph": "g", "query": "mutate", "inserts": [[1, -2]]}"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! and the per-query accounting carved out of the engine pool.
 
 use sisa_core::ExecStats;
+use sisa_graph::GraphDelta;
 
 /// A mining query the service knows how to execute.
 ///
@@ -25,6 +26,12 @@ pub enum QueryKind {
         /// Number of leaves of the star pattern (`k >= 1`).
         k: usize,
     },
+    /// A streaming mutation: apply the delta (deletes, then inserts) to the
+    /// named graph through the registry's replace path, ticking its
+    /// generation, and maintain the worker's incremental clique counts.
+    /// Never answered from the cache and never coalesced; the outcome value
+    /// is the number of edge intents that actually changed the graph.
+    Mutate(GraphDelta),
 }
 
 impl QueryKind {
@@ -35,6 +42,7 @@ impl QueryKind {
             QueryKind::TriangleCount => "tc",
             QueryKind::KCliqueCount { .. } => "kclique",
             QueryKind::StarCount { .. } => "star",
+            QueryKind::Mutate(_) => "mutate",
         }
     }
 
@@ -42,9 +50,17 @@ impl QueryKind {
     #[must_use]
     pub fn k(&self) -> Option<usize> {
         match self {
-            QueryKind::TriangleCount => None,
+            QueryKind::TriangleCount | QueryKind::Mutate(_) => None,
             QueryKind::KCliqueCount { k } | QueryKind::StarCount { k } => Some(*k),
         }
+    }
+
+    /// Whether this kind mutates its graph. Mutations bypass the result
+    /// cache (they *invalidate* it), are never coalesced, and are ordered
+    /// against queries on the same graph by worker affinity.
+    #[must_use]
+    pub fn is_mutation(&self) -> bool {
+        matches!(self, QueryKind::Mutate(_))
     }
 
     /// Parses a wire-level (`query`, `k`) pair, validating parameter bounds.
@@ -70,7 +86,14 @@ impl QueryKind {
                 }
                 Ok(QueryKind::StarCount { k })
             }
-            other => Err(format!("unknown query kind {other:?} (tc|kclique|star)")),
+            "mutate" => Err(
+                "mutate carries edge lists, not a (query, k) pair; build it from the \
+                 request's `inserts`/`deletes` fields"
+                    .to_string(),
+            ),
+            other => Err(format!(
+                "unknown query kind {other:?} (tc|kclique|star|mutate)"
+            )),
         }
     }
 }
@@ -291,5 +314,17 @@ mod tests {
         assert_eq!(QueryKind::TriangleCount.to_string(), "tc");
         assert_eq!(QueryKind::KCliqueCount { k: 5 }.to_string(), "kclique5");
         assert_eq!(QueryKind::StarCount { k: 3 }.to_string(), "star3");
+        assert_eq!(QueryKind::Mutate(GraphDelta::new()).to_string(), "mutate");
+    }
+
+    #[test]
+    fn mutations_are_flagged_and_not_wire_parseable_from_k_alone() {
+        let kind = QueryKind::Mutate(GraphDelta::new().insert(0, 1));
+        assert!(kind.is_mutation());
+        assert_eq!(kind.k(), None);
+        assert!(!QueryKind::TriangleCount.is_mutation());
+        assert!(QueryKind::from_wire("mutate", None)
+            .unwrap_err()
+            .contains("inserts"));
     }
 }

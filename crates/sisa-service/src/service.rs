@@ -49,6 +49,13 @@ pub struct ServiceConfig {
     /// With equal weights every backlogged tenant gets an equal share of
     /// each worker's throughput regardless of offered load.
     pub tenant_weights: BTreeMap<String, u64>,
+    /// Clique sizes (`k >= 3`) every worker maintains incrementally for
+    /// graphs that receive streaming mutations: after a `mutate`, unbudgeted
+    /// triangle counts (`k = 3`) and k-clique counts for these sizes are
+    /// served from the maintained counters instead of re-mining. Empty
+    /// disables incremental maintenance (mutations still apply and still
+    /// tick generations).
+    pub stream_ks: Vec<usize>,
     /// Batch operations per `execute` window of a batched (unbudgeted)
     /// triangle count; one streamed progress frame is emitted per window.
     pub progress_window_ops: usize,
@@ -75,6 +82,7 @@ impl Default for ServiceConfig {
             cache_entries: 1024,
             cache_bytes: 16 << 20,
             tenant_weights: BTreeMap::new(),
+            stream_ks: vec![3, 4],
             progress_window_ops: 2048,
             seed: 42,
             collector: None,
@@ -130,6 +138,10 @@ pub(crate) enum DispatchMsg {
 pub struct TenantUsage {
     /// Queries executed (billed) for this tenant.
     pub queries: u64,
+    /// Streaming mutations applied (billed) for this tenant. Counted apart
+    /// from `queries`: a mutation changes the graph rather than answering a
+    /// question about it.
+    pub mutations: u64,
     /// Responses served from a coalesced execution at zero cost.
     pub coalesced: u64,
     /// Responses served from the result cache at zero engine cost. Like
@@ -158,6 +170,7 @@ pub(crate) struct LedgerInner {
     pub(crate) coalesced_total: u64,
     pub(crate) cache_hits_total: u64,
     pub(crate) failed_total: u64,
+    pub(crate) mutations_total: u64,
 }
 
 impl LedgerInner {
@@ -193,6 +206,19 @@ impl LedgerInner {
         self.cache_hits_total += 1;
     }
 
+    /// Accounts an applied streaming mutation: billed to the mutating
+    /// tenant exactly like a query's execution delta (so conservation stays
+    /// exact), but counted in its own `mutations` column — the tenant
+    /// changed the graph, it did not get a mining answer.
+    pub(crate) fn record_mutation(&mut self, tenant: &str, delta: &ExecStats, wall_ns: u64) {
+        let usage = self.tenant(tenant);
+        usage.mutations += 1;
+        usage.wall_ns += wall_ns;
+        usage.stats.merge(delta);
+        self.completed += 1;
+        self.mutations_total += 1;
+    }
+
     pub(crate) fn record_failed(&mut self, tenant: &str) {
         self.tenant(tenant).failed += 1;
         self.failed_total += 1;
@@ -215,8 +241,10 @@ impl LedgerInner {
 /// A snapshot of the service's aggregate counters.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ServiceReport {
-    /// Queries completed (executed + coalesced + cache hits).
+    /// Requests completed (executed + coalesced + cache hits + mutations).
     pub completed: u64,
+    /// Streaming mutations applied.
+    pub mutations: u64,
     /// Responses served by coalescing.
     pub coalesced: u64,
     /// Responses served from the result cache at zero engine cost.
@@ -369,6 +397,7 @@ impl SisaService {
             let sisa = cfg.sisa;
             let graph_cfg = cfg.graph;
             let window = cfg.progress_window_ops;
+            let stream_ks = cfg.stream_ks.clone();
             let join = std::thread::Builder::new()
                 .name(format!("sisa-service-worker-{i}"))
                 .spawn(move || {
@@ -387,6 +416,7 @@ impl SisaService {
                         worker_cache,
                         graph_cfg,
                         window,
+                        stream_ks,
                         i,
                         done,
                     )
@@ -564,6 +594,7 @@ impl SisaService {
         let ledger = self.ledger.lock().expect("ledger lock");
         ServiceReport {
             completed: ledger.completed,
+            mutations: ledger.mutations_total,
             coalesced: ledger.coalesced_total,
             cache_hits: ledger.cache_hits_total,
             failed: ledger.failed_total,
@@ -710,15 +741,20 @@ impl Dispatcher {
     /// Accepts one admitted job: answered from the cache right here when the
     /// current graph generation holds the result (a hit never occupies more
     /// of its admission slot than a map lookup), queued under its tenant on
-    /// its affinity worker otherwise.
+    /// its affinity worker otherwise. Mutations never consult the cache —
+    /// they are what *invalidates* it — and always queue, so they stay
+    /// ordered behind earlier queries on the same graph (same affinity
+    /// worker, same WFQ backlog).
     fn intake(&mut self, job: Job) {
-        let generation = self.registry.generation_of(&job.spec.graph);
-        if let Some(hit) = self.cache.get(generation, &job.spec) {
-            self.serve_hit(job, &hit);
-            return;
+        if !job.spec.kind.is_mutation() {
+            let generation = self.registry.generation_of(&job.spec.graph);
+            if let Some(hit) = self.cache.get(generation, &job.spec) {
+                self.serve_hit(job, &hit);
+                return;
+            }
+            self.metrics.counter_add("sisa_cache_misses_total", 1);
+            self.publish_hit_ratio();
         }
-        self.metrics.counter_add("sisa_cache_misses_total", 1);
-        self.publish_hit_ratio();
         let target = worker_for(&job.spec.graph, self.schedulers.len());
         let tenant = job.tenant.clone();
         self.schedulers[target].enqueue(&tenant, job);
@@ -761,20 +797,28 @@ impl Dispatcher {
                 let Some((tenant, job)) = self.schedulers[worker].pop() else {
                     break;
                 };
-                let generation = self.registry.generation_of(&job.spec.graph);
-                if let Some(hit) = self.cache.recheck(generation, &job.spec) {
-                    self.serve_hit(job, &hit);
-                    self.publish_depth(&tenant);
-                    continue;
+                let mutation = job.spec.kind.is_mutation();
+                if !mutation {
+                    let generation = self.registry.generation_of(&job.spec.graph);
+                    if let Some(hit) = self.cache.recheck(generation, &job.spec) {
+                        self.serve_hit(job, &hit);
+                        self.publish_depth(&tenant);
+                        continue;
+                    }
                 }
                 let spec = job.spec.clone();
                 let mut entries = vec![job];
                 let mut touched = vec![tenant];
-                for (sibling_tenant, sibling) in
-                    self.schedulers[worker].drain_matching(self.window - 1, |j| j.spec == spec)
-                {
-                    entries.push(sibling);
-                    touched.push(sibling_tenant);
+                // Mutations are never coalesced: every mutate request is an
+                // intent to change the graph and executes by itself, in
+                // queue order.
+                if !mutation {
+                    for (sibling_tenant, sibling) in
+                        self.schedulers[worker].drain_matching(self.window - 1, |j| j.spec == spec)
+                    {
+                        entries.push(sibling);
+                        touched.push(sibling_tenant);
+                    }
                 }
                 touched.sort();
                 touched.dedup();
@@ -791,13 +835,18 @@ impl Dispatcher {
         }
     }
 
-    /// Publishes one tenant's total WFQ backlog (summed across workers).
+    /// Publishes one tenant's total WFQ backlog (summed across workers). A
+    /// tenant whose backlog has drained to zero has its labelled gauge
+    /// *removed* — matching the schedulers' own pruning — so the metrics
+    /// registry never accretes one gauge per tenant name ever seen.
     fn publish_depth(&self, tenant: &str) {
         let depth: usize = self.schedulers.iter().map(|s| s.depth(tenant)).sum();
-        self.metrics.gauge_set(
-            &format!("sisa_wfq_queue_depth{{tenant=\"{tenant}\"}}"),
-            depth as i64,
-        );
+        let name = format!("sisa_wfq_queue_depth{{tenant=\"{tenant}\"}}");
+        if depth == 0 {
+            self.metrics.gauge_remove(&name);
+        } else {
+            self.metrics.gauge_set(&name, depth as i64);
+        }
     }
 
     /// Publishes the cache hit-ratio gauge (permille of all lookups).

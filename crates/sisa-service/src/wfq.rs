@@ -114,12 +114,19 @@ impl<T> WfqScheduler<T> {
             };
             let Some(item) = queue.pop_front() else {
                 // Queue drained mid-round (or emptied by drain_matching):
-                // the unused deficit is discarded, per standard DRR.
+                // the unused deficit is discarded, per standard DRR, and the
+                // empty per-tenant entry is pruned so one-shot tenants leave
+                // no residue behind.
+                self.queues.remove(&tenant);
                 continue;
             };
             self.len -= 1;
-            if credit > 1 && !queue.is_empty() {
+            let drained = queue.is_empty();
+            if credit > 1 && !drained {
                 self.round.push_front((tenant.clone(), credit - 1));
+            }
+            if drained {
+                self.queues.remove(&tenant);
             }
             return Some((tenant, item));
         }
@@ -146,6 +153,9 @@ impl<T> WfqScheduler<T> {
             }
             *queue = kept;
         }
+        // Entries fully emptied by the drain are pruned (round credits are
+        // untouched; `pop` skips and prunes stale round entries).
+        self.queues.retain(|_, queue| !queue.is_empty());
         self.len -= drained.len();
         drained
     }
@@ -161,7 +171,16 @@ impl<T> WfqScheduler<T> {
         }
         self.len = 0;
         self.round.clear();
+        self.queues.clear();
         drained
+    }
+
+    /// The tenants for which the scheduler currently holds *any* state in
+    /// its queue map. With pruning this always equals [`Self::backlogged`];
+    /// it exists so tests can pin that one-shot tenants leave no residue.
+    #[must_use]
+    pub fn tracked_tenants(&self) -> Vec<String> {
+        self.queues.keys().cloned().collect()
     }
 
     /// The tenants currently holding a non-empty queue.
@@ -281,6 +300,50 @@ mod tests {
         };
         assert!(rest.contains(&3));
         assert!(rest.contains(&7), "over-limit duplicate still queued");
+    }
+
+    #[test]
+    fn emptied_tenant_queues_are_pruned_without_disturbing_round_credits() {
+        // Regression: `queues` used to keep an empty VecDeque per tenant
+        // forever, so state grew with every tenant name ever seen.
+        let mut s: WfqScheduler<u32> = WfqScheduler::new(BTreeMap::from([("big".to_string(), 3)]));
+        for i in 0..6 {
+            s.enqueue("big", i);
+        }
+        for i in 0..2 {
+            s.enqueue("small", 10 + i);
+        }
+        // Same WDRR service order as before pruning existed.
+        let mut order = Vec::new();
+        let mut tracked_peak = s.tracked_tenants().len();
+        while let Some((tenant, _)) = s.pop() {
+            order.push(tenant);
+            tracked_peak = tracked_peak.max(s.tracked_tenants().len());
+            assert_eq!(
+                s.tracked_tenants(),
+                s.backlogged(),
+                "no empty queue entries linger after a pop"
+            );
+        }
+        assert_eq!(
+            order,
+            vec!["small", "big", "big", "big", "small", "big", "big", "big"]
+        );
+        assert_eq!(tracked_peak, 2);
+        assert!(s.tracked_tenants().is_empty());
+
+        // drain_matching that empties a tenant prunes its entry too.
+        s.enqueue("a", 7);
+        s.enqueue("b", 7);
+        s.enqueue("b", 3);
+        let drained = s.drain_matching(usize::MAX, |&item| item == 7);
+        assert_eq!(drained.len(), 2);
+        assert_eq!(s.tracked_tenants(), vec!["b".to_string()]);
+
+        // drain_all clears the map outright.
+        s.enqueue("c", 1);
+        s.drain_all();
+        assert!(s.tracked_tenants().is_empty());
     }
 
     #[test]

@@ -12,10 +12,11 @@
 
 use crate::admission::Admission;
 use crate::cache::{CachedResult, ResultCache};
-use crate::query::{QueryEvent, QueryKind, QueryOutcome, QueryStats};
+use crate::query::{QueryEvent, QueryKind, QueryOutcome, QuerySpec, QueryStats};
 use crate::service::{DispatchMsg, Job, JobGroup, LedgerInner};
 use sisa_algorithms::setcentric::{
     k_clique_count, orient_by_degeneracy, star_pattern, subgraph_isomorphism_count, triangle_count,
+    StreamingMiner,
 };
 use sisa_algorithms::SearchLimits;
 use sisa_core::{
@@ -58,6 +59,16 @@ struct ResidentGraph {
     queries_served: u64,
 }
 
+/// The incrementally-maintained dynamic graph of a name that has received
+/// streaming mutations on this worker: a [`StreamingMiner`] plus the
+/// registry generation its state corresponds to. While `generation` matches
+/// the registry's current per-name generation, the maintained counts are
+/// exact answers for unbudgeted triangle / tracked k-clique queries.
+struct StreamState {
+    generation: u64,
+    miner: StreamingMiner,
+}
+
 pub(crate) struct Worker {
     pub(crate) engine: ShardedEngine<SisaRuntime>,
     pub(crate) registry: Arc<GraphRegistry>,
@@ -74,6 +85,9 @@ pub(crate) struct Worker {
     /// queues.
     done: Sender<DispatchMsg>,
     graphs: BTreeMap<String, ResidentGraph>,
+    /// Clique sizes maintained incrementally for mutated graphs.
+    stream_ks: Vec<usize>,
+    streams: BTreeMap<String, StreamState>,
 }
 
 /// Saturating nanoseconds of a host duration.
@@ -92,6 +106,7 @@ impl Worker {
         cache: Arc<ResultCache>,
         graph_cfg: SetGraphConfig,
         progress_window_ops: usize,
+        stream_ks: Vec<usize>,
         index: usize,
         done: Sender<DispatchMsg>,
     ) -> Self {
@@ -107,6 +122,8 @@ impl Worker {
             index,
             done,
             graphs: BTreeMap::new(),
+            stream_ks,
+            streams: BTreeMap::new(),
         }
     }
 
@@ -170,9 +187,20 @@ impl Worker {
         Ok(())
     }
 
-    /// Deletes the shard-resident sets of `name`; the deletion cost is
-    /// billed to the registry ledger.
+    /// Deletes the shard-resident sets of `name` (both the static loads and
+    /// any streaming state); the deletion cost is billed to the registry
+    /// ledger.
     fn evict(&mut self, name: &str) {
+        if let Some(stream) = self.streams.remove(name) {
+            let scope = StatsScope::begin(self.engine.stats());
+            stream.miner.unload(&mut self.engine);
+            let delta = scope.finish(self.engine.stats());
+            self.ledger
+                .lock()
+                .expect("ledger lock")
+                .registry_stats
+                .merge(&delta);
+        }
         let Some(resident) = self.graphs.remove(name) else {
             return;
         };
@@ -224,8 +252,18 @@ impl Worker {
 
     /// Executes one coalesced group: the query runs once, the first entry is
     /// billed for it, and every other entry receives the shared value with a
-    /// zero-cost `coalesced` record.
+    /// zero-cost `coalesced` record. Mutations take their own path, and a
+    /// query whose answer is an incrementally-maintained stream counter is
+    /// served from it without re-mining.
     fn run_group(&mut self, group: JobGroup) {
+        if group.spec.kind.is_mutation() {
+            self.run_mutation(group);
+            return;
+        }
+        if let Some(value) = self.stream_count_for(&group.spec) {
+            self.serve_streamed(group, value);
+            return;
+        }
         if let Err(error) = self.ensure_resident(&group.spec.graph) {
             self.fail_group(&group, &error);
             return;
@@ -264,6 +302,7 @@ impl Worker {
                 let run = subgraph_isomorphism_count(engine, &resident.plain, &pattern, &limits);
                 (run.result, run.truncated)
             }
+            QueryKind::Mutate(_) => unreachable!("mutations take the run_mutation path"),
         }));
         let wall_ns = ns(started.elapsed());
         let delta = scope.finish(self.engine.stats());
@@ -296,14 +335,39 @@ impl Worker {
                 .counter_add("sisa_cache_evictions_total", evicted);
         }
 
+        self.settle_group(&group, value, truncated, &delta, wall_ns, started, false);
+    }
+
+    /// Bills and answers every entry of an executed group: the first entry
+    /// absorbs the execution delta (as a query or, when `mutation`, in the
+    /// tenant's `mutations` column), every other entry receives the shared
+    /// value as a zero-cost coalesced response, and each terminal event
+    /// releases its admission slot (the in-flight count covers queued *and*
+    /// executing requests, so the slot frees only after the event).
+    #[allow(clippy::too_many_arguments)]
+    fn settle_group(
+        &self,
+        group: &JobGroup,
+        value: u64,
+        truncated: bool,
+        delta: &ExecStats,
+        wall_ns: u64,
+        started: Instant,
+        mutation: bool,
+    ) {
         let mut ledger = self.ledger.lock().expect("ledger lock");
         for (i, job) in group.entries.iter().enumerate() {
             let queue_ns = ns(started.saturating_duration_since(job.submitted));
             let span_ns = ns(job.submitted.elapsed());
             let stats = if i == 0 {
-                ledger.record_query(&job.tenant, &delta, wall_ns);
+                if mutation {
+                    ledger.record_mutation(&job.tenant, delta, wall_ns);
+                    self.metrics.counter_add("sisa_mutations_total", 1);
+                } else {
+                    ledger.record_query(&job.tenant, delta, wall_ns);
+                }
                 self.metrics.counter_add("sisa_queries_completed_total", 1);
-                QueryStats::from_delta(&delta, wall_ns)
+                QueryStats::from_delta(delta, wall_ns)
             } else {
                 ledger.record_coalesced(&job.tenant);
                 self.metrics.counter_add("sisa_queries_completed_total", 1);
@@ -318,10 +382,188 @@ impl Worker {
                 truncated,
                 stats,
             }));
-            // Release the admission slot only after the terminal event: the
-            // in-flight count covers queued *and* executing queries.
             self.admission.complete(&job.tenant);
         }
+    }
+
+    /// The maintained stream counter answering `spec`, if any: unbudgeted
+    /// triangle counts (`k = 3`) and tracked k-clique counts over a graph
+    /// whose stream state matches the registry's *current* generation. A
+    /// stale stream (the registry moved the name since the last mutation)
+    /// never answers.
+    fn stream_count_for(&self, spec: &QuerySpec) -> Option<u64> {
+        if spec.budget.is_some() {
+            return None;
+        }
+        let k = match spec.kind {
+            QueryKind::TriangleCount => 3,
+            QueryKind::KCliqueCount { k } => k,
+            _ => return None,
+        };
+        let state = self.streams.get(&spec.graph)?;
+        if state.generation != self.registry.generation_of(&spec.graph) {
+            return None;
+        }
+        state.miner.count(k)
+    }
+
+    /// Serves a group from an incrementally-maintained stream counter: one
+    /// host op to read it (billed to the first entry's tenant), with the
+    /// value published to the result cache under the stream's generation so
+    /// repeats hit at the dispatcher.
+    fn serve_streamed(&mut self, group: JobGroup, value: u64) {
+        let scope = StatsScope::begin(self.engine.stats());
+        let started = Instant::now();
+        self.engine.host_ops(1);
+        let wall_ns = ns(started.elapsed());
+        let delta = scope.finish(self.engine.stats());
+        let generation = self
+            .streams
+            .get(&group.spec.graph)
+            .expect("stream state answered")
+            .generation;
+        self.metrics.counter_add("sisa_stream_serves_total", 1);
+        let evicted = self.cache.insert(
+            generation,
+            &group.spec,
+            CachedResult {
+                value,
+                truncated: false,
+                stats: QueryStats::from_delta(&delta, wall_ns),
+            },
+        );
+        if evicted > 0 {
+            self.metrics
+                .counter_add("sisa_cache_evictions_total", evicted);
+        }
+        self.settle_group(&group, value, false, &delta, wall_ns, started, false);
+    }
+
+    /// Applies one streaming mutation: brings this worker's incremental
+    /// stream state up to date, applies the delta as priced set-engine work
+    /// billed to the mutating tenant, then publishes the successor graph
+    /// through the registry's replace path — the generation tick is what
+    /// structurally invalidates every cached result for the name.
+    fn run_mutation(&mut self, group: JobGroup) {
+        let QueryKind::Mutate(delta) = group.spec.kind.clone() else {
+            unreachable!("run_mutation requires a mutate spec");
+        };
+        let name = group.spec.graph.clone();
+        let Some(pre) = self.registry.acquire_lease(&name) else {
+            self.fail_group(&group, &format!("unknown graph {name:?}"));
+            return;
+        };
+
+        // (1) Make the stream state current. A first mutation — or one
+        // arriving after the registry moved the name, or naming vertices
+        // beyond the miner's capacity — rebuilds from the pre-mutation CSR,
+        // billed to the registry ledger like any graph load. Steady-state
+        // mutations skip this entirely; that asymmetry is the entire point
+        // of the incremental path.
+        let stale = self
+            .streams
+            .get(&name)
+            .is_none_or(|s| s.generation != pre.generation || !s.miner.fits(&delta));
+        if stale {
+            let scope = StatsScope::begin(self.engine.stats());
+            if let Some(old) = self.streams.remove(&name) {
+                old.miner.unload(&mut self.engine);
+            }
+            let capacity = pre
+                .graph
+                .num_vertices()
+                .max(delta.max_vertex().map_or(0, |v| v as usize + 1));
+            let miner = StreamingMiner::load_with_capacity(
+                &mut self.engine,
+                &pre.graph,
+                &self.stream_ks,
+                capacity,
+            );
+            let load_delta = scope.finish(self.engine.stats());
+            self.ledger
+                .lock()
+                .expect("ledger lock")
+                .registry_stats
+                .merge(&load_delta);
+            self.metrics.counter_add("sisa_stream_loads_total", 1);
+            self.streams.insert(
+                name.clone(),
+                StreamState {
+                    generation: pre.generation,
+                    miner,
+                },
+            );
+        }
+
+        // (2) Apply incrementally, billed to the mutating tenant.
+        let scope = StatsScope::begin(self.engine.stats());
+        let started = Instant::now();
+        let engine = &mut self.engine;
+        let state = self.streams.get_mut(&name).expect("stream state");
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            state.miner.apply(engine, &delta)
+        }));
+        let wall_ns = ns(started.elapsed());
+        let exec_delta = scope.finish(self.engine.stats());
+        let report = match outcome {
+            Ok(report) => report,
+            Err(payload) => {
+                // The miner may be mid-update and inconsistent: drop it (the
+                // next mutation rebuilds), bill the cleanup to the registry
+                // ledger and the partial work to the tenant.
+                let error = format!("mutation panicked: {}", panic_message(payload.as_ref()));
+                self.drop_stream_state(&name);
+                self.attribute_panic(&group, &exec_delta, wall_ns, &error);
+                return;
+            }
+        };
+
+        // (3) Publish the successor through the replace path.
+        let Some(lease) = self.registry.mutate(&name, &delta) else {
+            // The name was evicted between the lease and the publish (a
+            // racing evict_graph): the applied set work was real, so it
+            // folds into the registry ledger, and the request fails.
+            self.drop_stream_state(&name);
+            self.ledger
+                .lock()
+                .expect("ledger lock")
+                .registry_stats
+                .merge(&exec_delta);
+            self.fail_group(&group, &format!("graph {name:?} was evicted mid-mutation"));
+            return;
+        };
+        let state = self.streams.get_mut(&name).expect("stream state");
+        state.generation = lease.generation;
+        debug_assert_eq!(
+            lease.graph.num_edges(),
+            state.miner.num_edges(),
+            "incremental state and registry successor disagree"
+        );
+        self.settle_group(
+            &group,
+            report.applied as u64,
+            false,
+            &exec_delta,
+            wall_ns,
+            started,
+            true,
+        );
+    }
+
+    /// Unloads and forgets `name`'s stream state, billing the set deletions
+    /// to the registry ledger.
+    fn drop_stream_state(&mut self, name: &str) {
+        let Some(state) = self.streams.remove(name) else {
+            return;
+        };
+        let scope = StatsScope::begin(self.engine.stats());
+        state.miner.unload(&mut self.engine);
+        let cleanup = scope.finish(self.engine.stats());
+        self.ledger
+            .lock()
+            .expect("ledger lock")
+            .registry_stats
+            .merge(&cleanup);
     }
 }
 
@@ -407,6 +649,7 @@ mod tests {
             Arc::new(ResultCache::new(16, 1 << 20)),
             SetGraphConfig::default(),
             64,
+            vec![3, 4],
             0,
             done,
         )

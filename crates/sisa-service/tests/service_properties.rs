@@ -80,6 +80,7 @@ fn oracle(graph: &CsrGraph, spec: &QuerySpec) -> (u64, bool) {
             let run = subgraph_isomorphism_count(&mut rt, &plain, &pattern, &limits);
             (run.result, run.truncated)
         }
+        QueryKind::Mutate(_) => unreachable!("this suite draws read-only queries"),
     }
 }
 

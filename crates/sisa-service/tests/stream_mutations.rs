@@ -1,0 +1,308 @@
+//! End-to-end contracts of the streaming-mutation path:
+//!
+//! 1. **Differential correctness** — an arbitrary interleaving of insert /
+//!    delete batches (including delete-then-reinsert in one delta) applied
+//!    through `mutate` requests leaves every subsequent query answering
+//!    exactly what a from-scratch recompute on the successor graph answers,
+//!    at 1–3 workers and with the result cache on or off, with the
+//!    conservation identity (tenant pool + registry ledger ≡ raw engine
+//!    aggregates) exact throughout.
+//! 2. **Cache invalidation** — a mutation mid-stream structurally kills the
+//!    cached results of its graph: the repeat query that hit before the
+//!    mutation re-answers (fresh value, no stale hit) after it.
+//! 3. **Accounting** — mutations land in the tenant's `mutations` column
+//!    and the report's `mutations` total, are billed real engine cycles to
+//!    the mutating tenant, and the stream metrics (`sisa_stream_loads_total`,
+//!    `sisa_mutations_total`, `sisa_stream_serves_total`) tick.
+
+use proptest::prelude::*;
+use sisa_algorithms::setcentric::{k_clique_count, orient_by_degeneracy, triangle_count};
+use sisa_algorithms::SearchLimits;
+use sisa_core::{ExecStats, SetGraphConfig, SisaConfig, SisaRuntime};
+use sisa_graph::{generators, CsrGraph, GraphDelta};
+use sisa_service::{GraphLease, QueryKind, QuerySpec, ServiceConfig, SisaService};
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// From-scratch recompute of a clique count on a flat runtime — the oracle
+/// the incremental path must match exactly.
+fn recount(g: &CsrGraph, k: usize) -> u64 {
+    let mut rt = SisaRuntime::new(SisaConfig::default());
+    let (oriented, _) = orient_by_degeneracy(&mut rt, g, &SetGraphConfig::default());
+    let limits = SearchLimits::unlimited();
+    if k == 3 {
+        triangle_count(&mut rt, &oriented, &limits).result
+    } else {
+        k_clique_count(&mut rt, &oriented, k, &limits).result
+    }
+}
+
+fn assert_conserved(whole: &ExecStats, parts: &ExecStats) {
+    assert_eq!(whole.scu_cycles, parts.scu_cycles, "scu_cycles");
+    assert_eq!(whole.pum_cycles, parts.pum_cycles, "pum_cycles");
+    assert_eq!(whole.pnm_cycles, parts.pnm_cycles, "pnm_cycles");
+    assert_eq!(whole.host_cycles, parts.host_cycles, "host_cycles");
+    assert_eq!(whole.link_cycles, parts.link_cycles, "link_cycles");
+    assert_eq!(whole.link_bytes, parts.link_bytes, "link_bytes");
+    assert_eq!(whole.instructions, parts.instructions, "instruction mix");
+    let energy_err = (whole.energy_nj - parts.energy_nj).abs();
+    assert!(
+        energy_err <= 1e-9 * whole.energy_nj.abs().max(1.0),
+        "energy drifted: {} vs {}",
+        whole.energy_nj,
+        parts.energy_nj
+    );
+}
+
+/// A deterministic mutation stream over `n` vertices: each round deletes a
+/// few present edges and inserts a few absent ones, and every third round
+/// also deletes-then-reinserts a present edge inside the *same* delta (which
+/// must be count-neutral but still count as two applied changes).
+fn draw_delta(reference: &CsrGraph, n: u64, round: usize, rng: &mut u64) -> GraphDelta {
+    let mut delta = GraphDelta::new();
+    for _ in 0..3 {
+        let u = splitmix(rng) % n;
+        let v = splitmix(rng) % n;
+        delta.inserts.push((u as u32, v as u32));
+    }
+    for _ in 0..2 {
+        let u = (splitmix(rng) % n) as u32;
+        let neigh = reference.neighbors(u);
+        if let Some(&v) = neigh.get((splitmix(rng) as usize) % neigh.len().max(1)) {
+            delta.deletes.push((u, v));
+        }
+    }
+    if round.is_multiple_of(3) {
+        // Delete-then-reinsert of one present edge, inside one delta.
+        for u in 0..n as u32 {
+            if let Some(&v) = reference.neighbors(u).first() {
+                delta = delta.delete(u, v).insert(u, v);
+                break;
+            }
+        }
+    }
+    delta
+}
+
+/// The differential body: a seeded mutation stream through one service
+/// configuration, every post-mutation answer compared against a
+/// from-scratch recompute, ending with a registry-graph identity check and
+/// the conservation identity.
+fn run_stream_differential(seed: u64, workers: usize, cache_entries: usize, rounds: usize) {
+    let cfg = ServiceConfig {
+        workers,
+        shards: 2,
+        cache_entries,
+        ..ServiceConfig::default()
+    };
+    let service = SisaService::start(cfg);
+    let mut reference = generators::erdos_renyi(14, 0.3, 11);
+    service.register_graph("g", reference.clone());
+
+    let mut rng = seed ^ (workers as u64) << 8 ^ cache_entries as u64;
+    for round in 0..rounds {
+        let delta = draw_delta(&reference, 14, round, &mut rng);
+        let successor = delta.apply_to(&reference);
+        let outcome = service
+            .submit("writer", QuerySpec::new("g", QueryKind::Mutate(delta)))
+            .expect("admitted")
+            .wait()
+            .expect("mutation applies");
+        assert!(!outcome.stats.cache_hit && !outcome.stats.coalesced);
+        reference = successor;
+
+        // tc (k = 3) and kclique4 are stream-maintained; kclique5 is
+        // outside the default `stream_ks` and exercises the kernel
+        // path against the post-mutation registry graph.
+        for (kind, k) in [
+            (QueryKind::TriangleCount, 3),
+            (QueryKind::KCliqueCount { k: 4 }, 4),
+            (QueryKind::KCliqueCount { k: 5 }, 5),
+        ] {
+            let got = service
+                .submit("reader", QuerySpec::new("g", kind))
+                .expect("admitted")
+                .wait()
+                .expect("completes");
+            assert_eq!(
+                got.value,
+                recount(&reference, k),
+                "round {round}: k={k} diverged from recompute \
+                 (workers={workers}, cache_entries={cache_entries})"
+            );
+        }
+    }
+
+    // The registry's graph is bit-identical to the reference stream.
+    let GraphLease { graph, .. } = service.registry().acquire_lease("g").expect("resident");
+    assert_eq!(graph.num_edges(), reference.num_edges());
+    for v in 0..reference.num_vertices() as u32 {
+        assert_eq!(graph.neighbors(v), reference.neighbors(v), "vertex {v}");
+    }
+    drop(graph);
+
+    // Conservation: every cycle of load, stream maintenance and
+    // query work is attributed to exactly one ledger.
+    let mut attributed = service.pool_stats();
+    attributed.merge(&service.registry_stats());
+    assert_conserved(&service.engine_stats(), &attributed);
+    service.close();
+}
+
+#[test]
+fn streamed_mutations_match_recompute_across_workers_and_cache_modes() {
+    // The exhaustive worker × cache matrix, one seed each.
+    for workers in 1..=3 {
+        for cache_entries in [0usize, 64] {
+            run_stream_differential(0xfeed, workers, cache_entries, 5);
+        }
+    }
+}
+
+proptest! {
+    // The randomized sweep over the same body: arbitrary seeds (hence
+    // arbitrary insert/delete interleavings, delete-then-reinsert
+    // included), drawn worker counts and cache modes.
+    #[test]
+    fn streamed_mutations_match_recompute_on_random_streams(
+        seed in 0u64..1_000_000,
+        workers in 1usize..4,
+        cache_on in any::<bool>(),
+    ) {
+        run_stream_differential(seed, workers, if cache_on { 64 } else { 0 }, 3);
+    }
+}
+
+#[test]
+fn a_mutation_mid_stream_invalidates_cached_results() {
+    let service = SisaService::start(ServiceConfig::smoke());
+    // A path graph has zero triangles; closing one end creates exactly one.
+    service.register_graph("g", generators::path(6));
+    let spec = QuerySpec::new("g", QueryKind::TriangleCount);
+
+    let cold = service
+        .submit("reader", spec.clone())
+        .expect("admitted")
+        .wait()
+        .expect("completes");
+    assert_eq!(cold.value, 0);
+    let warm = service
+        .submit("reader", spec.clone())
+        .expect("admitted")
+        .wait()
+        .expect("completes");
+    assert!(warm.stats.cache_hit, "repeat before the mutation hits");
+
+    let mutation = service
+        .submit(
+            "writer",
+            QuerySpec::new("g", QueryKind::Mutate(GraphDelta::new().insert(0, 2))),
+        )
+        .expect("admitted")
+        .wait()
+        .expect("mutation applies");
+    assert_eq!(mutation.value, 1, "one effective edge change");
+    assert!(
+        mutation.stats.simulated_cycles > 0,
+        "mutations bill real work"
+    );
+
+    let after = service
+        .submit("reader", spec.clone())
+        .expect("admitted")
+        .wait()
+        .expect("completes");
+    assert!(
+        !after.stats.cache_hit,
+        "the generation tick killed the entry"
+    );
+    assert_eq!(after.value, 1, "the new triangle is visible");
+
+    // And the *new* value is cacheable again under the new generation.
+    let rewarmed = service
+        .submit("reader", spec)
+        .expect("admitted")
+        .wait()
+        .expect("completes");
+    assert!(rewarmed.stats.cache_hit);
+    assert_eq!(rewarmed.value, 1);
+
+    // Accounting: the mutation is a completion in its own ledger column,
+    // billed to the writer — not a query, not a cache hit.
+    let report = service.report();
+    assert_eq!(report.mutations, 1);
+    assert_eq!(report.completed, 5);
+    let usage = service.tenant_usage();
+    assert_eq!(usage["writer"].mutations, 1);
+    assert_eq!(usage["writer"].queries, 0);
+    assert!(usage["writer"].stats.total_cycles() > 0);
+    assert_eq!(usage["reader"].mutations, 0);
+
+    let snapshot = service.metrics_snapshot();
+    assert_eq!(snapshot.counters["sisa_mutations_total"], 1);
+    assert_eq!(snapshot.counters["sisa_stream_loads_total"], 1);
+    assert!(
+        snapshot.counters["sisa_stream_serves_total"] >= 1,
+        "post-mutation triangle count is served from the maintained counter"
+    );
+    service.close();
+}
+
+#[test]
+fn mutations_on_unknown_graphs_fail_and_release_admission() {
+    let service = SisaService::start(ServiceConfig::smoke());
+    let err = service
+        .submit(
+            "writer",
+            QuerySpec::new("ghost", QueryKind::Mutate(GraphDelta::new().insert(0, 1))),
+        )
+        .expect("admitted")
+        .wait()
+        .expect_err("unknown graph fails");
+    assert!(err.contains("ghost"), "error names the graph: {err}");
+    let report = service.report();
+    assert_eq!(report.failed, 1);
+    assert_eq!(report.mutations, 0);
+    // The admission slot was released: the per-tenant gauge is pruned.
+    let snapshot = service.metrics_snapshot();
+    assert!(!snapshot
+        .gauges
+        .keys()
+        .any(|k| k.starts_with("sisa_admission_tenant_in_flight")));
+    service.close();
+}
+
+#[test]
+fn inserts_may_grow_the_vertex_set_beyond_the_registered_graph() {
+    let service = SisaService::start(ServiceConfig::smoke());
+    service.register_graph("g", generators::complete(4));
+    // Vertex 9 is beyond the registered 4-vertex graph: the stream state is
+    // built with enough capacity, and the registry successor grows.
+    let outcome = service
+        .submit(
+            "writer",
+            QuerySpec::new(
+                "g",
+                QueryKind::Mutate(GraphDelta::new().insert(3, 9).insert(8, 9)),
+            ),
+        )
+        .expect("admitted")
+        .wait()
+        .expect("mutation applies");
+    assert_eq!(outcome.value, 2);
+    let lease = service.registry().acquire_lease("g").expect("resident");
+    assert_eq!(lease.graph.num_vertices(), 10);
+    let tc = service
+        .submit("reader", QuerySpec::new("g", QueryKind::TriangleCount))
+        .expect("admitted")
+        .wait()
+        .expect("completes");
+    assert_eq!(tc.value, 4, "K4 still holds its four triangles");
+    service.close();
+}

@@ -300,6 +300,19 @@ impl<A: Serialize, B: Serialize> Serialize for (A, B) {
     }
 }
 
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Seq(items) if items.len() == 2 => {
+                Ok((A::from_content(&items[0])?, B::from_content(&items[1])?))
+            }
+            other => Err(Error::custom(format!(
+                "expected a 2-element sequence, found {other:?}"
+            ))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
